@@ -1,0 +1,113 @@
+// Ablation: why manufacturers guardband for the worst part.  Samples a
+// fleet of randomly drawn chips per corner and reports the distribution of
+// (a) the worst SPEC requirement and (b) the chip-level virus requirement.
+// The nominal 980 mV must cover the fleet's worst part under the worst
+// workload plus noise -- exactly the pessimism the paper's per-chip
+// characterization reclaims ("manufacturers have to account for process
+// variations across different chips of the same model").
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ga/virus_search.hpp"
+#include "harness/framework.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner(
+        "Ablation -- fleet-scale guardband distribution",
+        "nominal voltage is set by the worst manufactured parts; typical "
+        "chips carry large unused margins (Section III.C)");
+
+    constexpr int chips_per_corner = 25;
+
+    // One virus serves the whole fleet (the paper crafts it once per
+    // micro-architecture).
+    const pipeline_model pipeline(nominal_core_frequency);
+    ga_config ga;
+    ga.population_size = 96;
+    ga.generations = 120;
+    rng ga_rng(7);
+    const virus_search_result virus =
+        evolve_didt_virus(pipeline, make_xgene2_pdn(), ga, ga_rng);
+    const execution_profile virus_profile =
+        pipeline.execute(virus.virus, 8192);
+
+    text_table table({"corner", "metric", "p10 mV", "median mV", "p90 mV",
+                      "worst mV"});
+    rng fleet_rng(2018);
+    double fleet_worst_virus = 0.0;
+    double typical_median_spec = 0.0;
+    for (const process_corner corner :
+         {process_corner::ttt, process_corner::tff, process_corner::tss}) {
+        std::vector<double> spec_req;
+        std::vector<double> virus_req;
+        for (int i = 0; i < chips_per_corner; ++i) {
+            const chip_model chip(random_chip(corner, fleet_rng),
+                                  make_xgene2_pdn());
+            characterization_framework framework(
+                chip, 1000 + static_cast<std::uint64_t>(i));
+            // Worst SPEC requirement on the most robust core (analytic).
+            double worst_spec = 0.0;
+            for (const cpu_benchmark& b : spec2006_suite()) {
+                const execution_profile& profile = framework.profile_of(
+                    b.loop, nominal_core_frequency);
+                int robust = 0;
+                for (int core = 1; core < cores_per_chip; ++core) {
+                    if (chip.config().core_offset(core) <
+                        chip.config().core_offset(robust)) {
+                        robust = core;
+                    }
+                }
+                worst_spec = std::max(
+                    worst_spec,
+                    chip.analyze_single(profile, robust).vmin.value);
+            }
+            spec_req.push_back(worst_spec);
+
+            std::vector<core_assignment> all;
+            for (int core = 0; core < cores_per_chip; ++core) {
+                all.push_back({core, &virus_profile,
+                               nominal_core_frequency});
+            }
+            const double v =
+                chip.analyze(all, hash_label("ga_didt_virus")).vmin.value;
+            virus_req.push_back(v);
+            fleet_worst_virus = std::max(fleet_worst_virus, v);
+        }
+        const auto row = [&](const char* metric,
+                             const std::vector<double>& values) {
+            return std::vector<std::string>{
+                std::string(to_string(corner)), metric,
+                format_number(percentile(values, 0.1), 0),
+                format_number(percentile(values, 0.5), 0),
+                format_number(percentile(values, 0.9), 0),
+                format_number(*std::max_element(values.begin(),
+                                                values.end()),
+                              0)};
+        };
+        table.add_row(row("worst SPEC", spec_req));
+        table.add_row(row("virus (8 inst)", virus_req));
+        if (corner == process_corner::ttt) {
+            typical_median_spec = percentile(spec_req, 0.5);
+        }
+    }
+    table.render(std::cout);
+
+    std::cout << "\nfleet-worst virus requirement: "
+              << format_number(fleet_worst_virus, 0)
+              << " mV -- a manufacturer covering it with noise margin ends "
+                 "up at ~"
+              << format_number(fleet_worst_virus + 10.0, 0)
+              << " mV (the 980 mV nominal).\ntypical chip's median SPEC "
+                 "requirement: "
+              << format_number(typical_median_spec, 0) << " mV, i.e. "
+              << format_number(980.0 - typical_median_spec, 0)
+              << " mV of per-chip margin for characterization to reclaim.\n";
+    return 0;
+}

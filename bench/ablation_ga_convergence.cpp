@@ -1,0 +1,94 @@
+// Ablation: GA virus-search convergence and what the evolved loop looks
+// like.  Shows best/mean EM amplitude per generation, the fraction of the
+// square-wave ideal reached, the dominant burst period of the winner (it
+// should sit near the 48-cycle PDN resonance), and the resulting droop
+// against hand-crafted component viruses.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "chip/chip_model.hpp"
+#include "em/em_probe.hpp"
+#include "ga/virus_search.hpp"
+#include "util/table.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner("Ablation -- GA dI/dt virus convergence",
+                  "GA-evolved loops maximize EM amplitude at the PDN "
+                  "resonance (methodology of [14], Section III.C)");
+
+    const pipeline_model pipeline(nominal_core_frequency);
+    const pdn_parameters pdn = make_xgene2_pdn();
+    const em_probe probe(pdn.resonant_frequency_hz(), pipeline.clock());
+
+    ga_config config;
+    config.population_size = 96;
+    config.generations = 150;
+    rng ga_rng(7);
+    const virus_search_result result =
+        evolve_didt_virus(pipeline, pdn, config, ga_rng);
+
+    text_table history({"generation", "best EM", "mean EM"});
+    for (std::size_t g = 0; g < result.history.size(); g += 15) {
+        history.add_row({std::to_string(g),
+                         format_number(result.history[g].best_fitness, 4),
+                         format_number(result.history[g].mean_fitness, 4)});
+    }
+    history.render(std::cout);
+
+    const double ideal = probe.amplitude(
+        pipeline.execute(make_square_wave_kernel(24, 24), 4096)
+            .current_trace);
+    std::cout << "\nfinal amplitude " << format_number(result.em_amplitude, 4)
+              << " = " << format_percent(result.em_amplitude / ideal, 0)
+              << " of the 24/24 square-wave ideal (" << format_number(ideal, 4)
+              << ")\n";
+
+    // Burst structure of the winner: run-length histogram.
+    std::map<opcode, int> op_usage;
+    int runs = 1;
+    for (std::size_t i = 1; i < result.virus.body.size(); ++i) {
+        runs += result.virus.body[i] != result.virus.body[i - 1] ? 1 : 0;
+    }
+    for (const opcode op : result.virus.body) {
+        ++op_usage[op];
+    }
+    std::cout << "genome: " << result.virus.body.size() << " instructions in "
+              << runs << " runs (mean run length "
+              << format_number(static_cast<double>(result.virus.body.size()) /
+                                   runs,
+                               1)
+              << ")\nopcode usage:";
+    std::vector<std::pair<int, opcode>> sorted;
+    for (const auto& [op, count] : op_usage) {
+        sorted.emplace_back(count, op);
+    }
+    std::sort(sorted.rbegin(), sorted.rend());
+    for (const auto& [count, op] : sorted) {
+        std::cout << ' ' << traits_of(op).name << " x" << count;
+    }
+    std::cout << '\n';
+
+    // Droop comparison against the hand-crafted component viruses.
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    const execution_profile ga_profile =
+        pipeline.execute(result.virus, 8192);
+    text_table droops({"virus", "single-core droop mV"});
+    droops.add_row({"GA dI/dt virus",
+                    format_number(ttt.analyze_single(ga_profile, 6)
+                                      .droop.value,
+                                  1)});
+    for (const kernel& virus : all_component_viruses()) {
+        const execution_profile profile = pipeline.execute(virus, 8192);
+        droops.add_row({virus.name,
+                        format_number(ttt.analyze_single(profile, 6)
+                                          .droop.value,
+                                      1)});
+    }
+    std::cout << '\n';
+    droops.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: Vmin versus the number of simultaneously running instances
+// ("single-process and multi-process setups", Section I).  More instances
+// raise the chip requirement twice over: weaker cores join the domain, and
+// more aligned current flows through the shared PDN loop.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "harness/framework.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner(
+        "Ablation -- Vmin vs number of instances (multi-process setups)",
+        "the paper characterizes both single-process and multi-process "
+        "configurations; multi-process requirements are strictly higher");
+
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 2018);
+
+    // Core fill order: strongest first (the scheduler's natural choice).
+    const std::vector<int> fill_order{6, 7, 5, 4, 3, 2, 1, 0};
+    const std::vector<std::string> programs{"milc", "bwaves", "gromacs",
+                                            "mcf"};
+
+    std::vector<std::string> header{"instances"};
+    for (const std::string& name : programs) {
+        header.push_back(name + " mV");
+    }
+    text_table table(header);
+
+    for (const int instances : {1, 2, 4, 8}) {
+        std::vector<int> cores(fill_order.begin(),
+                               fill_order.begin() + instances);
+        std::vector<std::string> row{std::to_string(instances)};
+        for (const std::string& name : programs) {
+            const millivolts vmin = framework.find_vmin(
+                find_cpu_benchmark(name).loop, cores,
+                nominal_core_frequency, 5);
+            row.push_back(format_number(vmin.value, 0));
+        }
+        table.add_row(row);
+    }
+    table.render(std::cout);
+
+    bench::note("rows grow monotonically: each added instance contributes "
+                "its core's offset and its share of aligned global-loop "
+                "current.  The per-instance penalty is largest for the "
+                "resonant codes (milc, bwaves).");
+    return 0;
+}

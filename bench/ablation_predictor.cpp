@@ -1,0 +1,78 @@
+// Ablation (after Papadimitriou et al. MICRO'17 [11], the predictor the
+// paper builds on): out-of-sample validation of the performance-counter
+// Vmin model.  Train on the paper's Fig 4 SPEC set plus NAS; hold out the
+// eight SPEC integer programs entirely; report per-program error and
+// whether "prediction + guard" would have been safe.
+#include <iostream>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/predictor.hpp"
+#include "harness/framework.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner(
+        "Ablation -- Vmin predictor: train SPEC-FP+NAS, test SPEC-INT",
+        "the paper trains a workload-dependent prediction model on "
+        "performance counters [11] and proposes it for the governor");
+
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 2018);
+
+    vmin_predictor predictor;
+    const auto truth_of = [&](const cpu_benchmark& b) {
+        return ttt
+            .analyze_single(
+                framework.profile_of(b.loop, nominal_core_frequency), 6)
+            .vmin;
+    };
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        predictor.add_sample(
+            framework.profile_of(b.loop, nominal_core_frequency),
+            truth_of(b));
+    }
+    for (const cpu_benchmark& b : nas_suite()) {
+        predictor.add_sample(
+            framework.profile_of(b.loop, nominal_core_frequency),
+            truth_of(b));
+    }
+    predictor.train();
+    std::cout << "trained on 18 programs, in-sample R^2 = "
+              << format_number(predictor.r_squared(), 3) << "\n\n";
+
+    const millivolts guard{12.0};
+    text_table table({"held-out program", "true Vmin mV", "predicted mV",
+                      "error mV", "pred+guard safe"});
+    running_stats abs_error;
+    int safe = 0;
+    for (const cpu_benchmark& b : spec2006_int_suite()) {
+        const execution_profile& profile =
+            framework.profile_of(b.loop, nominal_core_frequency);
+        const millivolts truth = truth_of(b);
+        const millivolts predicted = predictor.predict(profile);
+        const double error = predicted.value - truth.value;
+        abs_error.add(std::abs(error));
+        const bool is_safe = predicted.value + guard.value >= truth.value;
+        safe += is_safe ? 1 : 0;
+        table.add_row({b.name, format_number(truth.value, 1),
+                       format_number(predicted.value, 1),
+                       format_number(error, 1), is_safe ? "yes" : "NO"});
+    }
+    table.render(std::cout);
+
+    std::cout << "\nheld-out mean |error| "
+              << format_number(abs_error.mean(), 1) << " mV (max "
+              << format_number(abs_error.max(), 1) << " mV); " << safe
+              << "/8 programs safe at prediction + "
+              << format_number(guard.value, 0) << " mV guard\n";
+    bench::note("the governor pairs this predictor with the droop-history "
+                "floor and an adaptive guard precisely because counter "
+                "models have out-of-sample tails (ablation_governor).");
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: voltage/frequency shmoo of the TTT chip.  For each frequency
+// step the safe Vmin of representative workloads is measured with the full
+// campaign protocol -- the V-F curve that DVFS operating-point tables are
+// derived from (and that gives Fig 5 its frequency axis).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "harness/framework.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner(
+        "Ablation -- V/F shmoo of the TTT chip (safe Vmin per frequency)",
+        "lower frequency buys timing slack (~0.13 mV/MHz) plus shorter "
+        "memory stalls; the basis of the Fig 5 frequency-scaling trade");
+
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 2018);
+
+    const std::vector<std::string> programs{"milc", "gromacs", "mcf"};
+    const std::vector<double> frequencies{2400.0, 2000.0, 1600.0, 1200.0,
+                                          800.0};
+
+    std::vector<std::string> header{"frequency MHz"};
+    for (const std::string& name : programs) {
+        header.push_back(name + " Vmin mV");
+    }
+    header.push_back("idle Vmin mV");
+    text_table table(header);
+
+    const kernel idle = make_component_virus(cpu_component::none);
+    for (const double f : frequencies) {
+        std::vector<std::string> row{format_number(f, 0)};
+        for (const std::string& name : programs) {
+            const millivolts vmin = framework.find_vmin(
+                find_cpu_benchmark(name).loop, {6}, megahertz{f}, 5);
+            row.push_back(format_number(vmin.value, 0));
+        }
+        row.push_back(format_number(
+            framework.find_vmin(idle, {6}, megahertz{f}, 5).value, 0));
+        table.add_row(row);
+    }
+    table.render(std::cout);
+
+    bench::note("the workload-to-workload Vmin spread persists across the "
+                "whole frequency range, so a DVFS OPP table needs either "
+                "worst-case anchoring or the workload-aware governor.");
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Shared formatting for the table/figure regeneration binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace gb::bench {
+
+inline void banner(const std::string& experiment,
+                   const std::string& paper_claim) {
+    std::cout << "==============================================================\n"
+              << experiment << '\n'
+              << "Paper: " << paper_claim << '\n'
+              << "==============================================================\n";
+}
+
+inline void note(const std::string& text) {
+    std::cout << "NOTE: " << text << '\n';
+}
+
+} // namespace gb::bench

@@ -1,0 +1,51 @@
+// Fig 5: power/performance trade-off for the 8-benchmark simultaneous
+// workload (bwaves, cactusADM, dealII, gromacs, leslie3d, mcf, milc, namd)
+// on the TTT chip.  Each rung slows the k weakest PMDs to 1.2 GHz and drops
+// the shared supply to the resulting chip requirement; relative power uses
+// the paper's dynamic projection (V/Vnom)^2 * relative performance.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/explorer.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    bench::banner(
+        "Fig 5 -- power/performance ladder, 8-benchmark mix on TTT",
+        "rungs 100%-980mV, 87.2%-915mV, 73.8%-900mV, 61.2%-885mV, "
+        "49.8%-875mV, 37.6%-760mV; 12.8% savings at full performance, "
+        "38.8% at 75% performance");
+
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 2018);
+    guardband_explorer explorer(framework);
+    const std::vector<ladder_point> ladder = explorer.dvfs_ladder(fig5_mix());
+
+    const double paper_power[] = {0.872, 0.738, 0.612, 0.498, 0.376};
+    const double paper_voltage[] = {915.0, 900.0, 885.0, 875.0, 760.0};
+
+    text_table table({"slowed PMDs", "rel perf", "safe V mV", "rel power",
+                      "paper power", "paper V mV"});
+    for (std::size_t k = 0; k < ladder.size(); ++k) {
+        table.add_row({std::to_string(ladder[k].slowed_pmds),
+                       format_percent(ladder[k].relative_performance, 1),
+                       format_number(ladder[k].voltage.value, 0),
+                       format_percent(ladder[k].relative_power, 1),
+                       format_percent(paper_power[k], 1),
+                       format_number(paper_voltage[k], 0)});
+    }
+    table.render(std::cout);
+
+    std::cout << "\nheadline savings: "
+              << format_percent(1.0 - ladder[0].relative_power, 1)
+              << " at full performance (paper: 12.8%), "
+              << format_percent(1.0 - ladder[2].relative_power, 1)
+              << " at 75% performance (paper: 38.8%)\n";
+    bench::note("relative power is the paper's own projection model "
+                "(dynamic V^2 scaled by aggregate frequency); the nominal "
+                "rung is 100% / 980 mV by definition.");
+    return 0;
+}

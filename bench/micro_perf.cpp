@@ -1,0 +1,137 @@
+// google-benchmark micro-benchmarks of the library's hot paths: the SECDED
+// codec, the PDN integrator, the pipeline executor, the EM probe, DPBench
+// scans and one GA generation.
+#include <benchmark/benchmark.h>
+
+#include "chip/chip_model.hpp"
+#include "dram/memory_system.hpp"
+#include "ecc/secded.hpp"
+#include "em/em_probe.hpp"
+#include "ga/virus_search.hpp"
+#include "isa/pipeline.hpp"
+#include "pdn/pdn.hpp"
+#include "util/rng.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace {
+
+using namespace gb;
+
+void bm_secded_encode(benchmark::State& state) {
+    const secded72_64& codec = secded72_64::instance();
+    rng r(1);
+    std::uint64_t data = r();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec.encode(data));
+        data = data * 6364136223846793005ULL + 1;
+    }
+}
+BENCHMARK(bm_secded_encode);
+
+void bm_secded_decode_corrupted(benchmark::State& state) {
+    const secded72_64& codec = secded72_64::instance();
+    rng r(2);
+    const secded_word word = flip_codeword_bit(codec.encode(r()), 17);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec.decode(word));
+    }
+}
+BENCHMARK(bm_secded_decode_corrupted);
+
+void bm_pdn_step(benchmark::State& state) {
+    pdn_model model(make_xgene2_pdn(), nominal_pmd_voltage,
+                    nominal_core_frequency);
+    model.reset(amperes{4.0});
+    double i = 4.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.step(amperes{i}));
+        i = i > 4.0 ? 4.0 : 8.0;
+    }
+}
+BENCHMARK(bm_pdn_step);
+
+void bm_pdn_worst_droop(benchmark::State& state) {
+    pdn_model model(make_xgene2_pdn(), nominal_pmd_voltage,
+                    nominal_core_frequency);
+    const pipeline_model pipeline(nominal_core_frequency);
+    const execution_profile profile =
+        pipeline.execute(make_square_wave_kernel(24, 24), 8192);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.worst_droop(profile.current_trace));
+    }
+}
+BENCHMARK(bm_pdn_worst_droop);
+
+void bm_pipeline_execute(benchmark::State& state) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const kernel& loop = find_cpu_benchmark("milc").loop;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.execute(loop, 8192));
+    }
+}
+BENCHMARK(bm_pipeline_execute);
+
+void bm_em_probe(benchmark::State& state) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const em_probe probe(50.0e6, pipeline.clock());
+    const execution_profile profile =
+        pipeline.execute(make_square_wave_kernel(24, 24), 8192);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(probe.amplitude(profile.current_trace));
+    }
+}
+BENCHMARK(bm_em_probe);
+
+void bm_chip_vmin_analysis(benchmark::State& state) {
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    const pipeline_model pipeline(nominal_core_frequency);
+    const execution_profile profile =
+        pipeline.execute(find_cpu_benchmark("bwaves").loop, 8192);
+    std::vector<core_assignment> all;
+    for (int c = 0; c < 8; ++c) {
+        all.push_back({c, &profile, nominal_core_frequency});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ttt.analyze(all, 7));
+    }
+}
+BENCHMARK(bm_chip_vmin_analysis);
+
+void bm_ga_generation(benchmark::State& state) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    ga_config config;
+    config.population_size = 32;
+    config.generations = 1;
+    for (auto _ : state) {
+        rng r(7);
+        benchmark::DoNotOptimize(
+            evolve_didt_virus(pipeline, make_xgene2_pdn(), config, r, 96,
+                              1024));
+    }
+}
+BENCHMARK(bm_ga_generation);
+
+void bm_memory_system_construction(benchmark::State& state) {
+    for (auto _ : state) {
+        memory_system memory(single_dimm_geometry(), retention_model{}, 2018,
+                             study_limits{});
+        benchmark::DoNotOptimize(memory.total_weak_cells());
+    }
+}
+BENCHMARK(bm_memory_system_construction);
+
+void bm_dpbench_scan(benchmark::State& state) {
+    memory_system memory(xgene2_memory_geometry(), retention_model{}, 2018,
+                         study_limits{});
+    memory.set_temperature(celsius{60.0});
+    memory.set_refresh_period(milliseconds{2283.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            memory.run_dpbench(data_pattern::random_data, 2018));
+    }
+}
+BENCHMARK(bm_dpbench_scan);
+
+} // namespace
+
+BENCHMARK_MAIN();

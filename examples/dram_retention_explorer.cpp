@@ -1,0 +1,73 @@
+// DRAM retention exploration under the thermal testbed: heat the DIMMs to a
+// target temperature with the PID rig, walk a ladder of refresh periods, and
+// report weak-cell exposure, ECC containment and the resulting safe period
+// (the Section IV.C flow behind Table I and Fig 8).
+//
+//   $ ./dram_retention_explorer [temperature_c] [max_relaxation]
+//     defaults: 60 C, 35x
+#include <cstdlib>
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "dram/power.hpp"
+#include "thermal/testbed.hpp"
+#include "util/table.hpp"
+#include "workloads/dram_profiles.hpp"
+
+using namespace gb;
+
+int main(int argc, char** argv) {
+    const double target_c = argc > 1 ? std::atof(argv[1]) : 60.0;
+    const double max_relaxation = argc > 2 ? std::atof(argv[2]) : 35.0;
+    const milliseconds max_period{64.0 * max_relaxation};
+
+    memory_system memory(
+        xgene2_memory_geometry(), retention_model{}, /*seed=*/2018,
+        study_limits{celsius{target_c + 2.0}, max_period});
+
+    // Regulate the DIMMs, then lock their temperatures into the model.
+    thermal_testbed testbed(memory.geometry().dimms, thermal_plant_config{},
+                            /*seed=*/7);
+    testbed.set_all_targets(celsius{target_c});
+    testbed.run(/*duration_s=*/3600.0, /*control_period_s=*/1.0,
+                /*settle_s=*/900.0);
+    testbed.apply_to(memory);
+    std::cout << "DIMMs regulated to " << target_c << " C (max deviation "
+              << format_number(testbed.max_deviation_c(0), 2) << " C)\n\n";
+
+    // Walk the refresh ladder.
+    std::vector<milliseconds> ladder;
+    for (double factor = 1.0; factor <= max_relaxation; factor *= 2.0) {
+        ladder.push_back(milliseconds{64.0 * factor});
+    }
+    ladder.push_back(max_period);
+    const refresh_exploration exploration =
+        guardband_explorer::explore_refresh(memory, ladder);
+
+    text_table table({"TREFP ms", "relaxation", "worst failed bits",
+                      "ECC contains"});
+    for (const refresh_step& step : exploration.steps) {
+        table.add_row({format_number(step.period.value, 0),
+                       format_number(step.period.value / 64.0, 1) + "x",
+                       std::to_string(step.worst_scan.failed_cells),
+                       step.fully_corrected ? "yes" : "NO"});
+    }
+    table.render(std::cout);
+    std::cout << "\nmax safe refresh period: "
+              << exploration.max_safe_period.value << " ms ("
+              << format_number(exploration.max_safe_period.value / 64.0, 1)
+              << "x nominal)\n";
+
+    // Price it for the Rodinia set.
+    const dram_power_model power;
+    std::cout << "\nDRAM power savings at the safe period:\n";
+    for (const dram_workload& workload : rodinia_suite()) {
+        std::cout << "  " << workload.name << ": "
+                  << format_percent(power.refresh_relaxation_saving(
+                                        exploration.max_safe_period,
+                                        workload.bandwidth_gbps),
+                                    1)
+                  << '\n';
+    }
+    return 0;
+}

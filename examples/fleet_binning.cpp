@@ -1,0 +1,110 @@
+// Fleet binning: apply the characterization methodology to a fleet of
+// randomly drawn chips and bin them into voltage classes (the deployment
+// the UniServer project targets: each server runs at its own revealed safe
+// point instead of the fleet-wide worst case).
+//
+//   $ ./fleet_binning [chips_per_corner]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "chip/power.hpp"
+#include "ga/virus_search.hpp"
+#include "harness/framework.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main(int argc, char** argv) {
+    const int per_corner = argc > 1 ? std::atoi(argv[1]) : 15;
+
+    // One virus for the whole fleet (crafted once per micro-architecture).
+    const pipeline_model pipeline(nominal_core_frequency);
+    ga_config ga;
+    ga.population_size = 96;
+    ga.generations = 120;
+    rng ga_rng(7);
+    const virus_search_result virus =
+        evolve_didt_virus(pipeline, make_xgene2_pdn(), ga, ga_rng);
+    const execution_profile virus_profile =
+        pipeline.execute(virus.virus, 8192);
+
+    // Bin edges: 10 mV voltage classes.
+    std::map<int, int> bins;
+    rng fleet_rng(2024);
+    const cpu_power_model power;
+    double fleet_nominal_w = 0.0;
+    double fleet_binned_w = 0.0;
+    const std::vector<cpu_benchmark> mix = fig5_mix();
+
+    for (const process_corner corner :
+         {process_corner::ttt, process_corner::tff, process_corner::tss}) {
+        for (int i = 0; i < per_corner; ++i) {
+            const chip_model chip(random_chip(corner, fleet_rng),
+                                  make_xgene2_pdn());
+            characterization_framework framework(
+                chip, 500 + static_cast<std::uint64_t>(i));
+
+            // The chip's class: worst of (mix requirement, virus
+            // requirement) plus a 10 mV deployment guard.
+            std::vector<core_assignment> mix_assignments;
+            std::vector<core_assignment> virus_assignments;
+            for (int core = 0; core < cores_per_chip; ++core) {
+                mix_assignments.push_back(core_assignment{
+                    core,
+                    &framework.profile_of(
+                        mix[static_cast<std::size_t>(core)].loop,
+                        nominal_core_frequency),
+                    nominal_core_frequency});
+                virus_assignments.push_back(core_assignment{
+                    core, &virus_profile, nominal_core_frequency});
+            }
+            const double requirement =
+                std::max(chip.analyze(mix_assignments, 42).vmin.value,
+                         chip.analyze(virus_assignments,
+                                      hash_label("ga_didt_virus"))
+                             .vmin.value) +
+                10.0;
+            const double binned =
+                std::min(980.0, std::ceil(requirement / 10.0) * 10.0);
+            ++bins[static_cast<int>(binned)];
+
+            // Power at nominal vs at the bin voltage for the mix.
+            fleet_nominal_w += power
+                                   .pmd_domain_power(chip.config(),
+                                                     mix_assignments,
+                                                     nominal_pmd_voltage,
+                                                     celsius{50.0})
+                                   .value;
+            fleet_binned_w += power
+                                  .pmd_domain_power(chip.config(),
+                                                    mix_assignments,
+                                                    millivolts{binned},
+                                                    celsius{50.0})
+                                  .value;
+        }
+    }
+
+    std::cout << "fleet of " << 3 * per_corner
+              << " chips, binned by revealed safe voltage (mix + virus + "
+                 "10 mV guard):\n\n";
+    text_table table({"voltage class mV", "chips", "share"});
+    const double total = 3.0 * per_corner;
+    for (const auto& [voltage, count] : bins) {
+        table.add_row({std::to_string(voltage), std::to_string(count),
+                       format_percent(count / total, 0)});
+    }
+    table.render(std::cout);
+
+    std::cout << "\nfleet PMD power: "
+              << format_number(fleet_nominal_w, 0) << " W at nominal vs "
+              << format_number(fleet_binned_w, 0)
+              << " W binned -- "
+              << format_percent(1.0 - fleet_binned_w / fleet_nominal_w, 1)
+              << " saved by per-chip operating points\n";
+    return 0;
+}

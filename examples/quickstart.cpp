@@ -1,0 +1,57 @@
+// Quickstart: build a simulated X-Gene2 server, measure the Vmin guardband
+// of one workload, and price the revealed margin.
+//
+//   $ ./quickstart
+//
+// Walks the three core steps of the library: (1) assemble a server from a
+// chip corner and the DRAM testbed, (2) run an undervolting characterization
+// through the framework, (3) read the power sensors at the revealed safe
+// point.
+#include <iostream>
+
+#include "core/explorer.hpp"
+#include "core/savings.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main() {
+    // (1) A typical (TTT-corner) chip with one DIMM of DDR3 behind it.
+    xgene2_server server(make_ttt_chip(), /*seed=*/2018,
+                         single_dimm_geometry());
+    characterization_framework framework(server.cpu(), /*seed=*/1);
+    guardband_explorer explorer(framework);
+
+    // (2) Characterize: safe Vmin of one SPEC program on the best core,
+    // ten repetitions per 5 mV step, exactly like the paper's campaigns.
+    const cpu_benchmark& program = find_cpu_benchmark("milc");
+    const int core = explorer.most_robust_core(program);
+    const millivolts vmin =
+        framework.find_vmin(program.loop, {core}, nominal_core_frequency,
+                            /*repetitions=*/10);
+    std::cout << program.name << " on core " << core << ": safe Vmin "
+              << vmin.value << " mV (nominal "
+              << nominal_pmd_voltage.value << " mV)\n";
+
+    // (3) Exploit: what is that guardband worth?
+    workload_snapshot snapshot;
+    const execution_profile& profile =
+        framework.profile_of(program.loop, nominal_core_frequency);
+    for (int c = 0; c < 8; ++c) {
+        snapshot.assignments.push_back({c, &profile,
+                                        nominal_core_frequency});
+    }
+    snapshot.dram_bandwidth_gbps = 2.0;
+
+    operating_point tuned = operating_point::nominal();
+    tuned.pmd_voltage = vmin + millivolts{15.0}; // guarded safe point
+    tuned.refresh_period = milliseconds{2283.0}; // 35x relaxed refresh
+
+    const server_savings savings = compare_operating_points(
+        server, snapshot, operating_point::nominal(), tuned);
+    std::cout << "server power " << savings.total.nominal.value << " W -> "
+              << savings.total.tuned.value << " W ("
+              << 100.0 * savings.total.saving_fraction()
+              << "% saved) at the guarded safe point\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+// UniServer autopilot: every exploitation mechanism in this library running
+// together, the deployment the paper's conclusion sketches.  For each
+// operating phase of a simulated day the autopilot:
+//   1. places the phase's programs on cores Vmin-aware (placement),
+//   2. picks the PMD voltage from the predictor + droop history (governor),
+//   3. sets the DRAM refresh period from the DIMM temperature sensors
+//      (adaptive refresh policy),
+// then executes the phase, feeds outcomes back, and accounts power against
+// an always-nominal baseline.
+//
+//   $ ./uniserver_autopilot [phases]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/governor.hpp"
+#include "core/placement.hpp"
+#include "core/refresh_policy.hpp"
+#include "dram/power.hpp"
+#include "thermal/testbed.hpp"
+#include "util/table.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+using namespace gb;
+
+int main(int argc, char** argv) {
+    const int phases = argc > 1 ? std::atoi(argv[1]) : 48;
+
+    chip_model chip(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(chip, 2018);
+    memory_system memory(single_dimm_geometry(), retention_model{}, 2018,
+                         study_limits{celsius{62.0},
+                                      milliseconds{2283.0}});
+    thermal_testbed testbed(1, thermal_plant_config{}, 5);
+    const adaptive_refresh_policy refresh_policy;
+    const dram_power_model dram_power;
+    const cpu_power_model cpu_power;
+
+    // --- One-time characterization: train the predictor on chip-level
+    // campaigns (what a commissioning pass would measure). ---
+    vmin_predictor predictor;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const execution_profile& profile =
+            framework.profile_of(b.loop, nominal_core_frequency);
+        std::vector<core_assignment> all;
+        for (int core = 0; core < cores_per_chip; ++core) {
+            all.push_back({core, &profile, nominal_core_frequency});
+        }
+        predictor.add_sample(profile,
+                             chip.analyze(all, hash_label(b.name)).vmin);
+    }
+    predictor.train();
+    voltage_governor governor(predictor);
+    std::cout << "commissioned: predictor R^2 "
+              << format_number(predictor.r_squared(), 2) << "\n\n";
+
+    // --- The day: alternating workload mixes and ambient temperatures. ---
+    const std::vector<std::vector<std::string>> mixes{
+        {"mcf", "gcc", "dealII", "lbm", "mcf", "gcc", "dealII", "lbm"},
+        {"milc", "bwaves", "leslie3d", "namd", "gromacs", "cactusADM",
+         "dealII", "mcf"},
+        {"gromacs", "namd", "gromacs", "namd", "gromacs", "namd", "gromacs",
+         "namd"},
+    };
+    const std::vector<double> ambients{42.0, 55.0, 48.0};
+
+    rng r(9);
+    double autopilot_w = 0.0;
+    double nominal_w = 0.0;
+    int disruptions = 0;
+    int ce_epochs = 0;
+    running_stats chosen_voltage;
+
+    for (int phase = 0; phase < phases; ++phase) {
+        const std::size_t kind =
+            static_cast<std::size_t>(phase) % mixes.size();
+
+        // (1) Placement.
+        std::vector<const kernel*> programs;
+        const execution_profile* worst_profile = nullptr;
+        for (const std::string& name : mixes[kind]) {
+            programs.push_back(&find_cpu_benchmark(name).loop);
+        }
+        const placement_result placement =
+            optimize_placement(framework, programs);
+        std::vector<core_assignment> assignments;
+        double mean_current = 0.0;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            const execution_profile& profile = framework.profile_of(
+                *programs[i], nominal_core_frequency);
+            assignments.push_back(
+                core_assignment{placement.core_of_program[i], &profile,
+                                nominal_core_frequency});
+            mean_current += profile.average_current_a();
+            if (worst_profile == nullptr ||
+                profile.average_current_a() >
+                    worst_profile->average_current_a()) {
+                worst_profile = &profile;
+            }
+        }
+
+        // (2) Voltage from the governor (keyed on the heaviest program's
+        // counters, the PMU signal a governor actually has).
+        const millivolts v = governor.choose_voltage(*worst_profile);
+        chosen_voltage.add(v.value);
+
+        // (3) Refresh from the DIMM temperature.
+        testbed.set_target(0, celsius{ambients[static_cast<std::size_t>(
+                                  phase) % ambients.size()]});
+        testbed.run(900.0, 1.0, 600.0);
+        testbed.apply_to(memory);
+        const milliseconds trefp = refresh_policy.apply(memory);
+
+        // Execute and feed back.
+        const std::uint64_t phase_seed =
+            hash_label(mixes[kind].front()) + kind;
+        const run_evaluation eval =
+            chip.evaluate_run(assignments, v, phase_seed, r);
+        governor.observe(eval.outcome,
+                         chip.analyze(assignments, phase_seed).vmin);
+        disruptions += is_disruption(eval.outcome) ? 1 : 0;
+        ce_epochs += eval.outcome == run_outcome::corrected_error ? 1 : 0;
+
+        // Power accounting (PMD + DRAM domains).
+        const double dram_bw = 2.0 + 2.0 * mean_current / 8.0;
+        autopilot_w +=
+            cpu_power.pmd_domain_power(chip.config(), assignments, v,
+                                       celsius{50.0})
+                .value +
+            dram_power.power(trefp, dram_bw).value;
+        nominal_w +=
+            cpu_power.pmd_domain_power(chip.config(), assignments,
+                                       nominal_pmd_voltage, celsius{50.0})
+                .value +
+            dram_power.power(nominal_refresh_period, dram_bw).value;
+    }
+
+    text_table table({"metric", "value"});
+    table.add_row({"phases", std::to_string(phases)});
+    table.add_row({"mean chosen PMD voltage",
+                   format_number(chosen_voltage.mean(), 0) + " mV"});
+    table.add_row({"voltage range",
+                   format_number(chosen_voltage.min(), 0) + " - " +
+                       format_number(chosen_voltage.max(), 0) + " mV"});
+    table.add_row({"PMD+DRAM power (autopilot)",
+                   format_number(autopilot_w / phases, 1) + " W"});
+    table.add_row({"PMD+DRAM power (nominal)",
+                   format_number(nominal_w / phases, 1) + " W"});
+    table.add_row({"saving",
+                   format_percent(1.0 - autopilot_w / nominal_w, 1)});
+    table.add_row({"disrupted phases", std::to_string(disruptions)});
+    table.add_row({"corrected-error phases", std::to_string(ce_epochs)});
+    table.add_row({"final guard",
+                   format_number(governor.current_guard().value, 1) +
+                       " mV"});
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,75 @@
+// Virus laboratory: evolve a dI/dt virus with the GA against the EM probe,
+// inspect what it learned, and measure the margin it leaves on each of the
+// three characterized chips (the Section III.C / Fig 6-7 methodology).
+//
+//   $ ./virus_lab [generations]
+#include <cstdlib>
+#include <iostream>
+
+#include "chip/chip_model.hpp"
+#include "em/em_probe.hpp"
+#include "ga/virus_search.hpp"
+#include "util/table.hpp"
+
+using namespace gb;
+
+int main(int argc, char** argv) {
+    const auto generations =
+        static_cast<std::size_t>(argc > 1 ? std::atol(argv[1]) : 150);
+
+    const pipeline_model pipeline(nominal_core_frequency);
+    const pdn_parameters pdn = make_xgene2_pdn();
+    std::cout << "PDN resonance: " << pdn.resonant_frequency_hz() / 1.0e6
+              << " MHz = "
+              << pdn_model(pdn, nominal_pmd_voltage, nominal_core_frequency)
+                     .resonance_period_cycles()
+              << " cycles at 2.4 GHz\n";
+
+    ga_config config;
+    config.population_size = 96;
+    config.generations = generations;
+    rng ga_rng(7);
+    const virus_search_result result =
+        evolve_didt_virus(pipeline, pdn, config, ga_rng);
+
+    const em_probe probe(pdn.resonant_frequency_hz(), pipeline.clock());
+    const double ideal = probe.amplitude(
+        pipeline.execute(make_square_wave_kernel(24, 24), 4096)
+            .current_trace);
+    std::cout << "evolved EM amplitude " << result.em_amplitude << " ("
+              << format_percent(result.em_amplitude / ideal, 0)
+              << " of the square-wave ideal) after " << generations
+              << " generations\n\nevolved loop:";
+    opcode last = result.virus.body.front();
+    int run = 0;
+    for (const opcode op : result.virus.body) {
+        if (op == last) {
+            ++run;
+            continue;
+        }
+        std::cout << ' ' << traits_of(last).name << 'x' << run;
+        last = op;
+        run = 1;
+    }
+    std::cout << ' ' << traits_of(last).name << 'x' << run << "\n\n";
+
+    // Margins per chip, one virus instance per core.
+    const execution_profile profile = pipeline.execute(result.virus, 8192);
+    std::vector<core_assignment> all;
+    for (int c = 0; c < cores_per_chip; ++c) {
+        all.push_back({c, &profile, nominal_core_frequency});
+    }
+    text_table table({"chip", "virus Vmin mV", "margin to nominal mV"});
+    const std::uint64_t launch = hash_label("ga_didt_virus");
+    for (const chip_config& cfg :
+         {make_ttt_chip(), make_tff_chip(), make_tss_chip()}) {
+        const chip_model chip(cfg, make_xgene2_pdn());
+        const vmin_analysis analysis = chip.analyze(all, launch);
+        table.add_row({cfg.name, format_number(analysis.vmin.value, 0),
+                       format_number(
+                           nominal_pmd_voltage.value - analysis.vmin.value,
+                           0)});
+    }
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "cache/trace_pipeline.hpp"
+
+#include <cmath>
+
+#include "cache/streams.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+
+opcode load_class_of(hit_level level) {
+    switch (level) {
+    case hit_level::l1: return opcode::load_l1;
+    case hit_level::l2: return opcode::load_l2;
+    case hit_level::l3: return opcode::load_l3;
+    case hit_level::memory: return opcode::load_dram;
+    }
+    GB_ASSERT(false);
+    return opcode::load_l1;
+}
+
+opcode store_class_of(hit_level level) {
+    // The store buffer hides cache-resident store latency; only
+    // memory-destined stores stall like their load counterparts.
+    return level == hit_level::memory ? opcode::store_dram
+                                      : opcode::store_l1;
+}
+
+trace_pipeline::trace_pipeline(megahertz clock, cache_hierarchy& hierarchy)
+    : clock_(clock), hierarchy_(hierarchy) {
+    GB_EXPECTS(clock.value > 0.0);
+}
+
+execution_profile trace_pipeline::execute(
+    std::span<const traced_instruction> trace, int repetitions) {
+    GB_EXPECTS(!trace.empty());
+    GB_EXPECTS(repetitions >= 1);
+
+    execution_profile profile;
+    auto& counters = profile.counters;
+    std::array<std::uint64_t, cpu_component_count> active_cycles{};
+    const double cycle_ns = 1.0e3 / clock_.value;
+
+    for (int rep = 0; rep < repetitions; ++rep) {
+        for (const traced_instruction& instruction : trace) {
+            opcode resolved = instruction.op;
+            if (instruction.is_memory) {
+                const bool is_store =
+                    traits_of(instruction.op).is_store;
+                const hit_level level =
+                    hierarchy_.access(instruction.address, is_store);
+                resolved = is_store ? store_class_of(level)
+                                    : load_class_of(level);
+            }
+            const op_traits& t = traits_of(resolved);
+
+            profile.current_trace.push_back(core_baseline_current_a +
+                                            t.issue_current_a);
+            ++counters.cycles;
+            ++counters.instructions;
+            active_cycles[static_cast<std::size_t>(cpu_component::fetch)] +=
+                1;
+            if (t.component != cpu_component::none &&
+                t.component != cpu_component::fetch) {
+                active_cycles[static_cast<std::size_t>(t.component)] += 1;
+            }
+            if (t.is_fp) {
+                ++counters.fp_ops;
+            } else if (resolved == opcode::int_alu ||
+                       resolved == opcode::int_mul) {
+                ++counters.int_ops;
+            }
+            if (resolved == opcode::branch) {
+                ++counters.branches;
+            }
+            if (t.is_load) {
+                ++counters.loads;
+            }
+            if (t.is_store) {
+                ++counters.stores;
+            }
+            if (t.component == cpu_component::l2) {
+                ++counters.l2_hits;
+            }
+            if (t.component == cpu_component::l3) {
+                ++counters.l3_hits;
+            }
+            if (t.component == cpu_component::dram) {
+                ++counters.dram_accesses;
+            }
+            counters.memory_bytes +=
+                static_cast<std::uint64_t>(t.memory_bytes);
+
+            std::uint64_t stalls =
+                static_cast<std::uint64_t>(t.stall_cycles);
+            if (t.memory_latency_ns > 0.0) {
+                stalls += static_cast<std::uint64_t>(
+                    std::ceil(t.memory_latency_ns / cycle_ns));
+            }
+            for (std::uint64_t s = 0; s < stalls; ++s) {
+                profile.current_trace.push_back(core_baseline_current_a +
+                                                t.stall_current_a);
+                ++counters.cycles;
+                if (t.component != cpu_component::none) {
+                    active_cycles[static_cast<std::size_t>(t.component)] +=
+                        1;
+                }
+            }
+        }
+    }
+
+    for (std::size_t c = 0; c < active_cycles.size(); ++c) {
+        profile.activity.utilization[c] =
+            static_cast<double>(active_cycles[c]) /
+            static_cast<double>(counters.cycles);
+    }
+    GB_ENSURES(profile.current_trace.size() == counters.cycles);
+    return profile;
+}
+
+std::vector<traced_instruction> make_chase_trace(std::int64_t buffer_bytes,
+                                                 int loads,
+                                                 int compute_per_load,
+                                                 rng& r) {
+    GB_EXPECTS(loads >= 1);
+    GB_EXPECTS(compute_per_load >= 0);
+    const std::vector<std::uint64_t> order =
+        make_chase_order(buffer_bytes, 64, r);
+    std::vector<traced_instruction> trace;
+    trace.reserve(static_cast<std::size_t>(loads) *
+                  static_cast<std::size_t>(1 + compute_per_load));
+    for (int i = 0; i < loads; ++i) {
+        trace.push_back(traced_instruction::load(
+            order[static_cast<std::size_t>(i) % order.size()]));
+        for (int c = 0; c < compute_per_load; ++c) {
+            trace.push_back(traced_instruction::compute(opcode::int_alu));
+        }
+    }
+    return trace;
+}
+
+std::vector<traced_instruction> make_stream_trace(std::int64_t bytes,
+                                                  int compute_per_load) {
+    GB_EXPECTS(bytes >= 8);
+    GB_EXPECTS(compute_per_load >= 0);
+    std::vector<traced_instruction> trace;
+    trace.reserve(static_cast<std::size_t>(bytes / 8) *
+                  static_cast<std::size_t>(1 + compute_per_load));
+    for (std::int64_t address = 0; address < bytes; address += 8) {
+        trace.push_back(traced_instruction::load(
+            static_cast<std::uint64_t>(address)));
+        for (int c = 0; c < compute_per_load; ++c) {
+            trace.push_back(traced_instruction::compute(opcode::fp_mul));
+        }
+    }
+    return trace;
+}
+
+} // namespace gb

@@ -1,0 +1,77 @@
+// Trace-driven execution: the bridge between address-level workloads and
+// the declared-level kernels of the ISA layer.
+//
+// A traced instruction carries an optional memory address; at execution
+// time the cache hierarchy decides which level serves it, and the
+// instruction is charged the current/stall signature of the *resolved*
+// class (load_l1/l2/l3/dram).  Running the same pointer-chase loop both
+// ways -- declared (kernel of load_l2) and traced (addresses over a 64 KB
+// buffer) -- must produce matching profiles; that equivalence is what
+// licenses the paper-style declared kernels everywhere else in the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "isa/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+
+/// One instruction of a trace.  For memory operations (`load`/`store` set)
+/// the concrete class is resolved through the cache simulator; for
+/// everything else `op` is charged as-is.
+struct traced_instruction {
+    opcode op = opcode::nop;
+    std::uint64_t address = 0;
+    bool is_memory = false;
+
+    static traced_instruction compute(opcode op) {
+        return traced_instruction{op, 0, false};
+    }
+    static traced_instruction load(std::uint64_t address) {
+        return traced_instruction{opcode::load_l1, address, true};
+    }
+    static traced_instruction store(std::uint64_t address) {
+        return traced_instruction{opcode::store_l1, address, true};
+    }
+};
+
+/// Executes instruction traces against a cache hierarchy, producing the
+/// same execution_profile the declared-level pipeline produces.
+class trace_pipeline {
+public:
+    trace_pipeline(megahertz clock, cache_hierarchy& hierarchy);
+
+    /// Run the trace `repetitions` times (the hierarchy warm from lap to
+    /// lap, as a loop would be).
+    [[nodiscard]] execution_profile execute(
+        std::span<const traced_instruction> trace, int repetitions);
+
+    [[nodiscard]] const cache_hierarchy& hierarchy() const {
+        return hierarchy_;
+    }
+
+private:
+    megahertz clock_;
+    cache_hierarchy& hierarchy_;
+};
+
+/// Resolved load/store class for a hit level.
+[[nodiscard]] opcode load_class_of(hit_level level);
+[[nodiscard]] opcode store_class_of(hit_level level);
+
+/// Build a pointer-chase trace: `loads` loads walking a shuffled
+/// `buffer_bytes` buffer line by line, with `compute_per_load` int ops
+/// between hops.
+[[nodiscard]] std::vector<traced_instruction> make_chase_trace(
+    std::int64_t buffer_bytes, int loads, int compute_per_load, rng& r);
+
+/// Build a streaming trace: sequential 8-byte loads over `bytes`, with
+/// `compute_per_load` FP ops between them (a stream kernel's inner loop).
+[[nodiscard]] std::vector<traced_instruction> make_stream_trace(
+    std::int64_t bytes, int compute_per_load);
+
+} // namespace gb

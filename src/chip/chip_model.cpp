@@ -1,0 +1,214 @@
+#include "chip/chip_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+std::string_view to_string(failure_path path) {
+    switch (path) {
+    case failure_path::logic: return "logic";
+    case failure_path::sram: return "sram";
+    }
+    return "?";
+}
+
+std::string_view to_string(run_outcome outcome) {
+    switch (outcome) {
+    case run_outcome::ok: return "OK";
+    case run_outcome::corrected_error: return "CE";
+    case run_outcome::uncorrectable_error: return "UE";
+    case run_outcome::silent_data_corruption: return "SDC";
+    case run_outcome::crash: return "CRASH";
+    case run_outcome::hang: return "HANG";
+    }
+    return "?";
+}
+
+bool is_disruption(run_outcome outcome) {
+    return outcome == run_outcome::uncorrectable_error ||
+           outcome == run_outcome::silent_data_corruption ||
+           outcome == run_outcome::crash || outcome == run_outcome::hang;
+}
+
+pdn_parameters make_xgene2_pdn() {
+    // ~50 MHz first-order resonance (package L against die decap), Q ~ 6:
+    // the regime the dI/dt literature reports for server parts.  The decap
+    // value sets the resonant impedance (~40 mOhm) so that a one-core
+    // current swing of ~1 A produces droops in the tens of mV.
+    return pdn_parameters::for_resonance(50.0e6, 0.08, 0.5e-6);
+}
+
+pdn_parameters make_xgene2_global_pdn() {
+    // The shared regulator loop: same resonance, ~3.3x more decap behind it,
+    // so ~12 mOhm resonant impedance against the aggregate current.
+    return pdn_parameters::for_resonance(50.0e6, 0.08, 1.67e-6);
+}
+
+chip_model::chip_model(chip_config config, pdn_parameters local_pdn,
+                       pdn_parameters global_pdn)
+    : config_(std::move(config)), local_pdn_(local_pdn),
+      global_pdn_(global_pdn) {}
+
+std::vector<double> chip_model::combined_trace(
+    std::span<const core_assignment> assignments,
+    std::uint64_t phase_seed) const {
+    GB_EXPECTS(!assignments.empty());
+    GB_EXPECTS(assignments.size() <=
+               static_cast<std::size_t>(cores_per_chip));
+
+    // Common length: a few PDN resonance periods beyond the longest loop so
+    // the droop fully develops; round to cover whole loop repetitions.
+    std::size_t length = 8192;
+    for (const core_assignment& a : assignments) {
+        GB_EXPECTS(a.profile != nullptr);
+        GB_EXPECTS(!a.profile->current_trace.empty());
+        GB_EXPECTS(a.core >= 0 && a.core < cores_per_chip);
+        length = std::max(length, a.profile->current_trace.size());
+    }
+
+    std::vector<double> total(length, 0.0);
+    rng phase_rng(phase_seed);
+    for (const core_assignment& a : assignments) {
+        const std::vector<double>& trace = a.profile->current_trace;
+        const std::size_t offset = phase_rng.uniform_index(trace.size());
+        for (std::size_t k = 0; k < length; ++k) {
+            total[k] += trace[(k + offset) % trace.size()];
+        }
+    }
+    const int idle_cores =
+        cores_per_chip - static_cast<int>(assignments.size());
+    for (double& i : total) {
+        i += static_cast<double>(idle_cores) * core_baseline_current_a;
+    }
+    return total;
+}
+
+std::vector<vmin_analysis> chip_model::core_requirements(
+    std::span<const core_assignment> assignments,
+    std::uint64_t phase_seed) const {
+    // Global contribution: the aggregate current through the shared loop.
+    const std::vector<double> trace = combined_trace(assignments, phase_seed);
+    const pdn_model global(global_pdn_, nominal_pmd_voltage,
+                           nominal_core_frequency);
+    const millivolts global_droop = global.worst_droop(trace);
+    const pdn_model local(local_pdn_, nominal_pmd_voltage,
+                          nominal_core_frequency);
+
+    std::vector<vmin_analysis> requirements;
+    requirements.reserve(assignments.size());
+    for (const core_assignment& a : assignments) {
+        GB_EXPECTS(a.frequency <= nominal_core_frequency);
+        // Local contribution: this core's own current through its loop.
+        const millivolts droop =
+            local.worst_droop(a.profile->current_trace) + global_droop;
+        const millivolts droop_eff = config_.response.effective(droop);
+        const double freq_relief_mv =
+            config_.vf_slope_mv_per_mhz *
+            (nominal_core_frequency.value - a.frequency.value);
+
+        // Logic timing path: full frequency relief, full droop coupling.
+        const millivolts logic_vmin{config_.v_crit_logic.value +
+                                    config_.core_offset(a.core).value -
+                                    freq_relief_mv + droop_eff.value};
+
+        // Cache SRAM path: cell stability, not timing -- only half the
+        // frequency relief, slightly weaker droop coupling, but an extra
+        // penalty proportional to how hard the caches are exercised.
+        const double cache_activity =
+            std::max(a.profile->activity.of(cpu_component::l1d),
+                     a.profile->activity.of(cpu_component::l2));
+        const millivolts sram_vmin{
+            config_.v_crit_logic.value +
+            config_.v_crit_sram_delta.value * cache_activity +
+            config_.core_offset(a.core).value - 0.5 * freq_relief_mv +
+            0.9 * droop_eff.value};
+
+        vmin_analysis req;
+        req.droop = droop;
+        req.droop_effective = droop_eff;
+        const bool sram_dominates = sram_vmin > logic_vmin;
+        req.vmin = sram_dominates ? sram_vmin : logic_vmin;
+        req.path = sram_dominates ? failure_path::sram : failure_path::logic;
+        req.critical_core = a.core;
+        requirements.push_back(req);
+    }
+    return requirements;
+}
+
+vmin_analysis chip_model::analyze(std::span<const core_assignment> assignments,
+                                  std::uint64_t phase_seed) const {
+    const std::vector<vmin_analysis> requirements =
+        core_requirements(assignments, phase_seed);
+    GB_EXPECTS(!requirements.empty());
+    const vmin_analysis* worst = &requirements.front();
+    for (const vmin_analysis& req : requirements) {
+        if (req.vmin > worst->vmin) {
+            worst = &req;
+        }
+    }
+    GB_ENSURES(worst->vmin.value > 0.0);
+    return *worst;
+}
+
+vmin_analysis chip_model::analyze_single(const execution_profile& profile,
+                                         int core,
+                                         megahertz frequency) const {
+    const core_assignment assignment{core, &profile, frequency};
+    return analyze(std::span<const core_assignment>(&assignment, 1),
+                   /*phase_seed=*/0);
+}
+
+run_evaluation chip_model::evaluate_run(
+    std::span<const core_assignment> assignments, millivolts supply,
+    std::uint64_t phase_seed, rng& r) const {
+    const vmin_analysis analysis = analyze(assignments, phase_seed);
+    const millivolts noisy_vmin{analysis.vmin.value +
+                                r.normal(0.0, run_noise_sigma_mv)};
+    run_evaluation eval;
+    eval.margin = supply - noisy_vmin;
+    eval.path = analysis.path;
+
+    if (eval.margin.value >= 0.0) {
+        eval.outcome = run_outcome::ok;
+        return eval;
+    }
+    if (eval.margin.value <= -crash_window.value) {
+        eval.outcome = run_outcome::crash;
+        return eval;
+    }
+    // Marginal region: the failure mode depends on which path gave out and
+    // on how deep below Vmin the supply sits.  Just below Vmin only the
+    // slowest path misses occasionally (isolated errors); catastrophic
+    // outcomes ramp up with depth until the hard-crash window.  Cache SRAM
+    // failures are mostly caught by the cache ECC/parity (CE); logic-path
+    // failures corrupt in-flight state (SDC) or lock up the pipeline.
+    const double depth = -eval.margin.value / crash_window.value; // (0, 1)
+    const double u = r.uniform();
+    if (analysis.path == failure_path::sram) {
+        if (u < 0.15) {
+            eval.outcome = run_outcome::silent_data_corruption;
+        } else if (u < 0.15 + 0.10 * depth) {
+            eval.outcome = run_outcome::uncorrectable_error;
+        } else if (u < 0.15 + 0.15 * depth) {
+            eval.outcome = run_outcome::hang;
+        } else {
+            eval.outcome = run_outcome::corrected_error;
+        }
+    } else {
+        if (u < 0.30 * depth) {
+            eval.outcome = run_outcome::crash;
+        } else if (u < 0.45 * depth) {
+            eval.outcome = run_outcome::hang;
+        } else if (u < 0.45 * depth + 0.50) {
+            eval.outcome = run_outcome::silent_data_corruption;
+        } else {
+            eval.outcome = run_outcome::corrected_error;
+        }
+    }
+    return eval;
+}
+
+} // namespace gb

@@ -1,0 +1,142 @@
+// Chip-level Vmin model and run-outcome evaluation.
+//
+// Ties together the pipeline's current traces, the PDN's droop physics and
+// the corner model's failure thresholds to answer the question the paper's
+// framework asks thousands of times: "does this workload, on these cores of
+// this chip, at this voltage and frequency, run correctly -- and if not, how
+// does the failure manifest?"
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chip/corners.hpp"
+#include "isa/pipeline.hpp"
+#include "pdn/pdn.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+/// Nominal operating point of the X-Gene2 PMD domain.
+inline constexpr millivolts nominal_pmd_voltage{980.0};
+inline constexpr megahertz nominal_core_frequency{2400.0};
+
+/// One core running one workload profile at one frequency.  The profile must
+/// have been produced by a pipeline_model clocked at `frequency`.
+struct core_assignment {
+    int core = 0;
+    const execution_profile* profile = nullptr;
+    megahertz frequency = nominal_core_frequency;
+};
+
+/// Which failure path gives out first at low voltage.
+enum class failure_path : std::uint8_t {
+    logic, ///< pipeline timing paths
+    sram,  ///< cache SRAM cells
+};
+
+[[nodiscard]] std::string_view to_string(failure_path path);
+
+/// Everything the Vmin analysis of one run determines.
+struct vmin_analysis {
+    millivolts vmin{0.0};            ///< minimum safe supply voltage
+    millivolts droop{0.0};           ///< raw worst-case PDN droop
+    millivolts droop_effective{0.0}; ///< after the chip's droop response
+    failure_path path = failure_path::logic;
+    int critical_core = 0; ///< core whose requirement dominates
+};
+
+/// How a characterization run at a given supply voltage ended.  Mirrors the
+/// paper's classification: correctable errors (CE), uncorrectable errors
+/// (UE), silent data corruption (SDC, caught against a golden reference),
+/// crashes and hangs (caught by the watchdog).
+enum class run_outcome : std::uint8_t {
+    ok,
+    corrected_error,
+    uncorrectable_error,
+    silent_data_corruption,
+    crash,
+    hang,
+};
+
+[[nodiscard]] std::string_view to_string(run_outcome outcome);
+[[nodiscard]] bool is_disruption(run_outcome outcome);
+
+struct run_evaluation {
+    run_outcome outcome = run_outcome::ok;
+    millivolts margin{0.0}; ///< supply minus (noisy) Vmin; negative = below
+    failure_path path = failure_path::logic;
+};
+
+/// Core-local PDN loop: ~50 MHz first-order resonance, lightly damped,
+/// ~40 mOhm resonant impedance against one core's current.
+[[nodiscard]] pdn_parameters make_xgene2_pdn();
+
+/// Chip-global PDN loop: same resonance, ~12 mOhm against the summed
+/// current of all cores.
+[[nodiscard]] pdn_parameters make_xgene2_global_pdn();
+
+/// The simulated chip: corner personality plus its power-delivery network.
+///
+/// The PDN has two levels, as in the droop literature: a core-local loop
+/// (each core's own grid/package path, responding to that core's current)
+/// and a chip-global loop (shared regulator path, responding to the sum of
+/// all cores).  A core's droop is the sum of both contributions, so a virus
+/// aligned across 8 cores gains through the global loop but not 8-fold.
+class chip_model {
+public:
+    chip_model(chip_config config, pdn_parameters local_pdn,
+               pdn_parameters global_pdn = make_xgene2_global_pdn());
+
+    /// Vmin of a multi-core run.  `phase_seed` determines the relative cycle
+    /// alignment of the cores' loops (threads are never cycle-aligned on the
+    /// real machine; alignment changes how per-core currents add up).
+    [[nodiscard]] vmin_analysis analyze(
+        std::span<const core_assignment> assignments,
+        std::uint64_t phase_seed) const;
+
+    /// Per-core supply requirements of a multi-core run (same droop, each
+    /// core's own offsets/paths).  Used to rank PMDs by weakness for the
+    /// frequency-scaling trade-off of Fig 5.
+    [[nodiscard]] std::vector<vmin_analysis> core_requirements(
+        std::span<const core_assignment> assignments,
+        std::uint64_t phase_seed) const;
+
+    /// Convenience: one workload on one core, the rest idle.
+    [[nodiscard]] vmin_analysis analyze_single(
+        const execution_profile& profile, int core,
+        megahertz frequency = nominal_core_frequency) const;
+
+    /// Aggregate per-cycle current of all 8 cores (active ones tiled with
+    /// phase offsets, idle ones at baseline).
+    [[nodiscard]] std::vector<double> combined_trace(
+        std::span<const core_assignment> assignments,
+        std::uint64_t phase_seed) const;
+
+    /// Outcome of one run at the given supply voltage.  Stochastic: each run
+    /// draws its own threshold noise, matching the paper's repetition of
+    /// every undervolting experiment ten times.
+    [[nodiscard]] run_evaluation evaluate_run(
+        std::span<const core_assignment> assignments, millivolts supply,
+        std::uint64_t phase_seed, rng& r) const;
+
+    [[nodiscard]] const chip_config& config() const { return config_; }
+    [[nodiscard]] const pdn_parameters& pdn() const { return local_pdn_; }
+    [[nodiscard]] const pdn_parameters& global_pdn() const {
+        return global_pdn_;
+    }
+
+    /// Supply voltage below Vmin at which failures escalate to a crash.
+    static constexpr millivolts crash_window{10.0};
+    /// Run-to-run repeatability noise of the failure threshold.
+    static constexpr double run_noise_sigma_mv = 2.5;
+
+private:
+    chip_config config_;
+    pdn_parameters local_pdn_;
+    pdn_parameters global_pdn_;
+};
+
+} // namespace gb

@@ -1,0 +1,130 @@
+#include "chip/corners.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+std::string_view to_string(process_corner corner) {
+    switch (corner) {
+    case process_corner::ttt: return "TTT";
+    case process_corner::tff: return "TFF";
+    case process_corner::tss: return "TSS";
+    }
+    return "?";
+}
+
+millivolts droop_response::effective(millivolts droop) const {
+    GB_EXPECTS(droop.value >= 0.0);
+    if (droop <= knee) {
+        return millivolts{gain_low * droop.value};
+    }
+    return millivolts{gain_low * knee.value +
+                      gain_high * (droop.value - knee.value)};
+}
+
+millivolts chip_config::core_offset(int core) const {
+    GB_EXPECTS(core >= 0 && core < cores_per_chip);
+    return millivolts{core_offset_mv[static_cast<std::size_t>(core)]};
+}
+
+millivolts chip_config::pmd_offset(int pmd) const {
+    GB_EXPECTS(pmd >= 0 && pmd < pmds_per_chip);
+    return millivolts{std::max(core_offset_mv[static_cast<std::size_t>(
+                                   pmd * cores_per_pmd)],
+                               core_offset_mv[static_cast<std::size_t>(
+                                   pmd * cores_per_pmd + 1)])};
+}
+
+// Calibration notes (paper Figs 4, 6, 7, and the Fig 5 DVFS ladder):
+//  * Real workloads in this simulator develop ~3-35 mV of (local + global)
+//    droop on one core; the GA dI/dt virus run on all 8 cores develops
+//    ~42 mV under the framework's canonical launch alignment.  Corner
+//    personalities are expressed through the droop response: the typical
+//    TTT part saturates past a 20 mV knee (deep effective decap -- its
+//    virus crash point stays ~60 mV below nominal, Fig 7), while the sigma
+//    parts steepen sharply past 35 mV (gain_high fitted to the measured
+//    crash margins: TFF ~20 mV below nominal, TSS ~10 mV, i.e. no usable
+//    margin).  Only the virus exceeds the 35 mV knee on a single chip.
+//  * v_crit_logic anchors the most robust core's SPEC Vmin band at 2.4 GHz:
+//    TTT ~[865, 885] mV, TFF ~[865, 885] mV, TSS ~[860, 900] mV (Fig 4).
+//  * Per-core offsets make the per-PMD worst offsets {40, 25, 10, 3} mV, so
+//    the 8-benchmark mix yields the Fig 5 ladder (~925/905/895/885 mV as
+//    weakest PMDs are slowed; the paper reports 915/900/885/875).
+//  * vf_slope 0.13 mV/MHz gives ~156 mV of Vmin relief at 1.2 GHz, which is
+//    what drops the all-PMDs-slow rung towards ~760 mV (Fig 5's last rung).
+
+chip_config make_ttt_chip() {
+    chip_config c;
+    c.name = "TTT";
+    c.corner = process_corner::ttt;
+    c.v_crit_logic = millivolts{863.0};
+    c.v_crit_sram_delta = millivolts{8.0};
+    c.response = droop_response{1.0, 0.15, millivolts{20.0}};
+    c.core_offset_mv = {40.0, 32.0, 25.0, 18.0, 10.0, 6.0, 0.0, 3.0};
+    c.vf_slope_mv_per_mhz = 0.13;
+    c.leakage_current_a = 7.3;
+    return c;
+}
+
+chip_config make_tff_chip() {
+    chip_config c;
+    c.name = "TFF";
+    c.corner = process_corner::tff;
+    // Fast paths tolerate moderate noise well (gain 0.6) but the high-current
+    // part exhausts decap quickly above the knee.
+    c.v_crit_logic = millivolts{862.0};
+    c.v_crit_sram_delta = millivolts{10.0};
+    c.response = droop_response{0.65, 6.3, millivolts{35.0}};
+    c.core_offset_mv = {34.0, 27.0, 21.0, 15.0, 8.0, 4.0, 0.0, 2.0};
+    c.vf_slope_mv_per_mhz = 0.13;
+    c.leakage_current_a = 11.5;
+    return c;
+}
+
+chip_config make_tss_chip() {
+    chip_config c;
+    c.name = "TSS";
+    c.corner = process_corner::tss;
+    // Slow paths: every mV of droop costs more than 1 mV of Vmin even in the
+    // benign region, and the response steepens further past the knee.
+    c.v_crit_logic = millivolts{854.5};
+    c.v_crit_sram_delta = millivolts{12.0};
+    c.response = droop_response{1.3, 5.8, millivolts{35.0}};
+    c.core_offset_mv = {38.0, 29.0, 23.0, 16.0, 9.0, 5.0, 0.0, 2.0};
+    c.vf_slope_mv_per_mhz = 0.13;
+    c.leakage_current_a = 3.9;
+    return c;
+}
+
+chip_config make_chip(process_corner corner) {
+    switch (corner) {
+    case process_corner::ttt: return make_ttt_chip();
+    case process_corner::tff: return make_tff_chip();
+    case process_corner::tss: return make_tss_chip();
+    }
+    GB_ASSERT(false);
+    return make_ttt_chip();
+}
+
+chip_config random_chip(process_corner corner, rng& r) {
+    chip_config c = make_chip(corner);
+    c.name = std::string(to_string(corner)) + "_rand";
+    c.v_crit_logic += millivolts{r.normal(0.0, 6.0)};
+    c.v_crit_sram_delta += millivolts{std::max(-4.0, r.normal(0.0, 2.0))};
+    c.leakage_current_a =
+        std::max(0.1, c.leakage_current_a * (1.0 + r.normal(0.0, 0.15)));
+    // Redraw core offsets: half-normal spread, most robust core at zero.
+    for (double& offset : c.core_offset_mv) {
+        offset = std::abs(r.normal(0.0, 18.0));
+    }
+    const double min_offset =
+        *std::min_element(c.core_offset_mv.begin(), c.core_offset_mv.end());
+    for (double& offset : c.core_offset_mv) {
+        offset -= min_offset;
+    }
+    return c;
+}
+
+} // namespace gb

@@ -1,0 +1,53 @@
+#include "chip/power.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+watts cpu_power_model::core_dynamic_power(const execution_profile& profile,
+                                          millivolts v, megahertz f) const {
+    GB_EXPECTS(v.value > 0.0);
+    GB_EXPECTS(f.value > 0.0);
+    const double v_ratio = v / nominal_pmd_voltage;
+    const double f_ratio = f / nominal_core_frequency;
+    // I_dyn at (v, f) = I_nominal * (V/Vnom) * (f/fnom); P = V * I.
+    const amperes current{profile.average_current_a() * v_ratio * f_ratio};
+    return v * current;
+}
+
+watts cpu_power_model::chip_leakage_power(const chip_config& chip,
+                                          millivolts v, celsius t) const {
+    GB_EXPECTS(v.value > 0.0);
+    const double voltage_factor =
+        std::exp((v.value - nominal_pmd_voltage.value) /
+                 leakage_voltage_scale_mv);
+    const double temperature_factor =
+        std::exp((t.value - 50.0) / leakage_temperature_scale_c);
+    const amperes leak{chip.leakage_current_a * voltage_factor *
+                       temperature_factor};
+    return v * leak;
+}
+
+watts cpu_power_model::pmd_domain_power(
+    const chip_config& chip, std::span<const core_assignment> assignments,
+    millivolts v, celsius t) const {
+    GB_EXPECTS(assignments.size() <=
+               static_cast<std::size_t>(cores_per_chip));
+    watts total = chip_leakage_power(chip, v, t);
+    for (const core_assignment& a : assignments) {
+        GB_EXPECTS(a.profile != nullptr);
+        total += core_dynamic_power(*a.profile, v, a.frequency);
+    }
+    // Idle cores: clock/fetch baseline at the domain voltage, full frequency.
+    const int idle_cores =
+        cores_per_chip - static_cast<int>(assignments.size());
+    const double v_ratio = v / nominal_pmd_voltage;
+    const amperes idle_current{static_cast<double>(idle_cores) *
+                               core_baseline_current_a * v_ratio};
+    total += v * idle_current;
+    return total;
+}
+
+} // namespace gb

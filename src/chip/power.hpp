@@ -1,0 +1,41 @@
+// CPU power model: dynamic power from pipeline activity, corner-dependent
+// leakage, and PMD-domain aggregation.  Used for the savings projections of
+// Figs 5 and 9.
+#pragma once
+
+#include <span>
+
+#include "chip/chip_model.hpp"
+#include "chip/corners.hpp"
+#include "isa/pipeline.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+/// Power of the PMD voltage domain (all 8 cores).
+class cpu_power_model {
+public:
+    /// Dynamic power of one core running `profile` at (v, f).  The profile's
+    /// average current was measured at nominal V/F; switching current scales
+    /// with V (charge per toggle) and f (toggle rate), so P_dyn ~ V^2 f.
+    [[nodiscard]] watts core_dynamic_power(const execution_profile& profile,
+                                           millivolts v, megahertz f) const;
+
+    /// Leakage of the whole chip: exponential in voltage (DIBL) and
+    /// temperature, anchored at the corner's nominal leakage at 50 C.
+    [[nodiscard]] watts chip_leakage_power(const chip_config& chip,
+                                           millivolts v, celsius t) const;
+
+    /// Total PMD-domain power for a set of per-core runs at one domain
+    /// voltage.  Idle cores contribute baseline dynamic power.
+    [[nodiscard]] watts pmd_domain_power(
+        const chip_config& chip, std::span<const core_assignment> assignments,
+        millivolts v, celsius t) const;
+
+    /// Voltage sensitivity of leakage: I_leak ~ exp((V - Vnom)/v0).
+    static constexpr double leakage_voltage_scale_mv = 120.0;
+    /// Temperature sensitivity: I_leak ~ exp((T - 50C)/t0).
+    static constexpr double leakage_temperature_scale_c = 40.0;
+};
+
+} // namespace gb

@@ -1,0 +1,105 @@
+#include "core/governor.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+voltage_governor::voltage_governor(const vmin_predictor& predictor,
+                                   governor_config config)
+    : predictor_(predictor), config_(config),
+      guard_(config.initial_guard) {
+    GB_EXPECTS(predictor.trained());
+    GB_EXPECTS(config.min_guard.value > 0.0);
+    GB_EXPECTS(config.min_guard <= config.initial_guard);
+    GB_EXPECTS(config.initial_guard <= config.max_guard);
+    GB_EXPECTS(config.target_failure_probability > 0.0 &&
+               config.target_failure_probability < 1.0);
+}
+
+millivolts voltage_governor::choose_voltage(
+    const execution_profile& profile) const {
+    millivolts v = predictor_.predict(profile) + guard_;
+    if (history_.size() >= config_.min_history) {
+        v = std::max(v, history_.voltage_for_failure_probability(
+                            config_.target_failure_probability));
+    }
+    return std::min(v, nominal_pmd_voltage);
+}
+
+void voltage_governor::observe(run_outcome outcome, millivolts requirement) {
+    history_.record(requirement);
+    if (is_disruption(outcome)) {
+        guard_ += config_.disruption_backoff;
+    } else if (outcome == run_outcome::corrected_error) {
+        guard_ += config_.corrected_backoff;
+    } else {
+        guard_ -= config_.relax_step;
+    }
+    guard_ = std::clamp(guard_, config_.min_guard, config_.max_guard);
+}
+
+governor_simulation simulate_governor(
+    characterization_framework& framework, voltage_governor& governor,
+    const std::vector<std::string>& schedule, rng& r) {
+    GB_EXPECTS(!schedule.empty());
+
+    const chip_model& chip = framework.chip();
+    const cpu_power_model power;
+    governor_simulation simulation;
+    simulation.epochs.reserve(schedule.size());
+
+    double power_sum = 0.0;
+    double nominal_sum = 0.0;
+    for (const std::string& name : schedule) {
+        const cpu_benchmark& benchmark = find_cpu_benchmark(name);
+        const execution_profile& profile =
+            framework.profile_of(benchmark.loop, nominal_core_frequency);
+        std::vector<core_assignment> assignments;
+        for (int core = 0; core < cores_per_chip; ++core) {
+            assignments.push_back(
+                core_assignment{core, &profile, nominal_core_frequency});
+        }
+        const std::uint64_t phase_seed = hash_label(name);
+
+        millivolts v = governor.choose_voltage(profile);
+        run_evaluation eval =
+            chip.evaluate_run(assignments, v, phase_seed, r);
+        const millivolts requirement =
+            chip.analyze(assignments, phase_seed).vmin;
+        governor.observe(eval.outcome, requirement);
+
+        if (is_disruption(eval.outcome)) {
+            ++simulation.disruptions;
+            // Lost epoch: re-execute at the backed-off voltage.
+            v = governor.choose_voltage(profile);
+            eval = chip.evaluate_run(assignments, v, phase_seed, r);
+            governor.observe(eval.outcome, requirement);
+        }
+        if (eval.outcome == run_outcome::corrected_error) {
+            ++simulation.corrected;
+        }
+
+        governor_epoch epoch;
+        epoch.workload = name;
+        epoch.voltage = v;
+        epoch.outcome = eval.outcome;
+        epoch.pmd_power = power.pmd_domain_power(chip.config(), assignments,
+                                                 v, celsius{50.0});
+        power_sum += epoch.pmd_power.value;
+        nominal_sum += power
+                           .pmd_domain_power(chip.config(), assignments,
+                                             nominal_pmd_voltage,
+                                             celsius{50.0})
+                           .value;
+        simulation.epochs.push_back(std::move(epoch));
+    }
+    simulation.mean_pmd_power =
+        watts{power_sum / static_cast<double>(simulation.epochs.size())};
+    simulation.nominal_pmd_power =
+        watts{nominal_sum / static_cast<double>(simulation.epochs.size())};
+    return simulation;
+}
+
+} // namespace gb

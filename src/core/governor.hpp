@@ -1,0 +1,99 @@
+// Online voltage governor: the "robust and efficient online voltage
+// adoption mechanism" the paper proposes as future work (Section IV.D).
+//
+// Per epoch the governor combines three signals:
+//   * the workload-dependent Vmin predictor (performance counters -> Vmin),
+//   * the droop history's failure-probability inversion (what voltage keeps
+//     the chance of crossing the requirement below the target), and
+//   * an adaptive guard band that backs off on observed errors and creeps
+//     back down through quiet epochs.
+// The chosen voltage is the maximum of the three, clamped to nominal.
+//
+// `simulate_governor` drives the governor against a chip model over a
+// schedule of workload phases and accounts energy against always-nominal
+// operation -- the experiment behind bench/ablation_governor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chip/power.hpp"
+#include "core/history.hpp"
+#include "core/predictor.hpp"
+#include "harness/framework.hpp"
+#include "util/units.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+
+struct governor_config {
+    millivolts initial_guard{12.0};
+    millivolts min_guard{8.0};
+    millivolts max_guard{40.0};
+    /// Added to the guard on a disruption (the epoch's work is lost).
+    millivolts disruption_backoff{15.0};
+    /// Added on a corrected error (a near miss).
+    millivolts corrected_backoff{6.0};
+    /// Removed per clean epoch (slow re-probe toward the margin; relaxing
+    /// faster than this oscillates the guard into the failure zone).
+    millivolts relax_step{0.5};
+    /// Acceptable probability of an epoch requirement exceeding the chosen
+    /// voltage (drives the droop-history floor).
+    double target_failure_probability = 1.0e-3;
+    /// History epochs required before the probabilistic floor engages.
+    std::size_t min_history = 32;
+};
+
+class voltage_governor {
+public:
+    voltage_governor(const vmin_predictor& predictor,
+                     governor_config config = {});
+
+    /// Voltage for the next epoch, given the workload's counter profile.
+    [[nodiscard]] millivolts choose_voltage(
+        const execution_profile& profile) const;
+
+    /// Feedback from the completed epoch: its outcome and the requirement
+    /// the telemetry inferred for it.
+    void observe(run_outcome outcome, millivolts requirement);
+
+    [[nodiscard]] millivolts current_guard() const { return guard_; }
+    [[nodiscard]] const droop_history& history() const { return history_; }
+
+private:
+    const vmin_predictor& predictor_;
+    governor_config config_;
+    millivolts guard_;
+    droop_history history_;
+};
+
+/// One epoch of a governor simulation.
+struct governor_epoch {
+    std::string workload;
+    millivolts voltage{0.0};
+    run_outcome outcome = run_outcome::ok;
+    watts pmd_power{0.0};
+};
+
+struct governor_simulation {
+    std::vector<governor_epoch> epochs;
+    std::uint64_t disruptions = 0;
+    std::uint64_t corrected = 0;
+    watts mean_pmd_power{0.0};
+    watts nominal_pmd_power{0.0};
+
+    [[nodiscard]] double energy_saving() const {
+        return nominal_pmd_power.value <= 0.0
+                   ? 0.0
+                   : 1.0 - mean_pmd_power.value / nominal_pmd_power.value;
+    }
+};
+
+/// Run `schedule` (one workload name per epoch, 8 instances each) under the
+/// governor on the framework's chip; disrupted epochs are retried once at
+/// the backed-off voltage, as a real deployment would re-execute lost work.
+[[nodiscard]] governor_simulation simulate_governor(
+    characterization_framework& framework, voltage_governor& governor,
+    const std::vector<std::string>& schedule, rng& r);
+
+} // namespace gb

@@ -1,0 +1,96 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+namespace {
+
+std::vector<core_assignment> assignments_for(
+    characterization_framework& framework,
+    const std::vector<const kernel*>& programs,
+    const std::vector<int>& core_of_program) {
+    std::vector<core_assignment> assignments;
+    assignments.reserve(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        assignments.push_back(core_assignment{
+            core_of_program[i],
+            &framework.profile_of(*programs[i], nominal_core_frequency),
+            nominal_core_frequency});
+    }
+    return assignments;
+}
+
+/// The shared-launch alignment used for placement comparisons.
+constexpr std::uint64_t placement_phase_seed = 12345;
+
+} // namespace
+
+millivolts placement_requirement(
+    characterization_framework& framework,
+    const std::vector<const kernel*>& programs,
+    const std::vector<int>& core_of_program) {
+    GB_EXPECTS(programs.size() == core_of_program.size());
+    GB_EXPECTS(!programs.empty());
+    const std::vector<core_assignment> assignments =
+        assignments_for(framework, programs, core_of_program);
+    return framework.chip().analyze(assignments, placement_phase_seed).vmin;
+}
+
+placement_result optimize_placement(
+    characterization_framework& framework,
+    const std::vector<const kernel*>& programs) {
+    GB_EXPECTS(programs.size() == static_cast<std::size_t>(cores_per_chip));
+    for (const kernel* program : programs) {
+        GB_EXPECTS(program != nullptr);
+    }
+
+    placement_result result;
+
+    // Naive placement: program i on core i.
+    std::vector<int> naive(programs.size());
+    std::iota(naive.begin(), naive.end(), 0);
+    result.naive_vmin =
+        placement_requirement(framework, programs, naive);
+
+    // Rank each program by its own supply requirement on a reference core
+    // (the droop term), and each core by its offset; pair the largest
+    // requirement with the smallest offset.
+    const chip_config& chip = framework.chip().config();
+    std::vector<std::size_t> programs_by_noise(programs.size());
+    std::iota(programs_by_noise.begin(), programs_by_noise.end(), 0u);
+    std::vector<double> solo_requirement(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        solo_requirement[i] =
+            framework.chip()
+                .analyze_single(framework.profile_of(*programs[i],
+                                                     nominal_core_frequency),
+                                /*core=*/0)
+                .vmin.value;
+    }
+    std::sort(programs_by_noise.begin(), programs_by_noise.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return solo_requirement[a] > solo_requirement[b];
+              });
+    std::vector<int> cores_by_strength(cores_per_chip);
+    std::iota(cores_by_strength.begin(), cores_by_strength.end(), 0);
+    std::sort(cores_by_strength.begin(), cores_by_strength.end(),
+              [&](int a, int b) {
+                  return chip.core_offset(a) < chip.core_offset(b);
+              });
+
+    result.core_of_program.resize(programs.size());
+    for (std::size_t rank = 0; rank < programs.size(); ++rank) {
+        result.core_of_program[programs_by_noise[rank]] =
+            cores_by_strength[rank];
+    }
+    result.optimized_vmin = placement_requirement(framework, programs,
+                                                  result.core_of_program);
+    GB_ENSURES(result.optimized_vmin <= result.naive_vmin);
+    return result;
+}
+
+} // namespace gb

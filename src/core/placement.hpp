@@ -1,0 +1,44 @@
+// Vmin-aware task placement (paper Section IV.A: "the predictor, apart from
+// predicting the safe Vmin, can also assist task scheduling in conjunction
+// to frequency scaling according to the current workload on the system").
+//
+// The chip's supply requirement is the maximum over cores of
+// (core offset + workload droop term): pairing the noisiest workloads with
+// the strongest cores minimizes that maximum and lowers the shared safe
+// voltage.  For sums inside a max, the rearrangement argument makes the
+// anti-sorted pairing (largest workload term on the smallest offset)
+// optimal; `optimize_placement` uses it and reports the voltage it buys.
+#pragma once
+
+#include <vector>
+
+#include "harness/framework.hpp"
+#include "isa/kernel.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+struct placement_result {
+    /// program index -> core, for the optimized placement.
+    std::vector<int> core_of_program;
+    millivolts naive_vmin{0.0};     ///< program i on core i
+    millivolts optimized_vmin{0.0}; ///< anti-sorted pairing
+    /// Voltage the placement buys (naive minus optimized requirement).
+    [[nodiscard]] millivolts gain() const {
+        return naive_vmin - optimized_vmin;
+    }
+};
+
+/// Place one program per core (exactly 8 programs) to minimize the chip's
+/// supply requirement at nominal frequency.
+[[nodiscard]] placement_result optimize_placement(
+    characterization_framework& framework,
+    const std::vector<const kernel*>& programs);
+
+/// Requirement of an explicit placement (program i on core_of_program[i]).
+[[nodiscard]] millivolts placement_requirement(
+    characterization_framework& framework,
+    const std::vector<const kernel*>& programs,
+    const std::vector<int>& core_of_program);
+
+} // namespace gb

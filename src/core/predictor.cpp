@@ -1,0 +1,57 @@
+#include "core/predictor.hpp"
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+predictor_features predictor_features::from_profile(
+    const execution_profile& profile) {
+    predictor_features features;
+    features.ipc = profile.counters.ipc();
+    features.fp_fraction = profile.counters.fp_fraction();
+    features.memory_intensity = profile.counters.memory_intensity();
+    features.l1d_utilization = profile.activity.of(cpu_component::l1d);
+    features.l2_utilization = profile.activity.of(cpu_component::l2);
+    features.average_current_a = profile.average_current_a();
+    return features;
+}
+
+std::vector<double> predictor_features::to_vector() const {
+    return {ipc,       fp_fraction,    memory_intensity,
+            l1d_utilization, l2_utilization, average_current_a};
+}
+
+void vmin_predictor::add_sample(const execution_profile& profile,
+                                millivolts vmin) {
+    GB_EXPECTS(vmin.value > 0.0);
+    features_.push_back(predictor_features::from_profile(profile).to_vector());
+    measured_mv_.push_back(vmin.value);
+    trained_ = false;
+}
+
+void vmin_predictor::train() {
+    GB_EXPECTS(!features_.empty());
+    GB_EXPECTS(features_.size() > features_.front().size());
+    fit_ = fit_ols(features_, measured_mv_);
+    trained_ = true;
+}
+
+double vmin_predictor::r_squared() const {
+    GB_EXPECTS(trained_);
+    return fit_.r_squared;
+}
+
+millivolts vmin_predictor::predict(const execution_profile& profile) const {
+    GB_EXPECTS(trained_);
+    const std::vector<double> x =
+        predictor_features::from_profile(profile).to_vector();
+    return millivolts{fit_.predict(x)};
+}
+
+millivolts vmin_predictor::safe_voltage(const execution_profile& profile,
+                                        millivolts guard) const {
+    GB_EXPECTS(guard.value >= 0.0);
+    return predict(profile) + guard;
+}
+
+} // namespace gb

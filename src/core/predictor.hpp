@@ -1,0 +1,58 @@
+// Workload-dependent Vmin predictor (paper Section IV.D, after Papadimitriou
+// et al. MICRO'17 [11]).
+//
+// The exploitation path needs a safe voltage for workloads that were never
+// characterized.  The predictor regresses measured Vmin on performance-
+// counter-derived features (IPC, FP fraction, memory intensity, cache
+// utilization, average current draw); prediction plus a guard margin then
+// feeds the governor's voltage choice.
+#pragma once
+
+#include <vector>
+
+#include "isa/pipeline.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+/// Feature vector extracted from performance counters / power telemetry.
+struct predictor_features {
+    double ipc = 0.0;
+    double fp_fraction = 0.0;
+    double memory_intensity = 0.0; ///< DRAM accesses per kilo-instruction
+    double l1d_utilization = 0.0;
+    double l2_utilization = 0.0;
+    double average_current_a = 0.0;
+
+    [[nodiscard]] static predictor_features from_profile(
+        const execution_profile& profile);
+    [[nodiscard]] std::vector<double> to_vector() const;
+};
+
+class vmin_predictor {
+public:
+    /// Add one (workload, measured Vmin) training sample.
+    void add_sample(const execution_profile& profile, millivolts vmin);
+    [[nodiscard]] std::size_t sample_count() const { return features_.size(); }
+
+    /// Fit the linear model; requires more samples than features (7+).
+    void train();
+    [[nodiscard]] bool trained() const { return trained_; }
+    [[nodiscard]] double r_squared() const;
+
+    /// Predicted Vmin for an uncharacterized workload.
+    [[nodiscard]] millivolts predict(const execution_profile& profile) const;
+    /// Prediction plus a guard margin: the voltage the governor would set.
+    [[nodiscard]] millivolts safe_voltage(
+        const execution_profile& profile,
+        millivolts guard = millivolts{10.0}) const;
+
+private:
+    std::vector<std::vector<double>> features_;
+    std::vector<double> measured_mv_;
+    ols_fit fit_;
+    bool trained_ = false;
+};
+
+} // namespace gb

@@ -1,0 +1,43 @@
+#include "core/refresh_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+adaptive_refresh_policy::adaptive_refresh_policy(refresh_policy_config config)
+    : config_(config) {
+    GB_EXPECTS(config.anchor_period.value >= nominal_refresh_period.value);
+    GB_EXPECTS(config.halving_celsius > 0.0);
+    GB_EXPECTS(config.derating > 0.0 && config.derating <= 1.0);
+    GB_EXPECTS(config.max_relaxation >= 1.0);
+}
+
+milliseconds adaptive_refresh_policy::period_for(celsius temperature) const {
+    // Retention scales 2^((T_anchor - T)/halving); so does the safe period.
+    const double scale = std::exp2(
+        (config_.anchor_temperature.value - temperature.value) /
+        config_.halving_celsius);
+    const double period_ms =
+        config_.anchor_period.value * scale * config_.derating;
+    const double clamped =
+        std::clamp(period_ms, nominal_refresh_period.value,
+                   nominal_refresh_period.value * config_.max_relaxation);
+    return milliseconds{clamped};
+}
+
+milliseconds adaptive_refresh_policy::apply(memory_system& memory) const {
+    celsius hottest = memory.dimm_temperature(0);
+    for (int dimm = 1; dimm < memory.geometry().dimms; ++dimm) {
+        hottest = std::max(hottest, memory.dimm_temperature(dimm));
+    }
+    milliseconds period = period_for(hottest);
+    // Respect the study limits the memory was materialized for.
+    period = std::min(period, config_.anchor_period);
+    memory.set_refresh_period(period);
+    return period;
+}
+
+} // namespace gb

@@ -1,0 +1,54 @@
+// Temperature-adaptive refresh policy: the operational closing of the
+// paper's DRAM loop ("the characterization results could help guide the
+// operation of the underlying hardware components within 'safe' operating
+// points").
+//
+// The characterization establishes one safe (temperature, period) anchor --
+// e.g. 35x at 60 C with every error corrected.  Retention halves per
+// ~10 C, so the safe period scales as 2^((T_anchor - T)/10): a cooler DIMM
+// can relax further, a hotter one must tighten.  The policy reads the
+// per-DIMM sensors through the testbed/SLIMpro path, applies a safety
+// derating, and programs the MCU -- per DIMM-set, bounded by the JEDEC
+// nominal below and the characterized anchor's scaling above.
+#pragma once
+
+#include "dram/memory_system.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+struct refresh_policy_config {
+    /// The characterized safe anchor (paper: 2.283 s at 60 C, all errors
+    /// corrected by ECC).
+    celsius anchor_temperature{60.0};
+    milliseconds anchor_period{2283.0};
+    /// Retention halving constant of the parts (matches retention_model).
+    double halving_celsius = 10.0;
+    /// Fraction of the scaled safe period actually used (sensor error,
+    /// hot spots within the DIMM, VRT surprises).
+    double derating = 0.8;
+    /// Never relax beyond this multiple of nominal (controller register
+    /// limit), never tighten below nominal.
+    double max_relaxation = 64.0;
+};
+
+class adaptive_refresh_policy {
+public:
+    explicit adaptive_refresh_policy(refresh_policy_config config = {});
+
+    /// Safe refresh period at a measured DIMM temperature.
+    [[nodiscard]] milliseconds period_for(celsius temperature) const;
+
+    /// Read the memory's hottest DIMM sensor and program its refresh
+    /// period accordingly; returns the chosen period.
+    milliseconds apply(memory_system& memory) const;
+
+    [[nodiscard]] const refresh_policy_config& config() const {
+        return config_;
+    }
+
+private:
+    refresh_policy_config config_;
+};
+
+} // namespace gb

@@ -1,0 +1,23 @@
+#include "core/savings.hpp"
+
+namespace gb {
+
+server_savings compare_operating_points(xgene2_server& server,
+                                        const workload_snapshot& snapshot,
+                                        const operating_point& nominal,
+                                        const operating_point& tuned) {
+    server.apply(nominal);
+    const sensor_readings before = server.read_sensors(snapshot);
+    server.apply(tuned);
+    const sensor_readings after = server.read_sensors(snapshot);
+
+    server_savings savings;
+    savings.pmd = domain_savings{before.pmd_power, after.pmd_power};
+    savings.soc = domain_savings{before.soc_power, after.soc_power};
+    savings.dram = domain_savings{before.dram_power, after.dram_power};
+    savings.other = domain_savings{before.other_power, after.other_power};
+    savings.total = domain_savings{before.total_power(), after.total_power()};
+    return savings;
+}
+
+} // namespace gb

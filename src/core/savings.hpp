@@ -1,0 +1,37 @@
+// Pricing revealed guardbands: compare server power at the nominal operating
+// point against a tuned 'safe' point for the same workload (the paper's
+// Fig 9 decomposition into PMD / SoC / DRAM / other domains).
+#pragma once
+
+#include "util/units.hpp"
+#include "xgene/server.hpp"
+
+namespace gb {
+
+struct domain_savings {
+    watts nominal{0.0};
+    watts tuned{0.0};
+
+    [[nodiscard]] double saving_fraction() const {
+        return nominal.value <= 0.0
+                   ? 0.0
+                   : (nominal.value - tuned.value) / nominal.value;
+    }
+};
+
+struct server_savings {
+    domain_savings pmd;
+    domain_savings soc;
+    domain_savings dram;
+    domain_savings other;
+    domain_savings total;
+};
+
+/// Measure the same workload snapshot at two operating points.  Both points
+/// must keep the snapshot's core frequencies (voltage/refresh-only tuning);
+/// the server is left configured at `tuned`.
+[[nodiscard]] server_savings compare_operating_points(
+    xgene2_server& server, const workload_snapshot& snapshot,
+    const operating_point& nominal, const operating_point& tuned);
+
+} // namespace gb

@@ -1,0 +1,72 @@
+#include "core/thermal_loop.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+thermal_operating_point solve_thermal_operating_point(
+    const chip_config& chip, std::span<const core_assignment> assignments,
+    millivolts voltage, const thermal_loop_config& config) {
+    GB_EXPECTS(config.theta_ja_c_per_w > 0.0);
+    GB_EXPECTS(config.max_iterations >= 1);
+    GB_EXPECTS(config.tolerance_c > 0.0);
+
+    const cpu_power_model power;
+    thermal_operating_point point;
+    point.die_temperature = config.ambient;
+    for (int i = 0; i < config.max_iterations; ++i) {
+        point.iterations = i + 1;
+        point.pmd_power = power.pmd_domain_power(chip, assignments, voltage,
+                                                 point.die_temperature);
+        const celsius next{config.ambient.value +
+                           config.theta_ja_c_per_w * point.pmd_power.value};
+        const double delta =
+            std::abs(next.value - point.die_temperature.value);
+        // Damped update: the exponential leakage makes the raw map stiff
+        // near runaway.
+        point.die_temperature =
+            celsius{0.5 * point.die_temperature.value + 0.5 * next.value};
+        if (delta < config.tolerance_c) {
+            point.converged = true;
+            return point;
+        }
+        if (point.die_temperature.value > 150.0) {
+            // Physically: thermal shutdown territory.
+            point.converged = false;
+            return point;
+        }
+    }
+    point.converged = false;
+    return point;
+}
+
+compounded_savings compare_with_thermal_loop(
+    const chip_config& chip, std::span<const core_assignment> assignments,
+    millivolts nominal, millivolts tuned, celsius reference_temperature,
+    const thermal_loop_config& config) {
+    GB_EXPECTS(tuned <= nominal);
+
+    compounded_savings result;
+    result.nominal = solve_thermal_operating_point(chip, assignments,
+                                                   nominal, config);
+    result.tuned = solve_thermal_operating_point(chip, assignments, tuned,
+                                                 config);
+    if (result.nominal.converged && result.tuned.converged &&
+        result.nominal.pmd_power.value > 0.0) {
+        result.coupled_saving = 1.0 - result.tuned.pmd_power.value /
+                                          result.nominal.pmd_power.value;
+    }
+
+    const cpu_power_model power;
+    const watts flat_nominal = power.pmd_domain_power(
+        chip, assignments, nominal, reference_temperature);
+    const watts flat_tuned = power.pmd_domain_power(
+        chip, assignments, tuned, reference_temperature);
+    GB_ASSERT(flat_nominal.value > 0.0);
+    result.flat_saving = 1.0 - flat_tuned.value / flat_nominal.value;
+    return result;
+}
+
+} // namespace gb

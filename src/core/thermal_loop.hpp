@@ -1,0 +1,59 @@
+// Power/temperature fixed point of the SoC.
+//
+// Leakage grows exponentially with die temperature, and die temperature is
+// ambient plus thermal resistance times power: the two couple into a fixed
+// point (and, with poor cooling, thermal runaway).  Undervolting therefore
+// compounds: lower voltage -> less power -> cooler die -> less leakage.
+// SLIMpro exposes exactly the sensors this loop needs (SoC temperature and
+// per-domain power); this module solves the fixed point and quantifies the
+// compounding term the flat-temperature Fig 9 accounting leaves out.
+#pragma once
+
+#include "chip/power.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+struct thermal_loop_config {
+    celsius ambient{35.0};
+    /// Junction-to-ambient thermal resistance of the SoC + heatsink (C/W)
+    /// applied to the PMD-domain power (the dominant heat source).
+    double theta_ja_c_per_w = 1.6;
+    /// Fixed-point iteration control.
+    int max_iterations = 200;
+    double tolerance_c = 0.01;
+};
+
+struct thermal_operating_point {
+    celsius die_temperature{0.0};
+    watts pmd_power{0.0};
+    bool converged = false;
+    int iterations = 0;
+};
+
+/// Solve T = ambient + theta_ja * P(T) for a set of core runs at a given
+/// PMD voltage.  Diverging (thermal runaway) returns converged = false with
+/// the last iterate.
+[[nodiscard]] thermal_operating_point solve_thermal_operating_point(
+    const chip_config& chip, std::span<const core_assignment> assignments,
+    millivolts voltage, const thermal_loop_config& config = {});
+
+/// The compounding saving: power at the coupled fixed point for `tuned`
+/// relative to `nominal`, versus the flat-temperature comparison at
+/// `reference_temperature`.
+struct compounded_savings {
+    thermal_operating_point nominal;
+    thermal_operating_point tuned;
+    /// Saving fraction with the thermal loop closed.
+    double coupled_saving = 0.0;
+    /// Saving fraction with both points pinned at the reference temperature
+    /// (the Fig 9-style accounting).
+    double flat_saving = 0.0;
+};
+
+[[nodiscard]] compounded_savings compare_with_thermal_loop(
+    const chip_config& chip, std::span<const core_assignment> assignments,
+    millivolts nominal, millivolts tuned, celsius reference_temperature,
+    const thermal_loop_config& config = {});
+
+} // namespace gb

@@ -1,0 +1,56 @@
+// Data-pattern benchmarks (DPBenches) and data-dependent cell stress.
+//
+// The paper stresses DRAM with all-0s, all-1s, checkerboard and random
+// patterns (Section III.C, after Liu et al. ISCA'13 [19]).  A weak cell only
+// leaks observably when it stores its charged level (true-cell: 1,
+// anti-cell: 0), and its retention degrades further when surrounding data
+// matches its private worst-case aggressor combination.  Solid patterns
+// exert no coupling stress; checkerboard exerts strong structured stress;
+// random data matches the per-cell worst case most often, which is why it
+// exposes the highest BER (the paper's confirmation of [19]).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "dram/retention.hpp"
+#include "dram/topology.hpp"
+
+namespace gb {
+
+enum class data_pattern : std::uint8_t {
+    all_zeros,
+    all_ones,
+    checkerboard,
+    random_data,
+};
+
+constexpr int data_pattern_count = 4;
+
+[[nodiscard]] std::string_view to_string(data_pattern pattern);
+
+/// All four DPBench patterns.
+[[nodiscard]] const std::array<data_pattern, 4>& all_data_patterns();
+
+/// Logical bit stored at a cell by the pattern (random uses `seed`).
+[[nodiscard]] bool pattern_bit(data_pattern pattern, const cell_address& cell,
+                               std::uint64_t seed);
+
+/// Stress a pattern exerts on one weak cell.
+struct pattern_stress {
+    bool vulnerable = false; ///< cell stores its charged level
+    double aggression = 0.0; ///< fraction of worst-case coupling, 0..1
+};
+
+[[nodiscard]] pattern_stress stress_of(data_pattern pattern,
+                                       const weak_cell& cell,
+                                       std::uint64_t seed);
+
+/// Stress under application data modeled as i.i.d. bits with the given ones
+/// density.  Aggression scales with data entropy (4 p (1-p)): near-solid
+/// application data exerts little coupling, high-entropy data approaches the
+/// random DPBench.
+[[nodiscard]] pattern_stress stress_of_application_data(
+    const weak_cell& cell, double ones_density, std::uint64_t seed);
+
+} // namespace gb

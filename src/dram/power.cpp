@@ -1,0 +1,25 @@
+#include "dram/power.hpp"
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+watts dram_power_model::power(milliseconds refresh_period,
+                              double bandwidth_gbps) const {
+    GB_EXPECTS(refresh_period.value > 0.0);
+    GB_EXPECTS(bandwidth_gbps >= 0.0);
+    const double refresh_w =
+        refresh_w_nominal * (nominal_period / refresh_period);
+    return watts{background_w + refresh_w +
+                 access_w_per_gbps * bandwidth_gbps};
+}
+
+double dram_power_model::refresh_relaxation_saving(
+    milliseconds relaxed, double bandwidth_gbps) const {
+    const watts nominal = power(nominal_period, bandwidth_gbps);
+    const watts relaxed_power = power(relaxed, bandwidth_gbps);
+    GB_ASSERT(nominal.value > 0.0);
+    return (nominal.value - relaxed_power.value) / nominal.value;
+}
+
+} // namespace gb

@@ -1,0 +1,32 @@
+// DRAM power model: background + refresh + access components.
+//
+// Refresh power scales inversely with the refresh period, so a 35x
+// relaxation removes ~97% of it; what that is *worth* relative to total DRAM
+// power depends on the workload's bandwidth (Fig 8b: nw saves 27.3%, the
+// streaming kmeans only 9.4%).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace gb {
+
+struct dram_power_model {
+    /// Static background of the 4-DIMM set (precharge standby, PLL, ODT).
+    double background_w = 4.0;
+    /// Refresh power at the JEDEC-nominal 64 ms period.
+    double refresh_w_nominal = 2.12;
+    /// Read/write + activation energy per unit bandwidth.
+    double access_w_per_gbps = 0.55;
+    milliseconds nominal_period{64.0};
+
+    /// Total DRAM power at a refresh period and application bandwidth.
+    [[nodiscard]] watts power(milliseconds refresh_period,
+                              double bandwidth_gbps) const;
+
+    /// Fractional power saving of relaxing refresh from nominal to `relaxed`
+    /// at the given bandwidth.
+    [[nodiscard]] double refresh_relaxation_saving(milliseconds relaxed,
+                                                   double bandwidth_gbps) const;
+};
+
+} // namespace gb

@@ -1,0 +1,91 @@
+#include "dram/scrubbing.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+namespace {
+
+/// Word key and codeword bit of a failing cell key (re-derive the address
+/// fields from the packed cell key layout: see cell_key()).
+struct word_bit {
+    std::uint64_t word = 0;
+    int bit = 0;
+};
+
+word_bit split_key(std::uint64_t key) {
+    // cell_key packs: dimm(3) rank(2) chip(4) bank(3) row(17) col(10) bit(3).
+    const int bit_in_chip = static_cast<int>(key & 0x7);
+    const std::uint64_t column = (key >> 3) & 0x3ff;
+    const std::uint64_t row = (key >> 13) & 0x1ffff;
+    const std::uint64_t bank = (key >> 30) & 0x7;
+    const int chip = static_cast<int>((key >> 33) & 0xf);
+    const std::uint64_t rank = (key >> 37) & 0x3;
+    const std::uint64_t dimm = key >> 39;
+
+    std::uint64_t word = dimm;
+    word = word << 2 | rank;
+    word = word << 3 | bank;
+    word = word << 17 | row;
+    word = word << 10 | column;
+    return word_bit{word, chip * 8 + bit_in_chip};
+}
+
+} // namespace
+
+std::vector<scrub_analysis_point> analyze_scrub_intervals(
+    const memory_system& memory, int epochs,
+    const std::vector<int>& scrub_cadences, std::uint64_t seed) {
+    GB_EXPECTS(epochs >= 1);
+    GB_EXPECTS(!scrub_cadences.empty());
+
+    // One cold data image; each epoch is a fresh VRT-state window.  The
+    // failing sets are shared by every cadence.
+    std::vector<std::vector<std::uint64_t>> per_epoch;
+    per_epoch.reserve(static_cast<std::size_t>(epochs));
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        per_epoch.push_back(memory.failing_cell_keys(
+            data_pattern::random_data, seed,
+            seed ^ (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(epoch) + 1))));
+    }
+
+    std::vector<scrub_analysis_point> results;
+    results.reserve(scrub_cadences.size());
+    for (const int cadence : scrub_cadences) {
+        GB_EXPECTS(cadence >= 0);
+        scrub_analysis_point point;
+        point.scrub_every_epochs = cadence;
+
+        // word -> set of stale bit positions accumulated since last scrub.
+        std::unordered_map<std::uint64_t, std::unordered_set<int>> stale;
+        std::unordered_set<std::uint64_t> ue_words;
+        for (int epoch = 0; epoch < epochs; ++epoch) {
+            if (cadence > 0 && epoch > 0 && epoch % cadence == 0) {
+                // Patrol pass: every stale single-bit word is corrected and
+                // rewritten; multi-bit words were already counted.
+                for (const auto& [word, bits] : stale) {
+                    point.scrub_corrections += bits.size();
+                }
+                stale.clear();
+            }
+            for (const std::uint64_t key : per_epoch[static_cast<
+                     std::size_t>(epoch)]) {
+                const word_bit wb = split_key(key);
+                auto& bits = stale[wb.word];
+                bits.insert(wb.bit);
+                if (bits.size() >= 2) {
+                    ue_words.insert(wb.word);
+                }
+            }
+        }
+        point.uncorrectable_words = ue_words.size();
+        results.push_back(point);
+    }
+    return results;
+}
+
+} // namespace gb

@@ -1,0 +1,39 @@
+// Patrol-scrub analysis under relaxed refresh.
+//
+// The paper's stencil scheduling aims to "reduce the reliance on ECC and
+// required error corrections"; the dual question for long-running operation
+// is how often cold data must be scrubbed.  A retention failure is
+// corrected on read, but the cell's stored charge stays wrong until the
+// word is rewritten -- and variable-retention-time cells fail
+// intermittently (weak state some windows, strong others), so without
+// scrubbing a word slowly accumulates stale bits across VRT windows until
+// two of them defeat SECDED.  A patrol scrub every k windows rewrites
+// corrected data and resets the accumulation; only pairs that go weak in
+// the same interval still get through.  Run this against a memory with
+// retention_model::vrt_fraction > 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/memory_system.hpp"
+
+namespace gb {
+
+struct scrub_analysis_point {
+    /// Scrub every k VRT windows (0 = never scrub).
+    int scrub_every_epochs = 0;
+    /// Words that accumulated >= 2 stale bits at any point (UE events).
+    std::uint64_t uncorrectable_words = 0;
+    /// Single-bit corrections performed by the scrubber.
+    std::uint64_t scrub_corrections = 0;
+};
+
+/// Simulate `epochs` VRT windows over one cold random-data image (drawn
+/// from `seed`) under each scrub cadence and count the words that ever
+/// reach two simultaneously-stale bits.  Deterministic in `seed`.
+[[nodiscard]] std::vector<scrub_analysis_point> analyze_scrub_intervals(
+    const memory_system& memory, int epochs,
+    const std::vector<int>& scrub_cadences, std::uint64_t seed);
+
+} // namespace gb

@@ -1,0 +1,95 @@
+#include "dram/timing.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+void ddr3_timing::validate() const {
+    GB_EXPECTS(tck_ns > 0.0);
+    GB_EXPECTS(cl > 0 && trcd > 0 && trp > 0 && tras > 0);
+    GB_EXPECTS(burst_length > 0 && banks > 0);
+    GB_EXPECTS(trfc_ns > 0.0);
+    GB_EXPECTS(refresh_slots > 0);
+}
+
+mcu_timing_model::mcu_timing_model(ddr3_timing timing, int channels,
+                                   int bus_bytes)
+    : timing_(timing), channels_(channels), bus_bytes_(bus_bytes) {
+    timing.validate();
+    GB_EXPECTS(channels >= 1);
+    GB_EXPECTS(bus_bytes >= 1);
+}
+
+nanoseconds mcu_timing_model::row_hit_latency() const {
+    const double clocks =
+        static_cast<double>(timing_.cl) +
+        static_cast<double>(timing_.burst_length) / 2.0;
+    return nanoseconds{clocks * timing_.tck_ns};
+}
+
+nanoseconds mcu_timing_model::row_miss_latency() const {
+    const double clocks =
+        static_cast<double>(timing_.trcd + timing_.cl) +
+        static_cast<double>(timing_.burst_length) / 2.0;
+    return nanoseconds{clocks * timing_.tck_ns};
+}
+
+nanoseconds mcu_timing_model::row_conflict_latency() const {
+    const double clocks =
+        static_cast<double>(timing_.trp + timing_.trcd + timing_.cl) +
+        static_cast<double>(timing_.burst_length) / 2.0;
+    return nanoseconds{clocks * timing_.tck_ns};
+}
+
+nanoseconds mcu_timing_model::mean_latency(double row_hit_rate) const {
+    GB_EXPECTS(row_hit_rate >= 0.0 && row_hit_rate <= 1.0);
+    return nanoseconds{row_hit_rate * row_hit_latency().value +
+                       (1.0 - row_hit_rate) *
+                           row_conflict_latency().value};
+}
+
+double mcu_timing_model::channel_peak_gbps() const {
+    // DDR: two transfers of bus_bytes per clock.
+    return 2.0 * static_cast<double>(bus_bytes_) / timing_.tck_ns;
+}
+
+double mcu_timing_model::aggregate_peak_gbps() const {
+    return channel_peak_gbps() * static_cast<double>(channels_);
+}
+
+double mcu_timing_model::refresh_time_fraction(
+    milliseconds refresh_period) const {
+    GB_EXPECTS(refresh_period.value > 0.0);
+    const double trefi_ns = refresh_period.value * 1.0e6 /
+                            static_cast<double>(timing_.refresh_slots);
+    return std::min(1.0, timing_.trfc_ns / trefi_ns);
+}
+
+double mcu_timing_model::achievable_gbps(double row_hit_rate,
+                                         double bank_parallelism,
+                                         milliseconds refresh_period) const {
+    GB_EXPECTS(row_hit_rate >= 0.0 && row_hit_rate <= 1.0);
+    GB_EXPECTS(bank_parallelism >= 1.0);
+    // A row hit keeps the data bus saturated (back-to-back bursts); a
+    // conflict stalls its bank for the precharge+activate gap, which
+    // `bank_parallelism` concurrent banks overlap.
+    const double burst_ns =
+        static_cast<double>(timing_.burst_length) / 2.0 * timing_.tck_ns;
+    const double gap_ns =
+        static_cast<double>(timing_.trp + timing_.trcd) * timing_.tck_ns;
+    const double effective_gap =
+        gap_ns / std::min(bank_parallelism,
+                          static_cast<double>(timing_.banks));
+    const double mean_service =
+        row_hit_rate * burst_ns +
+        (1.0 - row_hit_rate) * (burst_ns + effective_gap);
+    const double bytes_per_burst =
+        static_cast<double>(bus_bytes_ * timing_.burst_length);
+    const double per_channel = bytes_per_burst / mean_service; // GB/s
+    return per_channel * static_cast<double>(channels_) *
+           (1.0 - refresh_time_fraction(refresh_period));
+}
+
+} // namespace gb

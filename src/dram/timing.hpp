@@ -1,0 +1,77 @@
+// DDR3 memory-controller timing model.
+//
+// The X-Gene2's four MCUs each drive one DDR3-1600 channel.  This model
+// provides the closed-form timing arithmetic a controller designer works
+// with: access latency by row-buffer outcome, per-channel and aggregate
+// bandwidth under a row-hit-rate/bank-parallelism characterization of the
+// access stream, and the refresh tax -- the fraction of time a rank is
+// unavailable because it is executing tRFC every tREFI.  The last item
+// closes a loop the paper leaves implicit: relaxing the refresh period not
+// only saves refresh *power* (Fig 8b) but also returns the blocked
+// bandwidth to the application.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace gb {
+
+/// JEDEC DDR3-1600 (800 MHz clock) timings for a 4 Gb part, in controller
+/// clocks unless noted.
+struct ddr3_timing {
+    double tck_ns = 1.25; ///< clock period (DDR3-1600)
+    int cl = 11;          ///< CAS latency
+    int trcd = 11;        ///< RAS-to-CAS
+    int trp = 11;         ///< precharge
+    int tras = 28;        ///< activate-to-precharge
+    int burst_length = 8; ///< transfers per column access
+    double trfc_ns = 260.0; ///< refresh cycle time of a 4 Gb part
+    int banks = 8;
+    /// Rows per bank refreshed per all-bank refresh command (JEDEC spreads
+    /// the array over 8192 tREFI slots per 64 ms).
+    int refresh_slots = 8192;
+
+    void validate() const;
+};
+
+class mcu_timing_model {
+public:
+    explicit mcu_timing_model(ddr3_timing timing = {}, int channels = 4,
+                              int bus_bytes = 8);
+
+    /// Column access latency when the row is already open (tCL + burst).
+    [[nodiscard]] nanoseconds row_hit_latency() const;
+    /// Closed row: activate first (tRCD + tCL + burst).
+    [[nodiscard]] nanoseconds row_miss_latency() const;
+    /// Row conflict: precharge, activate, then read.
+    [[nodiscard]] nanoseconds row_conflict_latency() const;
+    /// Mean latency for a stream with the given row-buffer hit rate,
+    /// counting the non-hit remainder as conflicts (the pessimistic mix
+    /// pointer-chasing produces).
+    [[nodiscard]] nanoseconds mean_latency(double row_hit_rate) const;
+
+    /// Peak transfer rate of one channel (DDR: 2 transfers per clock).
+    [[nodiscard]] double channel_peak_gbps() const;
+    /// Aggregate peak across the MCUs.
+    [[nodiscard]] double aggregate_peak_gbps() const;
+    /// Achievable bandwidth for a stream: row hits stream at the peak; the
+    /// remainder pays the conflict gap, hidden by `bank_parallelism`
+    /// concurrent banks.  Refresh unavailability is applied on top.
+    [[nodiscard]] double achievable_gbps(double row_hit_rate,
+                                         double bank_parallelism,
+                                         milliseconds refresh_period) const;
+
+    /// Fraction of time a rank is blocked by refresh at this period
+    /// (tRFC / tREFI, with tREFI = period / refresh_slots).
+    [[nodiscard]] double refresh_time_fraction(
+        milliseconds refresh_period) const;
+
+    [[nodiscard]] const ddr3_timing& timing() const { return timing_; }
+    [[nodiscard]] int channels() const { return channels_; }
+
+private:
+    ddr3_timing timing_;
+    int channels_;
+    int bus_bytes_;
+};
+
+} // namespace gb

@@ -1,0 +1,52 @@
+#include "dram/topology.hpp"
+
+namespace gb {
+
+dram_geometry xgene2_memory_geometry() {
+    dram_geometry g;
+    g.validate();
+    GB_ENSURES(g.total_chips() == 72);
+    GB_ENSURES(g.data_bytes() == 32LL * 1024 * 1024 * 1024);
+    return g;
+}
+
+dram_geometry single_dimm_geometry() {
+    dram_geometry g;
+    g.dimms = 1;
+    g.validate();
+    return g;
+}
+
+codeword_address codeword_of(const cell_address& cell) {
+    return codeword_address{cell.dimm, cell.rank, cell.bank, cell.row,
+                            cell.column};
+}
+
+int codeword_bit_of(const cell_address& cell) {
+    GB_EXPECTS(cell.chip >= 0 && cell.chip <= 8);
+    GB_EXPECTS(cell.bit >= 0 && cell.bit < 8);
+    return cell.chip * 8 + cell.bit;
+}
+
+std::uint64_t cell_key(const cell_address& cell) {
+    // dimm(3) | rank(2) | chip(4) | bank(3) | row(17) | column(10) | bit(3)
+    std::uint64_t key = static_cast<std::uint64_t>(cell.dimm);
+    key = key << 2 | static_cast<std::uint64_t>(cell.rank);
+    key = key << 4 | static_cast<std::uint64_t>(cell.chip);
+    key = key << 3 | static_cast<std::uint64_t>(cell.bank);
+    key = key << 17 | static_cast<std::uint64_t>(cell.row);
+    key = key << 10 | static_cast<std::uint64_t>(cell.column);
+    key = key << 3 | static_cast<std::uint64_t>(cell.bit);
+    return key;
+}
+
+std::uint64_t codeword_key(const codeword_address& word) {
+    std::uint64_t key = static_cast<std::uint64_t>(word.dimm);
+    key = key << 2 | static_cast<std::uint64_t>(word.rank);
+    key = key << 3 | static_cast<std::uint64_t>(word.bank);
+    key = key << 17 | static_cast<std::uint64_t>(word.row);
+    key = key << 10 | static_cast<std::uint64_t>(word.column);
+    return key;
+}
+
+} // namespace gb

@@ -1,0 +1,103 @@
+// DRAM organization of the characterized server.
+//
+// The testbed is 32 GB of DDR3: 4 DIMMs, each with 2 ranks of nine Micron
+// MT41J512M8-class chips (8 data + 1 ECC), i.e. the 72 chips of the paper.
+// Each 4 Gb chip has 8 banks of 65536 rows x 1024 columns x 8 bits.  A rank
+// reads 72 bits per column access -- one 8-bit slice per chip -- which is
+// exactly one SECDED codeword.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+/// Geometry of one memory configuration.  Defaults are the X-Gene2 testbed.
+struct dram_geometry {
+    int dimms = 4;
+    int ranks_per_dimm = 2;
+    int data_chips_per_rank = 8; ///< plus one ECC chip per rank
+    int banks_per_chip = 8;
+    int rows_per_bank = 65536;
+    int columns_per_row = 1024;
+    int bits_per_column = 8; ///< x8 parts
+
+    [[nodiscard]] int chips_per_rank() const {
+        return data_chips_per_rank + 1;
+    }
+    [[nodiscard]] int total_chips() const {
+        return dimms * ranks_per_dimm * chips_per_rank();
+    }
+    [[nodiscard]] int total_ranks() const { return dimms * ranks_per_dimm; }
+    [[nodiscard]] std::int64_t cells_per_bank() const {
+        return static_cast<std::int64_t>(rows_per_bank) * columns_per_row *
+               bits_per_column;
+    }
+    [[nodiscard]] std::int64_t cells_per_chip() const {
+        return cells_per_bank() * banks_per_chip;
+    }
+    /// Usable (data) capacity in bytes, ECC chips excluded.
+    [[nodiscard]] std::int64_t data_bytes() const {
+        return cells_per_chip() / 8 * data_chips_per_rank * total_ranks();
+    }
+    /// Total rows across all ranks (refresh is per rank-bank-row).
+    [[nodiscard]] std::int64_t total_rows() const {
+        return static_cast<std::int64_t>(total_ranks()) * banks_per_chip *
+               rows_per_bank;
+    }
+
+    void validate() const {
+        GB_EXPECTS(dimms >= 1 && ranks_per_dimm >= 1);
+        GB_EXPECTS(data_chips_per_rank == 8); // one SECDED codeword per access
+        GB_EXPECTS(banks_per_chip >= 1 && rows_per_bank >= 1);
+        GB_EXPECTS(columns_per_row >= 1 && bits_per_column == 8);
+    }
+};
+
+/// The paper's full 32 GB testbed (72 chips).
+[[nodiscard]] dram_geometry xgene2_memory_geometry();
+
+/// A single-DIMM configuration for fast tests.
+[[nodiscard]] dram_geometry single_dimm_geometry();
+
+/// Physical location of one DRAM cell.
+struct cell_address {
+    std::int16_t dimm = 0;
+    std::int16_t rank = 0;
+    std::int16_t chip = 0; ///< 0..7 data, 8 = ECC chip
+    std::int16_t bank = 0;
+    std::int32_t row = 0;
+    std::int16_t column = 0;
+    std::int8_t bit = 0; ///< bit within this chip's 8-bit column slice
+
+    friend bool operator==(const cell_address&, const cell_address&) = default;
+};
+
+/// Identity of the 72-bit ECC codeword a cell belongs to: same rank, bank,
+/// row and column across the nine chips.
+struct codeword_address {
+    std::int16_t dimm = 0;
+    std::int16_t rank = 0;
+    std::int16_t bank = 0;
+    std::int32_t row = 0;
+    std::int16_t column = 0;
+
+    friend bool operator==(const codeword_address&,
+                           const codeword_address&) = default;
+    friend auto operator<=>(const codeword_address&,
+                            const codeword_address&) = default;
+};
+
+[[nodiscard]] codeword_address codeword_of(const cell_address& cell);
+
+/// Bit position (0..71) of a cell within its codeword: data chips occupy
+/// bits 0..63 (chip * 8 + bit), the ECC chip bits 64..71.
+[[nodiscard]] int codeword_bit_of(const cell_address& cell);
+
+/// Stable 64-bit key for hashing/sorting cell addresses.
+[[nodiscard]] std::uint64_t cell_key(const cell_address& cell);
+[[nodiscard]] std::uint64_t codeword_key(const codeword_address& word);
+
+} // namespace gb

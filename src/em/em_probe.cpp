@@ -1,0 +1,37 @@
+#include "em/em_probe.hpp"
+
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/fft.hpp"
+
+namespace gb {
+
+em_probe::em_probe(double carrier_hz, megahertz clock)
+    : carrier_hz_(carrier_hz),
+      cycles_per_sample_(carrier_hz / clock.hertz()) {
+    GB_EXPECTS(carrier_hz > 0.0);
+    GB_EXPECTS(cycles_per_sample_ > 0.0 && cycles_per_sample_ <= 0.5);
+}
+
+double em_probe::amplitude(std::span<const double> current_trace) const {
+    GB_EXPECTS(current_trace.size() >= 2);
+    // Radiated field ~ dI/dt: discrete first difference of the current.
+    std::vector<double> didt(current_trace.size() - 1);
+    for (std::size_t k = 0; k + 1 < current_trace.size(); ++k) {
+        didt[k] = current_trace[k + 1] - current_trace[k];
+    }
+    // Normalize by trace length so amplitudes of different-length loops are
+    // comparable (the Goertzel magnitude grows linearly with N).
+    return goertzel(didt, cycles_per_sample_) /
+           static_cast<double>(didt.size());
+}
+
+double em_probe::noisy_amplitude(std::span<const double> current_trace,
+                                 double relative_sigma, rng& noise_rng) const {
+    GB_EXPECTS(relative_sigma >= 0.0);
+    const double clean = amplitude(current_trace);
+    return clean * (1.0 + noise_rng.normal(0.0, relative_sigma));
+}
+
+} // namespace gb

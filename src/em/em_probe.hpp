@@ -1,0 +1,46 @@
+// Electromagnetic-emanation probe model.
+//
+// X-Gene2 exposes no fine-grained on-die voltage sensing, so the paper (after
+// Hadjilambrou et al., IEEE CAL 2017 [14]) guides its GA with the amplitude
+// of the CPU's radiated EM emissions instead: radiated field strength is
+// proportional to dI/dt in the package loops, so maximizing EM amplitude at
+// the PDN resonance maximizes voltage noise.  The Vmin test then validates
+// the virus.
+//
+// Here the probe computes the spectral amplitude of the discrete derivative
+// of the core current trace at a tunable carrier frequency (Goertzel single
+// bin), plus optional measurement noise.  The GA never sees die voltage --
+// the same indirection as on the real hardware.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+class em_probe {
+public:
+    /// Probe tuned to `carrier_hz` on a machine clocked at `clock`.
+    em_probe(double carrier_hz, megahertz clock);
+
+    /// Radiated amplitude (arbitrary units, normalized per cycle) of a
+    /// per-cycle current trace.
+    [[nodiscard]] double amplitude(std::span<const double> current_trace) const;
+
+    /// Amplitude with multiplicative measurement noise of the given relative
+    /// sigma, as a real spectrum analyzer reading would have.
+    [[nodiscard]] double noisy_amplitude(std::span<const double> current_trace,
+                                         double relative_sigma,
+                                         rng& noise_rng) const;
+
+    [[nodiscard]] double carrier_hz() const { return carrier_hz_; }
+
+private:
+    double carrier_hz_;
+    double cycles_per_sample_;
+};
+
+} // namespace gb

@@ -1,0 +1,71 @@
+#include "harness/campaign.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace gb {
+
+std::uint64_t classification_summary::total() const {
+    return ok + corrected + uncorrectable + sdc + crash + hang;
+}
+
+std::uint64_t classification_summary::disruptions() const {
+    return uncorrectable + sdc + crash + hang;
+}
+
+namespace {
+
+void count_outcome(classification_summary& summary, run_outcome outcome) {
+    switch (outcome) {
+    case run_outcome::ok: ++summary.ok; break;
+    case run_outcome::corrected_error: ++summary.corrected; break;
+    case run_outcome::uncorrectable_error: ++summary.uncorrectable; break;
+    case run_outcome::silent_data_corruption: ++summary.sdc; break;
+    case run_outcome::crash: ++summary.crash; break;
+    case run_outcome::hang: ++summary.hang; break;
+    }
+}
+
+} // namespace
+
+classification_summary campaign_result::summarize() const {
+    classification_summary summary;
+    for (const run_record& record : records) {
+        count_outcome(summary, record.outcome);
+    }
+    return summary;
+}
+
+classification_summary campaign_result::summarize_at(millivolts v) const {
+    classification_summary summary;
+    for (const run_record& record : records) {
+        if (record.voltage == v) {
+            count_outcome(summary, record.outcome);
+        }
+    }
+    return summary;
+}
+
+void write_campaign_csv(std::ostream& out, const campaign_result& result) {
+    csv_writer writer(out, {"benchmark", "voltage_mv", "frequency_mhz",
+                            "cores", "repetition", "outcome", "margin_mv",
+                            "failure_path", "watchdog_reset"});
+    for (const run_record& record : result.records) {
+        std::ostringstream cores;
+        for (std::size_t i = 0; i < record.cores.size(); ++i) {
+            cores << (i > 0 ? "+" : "") << record.cores[i];
+        }
+        writer.write_row({record.benchmark,
+                          csv_number(record.voltage.value, 0),
+                          csv_number(record.frequency.value, 0), cores.str(),
+                          std::to_string(record.repetition),
+                          std::string(to_string(record.outcome)),
+                          csv_number(record.margin.value, 1),
+                          std::string(to_string(record.path)),
+                          record.watchdog_reset ? "1" : "0"});
+    }
+}
+
+} // namespace gb

@@ -1,0 +1,73 @@
+// Campaign specification and result records for the automated
+// characterization framework (paper Fig 2).
+//
+// A *setup* is one (voltage, frequency, cores) configuration; a *run* is one
+// execution of a benchmark under a setup; a *campaign* is the set of runs of
+// one benchmark across setups and repetitions.  The parsing phase classifies
+// every run (OK / CE / UE / SDC / crash / hang) and renders the final CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chip/chip_model.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+/// One characterization configuration.
+struct characterization_setup {
+    millivolts voltage{980.0};
+    megahertz frequency = nominal_core_frequency;
+    std::vector<int> cores{0};
+};
+
+/// A benchmark plus the setups to sweep and the repetition count (the paper
+/// repeats every undervolting experiment ten times).
+struct campaign_spec {
+    std::string benchmark;
+    std::vector<characterization_setup> setups;
+    int repetitions = 10;
+};
+
+/// Everything logged about one run.
+struct run_record {
+    std::string benchmark;
+    millivolts voltage{0.0};
+    megahertz frequency{0.0};
+    std::vector<int> cores;
+    int repetition = 0;
+    run_outcome outcome = run_outcome::ok;
+    millivolts margin{0.0};
+    failure_path path = failure_path::logic;
+    bool watchdog_reset = false;
+};
+
+/// Outcome histogram of a set of runs.
+struct classification_summary {
+    std::uint64_t ok = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t uncorrectable = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t crash = 0;
+    std::uint64_t hang = 0;
+
+    [[nodiscard]] std::uint64_t total() const;
+    [[nodiscard]] std::uint64_t disruptions() const;
+};
+
+struct campaign_result {
+    campaign_spec spec;
+    std::vector<run_record> records;
+    std::uint64_t watchdog_resets = 0;
+
+    [[nodiscard]] classification_summary summarize() const;
+    /// Summary restricted to one supply voltage.
+    [[nodiscard]] classification_summary summarize_at(millivolts v) const;
+};
+
+/// Parsing phase: render records as the framework's final CSV.
+void write_campaign_csv(std::ostream& out, const campaign_result& result);
+
+} // namespace gb

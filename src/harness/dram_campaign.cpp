@@ -1,0 +1,127 @@
+#include "harness/dram_campaign.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace gb {
+
+void dram_campaign_spec::validate() const {
+    GB_EXPECTS(!temperatures.empty());
+    GB_EXPECTS(!refresh_periods.empty());
+    GB_EXPECTS(!patterns.empty());
+    GB_EXPECTS(repetitions >= 1);
+    for (const milliseconds period : refresh_periods) {
+        GB_EXPECTS(period.value >= nominal_refresh_period.value);
+    }
+}
+
+std::string_view to_string(dram_run_outcome outcome) {
+    switch (outcome) {
+    case dram_run_outcome::clean: return "clean";
+    case dram_run_outcome::contained: return "CE-contained";
+    case dram_run_outcome::uncorrectable: return "UE";
+    }
+    return "?";
+}
+
+milliseconds dram_campaign_result::max_safe_period(
+    celsius temperature) const {
+    milliseconds best = nominal_refresh_period;
+    for (const milliseconds period : spec.refresh_periods) {
+        bool all_ok = false;
+        bool any = false;
+        for (const dram_run_record& record : records) {
+            if (record.temperature == temperature &&
+                record.refresh_period == period) {
+                if (!any) {
+                    all_ok = true;
+                    any = true;
+                }
+                all_ok = all_ok &&
+                         record.outcome != dram_run_outcome::uncorrectable;
+            }
+        }
+        if (any && all_ok && period > best) {
+            best = period;
+        }
+    }
+    return best;
+}
+
+std::uint64_t dram_campaign_result::uncorrectable_records() const {
+    return static_cast<std::uint64_t>(std::count_if(
+        records.begin(), records.end(), [](const dram_run_record& r) {
+            return r.outcome == dram_run_outcome::uncorrectable;
+        }));
+}
+
+dram_campaign_result run_dram_campaign(memory_system& memory,
+                                       thermal_testbed& testbed,
+                                       const dram_campaign_spec& spec) {
+    spec.validate();
+    GB_EXPECTS(testbed.dimm_count() >= memory.geometry().dimms);
+
+    dram_campaign_result result;
+    result.spec = spec;
+    std::uint64_t seed = spec.base_seed;
+    for (const celsius temperature : spec.temperatures) {
+        testbed.set_all_targets(temperature);
+        testbed.run(/*duration_s=*/2400.0, /*control_period_s=*/1.0,
+                    /*settle_s=*/900.0);
+        testbed.apply_to(memory);
+        double regulation = 0.0;
+        for (int dimm = 0; dimm < memory.geometry().dimms; ++dimm) {
+            regulation = std::max(regulation, testbed.max_deviation_c(dimm));
+        }
+
+        for (const milliseconds period : spec.refresh_periods) {
+            memory.set_refresh_period(period);
+            for (const data_pattern pattern : spec.patterns) {
+                for (int rep = 0; rep < spec.repetitions; ++rep) {
+                    dram_run_record record;
+                    record.temperature = temperature;
+                    record.refresh_period = period;
+                    record.pattern = pattern;
+                    record.repetition = rep;
+                    record.regulation_deviation_c = regulation;
+                    record.scan = memory.run_dpbench(pattern, seed++);
+                    if (record.scan.failed_cells == 0) {
+                        record.outcome = dram_run_outcome::clean;
+                    } else if (record.scan.fully_corrected()) {
+                        record.outcome = dram_run_outcome::contained;
+                    } else {
+                        record.outcome = dram_run_outcome::uncorrectable;
+                    }
+                    result.records.push_back(std::move(record));
+                }
+            }
+        }
+    }
+    return result;
+}
+
+void write_dram_campaign_csv(std::ostream& out,
+                             const dram_campaign_result& result) {
+    csv_writer writer(out, {"temperature_c", "refresh_ms", "relaxation",
+                            "pattern", "repetition", "failed_bits",
+                            "ce_words", "ue_words", "outcome",
+                            "regulation_dev_c"});
+    for (const dram_run_record& record : result.records) {
+        writer.write_row(
+            {csv_number(record.temperature.value, 1),
+             csv_number(record.refresh_period.value, 0),
+             csv_number(record.refresh_period.value / 64.0, 1),
+             std::string(to_string(record.pattern)),
+             std::to_string(record.repetition),
+             std::to_string(record.scan.failed_cells),
+             std::to_string(record.scan.ce_words),
+             std::to_string(record.scan.ue_words + record.scan.sdc_words),
+             std::string(to_string(record.outcome)),
+             csv_number(record.regulation_deviation_c, 2)});
+    }
+}
+
+} // namespace gb

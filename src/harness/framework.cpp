@@ -1,0 +1,161 @@
+#include "harness/framework.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+
+namespace gb {
+
+characterization_framework::characterization_framework(const chip_model& chip,
+                                                       std::uint64_t seed)
+    : chip_(chip), rng_(seed) {}
+
+const execution_profile& characterization_framework::profile_of(
+    const kernel& program, megahertz frequency) {
+    GB_EXPECTS(!program.empty());
+    const auto key = std::make_pair(program.name,
+                                    std::lround(frequency.value));
+    auto it = profiles_.find(key);
+    if (it == profiles_.end()) {
+        const pipeline_model pipeline(frequency);
+        auto profile = std::make_unique<execution_profile>(
+            pipeline.execute(program, 8192));
+        it = profiles_.emplace(key, std::move(profile)).first;
+    }
+    return *it->second;
+}
+
+std::vector<core_assignment> characterization_framework::make_assignments(
+    const std::vector<program_assignment>& programs,
+    const std::array<megahertz, 4>& pmd_frequency) {
+    GB_EXPECTS(!programs.empty());
+    std::vector<core_assignment> assignments;
+    assignments.reserve(programs.size());
+    for (const program_assignment& p : programs) {
+        GB_EXPECTS(p.program != nullptr);
+        GB_EXPECTS(p.core >= 0 && p.core < cores_per_chip);
+        const megahertz f =
+            pmd_frequency[static_cast<std::size_t>(p.core / cores_per_pmd)];
+        assignments.push_back(
+            core_assignment{p.core, &profile_of(*p.program, f), f});
+    }
+    return assignments;
+}
+
+campaign_result characterization_framework::run_campaign(
+    const campaign_spec& spec, const kernel& program) {
+    GB_EXPECTS(spec.repetitions >= 1);
+    GB_EXPECTS(!spec.setups.empty());
+
+    campaign_result result;
+    result.spec = spec;
+    for (const characterization_setup& setup : spec.setups) {
+        GB_EXPECTS(!setup.cores.empty());
+        std::vector<program_assignment> programs;
+        programs.reserve(setup.cores.size());
+        for (const int core : setup.cores) {
+            programs.push_back(program_assignment{core, &program});
+        }
+        const std::array<megahertz, 4> frequencies{
+            setup.frequency, setup.frequency, setup.frequency,
+            setup.frequency};
+        const std::vector<core_assignment> assignments =
+            make_assignments(programs, frequencies);
+
+        // Thread launch alignment is part of the workload setup: the
+        // campaign scripts start instances the same way every run, so the
+        // phase draw is stable per benchmark (run-to-run variability comes
+        // from the threshold noise, as on the real rig).
+        const std::uint64_t phase_seed = hash_label(spec.benchmark);
+        for (int rep = 0; rep < spec.repetitions; ++rep) {
+            const run_evaluation eval = chip_.evaluate_run(
+                assignments, setup.voltage, phase_seed, rng_);
+
+            run_record record;
+            record.benchmark = spec.benchmark;
+            record.voltage = setup.voltage;
+            record.frequency = setup.frequency;
+            record.cores = setup.cores;
+            record.repetition = rep;
+            record.outcome = eval.outcome;
+            record.margin = eval.margin;
+            record.path = eval.path;
+            record.watchdog_reset = eval.outcome == run_outcome::crash ||
+                                    eval.outcome == run_outcome::hang;
+            if (record.watchdog_reset) {
+                ++result.watchdog_resets;
+                ++watchdog_resets_;
+                log_debug("watchdog reset: ", spec.benchmark, " at ",
+                          setup.voltage.value, " mV");
+            }
+            result.records.push_back(std::move(record));
+        }
+    }
+    return result;
+}
+
+run_evaluation characterization_framework::run_mix(
+    const std::vector<program_assignment>& programs, millivolts voltage,
+    const std::array<megahertz, 4>& pmd_frequency) {
+    const std::vector<core_assignment> assignments =
+        make_assignments(programs, pmd_frequency);
+    const run_evaluation eval = chip_.evaluate_run(
+        assignments, voltage, next_phase_seed_++, rng_);
+    if (eval.outcome == run_outcome::crash ||
+        eval.outcome == run_outcome::hang) {
+        ++watchdog_resets_;
+    }
+    return eval;
+}
+
+millivolts characterization_framework::find_vmin(
+    const kernel& program, const std::vector<int>& cores, megahertz frequency,
+    int repetitions, millivolts step) {
+    GB_EXPECTS(repetitions >= 1);
+    GB_EXPECTS(step.value > 0.0);
+    GB_EXPECTS(!cores.empty());
+
+    std::vector<program_assignment> programs;
+    programs.reserve(cores.size());
+    for (const int core : cores) {
+        programs.push_back(program_assignment{core, &program});
+    }
+    const std::array<megahertz, 4> frequencies{frequency, frequency,
+                                               frequency, frequency};
+    const std::vector<core_assignment> assignments =
+        make_assignments(programs, frequencies);
+
+    const std::uint64_t phase_seed = hash_label(program.name);
+    millivolts safe = nominal_pmd_voltage;
+    for (millivolts v = nominal_pmd_voltage; v.value > 0.0; v -= step) {
+        bool all_clean = true;
+        for (int rep = 0; rep < repetitions && all_clean; ++rep) {
+            const run_evaluation eval =
+                chip_.evaluate_run(assignments, v, phase_seed, rng_);
+            if (is_disruption(eval.outcome)) {
+                all_clean = false;
+                if (eval.outcome == run_outcome::crash ||
+                    eval.outcome == run_outcome::hang) {
+                    ++watchdog_resets_;
+                }
+            }
+        }
+        if (!all_clean) {
+            break;
+        }
+        safe = v;
+    }
+    GB_ENSURES(safe <= nominal_pmd_voltage);
+    return safe;
+}
+
+vmin_analysis characterization_framework::analyze_mix(
+    const std::vector<program_assignment>& programs,
+    const std::array<megahertz, 4>& pmd_frequency) {
+    const std::vector<core_assignment> assignments =
+        make_assignments(programs, pmd_frequency);
+    return chip_.analyze(assignments, /*phase_seed=*/12345);
+}
+
+} // namespace gb

@@ -1,0 +1,84 @@
+// Execution phase of the characterization framework: runs campaigns against
+// a chip model, emulating the watchdog/reset path of the real rig (a crashed
+// or hung run trips the watchdog monitor, the board is power-cycled, and the
+// campaign continues with the next run).
+//
+// Also provides the two search procedures the paper's results are built on:
+//   * find_vmin: descend the supply in fixed steps, running N repetitions at
+//     each point; the safe Vmin is the lowest voltage at which every
+//     repetition completes without disruption (ECC-corrected errors do not
+//     disrupt).
+//   * profile caching: kernels are executed once per (kernel, frequency) and
+//     the traces reused across the campaign's thousands of evaluations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chip/chip_model.hpp"
+#include "harness/campaign.hpp"
+#include "isa/kernel.hpp"
+#include "isa/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+
+/// A multi-program assignment: which kernel runs on which core.
+struct program_assignment {
+    int core = 0;
+    const kernel* program = nullptr;
+};
+
+class characterization_framework {
+public:
+    characterization_framework(const chip_model& chip, std::uint64_t seed);
+
+    /// Execute a full campaign of one kernel.
+    [[nodiscard]] campaign_result run_campaign(const campaign_spec& spec,
+                                               const kernel& program);
+
+    /// One run of a heterogeneous assignment (e.g. the Fig 5 8-benchmark
+    /// mix) at a setup; per-core frequency comes from `frequencies[pmd]`.
+    [[nodiscard]] run_evaluation run_mix(
+        const std::vector<program_assignment>& programs,
+        millivolts voltage, const std::array<megahertz, 4>& pmd_frequency);
+
+    /// Safe Vmin search for a kernel on given cores at one frequency.
+    [[nodiscard]] millivolts find_vmin(const kernel& program,
+                                       const std::vector<int>& cores,
+                                       megahertz frequency, int repetitions,
+                                       millivolts step = millivolts{5.0});
+
+    /// Vmin analysis (deterministic, no repetition noise) of a mix.
+    [[nodiscard]] vmin_analysis analyze_mix(
+        const std::vector<program_assignment>& programs,
+        const std::array<megahertz, 4>& pmd_frequency);
+
+    /// Cached execution profile of a kernel at a frequency.
+    [[nodiscard]] const execution_profile& profile_of(const kernel& program,
+                                                      megahertz frequency);
+
+    [[nodiscard]] std::uint64_t watchdog_resets() const {
+        return watchdog_resets_;
+    }
+    [[nodiscard]] const chip_model& chip() const { return chip_; }
+
+private:
+    [[nodiscard]] std::vector<core_assignment> make_assignments(
+        const std::vector<program_assignment>& programs,
+        const std::array<megahertz, 4>& pmd_frequency);
+
+    const chip_model& chip_;
+    rng rng_;
+    std::uint64_t next_phase_seed_ = 1;
+    std::uint64_t watchdog_resets_ = 0;
+    /// Keyed by (kernel name, frequency in MHz); profiles are immutable once
+    /// created so references stay valid for the framework's lifetime.
+    std::map<std::pair<std::string, long>,
+             std::unique_ptr<execution_profile>>
+        profiles_;
+};
+
+} // namespace gb

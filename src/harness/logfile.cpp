@@ -1,0 +1,207 @@
+#include "harness/logfile.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+namespace {
+
+constexpr std::string_view record_prefix = "run=";
+
+std::string_view outcome_token(run_outcome outcome) {
+    return to_string(outcome);
+}
+
+bool parse_outcome(std::string_view token, run_outcome& outcome) {
+    for (const run_outcome candidate :
+         {run_outcome::ok, run_outcome::corrected_error,
+          run_outcome::uncorrectable_error,
+          run_outcome::silent_data_corruption, run_outcome::crash,
+          run_outcome::hang}) {
+        if (token == to_string(candidate)) {
+            outcome = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool parse_double(std::string_view token, double& value) {
+    const char* begin = token.data();
+    const char* end = begin + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    return ec == std::errc{} && ptr == end;
+}
+
+bool parse_int(std::string_view token, int& value) {
+    const char* begin = token.data();
+    const char* end = begin + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    return ec == std::errc{} && ptr == end;
+}
+
+/// Split "key=value" around the first '='.
+bool split_kv(std::string_view field, std::string_view& key,
+              std::string_view& value) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+        return false;
+    }
+    key = field.substr(0, eq);
+    value = field.substr(eq + 1);
+    return true;
+}
+
+} // namespace
+
+std::string to_log_line(const run_record& record) {
+    std::ostringstream line;
+    line << record_prefix << record.benchmark
+         << " v=" << record.voltage.value << " f=" << record.frequency.value
+         << " cores=";
+    for (std::size_t i = 0; i < record.cores.size(); ++i) {
+        line << (i > 0 ? "+" : "") << record.cores[i];
+    }
+    line << " rep=" << record.repetition
+         << " outcome=" << outcome_token(record.outcome)
+         << " margin=" << record.margin.value
+         << " path=" << to_string(record.path)
+         << " wdt=" << (record.watchdog_reset ? 1 : 0);
+    return line.str();
+}
+
+bool parse_log_line(std::string_view line, run_record& record) {
+    if (!line.starts_with(record_prefix)) {
+        return false;
+    }
+    run_record parsed;
+    bool have_outcome = false;
+    bool have_voltage = false;
+    bool have_benchmark = false;
+
+    std::size_t position = 0;
+    while (position < line.size()) {
+        std::size_t space = line.find(' ', position);
+        if (space == std::string_view::npos) {
+            space = line.size();
+        }
+        const std::string_view field =
+            line.substr(position, space - position);
+        position = space + 1;
+        if (field.empty()) {
+            continue;
+        }
+
+        std::string_view key;
+        std::string_view value;
+        if (!split_kv(field, key, value)) {
+            return false;
+        }
+        if (key == "run") {
+            if (value.empty()) {
+                return false;
+            }
+            parsed.benchmark = std::string(value);
+            have_benchmark = true;
+        } else if (key == "v") {
+            double v = 0.0;
+            if (!parse_double(value, v)) {
+                return false;
+            }
+            parsed.voltage = millivolts{v};
+            have_voltage = true;
+        } else if (key == "f") {
+            double f = 0.0;
+            if (!parse_double(value, f)) {
+                return false;
+            }
+            parsed.frequency = megahertz{f};
+        } else if (key == "cores") {
+            std::size_t start = 0;
+            while (start <= value.size()) {
+                std::size_t plus = value.find('+', start);
+                if (plus == std::string_view::npos) {
+                    plus = value.size();
+                }
+                int core = 0;
+                if (!parse_int(value.substr(start, plus - start), core)) {
+                    return false;
+                }
+                parsed.cores.push_back(core);
+                start = plus + 1;
+                if (plus == value.size()) {
+                    break;
+                }
+            }
+        } else if (key == "rep") {
+            if (!parse_int(value, parsed.repetition)) {
+                return false;
+            }
+        } else if (key == "outcome") {
+            if (!parse_outcome(value, parsed.outcome)) {
+                return false;
+            }
+            have_outcome = true;
+        } else if (key == "margin") {
+            double m = 0.0;
+            if (!parse_double(value, m)) {
+                return false;
+            }
+            parsed.margin = millivolts{m};
+        } else if (key == "path") {
+            if (value == to_string(failure_path::sram)) {
+                parsed.path = failure_path::sram;
+            } else if (value == to_string(failure_path::logic)) {
+                parsed.path = failure_path::logic;
+            } else {
+                return false;
+            }
+        } else if (key == "wdt") {
+            int flag = 0;
+            if (!parse_int(value, flag)) {
+                return false;
+            }
+            parsed.watchdog_reset = flag != 0;
+        } else {
+            return false; // unknown key: treat the line as corrupt
+        }
+    }
+
+    if (!have_benchmark || !have_voltage || !have_outcome) {
+        return false;
+    }
+    record = std::move(parsed);
+    return true;
+}
+
+void write_raw_log(std::ostream& out, const campaign_result& result) {
+    for (const run_record& record : result.records) {
+        out << to_log_line(record) << '\n';
+    }
+}
+
+std::vector<run_record> parse_raw_log(std::istream& in,
+                                      std::size_t* skipped) {
+    std::vector<run_record> records;
+    std::size_t skipped_lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        run_record record;
+        if (parse_log_line(line, record)) {
+            records.push_back(std::move(record));
+        } else if (!line.empty()) {
+            ++skipped_lines;
+        }
+    }
+    if (skipped != nullptr) {
+        *skipped = skipped_lines;
+    }
+    return records;
+}
+
+} // namespace gb

@@ -1,0 +1,144 @@
+#include "isa/kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+kernel make_component_virus(cpu_component component) {
+    kernel k;
+    switch (component) {
+    case cpu_component::fetch:
+        // Branch-heavy straight-line code churns the front end / L1I.
+        k.name = "virus_l1i";
+        for (int i = 0; i < 64; ++i) {
+            k.body.push_back(opcode::branch);
+            k.body.push_back(opcode::int_alu);
+        }
+        break;
+    case cpu_component::l1d:
+        k.name = "virus_l1d";
+        for (int i = 0; i < 64; ++i) {
+            k.body.push_back(opcode::load_l1);
+            k.body.push_back(opcode::store_l1);
+        }
+        break;
+    case cpu_component::l2:
+        k.name = "virus_l2";
+        k.body.assign(64, opcode::load_l2);
+        break;
+    case cpu_component::l3:
+        k.name = "virus_l3";
+        k.body.assign(64, opcode::load_l3);
+        break;
+    case cpu_component::dram:
+        k.name = "virus_dram";
+        for (int i = 0; i < 32; ++i) {
+            k.body.push_back(opcode::load_dram);
+            k.body.push_back(opcode::store_dram);
+        }
+        break;
+    case cpu_component::int_alu:
+        k.name = "virus_int_alu";
+        for (int i = 0; i < 64; ++i) {
+            k.body.push_back(opcode::int_alu);
+            k.body.push_back(opcode::int_mul);
+        }
+        break;
+    case cpu_component::fp_alu:
+        k.name = "virus_fp_alu";
+        for (int i = 0; i < 64; ++i) {
+            k.body.push_back(opcode::simd_mul);
+            k.body.push_back(opcode::fp_mul);
+        }
+        break;
+    case cpu_component::none:
+        k.name = "virus_idle";
+        k.body.assign(64, opcode::nop);
+        break;
+    }
+    GB_ENSURES(!k.body.empty());
+    return k;
+}
+
+std::vector<kernel> all_component_viruses() {
+    return {
+        make_component_virus(cpu_component::fetch),
+        make_component_virus(cpu_component::l1d),
+        make_component_virus(cpu_component::l2),
+        make_component_virus(cpu_component::l3),
+        make_component_virus(cpu_component::int_alu),
+        make_component_virus(cpu_component::fp_alu),
+    };
+}
+
+kernel make_square_wave_kernel(int high_cycles, int low_cycles) {
+    GB_EXPECTS(high_cycles > 0 && low_cycles > 0);
+    kernel k;
+    k.name = "square_wave_" + std::to_string(high_cycles) + "_" +
+             std::to_string(low_cycles);
+    k.body.reserve(static_cast<std::size_t>(high_cycles + low_cycles));
+    k.body.insert(k.body.end(), static_cast<std::size_t>(high_cycles),
+                  opcode::simd_mul);
+    k.body.insert(k.body.end(), static_cast<std::size_t>(low_cycles),
+                  opcode::nop);
+    return k;
+}
+
+kernel make_mix_kernel(const std::string& name,
+                       const std::vector<opcode>& ops,
+                       const std::vector<double>& weights,
+                       std::size_t length) {
+    GB_EXPECTS(!ops.empty());
+    GB_EXPECTS(ops.size() == weights.size());
+    GB_EXPECTS(length > 0);
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    GB_EXPECTS(total > 0.0);
+
+    // Largest-remainder apportionment of `length` slots to the ops.
+    std::vector<std::size_t> counts(ops.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const double exact =
+            weights[i] / total * static_cast<double>(length);
+        counts[i] = static_cast<std::size_t>(exact);
+        assigned += counts[i];
+        remainders.emplace_back(exact - static_cast<double>(counts[i]), i);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = 0; assigned < length; ++k) {
+        ++counts[remainders[k % remainders.size()].second];
+        ++assigned;
+    }
+
+    // Interleave round-robin so the mix is homogeneous across the loop.
+    kernel result;
+    result.name = name;
+    result.body.reserve(length);
+    std::vector<std::size_t> emitted(ops.size(), 0);
+    while (result.body.size() < length) {
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            // Emit op i whenever it is behind its proportional share.
+            const double share =
+                static_cast<double>(counts[i]) / static_cast<double>(length);
+            const double due =
+                share * static_cast<double>(result.body.size() + 1);
+            if (static_cast<double>(emitted[i]) < due &&
+                emitted[i] < counts[i]) {
+                result.body.push_back(ops[i]);
+                ++emitted[i];
+                if (result.body.size() == length) {
+                    break;
+                }
+            }
+        }
+    }
+    GB_ENSURES(result.body.size() == length);
+    return result;
+}
+
+} // namespace gb

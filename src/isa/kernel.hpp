@@ -1,0 +1,47 @@
+// Instruction kernels: the unit of workload the characterization framework
+// runs.  A kernel is a loop body of instruction classes executed repeatedly.
+// This header also provides the hand-crafted component viruses of the paper
+// (Section I: "synthetic programs ... isolate particular components inside
+// the CPU, including both L1 instruction and data cache memories, L2 cache as
+// well as integer and FP ALUs").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace gb {
+
+/// A named loop of instruction classes.
+struct kernel {
+    std::string name;
+    std::vector<opcode> body;
+
+    [[nodiscard]] std::size_t size() const { return body.size(); }
+    [[nodiscard]] bool empty() const { return body.empty(); }
+};
+
+/// Hand-crafted diagnostic viruses, one per CPU component.  Each saturates a
+/// single component so that failures under reduced voltage can be attributed
+/// to it (cache SRAM vs pipeline logic).
+[[nodiscard]] kernel make_component_virus(cpu_component component);
+
+/// All component viruses the paper's methodology uses.
+[[nodiscard]] std::vector<kernel> all_component_viruses();
+
+/// A simple power virus: alternating bursts of maximum-current SIMD work and
+/// idle cycles with the given half-period.  The GA typically rediscovers a
+/// tuned version of this shape with the half-period matched to the PDN
+/// resonance.
+[[nodiscard]] kernel make_square_wave_kernel(int high_cycles, int low_cycles);
+
+/// Build a kernel from an instruction-mix specification: `weights[i]` is the
+/// relative frequency of `ops[i]` in a loop of `length` instructions,
+/// arranged round-robin so the mix is homogeneous (no accidental dI/dt).
+[[nodiscard]] kernel make_mix_kernel(const std::string& name,
+                                     const std::vector<opcode>& ops,
+                                     const std::vector<double>& weights,
+                                     std::size_t length);
+
+} // namespace gb

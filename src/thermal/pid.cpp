@@ -1,0 +1,55 @@
+#include "thermal/pid.hpp"
+
+#include <algorithm>
+
+namespace gb {
+
+pid_controller::pid_controller(pid_gains gains, double output_min,
+                               double output_max)
+    : gains_(gains), output_min_(output_min), output_max_(output_max) {
+    GB_EXPECTS(output_min < output_max);
+    GB_EXPECTS(gains.kp >= 0.0 && gains.ki >= 0.0 && gains.kd >= 0.0);
+}
+
+double pid_controller::update(double setpoint, double measurement,
+                              double dt_s) {
+    GB_EXPECTS(dt_s > 0.0);
+    const double error = setpoint - measurement;
+
+    // Derivative on measurement: immune to setpoint steps.
+    double derivative = 0.0;
+    if (!first_update_) {
+        derivative = -(measurement - previous_measurement_) / dt_s;
+    }
+    previous_measurement_ = measurement;
+    first_update_ = false;
+
+    const double tentative_integral = integral_ + error * dt_s;
+    double output = gains_.kp * error + gains_.ki * tentative_integral +
+                    gains_.kd * derivative;
+
+    // Clamping anti-windup: only accumulate the integral when the actuator
+    // is not saturated in the direction the integral pushes.
+    if (output > output_max_) {
+        output = output_max_;
+        if (error < 0.0) {
+            integral_ = tentative_integral;
+        }
+    } else if (output < output_min_) {
+        output = output_min_;
+        if (error > 0.0) {
+            integral_ = tentative_integral;
+        }
+    } else {
+        integral_ = tentative_integral;
+    }
+    return std::clamp(output, output_min_, output_max_);
+}
+
+void pid_controller::reset() {
+    integral_ = 0.0;
+    previous_measurement_ = 0.0;
+    first_update_ = true;
+}
+
+} // namespace gb

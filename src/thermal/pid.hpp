@@ -1,0 +1,37 @@
+// Discrete PID controller with clamping anti-windup and derivative-on-
+// measurement, as implemented on the testbed's controller board (four
+// closed-loop PID controllers on a Raspberry Pi 3 driving solid-state
+// relays).
+#pragma once
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+struct pid_gains {
+    double kp = 0.0;
+    double ki = 0.0;
+    double kd = 0.0;
+};
+
+class pid_controller {
+public:
+    pid_controller(pid_gains gains, double output_min, double output_max);
+
+    /// One control step; returns the clamped actuator command.
+    double update(double setpoint, double measurement, double dt_s);
+
+    void reset();
+
+    [[nodiscard]] const pid_gains& gains() const { return gains_; }
+
+private:
+    pid_gains gains_;
+    double output_min_;
+    double output_max_;
+    double integral_ = 0.0;
+    double previous_measurement_ = 0.0;
+    bool first_update_ = true;
+};
+
+} // namespace gb

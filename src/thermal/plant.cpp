@@ -1,0 +1,38 @@
+#include "thermal/plant.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+thermal_plant::thermal_plant(const thermal_plant_config& config)
+    : config_(config), temperature_(config.ambient) {
+    GB_EXPECTS(config.time_constant_s > 0.0);
+    GB_EXPECTS(config.heater_gain_c_per_w > 0.0);
+    GB_EXPECTS(config.heater_max_w > 0.0);
+}
+
+void thermal_plant::step(double dt_s, double duty) {
+    GB_EXPECTS(dt_s > 0.0);
+    GB_EXPECTS(duty >= 0.0 && duty <= 1.0);
+    const double power_w = duty * config_.heater_max_w + config_.self_heat_w;
+    const double steady =
+        config_.ambient.value + config_.heater_gain_c_per_w * power_w;
+    // Exact discretization of dT/dt = (steady - T) / tau.
+    const double alpha = 1.0 - std::exp(-dt_s / config_.time_constant_s);
+    temperature_ = celsius{temperature_.value +
+                           alpha * (steady - temperature_.value)};
+}
+
+celsius thermal_plant::thermocouple_reading(rng& r) const {
+    return celsius{temperature_.value + thermocouple_fault_.value +
+                   r.normal(0.0, 0.1)};
+}
+
+celsius thermal_plant::spd_reading(rng& r) const {
+    const double noisy = temperature_.value + r.normal(0.0, 0.2);
+    return celsius{std::round(noisy * 4.0) / 4.0};
+}
+
+} // namespace gb

@@ -1,0 +1,63 @@
+// First-order thermal plant of one heated DIMM.
+//
+// The paper's testbed (Fig 3) puts a resistive element and thermally
+// conductive tape on each DIMM, with a thermocouple and the SPD chip's
+// embedded sensor for feedback.  Thermally this is a lumped RC: the DIMM
+// warms towards ambient-plus-heater-gain with a single time constant, plus a
+// small self-heating term when the memory is active.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+struct thermal_plant_config {
+    celsius ambient{30.0};
+    /// Time constant of the DIMM + adapter assembly.
+    double time_constant_s = 90.0;
+    /// Steady-state degrees above ambient per heater watt.
+    double heater_gain_c_per_w = 1.0;
+    /// Maximum power of the resistive element.
+    double heater_max_w = 60.0;
+    /// Self-heating of an active DIMM (adds to the heater).
+    double self_heat_w = 2.0;
+};
+
+/// Continuous-time first-order model, integrated explicitly.  The solid
+/// state relays time-proportion the heater; over the plant's ~90 s time
+/// constant a duty cycle is equivalent to continuous fractional power.
+class thermal_plant {
+public:
+    explicit thermal_plant(const thermal_plant_config& config);
+
+    /// Advance `dt_s` seconds with the heater at `duty` in [0, 1].
+    void step(double dt_s, double duty);
+
+    [[nodiscard]] celsius temperature() const { return temperature_; }
+    [[nodiscard]] const thermal_plant_config& config() const {
+        return config_;
+    }
+
+    /// Thermocouple: fast, ~0.1 C noise.  Subject to mounting faults (tape
+    /// lifting off the DIMM), modelled as a constant read offset.
+    [[nodiscard]] celsius thermocouple_reading(rng& r) const;
+    /// SPD-embedded sensor: quantized to 0.25 C steps with ~0.2 C noise.
+    /// On-die, so it cannot detach -- the cross-check reference.
+    [[nodiscard]] celsius spd_reading(rng& r) const;
+
+    /// Inject a thermocouple mounting fault: readings shift by `offset`.
+    void set_thermocouple_fault(celsius offset) {
+        thermocouple_fault_ = offset;
+    }
+    [[nodiscard]] celsius thermocouple_fault() const {
+        return thermocouple_fault_;
+    }
+
+private:
+    thermal_plant_config config_;
+    celsius temperature_;
+    celsius thermocouple_fault_{0.0};
+};
+
+} // namespace gb

@@ -1,0 +1,48 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw so that
+// tests can assert on them; they are never compiled out because the library
+// is a simulator whose correctness matters more than the last few percent of
+// speed on contract checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gb {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class contract_violation : public std::logic_error {
+public:
+    explicit contract_violation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw contract_violation(std::string(kind) + " failed: " + expr + " at " +
+                             file + ":" + std::to_string(line));
+}
+
+} // namespace detail
+
+} // namespace gb
+
+/// Precondition check: argument/state requirements at function entry.
+#define GB_EXPECTS(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::gb::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                          __LINE__))
+
+/// Postcondition check: guarantees at function exit.
+#define GB_ENSURES(cond)                                                      \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::gb::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                          __LINE__))
+
+/// Internal invariant check.
+#define GB_ASSERT(cond)                                                       \
+    ((cond) ? static_cast<void>(0)                                            \
+            : ::gb::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                          __LINE__))

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+std::string csv_escape(const std::string& field) {
+    const bool needs_quoting =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting) {
+        return field;
+    }
+    std::string quoted = "\"";
+    for (const char c : field) {
+        if (c == '"') {
+            quoted += "\"\"";
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += '"';
+    return quoted;
+}
+
+csv_writer::csv_writer(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+    GB_EXPECTS(!header.empty());
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i > 0) {
+            out_ << ',';
+        }
+        out_ << csv_escape(header[i]);
+    }
+    out_ << '\n';
+}
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+    GB_EXPECTS(fields.size() == columns_);
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) {
+            out_ << ',';
+        }
+        out_ << csv_escape(fields[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+std::string csv_number(double value, int precision) {
+    GB_EXPECTS(precision >= 0 && precision <= 17);
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    return buffer;
+}
+
+} // namespace gb

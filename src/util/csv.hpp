@@ -1,0 +1,34 @@
+// CSV emission for the parsing phase of the characterization framework.  The
+// paper's framework (Fig 2) ends in a "Final CSV Results" stage; campaigns in
+// this library produce the same artifact.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gb {
+
+/// Quote a field per RFC 4180 if it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streaming CSV writer: header first, then one row at a time.  All rows must
+/// have exactly as many fields as the header.
+class csv_writer {
+public:
+    csv_writer(std::ostream& out, std::vector<std::string> header);
+
+    void write_row(const std::vector<std::string>& fields);
+
+    [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+private:
+    std::ostream& out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/// Format a double with fixed precision (default 3 decimal places).
+[[nodiscard]] std::string csv_number(double value, int precision = 3);
+
+} // namespace gb

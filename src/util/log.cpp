@@ -1,0 +1,27 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace gb {
+
+logger& logger::instance() {
+    static logger the_logger;
+    return the_logger;
+}
+
+void logger::set_sink(std::ostream* sink) { sink_ = sink; }
+
+void logger::write(log_level level, const std::string& message) {
+    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+    const char* tag = "?";
+    switch (level) {
+    case log_level::debug: tag = "DEBUG"; break;
+    case log_level::info: tag = "INFO"; break;
+    case log_level::warn: tag = "WARN"; break;
+    case log_level::error: tag = "ERROR"; break;
+    case log_level::off: return;
+    }
+    out << '[' << tag << "] " << message << '\n';
+}
+
+} // namespace gb

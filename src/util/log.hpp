@@ -1,0 +1,63 @@
+// Minimal leveled logger.  The characterization framework logs the effects of
+// every run; tests silence it, examples turn it up.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace gb {
+
+enum class log_level { debug, info, warn, error, off };
+
+/// Process-wide log configuration (single-threaded simulator: no locking).
+class logger {
+public:
+    static logger& instance();
+
+    void set_level(log_level level) { level_ = level; }
+    [[nodiscard]] log_level level() const { return level_; }
+
+    /// Redirect output (default std::clog).  Pass nullptr to restore default.
+    void set_sink(std::ostream* sink);
+
+    void write(log_level level, const std::string& message);
+
+private:
+    logger() = default;
+    log_level level_ = log_level::warn;
+    std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+
+template <typename... Args>
+void log_at(log_level level, Args&&... args) {
+    if (level < logger::instance().level()) {
+        return;
+    }
+    std::ostringstream oss;
+    (oss << ... << args);
+    logger::instance().write(level, oss.str());
+}
+
+} // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+    detail::log_at(log_level::debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    detail::log_at(log_level::info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    detail::log_at(log_level::warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    detail::log_at(log_level::error, std::forward<Args>(args)...);
+}
+
+} // namespace gb

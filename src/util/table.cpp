@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    GB_EXPECTS(!header_.empty());
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+    GB_EXPECTS(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void text_table::render(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "" : "  ");
+            out << row[c];
+            out << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << '\n';
+    };
+    emit_row(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) {
+        total += w;
+    }
+    total += 2 * (widths.size() - 1);
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+}
+
+std::string format_number(double value, int precision) {
+    GB_EXPECTS(precision >= 0 && precision <= 17);
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+    return buffer;
+}
+
+std::string format_percent(double fraction, int precision) {
+    return format_number(fraction * 100.0, precision) + "%";
+}
+
+} // namespace gb

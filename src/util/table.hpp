@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harnesses: every bench binary
+// regenerates one of the paper's tables/figures as aligned rows on stdout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gb {
+
+/// Column-aligned text table.  Add a header and rows, then render.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Render with a rule under the header, columns padded to fit.
+    void render(std::ostream& out) const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision number formatting for table cells.
+[[nodiscard]] std::string format_number(double value, int precision = 1);
+
+/// Format as a percentage, e.g. 0.202 -> "20.2%".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+} // namespace gb

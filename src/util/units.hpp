@@ -1,0 +1,124 @@
+// Strong unit types for the physical quantities that flow through the
+// simulator.  The characterization literature mixes millivolts, megahertz,
+// milliseconds and degrees Celsius freely; strong types make it impossible to
+// pass a refresh period where a voltage is expected (Core Guidelines I.4).
+//
+// Each quantity is a thin wrapper over double with arithmetic within the same
+// dimension and scalar scaling.  Conversions between scales of the same
+// dimension (e.g. mV <-> V) are explicit member functions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace gb {
+
+/// CRTP base providing arithmetic and comparison for a tagged scalar quantity.
+template <typename Derived>
+struct quantity {
+    double value = 0.0;
+
+    constexpr quantity() = default;
+    constexpr explicit quantity(double v) : value(v) {}
+
+    friend constexpr Derived operator+(Derived a, Derived b) {
+        return Derived{a.value + b.value};
+    }
+    friend constexpr Derived operator-(Derived a, Derived b) {
+        return Derived{a.value - b.value};
+    }
+    friend constexpr Derived operator*(Derived a, double s) {
+        return Derived{a.value * s};
+    }
+    friend constexpr Derived operator*(double s, Derived a) {
+        return Derived{a.value * s};
+    }
+    friend constexpr Derived operator/(Derived a, double s) {
+        return Derived{a.value / s};
+    }
+    /// Ratio of two same-dimension quantities is dimensionless.
+    friend constexpr double operator/(Derived a, Derived b) {
+        return a.value / b.value;
+    }
+    friend constexpr auto operator<=>(Derived a, Derived b) {
+        return a.value <=> b.value;
+    }
+    friend constexpr bool operator==(Derived a, Derived b) {
+        return a.value == b.value;
+    }
+    constexpr Derived& operator+=(Derived b) {
+        value += b.value;
+        return static_cast<Derived&>(*this);
+    }
+    constexpr Derived& operator-=(Derived b) {
+        value -= b.value;
+        return static_cast<Derived&>(*this);
+    }
+};
+
+/// Supply voltage in millivolts (the unit the paper reports Vmin in).
+struct millivolts : quantity<millivolts> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double volts() const { return value / 1000.0; }
+    static constexpr millivolts from_volts(double v) {
+        return millivolts{v * 1000.0};
+    }
+};
+
+/// Clock frequency in megahertz.
+struct megahertz : quantity<megahertz> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double hertz() const { return value * 1.0e6; }
+    [[nodiscard]] constexpr double gigahertz() const { return value / 1000.0; }
+    static constexpr megahertz from_gigahertz(double g) {
+        return megahertz{g * 1000.0};
+    }
+};
+
+/// Time in milliseconds (refresh periods, retention times).
+struct milliseconds : quantity<milliseconds> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double seconds() const { return value / 1000.0; }
+    static constexpr milliseconds from_seconds(double s) {
+        return milliseconds{s * 1000.0};
+    }
+};
+
+/// Time in nanoseconds (cycle-level simulation).
+struct nanoseconds : quantity<nanoseconds> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double seconds() const { return value * 1.0e-9; }
+    [[nodiscard]] constexpr milliseconds to_milliseconds() const {
+        return milliseconds{value * 1.0e-6};
+    }
+};
+
+/// Temperature in degrees Celsius.
+struct celsius : quantity<celsius> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double kelvin() const { return value + 273.15; }
+};
+
+/// Power in watts.
+struct watts : quantity<watts> {
+    using quantity::quantity;
+    [[nodiscard]] constexpr double milliwatts() const { return value * 1000.0; }
+};
+
+/// Current in amperes.
+struct amperes : quantity<amperes> {
+    using quantity::quantity;
+};
+
+/// Energy in joules.
+struct joules : quantity<joules> {
+    using quantity::quantity;
+};
+
+/// P = V * I with unit-correct types.
+constexpr watts operator*(millivolts v, amperes i) {
+    return watts{v.volts() * i.value};
+}
+constexpr watts operator*(amperes i, millivolts v) { return v * i; }
+
+} // namespace gb

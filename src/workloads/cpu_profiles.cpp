@@ -1,0 +1,250 @@
+#include "workloads/cpu_profiles.hpp"
+
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+kernel make_phased_kernel(
+    const std::string& name,
+    const std::vector<std::pair<opcode, int>>& phases) {
+    GB_EXPECTS(!phases.empty());
+    kernel k;
+    k.name = name;
+    for (const auto& [op, length] : phases) {
+        GB_EXPECTS(length > 0);
+        k.body.insert(k.body.end(), static_cast<std::size_t>(length), op);
+    }
+    return k;
+}
+
+namespace {
+
+// Benchmark loop models.  Run lengths are in instructions; with the 50 MHz
+// PDN resonance at 2.4 GHz, structure on the order of ~20-50 cycles per
+// phase couples into the resonance, while very long phases (or very long
+// DRAM stalls) average out.  FP-heavy codes with cache-miss interruptions
+// droop the most; steady integer or fully memory-bound codes the least.
+
+std::vector<cpu_benchmark> build_spec_suite() {
+    std::vector<cpu_benchmark> suite;
+    const auto add = [&](const std::string& name,
+                         const std::vector<std::pair<opcode, int>>& phases) {
+        suite.push_back(cpu_benchmark{name, "SPEC2006",
+                                      make_phased_kernel(name, phases)});
+    };
+
+    // Loop periods count issue plus stall cycles (load_l2 = 8 cycles,
+    // load_l3 = 29, load_dram ~ 181 at 2.4 GHz).  Codes whose burst period
+    // lands near the 48-cycle PDN resonance droop hardest.
+
+    // bwaves: blast-wave CFD -- SIMD sweeps broken by L2 stream refills;
+    // 20 high + 24 low = 44-cycle period, close to resonance.
+    add("bwaves", {{opcode::simd_mul, 20},
+                   {opcode::load_l2, 2},
+                   {opcode::load_l1, 8}});
+    // cactusADM: staggered-grid relativity -- FP-dense tiles with L2
+    // refills at a resonant period but lower amplitude than SIMD codes.
+    add("cactusADM", {{opcode::fp_mul, 14},
+                      {opcode::fp_alu, 10},
+                      {opcode::load_l2, 3}});
+    // dealII: adaptive FEM -- mixed FP/int with irregular L2/L3 access,
+    // moderately bursty.
+    add("dealII", {{opcode::fp_mul, 10},
+                   {opcode::int_alu, 8},
+                   {opcode::load_l2, 2},
+                   {opcode::fp_alu, 8},
+                   {opcode::load_l3, 1}});
+    // gromacs: molecular dynamics inner loop -- dense SIMD with L1-resident
+    // neighbour lists: the steadiest high-power code of the set (high
+    // current, little dI/dt).
+    add("gromacs", {{opcode::simd_mul, 26},
+                    {opcode::load_l1, 6},
+                    {opcode::simd_alu, 22},
+                    {opcode::load_l1, 6}});
+    // leslie3d: LES CFD -- SIMD bursts against L3-resident planes;
+    // 16 high + 29 low = 45-cycle period.
+    add("leslie3d", {{opcode::simd_mul, 16}, {opcode::load_l3, 1}});
+    // mcf: pointer-chasing network simplex; almost entirely DRAM-bound,
+    // long flat stalls far off resonance.
+    add("mcf", {{opcode::load_dram, 1},
+                {opcode::int_alu, 10},
+                {opcode::branch, 4},
+                {opcode::load_dram, 1},
+                {opcode::int_alu, 6}});
+    // milc: lattice QCD -- SU(3) SIMD blocks alternating with L2 gathers at
+    // exactly the resonant period: the suite's strongest dI/dt.
+    add("milc", {{opcode::simd_mul, 22}, {opcode::load_l2, 3}});
+    // namd: molecular dynamics, FP-dense and cache-friendly, a 48-cycle
+    // period of moderate swing.
+    add("namd", {{opcode::fp_mul, 20},
+                 {opcode::load_l1, 8},
+                 {opcode::fp_alu, 12},
+                 {opcode::load_l1, 8}});
+    // gcc: integer/branch-heavy compilation with L2-resident IR walks.
+    add("gcc", {{opcode::int_alu, 10},
+                {opcode::branch, 6},
+                {opcode::load_l2, 2},
+                {opcode::int_mul, 4},
+                {opcode::load_l1, 8}});
+    // lbm: lattice Boltzmann -- streaming FP with steady DRAM traffic, a
+    // long off-resonance period.
+    add("lbm", {{opcode::fp_mul, 12},
+                {opcode::fp_alu, 10},
+                {opcode::load_dram, 1},
+                {opcode::store_dram, 1}});
+    return suite;
+}
+
+std::vector<cpu_benchmark> build_spec_int_suite() {
+    std::vector<cpu_benchmark> suite;
+    const auto add = [&](const std::string& name,
+                         const std::vector<std::pair<opcode, int>>& phases) {
+        suite.push_back(cpu_benchmark{name, "SPEC2006-INT",
+                                      make_phased_kernel(name, phases)});
+    };
+    // perlbench: interpreter dispatch -- branchy integer with hash lookups.
+    add("perlbench", {{opcode::int_alu, 8},
+                      {opcode::branch, 5},
+                      {opcode::load_l1, 8},
+                      {opcode::load_l2, 1}});
+    // bzip2: Burrows-Wheeler sort/move-to-front, L2-resident tables.
+    add("bzip2", {{opcode::int_alu, 12},
+                  {opcode::load_l2, 2},
+                  {opcode::int_mul, 2},
+                  {opcode::load_l1, 10}});
+    // hmmer: profile HMM inner loop -- dense integer max/add chains.
+    add("hmmer", {{opcode::int_alu, 20},
+                  {opcode::int_mul, 6},
+                  {opcode::load_l1, 12}});
+    // sjeng: chess search -- branch-dominated with small tables.
+    add("sjeng", {{opcode::branch, 8},
+                  {opcode::int_alu, 10},
+                  {opcode::load_l1, 8},
+                  {opcode::load_l2, 1}});
+    // libquantum: streaming gate application over a large state vector --
+    // bursty integer work against DRAM streams.
+    add("libquantum", {{opcode::int_alu, 14},
+                       {opcode::load_dram, 1},
+                       {opcode::store_dram, 1}});
+    // h264ref: motion estimation -- SIMD absolute differences in bursts
+    // with L2-resident reference windows (the noisiest INT code).
+    add("h264ref", {{opcode::simd_alu, 18},
+                    {opcode::load_l2, 2},
+                    {opcode::simd_alu, 8},
+                    {opcode::load_l1, 6}});
+    // omnetpp: discrete-event simulation -- pointer-heavy heap walks.
+    add("omnetpp", {{opcode::load_l3, 1},
+                    {opcode::int_alu, 8},
+                    {opcode::branch, 4},
+                    {opcode::load_l2, 1}});
+    // astar: pathfinding -- branchy graph walks with mixed locality.
+    add("astar", {{opcode::int_alu, 9},
+                  {opcode::branch, 4},
+                  {opcode::load_l2, 2},
+                  {opcode::load_l1, 6},
+                  {opcode::load_l3, 1}});
+    return suite;
+}
+
+std::vector<cpu_benchmark> build_nas_suite() {
+    std::vector<cpu_benchmark> suite;
+    const auto add = [&](const std::string& name,
+                         const std::vector<std::pair<opcode, int>>& phases) {
+        suite.push_back(
+            cpu_benchmark{name, "NAS", make_phased_kernel(name, phases)});
+    };
+    // bt/sp: block-tridiagonal and scalar-pentadiagonal solvers.
+    add("bt", {{opcode::fp_mul, 16},
+               {opcode::fp_alu, 8},
+               {opcode::load_l2, 3}});
+    add("sp", {{opcode::fp_mul, 14},
+               {opcode::fp_alu, 14},
+               {opcode::load_l2, 2},
+               {opcode::load_l1, 10}});
+    // cg: sparse matrix-vector -- gathers dominate.
+    add("cg", {{opcode::load_dram, 1},
+               {opcode::fp_mul, 8},
+               {opcode::load_l3, 1},
+               {opcode::fp_alu, 6}});
+    // ep: embarrassingly parallel random numbers -- pure FP, no memory.
+    add("ep", {{opcode::fp_mul, 24}, {opcode::fp_alu, 24},
+               {opcode::int_mul, 8}});
+    // ft: 3-D FFT -- SIMD butterflies against L2-resident lines: the
+    // noisiest NAS code, still short of the dI/dt virus.
+    add("ft", {{opcode::simd_mul, 20},
+               {opcode::load_l2, 2},
+               {opcode::simd_alu, 8}});
+    // is: integer sort -- int/branch with streaming stores.
+    add("is", {{opcode::int_alu, 12},
+               {opcode::branch, 4},
+               {opcode::load_dram, 1},
+               {opcode::store_dram, 1}});
+    // lu: LU factorization -- FP with triangular L1/L2 reuse.
+    add("lu", {{opcode::fp_mul, 18},
+               {opcode::fp_alu, 10},
+               {opcode::load_l1, 10},
+               {opcode::load_l2, 2}});
+    // mg: multigrid -- SIMD smoothing sweeps with level-crossing misses.
+    add("mg", {{opcode::simd_alu, 16},
+               {opcode::load_l2, 2},
+               {opcode::fp_alu, 8},
+               {opcode::load_l3, 1}});
+    return suite;
+}
+
+} // namespace
+
+const std::vector<cpu_benchmark>& spec2006_suite() {
+    static const std::vector<cpu_benchmark> suite = build_spec_suite();
+    return suite;
+}
+
+std::vector<cpu_benchmark> fig5_mix() {
+    // The eight programs the paper runs simultaneously for Fig 5.
+    const std::vector<std::string> names{"bwaves",   "cactusADM", "dealII",
+                                         "gromacs",  "leslie3d",  "mcf",
+                                         "milc",     "namd"};
+    std::vector<cpu_benchmark> mix;
+    mix.reserve(names.size());
+    for (const std::string& name : names) {
+        mix.push_back(find_cpu_benchmark(name));
+    }
+    return mix;
+}
+
+const std::vector<cpu_benchmark>& spec2006_int_suite() {
+    static const std::vector<cpu_benchmark> suite = build_spec_int_suite();
+    return suite;
+}
+
+const std::vector<cpu_benchmark>& nas_suite() {
+    static const std::vector<cpu_benchmark> suite = build_nas_suite();
+    return suite;
+}
+
+const cpu_benchmark& find_cpu_benchmark(const std::string& name) {
+    for (const std::vector<cpu_benchmark>* suite :
+         {&spec2006_suite(), &spec2006_int_suite(), &nas_suite()}) {
+        for (const cpu_benchmark& b : *suite) {
+            if (b.name == name) {
+                return b;
+            }
+        }
+    }
+    throw std::invalid_argument("unknown CPU benchmark: " + name);
+}
+
+kernel jammer_cpu_kernel() {
+    // Per spectrum window: FFT butterflies and magnitude scan (SIMD/FP)
+    // over L1-resident windows; the IQ stream itself arrives by DMA, so the
+    // cores stay compute-dense ("utilize the maximum CPU ... bandwidth").
+    return make_phased_kernel("jammer",
+                              {{opcode::simd_mul, 32},
+                               {opcode::simd_alu, 18},
+                               {opcode::fp_mul, 4},
+                               {opcode::load_l1, 6}});
+}
+
+} // namespace gb

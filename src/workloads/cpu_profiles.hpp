@@ -1,0 +1,54 @@
+// CPU workload models: representative instruction loops for the benchmark
+// suites the paper characterizes (SPEC CPU2006 for the Vmin study of Fig 4/5,
+// NAS for the virus comparison of Fig 6), plus the Jammer detector's compute
+// kernel.
+//
+// Each benchmark is modelled as a loop with the burst structure that matters
+// for voltage noise: sustained FP phases, memory-stall phases, and the
+// alternation between them.  Mixes are calibrated so the resulting droops
+// put Vmin in the measured 860-885 mV band on the TTT chip with a realistic
+// workload-to-workload spread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hpp"
+
+namespace gb {
+
+struct cpu_benchmark {
+    std::string name;
+    std::string suite;
+    kernel loop;
+};
+
+/// The ten SPEC CPU2006 programs of the paper's undervolting study.
+[[nodiscard]] const std::vector<cpu_benchmark>& spec2006_suite();
+
+/// Eight further SPEC CPU2006 integer programs (suite tag "SPEC2006-INT"):
+/// not part of the paper's Fig 4 set, used as held-out workloads for
+/// predictor validation and governor schedules.
+[[nodiscard]] const std::vector<cpu_benchmark>& spec2006_int_suite();
+
+/// The eight benchmarks of the simultaneous 8-core mix of Fig 5.
+[[nodiscard]] std::vector<cpu_benchmark> fig5_mix();
+
+/// NAS Parallel Benchmarks (Fig 6 comparison set).
+[[nodiscard]] const std::vector<cpu_benchmark>& nas_suite();
+
+/// Look up a benchmark by name across both suites; throws if unknown.
+[[nodiscard]] const cpu_benchmark& find_cpu_benchmark(const std::string& name);
+
+/// Compute kernel of one Jammer-detector instance: FFT butterflies (SIMD
+/// mul/add) over windows streamed from memory.
+[[nodiscard]] kernel jammer_cpu_kernel();
+
+/// Build a kernel from (opcode, run length) phases, repeated in order.  This
+/// is the construction primitive for all benchmark models: run lengths set
+/// the dI/dt burst structure.
+[[nodiscard]] kernel make_phased_kernel(
+    const std::string& name,
+    const std::vector<std::pair<opcode, int>>& phases);
+
+} // namespace gb

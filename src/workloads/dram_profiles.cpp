@@ -1,0 +1,50 @@
+#include "workloads/dram_profiles.hpp"
+
+#include <stdexcept>
+
+namespace gb {
+
+const std::vector<dram_workload>& rodinia_suite() {
+    // footprint_fraction: share of the 32 GB the working set occupies.
+    // refreshed_fraction: rows re-touched faster than the (relaxed) refresh
+    //   period -- streaming codes sweep their arrays continuously, wavefront
+    //   codes leave most rows cold for long stretches.
+    // ones_density: bit statistics of resident data (near-solid float arrays
+    //   of small magnitudes vs high-entropy integer/index data).
+    // bandwidth_gbps: sustained DRAM traffic, sized so the dram_power_model
+    //   reproduces Fig 8b (kmeans is bandwidth-bound, nw latency-bound).
+    static const std::vector<dram_workload> suite{
+        // backprop: dense layer sweeps, moderate reuse, float weights.
+        {"backprop", access_profile{0.50, 0.55, 0.45}, 10.0},
+        // kmeans: streaming distance pass over all points every iteration.
+        {"kmeans", access_profile{0.60, 0.70, 0.50}, 28.7},
+        // nw: Needleman-Wunsch wavefront -- touches each anti-diagonal once,
+        // then the matrix sits cold: least implicit refresh, least traffic.
+        {"nw", access_profile{0.45, 0.15, 0.55}, 2.6},
+        // srad: structured-grid diffusion, alternating read/write sweeps.
+        {"srad", access_profile{0.55, 0.60, 0.40}, 18.0},
+    };
+    return suite;
+}
+
+const dram_workload& jammer_dram_workload() {
+    // Four detector instances stream IQ windows through small ring buffers:
+    // tiny footprint, constantly re-touched, low sustained bandwidth.
+    static const dram_workload workload{
+        "jammer", access_profile{0.08, 0.90, 0.50}, 0.33};
+    return workload;
+}
+
+const dram_workload& find_dram_workload(const std::string& name) {
+    for (const dram_workload& w : rodinia_suite()) {
+        if (w.name == name) {
+            return w;
+        }
+    }
+    if (name == jammer_dram_workload().name) {
+        return jammer_dram_workload();
+    }
+    throw std::invalid_argument("unknown DRAM workload: " + name);
+}
+
+} // namespace gb

@@ -1,0 +1,35 @@
+// Memory-side behaviour of the HPC applications of the DRAM study (Fig 8:
+// Rodinia backprop / kmeans / nw / srad) and of the Jammer detector.
+//
+// Each profile carries what the refresh-relaxation analysis needs: the
+// resident-data footprint and bit statistics (for error exposure), the
+// fraction of the footprint whose rows the application re-touches faster
+// than the refresh period (implicit refresh), and the sustained DRAM
+// bandwidth (for the power model).  Bandwidths are calibrated so the Fig 8b
+// savings spread (27.3% for nw down to 9.4% for kmeans) is reproduced by the
+// dram_power_model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/memory_system.hpp"
+
+namespace gb {
+
+struct dram_workload {
+    std::string name;
+    access_profile profile;
+    double bandwidth_gbps = 0.0;
+};
+
+/// The four Rodinia applications of the paper's Fig 8.
+[[nodiscard]] const std::vector<dram_workload>& rodinia_suite();
+
+/// DRAM-side profile of one Jammer-detector instance set (4 instances).
+[[nodiscard]] const dram_workload& jammer_dram_workload();
+
+/// Look up by name; throws if unknown.
+[[nodiscard]] const dram_workload& find_dram_workload(const std::string& name);
+
+} // namespace gb

@@ -1,0 +1,233 @@
+#include "workloads/jammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.hpp"
+#include "util/fft.hpp"
+
+namespace gb {
+
+double detection_report::detection_rate() const {
+    return events_injected == 0 ? 1.0
+                                : static_cast<double>(events_detected) /
+                                      static_cast<double>(events_injected);
+}
+
+double detection_report::false_alarm_rate() const {
+    return windows_processed == 0
+               ? 0.0
+               : static_cast<double>(false_alarm_windows) /
+                     static_cast<double>(windows_processed);
+}
+
+std::vector<jam_event> make_random_jam_events(int count, int total_windows,
+                                              rng& r) {
+    GB_EXPECTS(count >= 0);
+    GB_EXPECTS(total_windows > 8 * count);
+    std::vector<jam_event> events;
+    events.reserve(static_cast<std::size_t>(count));
+    const int slot = total_windows / std::max(count, 1);
+    for (int i = 0; i < count; ++i) {
+        jam_event event;
+        const auto kind_draw = r.uniform_index(3);
+        event.kind = static_cast<jam_kind>(kind_draw);
+        event.duration_windows =
+            4 + static_cast<int>(r.uniform_index(static_cast<std::uint64_t>(
+                    std::max(2, slot / 2 - 4))));
+        event.start_window =
+            i * slot + static_cast<int>(r.uniform_index(static_cast<
+                std::uint64_t>(std::max(1, slot - event.duration_windows))));
+        event.center_frequency = r.uniform(0.05, 0.45);
+        event.power_db = r.uniform(12.0, 25.0);
+        events.push_back(event);
+    }
+    return events;
+}
+
+jammer_detector::jammer_detector(jammer_config config) : config_(config) {
+    GB_EXPECTS(config.fft_size >= 64);
+    GB_EXPECTS((config.fft_size & (config.fft_size - 1)) == 0);
+    GB_EXPECTS(config.sample_rate_hz > 0.0);
+    GB_EXPECTS(config.confirmation_windows >= 1);
+}
+
+namespace {
+
+/// Instantaneous normalized frequency of an event within one window.
+double event_frequency(const jam_event& event, int window) {
+    switch (event.kind) {
+    case jam_kind::cw_tone:
+    case jam_kind::pulsed:
+        return event.center_frequency;
+    case jam_kind::sweep: {
+        // Linear sweep of +/-0.05 around the centre over the event.
+        const double progress =
+            static_cast<double>(window - event.start_window) /
+            static_cast<double>(std::max(1, event.duration_windows - 1));
+        return std::clamp(event.center_frequency + 0.1 * (progress - 0.5),
+                          0.01, 0.49);
+    }
+    }
+    GB_ASSERT(false);
+    return event.center_frequency;
+}
+
+bool event_active(const jam_event& event, int window) {
+    if (window < event.start_window ||
+        window >= event.start_window + event.duration_windows) {
+        return false;
+    }
+    // Pulsed jammers are on every other window.
+    if (event.kind == jam_kind::pulsed) {
+        return ((window - event.start_window) & 1) == 0;
+    }
+    return true;
+}
+
+} // namespace
+
+detection_report jammer_detector::run(int total_windows,
+                                      const std::vector<jam_event>& events,
+                                      rng& r) const {
+    GB_EXPECTS(total_windows > 0);
+    detection_report report;
+    report.windows_processed = total_windows;
+    report.events_injected = static_cast<int>(events.size());
+
+    const auto n = static_cast<std::size_t>(config_.fft_size);
+    std::vector<int> hot_streak_by_event(events.size(), 0);
+    std::vector<bool> detected(events.size(), false);
+    std::vector<int> latency(events.size(), 0);
+    const double noise_sigma = 1.0;
+
+    std::vector<std::complex<double>> window(n);
+    for (int w = 0; w < total_windows; ++w) {
+        // Synthesize one IQ window: complex Gaussian noise + active events.
+        for (std::size_t k = 0; k < n; ++k) {
+            window[k] = std::complex<double>(r.normal(0.0, noise_sigma),
+                                             r.normal(0.0, noise_sigma));
+        }
+        bool any_active = false;
+        for (const jam_event& event : events) {
+            if (!event_active(event, w)) {
+                continue;
+            }
+            any_active = true;
+            // power_db is the event's FFT-bin power above the mean noise
+            // bin power (2 sigma^2 n): amplitude such that |A n|^2 =
+            // 10^(p/10) * 2 sigma^2 n.
+            const double amplitude =
+                noise_sigma * std::sqrt(2.0 / static_cast<double>(n)) *
+                std::pow(10.0, event.power_db / 20.0);
+            const double freq = event_frequency(event, w);
+            const double phase0 = r.uniform(0.0, 2.0 * std::numbers::pi);
+            for (std::size_t k = 0; k < n; ++k) {
+                const double phase =
+                    2.0 * std::numbers::pi * freq *
+                        static_cast<double>(k) +
+                    phase0;
+                window[k] += amplitude *
+                             std::complex<double>(std::cos(phase),
+                                                  std::sin(phase));
+            }
+        }
+
+        // Detector: FFT, power spectrum, median noise floor, threshold.
+        std::vector<std::complex<double>> spectrum = window;
+        fft(spectrum);
+        std::vector<double> power(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            power[k] = std::norm(spectrum[k]);
+        }
+        std::vector<double> sorted_power = power;
+        std::nth_element(sorted_power.begin(),
+                         sorted_power.begin() +
+                             static_cast<std::ptrdiff_t>(n / 2),
+                         sorted_power.end());
+        const double noise_floor = sorted_power[n / 2];
+        const double threshold =
+            noise_floor * std::pow(10.0, config_.threshold_db / 10.0);
+
+        std::vector<std::size_t> hot_bins;
+        for (std::size_t k = 1; k < n / 2; ++k) {
+            if (power[k] > threshold) {
+                hot_bins.push_back(k);
+            }
+        }
+
+        // Attribute hot bins to events; unattributed hot windows are false
+        // alarms.
+        bool attributed = false;
+        for (std::size_t e = 0; e < events.size(); ++e) {
+            const jam_event& event = events[e];
+            if (!event_active(event, w)) {
+                // Pulsed jammers are off every other window within their
+                // span; only a window outside the span resets the streak.
+                const bool in_span =
+                    w >= event.start_window &&
+                    w < event.start_window + event.duration_windows;
+                if (!in_span) {
+                    hot_streak_by_event[e] = 0;
+                }
+                continue;
+            }
+            const double freq = event_frequency(event, w);
+            const auto expected_bin = static_cast<std::size_t>(
+                freq * static_cast<double>(n) + 0.5);
+            const bool hit = std::any_of(
+                hot_bins.begin(), hot_bins.end(), [&](std::size_t bin) {
+                    const std::size_t distance =
+                        bin > expected_bin ? bin - expected_bin
+                                           : expected_bin - bin;
+                    return distance <= 2;
+                });
+            if (hit) {
+                attributed = true;
+                ++hot_streak_by_event[e];
+                if (!detected[e] &&
+                    hot_streak_by_event[e] >= config_.confirmation_windows) {
+                    detected[e] = true;
+                    latency[e] = w - event.start_window;
+                }
+            } else if (event.kind != jam_kind::pulsed) {
+                hot_streak_by_event[e] = 0;
+            }
+        }
+        if (!hot_bins.empty() && !attributed && !any_active) {
+            ++report.false_alarm_windows;
+        }
+    }
+
+    double latency_sum = 0.0;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+        if (detected[e]) {
+            ++report.events_detected;
+            latency_sum += static_cast<double>(latency[e]);
+        }
+    }
+    report.mean_detection_latency_windows =
+        report.events_detected == 0
+            ? 0.0
+            : latency_sum / static_cast<double>(report.events_detected);
+    return report;
+}
+
+double jammer_detector::cycles_per_window() const {
+    const auto n = static_cast<double>(config_.fft_size);
+    // ~8 cycles per butterfly on a SIMD FP unit, plus the linear magnitude
+    // and threshold scan (~4 cycles per bin).
+    return 8.0 * n * std::log2(n) + 4.0 * n;
+}
+
+bool jammer_detector::meets_qos(megahertz core_frequency, int instances,
+                                int cores) const {
+    GB_EXPECTS(instances >= 1 && cores >= 1);
+    const double seconds_per_window =
+        cycles_per_window() * static_cast<double>(instances) /
+        (core_frequency.hertz() * static_cast<double>(cores));
+    return seconds_per_window <= config_.window_duration_s();
+}
+
+} // namespace gb

@@ -1,0 +1,88 @@
+// End-to-end Jammer-detector application (paper Section IV.D).
+//
+// The paper's exploitation showcase is a multi-threaded denial-of-service
+// (jamming) detector that monitors the wireless spectrum through SDR
+// front-ends.  Here the SDR front-end is synthetic -- an IQ sample stream of
+// complex Gaussian noise plus injected jammer events (CW tones, sweeps,
+// pulsed carriers) -- and the detector is real signal processing: windowed
+// FFT, median-based noise-floor estimation, and an energy detector with a
+// configurable threshold.  Quality-of-Service is a real-time constraint:
+// every window must be processed before the next one arrives, which couples
+// the detector to the CPU frequency chosen by the guardband exploitation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+enum class jam_kind : std::uint8_t { cw_tone, sweep, pulsed };
+
+/// One injected jamming event, in units of windows and normalized frequency.
+struct jam_event {
+    jam_kind kind = jam_kind::cw_tone;
+    int start_window = 0;
+    int duration_windows = 0;
+    double center_frequency = 0.25; ///< fraction of sample rate, 0..0.5
+    double power_db = 15.0;         ///< bin power above mean noise power
+};
+
+struct jammer_config {
+    int fft_size = 1024;
+    double sample_rate_hz = 20.0e6;
+    /// Detection threshold above the estimated (median) noise floor.
+    double threshold_db = 12.0;
+    /// Consecutive hot windows required to declare a jammer.
+    int confirmation_windows = 2;
+
+    [[nodiscard]] double window_duration_s() const {
+        return static_cast<double>(fft_size) / sample_rate_hz;
+    }
+};
+
+struct detection_report {
+    int windows_processed = 0;
+    int events_injected = 0;
+    int events_detected = 0;
+    int false_alarm_windows = 0;
+    double mean_detection_latency_windows = 0.0;
+
+    [[nodiscard]] double detection_rate() const;
+    [[nodiscard]] double false_alarm_rate() const;
+};
+
+/// Generate a reproducible set of non-overlapping jam events.
+[[nodiscard]] std::vector<jam_event> make_random_jam_events(int count,
+                                                            int total_windows,
+                                                            rng& r);
+
+class jammer_detector {
+public:
+    explicit jammer_detector(jammer_config config);
+
+    /// Synthesize `total_windows` of spectrum containing `events` and run
+    /// the detector over them.
+    [[nodiscard]] detection_report run(int total_windows,
+                                       const std::vector<jam_event>& events,
+                                       rng& r) const;
+
+    /// Estimated CPU cycles to process one window (synthesis excluded):
+    /// FFT butterflies plus the magnitude/threshold scan.
+    [[nodiscard]] double cycles_per_window() const;
+
+    /// Real-time QoS: with `instances` detectors sharing `cores` cores at
+    /// frequency f, does per-window processing fit in the window duration?
+    [[nodiscard]] bool meets_qos(megahertz core_frequency, int instances,
+                                 int cores) const;
+
+    [[nodiscard]] const jammer_config& config() const { return config_; }
+
+private:
+    jammer_config config_;
+};
+
+} // namespace gb

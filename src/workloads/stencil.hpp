@@ -1,0 +1,59 @@
+// Stencil access-pattern scheduling (paper Section IV.C, after Tovletoglou
+// et al., IOLTS'17 [12]).
+//
+// Stencil sweeps touch every grid row once per time step, so each DRAM row
+// is implicitly refreshed once per sweep.  Temporal blocking (running
+// several time steps on a tile before moving on) improves locality but
+// stretches the revisit interval of out-of-tile rows.  The scheduler's job
+// is to pick the largest temporal blocking factor whose worst-case
+// inter-access interval still fits inside the targeted refresh window, so
+// accesses keep refreshing the rows and manifested errors stay contained.
+#pragma once
+
+#include "dram/memory_system.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+struct stencil_config {
+    int grid_rows = 16384;      ///< grid rows, each mapped to one DRAM row
+    int grid_cols = 8192;       ///< points per row
+    double bytes_per_point = 8; ///< double-precision state
+    double bandwidth_gbps = 12.0;
+    int time_steps = 64; ///< total sweeps of the computation
+};
+
+/// A schedule is defined by its temporal blocking factor: the number of time
+/// steps executed on a tile before moving to the next.  Factor 1 is the
+/// naive full-grid sweep.
+struct stencil_schedule {
+    int tile_rows = 1024;
+    int time_steps_per_tile = 1;
+};
+
+/// Worst-case and typical per-row re-access intervals of a schedule.
+struct stencil_interval_analysis {
+    double sweep_time_s = 0.0;        ///< one full pass over the grid
+    double max_interval_s = 0.0;      ///< worst row revisit gap
+    double typical_interval_s = 0.0;  ///< in-tile revisit gap
+    /// Fraction of rows whose worst gap fits within `window`.
+    [[nodiscard]] double fraction_rows_within(milliseconds window) const;
+};
+
+[[nodiscard]] stencil_interval_analysis analyze_stencil(
+    const stencil_config& config, const stencil_schedule& schedule);
+
+/// Largest temporal blocking factor whose worst-case interval stays within
+/// `safety` (< 1) of the refresh window; at least 1.
+[[nodiscard]] int max_safe_blocking_factor(const stencil_config& config,
+                                           const stencil_schedule& schedule,
+                                           milliseconds refresh_window,
+                                           double safety = 0.8);
+
+/// DRAM-side profile of a scheduled stencil: rows revisited within the
+/// refresh window count as implicitly refreshed.
+[[nodiscard]] access_profile stencil_access_profile(
+    const stencil_config& config, const stencil_interval_analysis& analysis,
+    milliseconds refresh_window);
+
+} // namespace gb

@@ -1,0 +1,81 @@
+// The assembled micro-server: CPU chip model + DRAM subsystem + SLIMpro,
+// operated at a configurable operating point, with per-domain power
+// accounting (the paper's Fig 9 decomposition: PMD / SoC / DRAM / other).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/chip_model.hpp"
+#include "chip/power.hpp"
+#include "dram/memory_system.hpp"
+#include "dram/power.hpp"
+#include "util/units.hpp"
+#include "xgene/slimpro.hpp"
+#include "xgene/soc.hpp"
+
+namespace gb {
+
+/// Power of the SoC (uncore) domain: L3, central switch, MCBs/MCUs.  A large
+/// share is IO/PHY on fixed rails, which is why undervolting this domain
+/// saves comparatively little (Fig 9 reports only 6.9%).
+struct soc_power_model {
+    double fixed_w = 2.8;   ///< PHY/IO, independent of the SoC rail
+    double dynamic_w = 1.4; ///< at nominal SoC voltage
+    double leakage_w = 1.3; ///< at nominal SoC voltage
+
+    [[nodiscard]] watts power(millivolts v) const;
+};
+
+/// Constant management/board overhead (SLIMpro, fans are external).
+inline constexpr watts other_domain_power{0.3};
+
+/// What the server is executing, for sensor/power purposes.
+struct workload_snapshot {
+    std::vector<core_assignment> assignments;
+    double dram_bandwidth_gbps = 0.0;
+    celsius chip_temperature{50.0};
+};
+
+class xgene2_server {
+public:
+    xgene2_server(chip_config chip, std::uint64_t seed,
+                  dram_geometry memory_geometry = xgene2_memory_geometry(),
+                  retention_model retention = {}, study_limits limits = {});
+
+    [[nodiscard]] chip_model& cpu() { return cpu_; }
+    [[nodiscard]] const chip_model& cpu() const { return cpu_; }
+    [[nodiscard]] memory_system& memory() { return memory_; }
+    [[nodiscard]] const memory_system& memory() const { return memory_; }
+    [[nodiscard]] slimpro& management() { return slimpro_; }
+    [[nodiscard]] const soc_topology& topology() const { return topology_; }
+
+    /// Apply an operating point: programs the DRAM refresh period through
+    /// SLIMpro and records the voltage/frequency settings.
+    void apply(const operating_point& op);
+    [[nodiscard]] const operating_point& current_operating_point() const {
+        return op_;
+    }
+
+    /// Sensor snapshot under a workload at the current operating point.
+    /// Core assignments must run at their PMD's configured frequency.
+    [[nodiscard]] sensor_readings read_sensors(
+        const workload_snapshot& snapshot) const;
+
+    /// Whether a workload executes correctly at the current operating point
+    /// (one stochastic characterization run).
+    [[nodiscard]] run_evaluation execute(const workload_snapshot& snapshot,
+                                         std::uint64_t phase_seed, rng& r);
+
+private:
+    soc_topology topology_;
+    chip_model cpu_;
+    memory_system memory_;
+    slimpro slimpro_;
+    cpu_power_model cpu_power_;
+    soc_power_model soc_power_;
+    dram_power_model dram_power_;
+    operating_point op_;
+};
+
+} // namespace gb

@@ -1,0 +1,34 @@
+#include "xgene/soc.hpp"
+
+#include "util/contracts.hpp"
+
+namespace gb {
+
+int soc_topology::pmd_of_core(int core) const {
+    GB_EXPECTS(core >= 0 && core < core_count());
+    return core / cores_per_pmd;
+}
+
+soc_topology xgene2_topology() { return soc_topology{}; }
+
+std::string_view to_string(power_domain domain) {
+    switch (domain) {
+    case power_domain::pmd: return "PMD";
+    case power_domain::soc: return "SoC";
+    case power_domain::dram: return "DRAM";
+    case power_domain::other: return "other";
+    }
+    return "?";
+}
+
+double operating_point::relative_performance() const {
+    double sum = 0.0;
+    for (const megahertz f : pmd_frequency) {
+        sum += f.value;
+    }
+    return sum / (4.0 * 2400.0);
+}
+
+operating_point operating_point::nominal() { return operating_point{}; }
+
+} // namespace gb

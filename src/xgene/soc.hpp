@@ -1,0 +1,59 @@
+// Structural description of the X-Gene2 Server-on-Chip (paper Section II,
+// Fig 1): four PMDs of two ARMv8 cores each, per-core L1s, per-PMD L2, an
+// 8 MB L3 behind the cache-coherent Central Switch, two Memory Controller
+// Bridges each feeding two DDR3 Memory Control Units, and the SLIMpro
+// management processor.  Power is delivered on three independently scalable
+// domains: PMD (cores + L1/L2), SoC (L3/CSW/MCB/MCU uncore) and DRAM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace gb {
+
+struct soc_topology {
+    int pmds = 4;
+    int cores_per_pmd = 2;
+    int l1d_kb = 32;
+    int l1i_kb = 32;
+    int l2_per_pmd_kb = 256;
+    int l3_mb = 8;
+    int mcbs = 2;
+    int mcus_per_mcb = 2;
+
+    [[nodiscard]] int core_count() const { return pmds * cores_per_pmd; }
+    [[nodiscard]] int mcu_count() const { return mcbs * mcus_per_mcb; }
+    [[nodiscard]] int pmd_of_core(int core) const;
+};
+
+[[nodiscard]] soc_topology xgene2_topology();
+
+/// The independently controllable supply/timing domains.
+enum class power_domain : std::uint8_t { pmd, soc, dram, other };
+
+[[nodiscard]] std::string_view to_string(power_domain domain);
+
+inline constexpr millivolts nominal_soc_voltage{950.0};
+
+/// A complete server operating point: the knobs the characterization study
+/// turns (PMD voltage, per-PMD frequency, SoC voltage, DRAM refresh period).
+struct operating_point {
+    millivolts pmd_voltage{980.0};
+    millivolts soc_voltage = nominal_soc_voltage;
+    std::array<megahertz, 4> pmd_frequency{megahertz{2400.0},
+                                           megahertz{2400.0},
+                                           megahertz{2400.0},
+                                           megahertz{2400.0}};
+    milliseconds refresh_period{64.0};
+
+    /// Aggregate performance relative to all-PMDs-nominal (the paper's Fig 5
+    /// x-axis: sum of PMD frequencies over the nominal sum).
+    [[nodiscard]] double relative_performance() const;
+
+    [[nodiscard]] static operating_point nominal();
+};
+
+} // namespace gb

@@ -1,0 +1,128 @@
+#include "cache/trace_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/chip_model.hpp"
+#include "isa/kernel.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(trace_pipeline_test, compute_only_trace_matches_declared_kernel) {
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline traced(nominal_core_frequency, hierarchy);
+    const pipeline_model declared(nominal_core_frequency);
+
+    std::vector<traced_instruction> trace;
+    kernel k{"alu", {}};
+    for (int i = 0; i < 64; ++i) {
+        trace.push_back(traced_instruction::compute(opcode::int_alu));
+        k.body.push_back(opcode::int_alu);
+    }
+    const execution_profile a = traced.execute(trace, 4);
+    const execution_profile b = declared.execute(k, 256);
+    EXPECT_DOUBLE_EQ(a.counters.ipc(), b.counters.ipc());
+    EXPECT_NEAR(a.average_current_a(), b.average_current_a(), 1e-12);
+}
+
+TEST(trace_pipeline_test, chase_resolves_to_the_right_level) {
+    // A 64 KB chase (fits L2, not L1): after the cold lap, loads resolve to
+    // load_l2 -- the class the declared kernels assume.
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline pipeline(nominal_core_frequency, hierarchy);
+    rng r(1);
+    const std::vector<traced_instruction> trace =
+        make_chase_trace(64 * 1024, 1024, 0, r);
+    (void)pipeline.execute(trace, 1); // cold lap
+    const execution_profile warm = pipeline.execute(trace, 3);
+    EXPECT_GT(warm.counters.l2_hits, warm.counters.loads * 9 / 10);
+    EXPECT_EQ(warm.counters.dram_accesses, 0u);
+}
+
+TEST(trace_pipeline_test, traced_and_declared_l2_kernels_agree) {
+    // The equivalence that licenses declared kernels: a traced 64 KB chase
+    // and a declared load_l2 loop produce the same stall structure.
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline traced(nominal_core_frequency, hierarchy);
+    rng r(2);
+    const std::vector<traced_instruction> trace =
+        make_chase_trace(64 * 1024, 1024, 3, r);
+    (void)traced.execute(trace, 1); // warm the hierarchy
+    const execution_profile trace_profile = traced.execute(trace, 2);
+
+    const pipeline_model declared(nominal_core_frequency);
+    kernel k{"declared", {}};
+    for (int i = 0; i < 64; ++i) {
+        k.body.push_back(opcode::load_l2);
+        for (int c = 0; c < 3; ++c) {
+            k.body.push_back(opcode::int_alu);
+        }
+    }
+    const execution_profile kernel_profile = declared.execute(k, 4096);
+
+    EXPECT_NEAR(trace_profile.counters.ipc(), kernel_profile.counters.ipc(),
+                0.05);
+    EXPECT_NEAR(trace_profile.average_current_a(),
+                kernel_profile.average_current_a(), 0.05);
+}
+
+TEST(trace_pipeline_test, streaming_trace_mostly_l1) {
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline pipeline(nominal_core_frequency, hierarchy);
+    const std::vector<traced_instruction> trace =
+        make_stream_trace(1024 * 1024, 1);
+    const execution_profile profile = pipeline.execute(trace, 1);
+    // 8-byte stride through 64-byte lines: ~7/8 of loads are L1 hits even
+    // on a cold sweep.
+    const double l1_loads = static_cast<double>(
+        profile.counters.loads - profile.counters.l2_hits -
+        profile.counters.l3_hits - profile.counters.dram_accesses);
+    EXPECT_NEAR(l1_loads / static_cast<double>(profile.counters.loads),
+                7.0 / 8.0, 0.02);
+    EXPECT_GT(profile.counters.fp_ops, 0u);
+}
+
+TEST(trace_pipeline_test, dram_bound_trace_stalls) {
+    // A scaled-down hierarchy (8 KB / 32 KB / 256 KB) keeps the
+    // beyond-L3 working set -- and hence the simulated cycle count --
+    // small while exercising the same resolution path.
+    cache_hierarchy hierarchy(cache_config{8 * 1024, 64, 4},
+                              cache_config{32 * 1024, 64, 8},
+                              cache_config{256 * 1024, 64, 8});
+    trace_pipeline pipeline(nominal_core_frequency, hierarchy);
+    rng r(3);
+    // 1 MB chase, every line touched per lap: 4x the scaled L3.
+    const std::vector<traced_instruction> trace =
+        make_chase_trace(1024 * 1024, 1024 * 1024 / 64, 0, r);
+    (void)pipeline.execute(trace, 1);
+    const execution_profile profile = pipeline.execute(trace, 1);
+    EXPECT_GT(profile.counters.dram_accesses,
+              profile.counters.loads * 9 / 10);
+    EXPECT_LT(profile.counters.ipc(), 0.01);
+}
+
+TEST(trace_pipeline_test, store_resolution) {
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline pipeline(nominal_core_frequency, hierarchy);
+    std::vector<traced_instruction> trace;
+    trace.push_back(traced_instruction::load(0)); // warm the line
+    trace.push_back(traced_instruction::store(0)); // L1-resident store
+    const execution_profile profile = pipeline.execute(trace, 2);
+    EXPECT_EQ(profile.counters.stores, 2u);
+    // Second lap: both resolve within the hierarchy, no DRAM stores.
+    EXPECT_LT(profile.counters.dram_accesses, 2u);
+}
+
+TEST(trace_pipeline_test, validates_inputs) {
+    cache_hierarchy hierarchy = cache_hierarchy::xgene2();
+    trace_pipeline pipeline(nominal_core_frequency, hierarchy);
+    const std::vector<traced_instruction> empty;
+    EXPECT_THROW((void)pipeline.execute(empty, 1), contract_violation);
+    const std::vector<traced_instruction> one{
+        traced_instruction::compute(opcode::nop)};
+    EXPECT_THROW((void)pipeline.execute(one, 0), contract_violation);
+}
+
+} // namespace
+} // namespace gb

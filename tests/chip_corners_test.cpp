@@ -1,0 +1,122 @@
+#include "chip/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(corners_test, canonical_chip_names) {
+    EXPECT_EQ(make_ttt_chip().name, "TTT");
+    EXPECT_EQ(make_tff_chip().name, "TFF");
+    EXPECT_EQ(make_tss_chip().name, "TSS");
+    EXPECT_EQ(to_string(process_corner::ttt), "TTT");
+}
+
+TEST(corners_test, make_chip_dispatch) {
+    EXPECT_EQ(make_chip(process_corner::tff).corner, process_corner::tff);
+    EXPECT_EQ(make_chip(process_corner::tss).corner, process_corner::tss);
+}
+
+TEST(corners_test, leakage_ordering_defines_corners) {
+    // TFF is the high-leakage corner, TSS the low-leakage one.
+    EXPECT_GT(make_tff_chip().leakage_current_a,
+              make_ttt_chip().leakage_current_a);
+    EXPECT_LT(make_tss_chip().leakage_current_a,
+              make_ttt_chip().leakage_current_a);
+}
+
+TEST(corners_test, every_chip_has_a_zero_offset_core) {
+    for (const chip_config& chip :
+         {make_ttt_chip(), make_tff_chip(), make_tss_chip()}) {
+        const double min_offset = *std::min_element(
+            chip.core_offset_mv.begin(), chip.core_offset_mv.end());
+        EXPECT_DOUBLE_EQ(min_offset, 0.0) << chip.name;
+    }
+}
+
+TEST(corners_test, ttt_pmd_weakness_ordering) {
+    // Fig 5 slows PMDs 0 and 1 first: PMD offsets must decrease with index.
+    const chip_config ttt = make_ttt_chip();
+    for (int pmd = 1; pmd < pmds_per_chip; ++pmd) {
+        EXPECT_GT(ttt.pmd_offset(pmd - 1), ttt.pmd_offset(pmd));
+    }
+}
+
+TEST(corners_test, pmd_offset_is_worst_of_pair) {
+    const chip_config ttt = make_ttt_chip();
+    for (int pmd = 0; pmd < pmds_per_chip; ++pmd) {
+        const double a = ttt.core_offset_mv[static_cast<std::size_t>(
+            pmd * cores_per_pmd)];
+        const double b = ttt.core_offset_mv[static_cast<std::size_t>(
+            pmd * cores_per_pmd + 1)];
+        EXPECT_DOUBLE_EQ(ttt.pmd_offset(pmd).value, std::max(a, b));
+    }
+}
+
+TEST(corners_test, core_offset_bounds_checked) {
+    const chip_config ttt = make_ttt_chip();
+    EXPECT_THROW((void)ttt.core_offset(-1), contract_violation);
+    EXPECT_THROW((void)ttt.core_offset(cores_per_chip), contract_violation);
+    EXPECT_THROW((void)ttt.pmd_offset(pmds_per_chip), contract_violation);
+}
+
+TEST(droop_response_test, linear_below_knee) {
+    const droop_response response{1.0, 2.0, millivolts{35.0}};
+    EXPECT_DOUBLE_EQ(response.effective(millivolts{0.0}).value, 0.0);
+    EXPECT_DOUBLE_EQ(response.effective(millivolts{20.0}).value, 20.0);
+    EXPECT_DOUBLE_EQ(response.effective(millivolts{35.0}).value, 35.0);
+}
+
+TEST(droop_response_test, steepens_above_knee) {
+    const droop_response response{0.65, 4.9, millivolts{35.0}};
+    EXPECT_NEAR(response.effective(millivolts{45.0}).value,
+                0.65 * 35.0 + 4.9 * 10.0, 1e-12);
+}
+
+TEST(droop_response_test, continuous_at_knee) {
+    const droop_response response{1.3, 4.0, millivolts{35.0}};
+    const double below = response.effective(millivolts{34.999}).value;
+    const double above = response.effective(millivolts{35.001}).value;
+    EXPECT_NEAR(below, above, 0.02);
+}
+
+TEST(droop_response_test, negative_droop_rejected) {
+    const droop_response response;
+    EXPECT_THROW((void)response.effective(millivolts{-1.0}),
+                 contract_violation);
+}
+
+TEST(corners_test, sigma_chips_steepen_past_knee) {
+    // The corner parts' defining property in this model: their response
+    // above the knee is much steeper than the typical part's.
+    EXPECT_GT(make_tff_chip().response.gain_high,
+              3.0 * make_ttt_chip().response.gain_high);
+    EXPECT_GT(make_tss_chip().response.gain_high,
+              3.0 * make_ttt_chip().response.gain_high);
+}
+
+TEST(random_chip_test, normalized_offsets_and_positive_leakage) {
+    rng r(42);
+    for (int i = 0; i < 20; ++i) {
+        const chip_config chip = random_chip(process_corner::ttt, r);
+        const double min_offset = *std::min_element(
+            chip.core_offset_mv.begin(), chip.core_offset_mv.end());
+        EXPECT_DOUBLE_EQ(min_offset, 0.0);
+        EXPECT_GT(chip.leakage_current_a, 0.0);
+        EXPECT_GT(chip.v_crit_logic.value, 700.0);
+    }
+}
+
+TEST(random_chip_test, chips_vary) {
+    rng r(43);
+    const chip_config a = random_chip(process_corner::tss, r);
+    const chip_config b = random_chip(process_corner::tss, r);
+    EXPECT_NE(a.v_crit_logic.value, b.v_crit_logic.value);
+}
+
+} // namespace
+} // namespace gb

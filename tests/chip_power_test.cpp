@@ -1,0 +1,111 @@
+#include "chip/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/pipeline.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+class chip_power_test : public ::testing::Test {
+protected:
+    cpu_power_model model_;
+    chip_config ttt_ = make_ttt_chip();
+    pipeline_model pipeline_{nominal_core_frequency};
+    execution_profile jammer_ = pipeline_.execute(jammer_cpu_kernel(), 8192);
+};
+
+TEST_F(chip_power_test, dynamic_power_scales_quadratically_with_voltage) {
+    const watts p_nominal = model_.core_dynamic_power(
+        jammer_, nominal_pmd_voltage, nominal_core_frequency);
+    const watts p_under = model_.core_dynamic_power(
+        jammer_, millivolts{885.0}, nominal_core_frequency);
+    EXPECT_NEAR(p_under.value / p_nominal.value,
+                (885.0 / 980.0) * (885.0 / 980.0), 1e-9);
+}
+
+TEST_F(chip_power_test, dynamic_power_scales_linearly_with_frequency) {
+    const watts full = model_.core_dynamic_power(jammer_, nominal_pmd_voltage,
+                                                 nominal_core_frequency);
+    const watts half = model_.core_dynamic_power(
+        jammer_, nominal_pmd_voltage, megahertz::from_gigahertz(1.2));
+    EXPECT_NEAR(half.value / full.value, 0.5, 1e-9);
+}
+
+TEST_F(chip_power_test, leakage_voltage_exponential) {
+    const watts nominal = model_.chip_leakage_power(ttt_, nominal_pmd_voltage,
+                                                    celsius{50.0});
+    const watts under = model_.chip_leakage_power(ttt_, millivolts{860.0},
+                                                  celsius{50.0});
+    const double expected =
+        std::exp(-120.0 / 120.0) * (860.0 / 980.0);
+    EXPECT_NEAR(under.value / nominal.value, expected, 1e-9);
+}
+
+TEST_F(chip_power_test, leakage_grows_with_temperature) {
+    const watts cool =
+        model_.chip_leakage_power(ttt_, nominal_pmd_voltage, celsius{50.0});
+    const watts hot =
+        model_.chip_leakage_power(ttt_, nominal_pmd_voltage, celsius{90.0});
+    EXPECT_NEAR(hot.value / cool.value, std::exp(1.0), 1e-9);
+}
+
+TEST_F(chip_power_test, corner_leakage_ordering) {
+    const watts tff = model_.chip_leakage_power(
+        make_tff_chip(), nominal_pmd_voltage, celsius{50.0});
+    const watts tss = model_.chip_leakage_power(
+        make_tss_chip(), nominal_pmd_voltage, celsius{50.0});
+    EXPECT_GT(tff.value, 2.0 * tss.value);
+}
+
+TEST_F(chip_power_test, pmd_domain_power_adds_components) {
+    std::vector<core_assignment> eight;
+    for (int c = 0; c < cores_per_chip; ++c) {
+        eight.push_back({c, &jammer_, nominal_core_frequency});
+    }
+    const watts domain = model_.pmd_domain_power(
+        ttt_, eight, nominal_pmd_voltage, celsius{50.0});
+    const watts leak = model_.chip_leakage_power(ttt_, nominal_pmd_voltage,
+                                                 celsius{50.0});
+    const watts one_core = model_.core_dynamic_power(
+        jammer_, nominal_pmd_voltage, nominal_core_frequency);
+    EXPECT_NEAR(domain.value, leak.value + 8.0 * one_core.value, 1e-9);
+}
+
+TEST_F(chip_power_test, idle_cores_draw_baseline) {
+    std::vector<core_assignment> one{{0, &jammer_, nominal_core_frequency}};
+    std::vector<core_assignment> none;
+    const watts with_one = model_.pmd_domain_power(
+        ttt_, one, nominal_pmd_voltage, celsius{50.0});
+    const watts idle = model_.pmd_domain_power(
+        ttt_, none, nominal_pmd_voltage, celsius{50.0});
+    EXPECT_GT(with_one.value, idle.value);
+    // Idle = leakage + 8 baseline cores.
+    const watts leak = model_.chip_leakage_power(ttt_, nominal_pmd_voltage,
+                                                 celsius{50.0});
+    EXPECT_NEAR(idle.value - leak.value,
+                8.0 * core_baseline_current_a * 0.98, 1e-9);
+}
+
+TEST_F(chip_power_test, fig9_pmd_budget) {
+    // Calibration check for Fig 9: 8 jammer instances on TTT at nominal draw
+    // ~19 W of PMD power, and undervolting to 930 mV saves ~20%.
+    std::vector<core_assignment> eight;
+    for (int c = 0; c < cores_per_chip; ++c) {
+        eight.push_back({c, &jammer_, nominal_core_frequency});
+    }
+    const watts nominal = model_.pmd_domain_power(
+        ttt_, eight, nominal_pmd_voltage, celsius{50.0});
+    const watts under = model_.pmd_domain_power(ttt_, eight,
+                                                millivolts{930.0},
+                                                celsius{50.0});
+    EXPECT_NEAR(nominal.value, 19.0, 1.5);
+    const double saving = 1.0 - under.value / nominal.value;
+    EXPECT_NEAR(saving, 0.203, 0.03);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,135 @@
+#include "core/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+class explorer_test : public ::testing::Test {
+protected:
+    chip_model ttt_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_{ttt_, 2018};
+    guardband_explorer explorer_{framework_};
+};
+
+TEST_F(explorer_test, characterize_suite_measures_everything) {
+    const std::vector<vmin_measurement> measurements =
+        explorer_.characterize_suite(spec2006_suite(), 6, 3);
+    ASSERT_EQ(measurements.size(), 10u);
+    for (const vmin_measurement& m : measurements) {
+        EXPECT_EQ(m.core, 6);
+        EXPECT_GT(m.vmin.value, 840.0);
+        EXPECT_LT(m.vmin.value, 900.0);
+    }
+}
+
+TEST_F(explorer_test, core_to_core_variation_visible) {
+    const std::vector<vmin_measurement> per_core =
+        explorer_.characterize_cores(find_cpu_benchmark("milc"), 3);
+    ASSERT_EQ(per_core.size(), 8u);
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const vmin_measurement& m : per_core) {
+        lo = std::min(lo, m.vmin.value);
+        hi = std::max(hi, m.vmin.value);
+    }
+    // TTT's calibrated core offsets span 40 mV.
+    EXPECT_NEAR(hi - lo, 40.0, 10.0);
+}
+
+TEST_F(explorer_test, most_robust_core_is_found_experimentally) {
+    // TTT's zero-offset core is core 6 by construction.
+    EXPECT_EQ(explorer_.most_robust_core(find_cpu_benchmark("milc")), 6);
+}
+
+TEST_F(explorer_test, dvfs_ladder_shape_matches_fig5) {
+    const std::vector<ladder_point> ladder =
+        explorer_.dvfs_ladder(fig5_mix());
+    ASSERT_EQ(ladder.size(), 5u);
+    // Performance steps down in PMD quarters: 1.0, 0.875, 0.75, ...
+    for (int k = 0; k <= 4; ++k) {
+        EXPECT_NEAR(ladder[static_cast<std::size_t>(k)].relative_performance,
+                    1.0 - 0.125 * k, 1e-12);
+        EXPECT_EQ(ladder[static_cast<std::size_t>(k)].slowed_pmds, k);
+    }
+    // Voltage and power fall monotonically as weak PMDs are slowed.
+    for (std::size_t k = 1; k < ladder.size(); ++k) {
+        EXPECT_LT(ladder[k].voltage, ladder[k - 1].voltage);
+        EXPECT_LT(ladder[k].relative_power, ladder[k - 1].relative_power);
+    }
+    // Anchors: the all-nominal rung needs ~915-930 mV (paper: 915); the
+    // all-slow rung bottoms out on the SRAM path near ~850 mV (the paper
+    // reaches 760 mV; its L2 arrays scale further than this model's).
+    EXPECT_NEAR(ladder.front().voltage.value, 922.0, 15.0);
+    EXPECT_NEAR(ladder.back().voltage.value, 850.0, 25.0);
+    // The power axis is the Fig 5 reproduction target: the paper's rungs
+    // are 87.2 / 73.8 / 61.2 / 49.8 / 37.6 percent of nominal.
+    const double paper_power[] = {0.872, 0.738, 0.612, 0.498, 0.376};
+    for (std::size_t k = 0; k < ladder.size(); ++k) {
+        EXPECT_NEAR(ladder[k].relative_power, paper_power[k], 0.05)
+            << "rung " << k;
+    }
+}
+
+TEST_F(explorer_test, dvfs_ladder_projection_formula) {
+    const std::vector<ladder_point> ladder =
+        explorer_.dvfs_ladder(fig5_mix());
+    for (const ladder_point& point : ladder) {
+        const double v_ratio = point.voltage.value / 980.0;
+        EXPECT_NEAR(point.relative_power,
+                    v_ratio * v_ratio * point.relative_performance, 1e-12);
+    }
+}
+
+TEST_F(explorer_test, dvfs_ladder_guard_raises_voltage) {
+    const std::vector<ladder_point> bare = explorer_.dvfs_ladder(fig5_mix());
+    const std::vector<ladder_point> guarded = explorer_.dvfs_ladder(
+        fig5_mix(), megahertz{1200.0}, millivolts{10.0});
+    for (std::size_t k = 0; k < bare.size(); ++k) {
+        EXPECT_NEAR(guarded[k].voltage.value - bare[k].voltage.value, 10.0,
+                    1e-9);
+    }
+}
+
+TEST_F(explorer_test, dvfs_ladder_requires_eight_benchmarks) {
+    std::vector<cpu_benchmark> short_mix = fig5_mix();
+    short_mix.pop_back();
+    EXPECT_THROW((void)explorer_.dvfs_ladder(short_mix), contract_violation);
+}
+
+TEST(refresh_exploration_test, finds_35x_safe_at_60c) {
+    memory_system memory(xgene2_memory_geometry(), retention_model{}, 2018,
+                         study_limits{});
+    memory.set_temperature(celsius{60.0});
+    const std::vector<milliseconds> ladder{
+        milliseconds{64.0}, milliseconds{256.0}, milliseconds{1024.0},
+        milliseconds{2283.0}};
+    const refresh_exploration exploration =
+        guardband_explorer::explore_refresh(memory, ladder);
+    ASSERT_EQ(exploration.steps.size(), 4u);
+    // The paper's key DRAM finding: at <= 60 C even 35x is fully corrected.
+    EXPECT_DOUBLE_EQ(exploration.max_safe_period.value, 2283.0);
+    for (const refresh_step& step : exploration.steps) {
+        EXPECT_TRUE(step.fully_corrected);
+    }
+    // Failures grow along the ladder.
+    EXPECT_GT(exploration.steps.back().worst_scan.failed_cells,
+              exploration.steps.front().worst_scan.failed_cells);
+    // The memory is restored to its original period.
+    EXPECT_DOUBLE_EQ(memory.refresh_period().value, 64.0);
+}
+
+TEST(refresh_exploration_test, empty_ladder_rejected) {
+    memory_system memory(single_dimm_geometry(), retention_model{}, 1,
+                         study_limits{});
+    EXPECT_THROW(
+        (void)guardband_explorer::explore_refresh(memory, {}),
+        contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,169 @@
+#include "core/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+class governor_test : public ::testing::Test {
+protected:
+    governor_test() : framework_(chip_, 31) {
+        // Train on chip-level requirements (8 instances, the deployment
+        // configuration the governor will manage), not single-core Vmin.
+        for (const cpu_benchmark& b : spec2006_suite()) {
+            add_chip_level_sample(b);
+        }
+        for (const cpu_benchmark& b : nas_suite()) {
+            add_chip_level_sample(b);
+        }
+        predictor_.train();
+    }
+
+    void add_chip_level_sample(const cpu_benchmark& b) {
+        const execution_profile& profile =
+            framework_.profile_of(b.loop, nominal_core_frequency);
+        std::vector<core_assignment> all;
+        for (int core = 0; core < cores_per_chip; ++core) {
+            all.push_back({core, &profile, nominal_core_frequency});
+        }
+        predictor_.add_sample(profile,
+                              chip_.analyze(all, hash_label(b.name)).vmin);
+    }
+
+    chip_model chip_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_;
+    vmin_predictor predictor_;
+};
+
+TEST_F(governor_test, requires_trained_predictor) {
+    vmin_predictor untrained;
+    EXPECT_THROW((void)voltage_governor{untrained}, contract_violation);
+}
+
+TEST_F(governor_test, chooses_prediction_plus_guard) {
+    voltage_governor governor(predictor_);
+    const execution_profile& profile = framework_.profile_of(
+        find_cpu_benchmark("namd").loop, nominal_core_frequency);
+    const millivolts v = governor.choose_voltage(profile);
+    EXPECT_NEAR(v.value,
+                predictor_.predict(profile).value +
+                    governor.current_guard().value,
+                1e-9);
+    EXPECT_LE(v, nominal_pmd_voltage);
+}
+
+TEST_F(governor_test, guard_backs_off_on_errors_and_relaxes_when_quiet) {
+    voltage_governor governor(predictor_);
+    const millivolts initial = governor.current_guard();
+    governor.observe(run_outcome::crash, millivolts{930.0});
+    EXPECT_GT(governor.current_guard(), initial);
+    const millivolts after_crash = governor.current_guard();
+    governor.observe(run_outcome::corrected_error, millivolts{930.0});
+    EXPECT_GT(governor.current_guard(), after_crash);
+    const millivolts after_ce = governor.current_guard();
+    for (int i = 0; i < 100; ++i) {
+        governor.observe(run_outcome::ok, millivolts{900.0});
+    }
+    EXPECT_LT(governor.current_guard(), after_ce);
+    // But never below the configured floor.
+    EXPECT_GE(governor.current_guard().value,
+              governor_config{}.min_guard.value);
+}
+
+TEST_F(governor_test, guard_clamped_at_maximum) {
+    voltage_governor governor(predictor_);
+    for (int i = 0; i < 20; ++i) {
+        governor.observe(run_outcome::crash, millivolts{940.0});
+    }
+    EXPECT_DOUBLE_EQ(governor.current_guard().value,
+                     governor_config{}.max_guard.value);
+}
+
+TEST_F(governor_test, history_floor_engages) {
+    governor_config config;
+    config.min_history = 32;
+    config.target_failure_probability = 1e-4;
+    voltage_governor governor(predictor_, config);
+    // Feed a history whose requirements sit far above what the predictor
+    // would say for a quiet workload.
+    for (int i = 0; i < 64; ++i) {
+        governor.observe(run_outcome::ok, millivolts{950.0});
+    }
+    const execution_profile& quiet = framework_.profile_of(
+        find_cpu_benchmark("mcf").loop, nominal_core_frequency);
+    const millivolts v = governor.choose_voltage(quiet);
+    EXPECT_GE(v.value, 950.0);
+}
+
+TEST_F(governor_test, simulation_saves_energy_without_disruption_storms) {
+    voltage_governor governor(predictor_);
+    std::vector<std::string> schedule;
+    const std::vector<std::string> rotation{"mcf",  "namd", "milc", "gcc",
+                                            "bwaves", "gromacs"};
+    for (int i = 0; i < 120; ++i) {
+        schedule.push_back(rotation[static_cast<std::size_t>(i) %
+                                    rotation.size()]);
+    }
+    rng r(8);
+    const governor_simulation sim =
+        simulate_governor(framework_, governor, schedule, r);
+    EXPECT_EQ(sim.epochs.size(), schedule.size());
+    // Meaningful savings against always-nominal operation ...
+    EXPECT_GT(sim.energy_saving(), 0.08);
+    // ... with disruptions rare (lost work bounded).
+    EXPECT_LT(static_cast<double>(sim.disruptions),
+              0.05 * static_cast<double>(schedule.size()));
+}
+
+TEST_F(governor_test, simulation_adapts_voltage_to_workload) {
+    voltage_governor governor(predictor_);
+    std::vector<std::string> schedule(20, "mcf");
+    schedule.insert(schedule.end(), 20, "milc");
+    rng r(9);
+    const governor_simulation sim =
+        simulate_governor(framework_, governor, schedule, r);
+    // The quiet phase runs lower than the noisy phase.
+    double quiet_sum = 0.0;
+    double noisy_sum = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+        quiet_sum += sim.epochs[i].voltage.value;
+        noisy_sum += sim.epochs[20 + i].voltage.value;
+    }
+    EXPECT_LT(quiet_sum / 20.0 + 10.0, noisy_sum / 20.0);
+}
+
+TEST_F(governor_test, disrupted_epochs_are_retried_higher) {
+    // Force a disruption by starting with a guard far too small and a
+    // predictor biased low via an aggressive config.
+    governor_config config;
+    config.initial_guard = millivolts{6.0};
+    config.min_guard = millivolts{6.0};
+    config.max_guard = millivolts{40.0};
+    config.disruption_backoff = millivolts{25.0};
+    voltage_governor governor(predictor_, config);
+    std::vector<std::string> schedule(40, "milc");
+    rng r(10);
+    const governor_simulation sim =
+        simulate_governor(framework_, governor, schedule, r);
+    // Whatever happened, every recorded epoch ends at a voltage that the
+    // governor accepted, and the guard grew if there were disruptions.
+    if (sim.disruptions > 0) {
+        EXPECT_GT(governor.current_guard().value, 6.0);
+    }
+    EXPECT_EQ(sim.epochs.size(), schedule.size());
+}
+
+TEST_F(governor_test, config_validation) {
+    governor_config bad;
+    bad.min_guard = millivolts{20.0};
+    bad.initial_guard = millivolts{10.0};
+    EXPECT_THROW(voltage_governor(predictor_, bad), contract_violation);
+    governor_config bad2;
+    bad2.target_failure_probability = 0.0;
+    EXPECT_THROW(voltage_governor(predictor_, bad2), contract_violation);
+}
+
+} // namespace
+} // namespace gb

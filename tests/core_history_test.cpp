@@ -1,0 +1,108 @@
+#include "core/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+namespace {
+
+TEST(history_test, records_and_reports_extrema) {
+    droop_history history(64);
+    for (const double v : {900.0, 910.0, 905.0, 920.0}) {
+        history.record(millivolts{v});
+    }
+    EXPECT_EQ(history.size(), 4u);
+    EXPECT_DOUBLE_EQ(history.max_requirement().value, 920.0);
+    EXPECT_DOUBLE_EQ(history.quantile(1.0).value, 920.0);
+    EXPECT_DOUBLE_EQ(history.quantile(0.0).value, 900.0);
+}
+
+TEST(history_test, ring_buffer_evicts_oldest) {
+    droop_history history(16);
+    for (int i = 0; i < 16; ++i) {
+        history.record(millivolts{800.0});
+    }
+    // A burst of 16 new values fully replaces the old ones.
+    for (int i = 0; i < 16; ++i) {
+        history.record(millivolts{900.0});
+    }
+    EXPECT_EQ(history.size(), 16u);
+    EXPECT_DOUBLE_EQ(history.quantile(0.0).value, 900.0);
+}
+
+TEST(history_test, empirical_exceedance) {
+    droop_history history(128);
+    for (int i = 0; i < 100; ++i) {
+        history.record(millivolts{900.0 + static_cast<double>(i % 10)});
+    }
+    // 10% of values are 909, so exceedance of 908.5 is 0.1.
+    EXPECT_NEAR(history.exceedance_probability(millivolts{908.5}), 0.1,
+                1e-12);
+    EXPECT_NEAR(history.exceedance_probability(millivolts{0.0}), 1.0, 1e-12);
+}
+
+TEST(history_test, tail_extrapolation_beyond_sample) {
+    droop_history history(512);
+    rng r(3);
+    for (int i = 0; i < 500; ++i) {
+        // Exponential-ish requirement tail above 900.
+        history.record(millivolts{900.0 - 5.0 * std::log(r.uniform() + 1e-12)});
+    }
+    const double at_max =
+        history.exceedance_probability(history.max_requirement());
+    const double beyond =
+        history.exceedance_probability(history.max_requirement() +
+                                       millivolts{10.0});
+    EXPECT_GT(at_max, 0.0);
+    EXPECT_LT(beyond, at_max);
+    EXPECT_GT(beyond, 0.0); // tail never hard-zero
+}
+
+TEST(history_test, voltage_for_failure_probability_inverts) {
+    droop_history history(512);
+    rng r(4);
+    for (int i = 0; i < 400; ++i) {
+        history.record(millivolts{880.0 + 20.0 * r.uniform()});
+    }
+    const millivolts v1 = history.voltage_for_failure_probability(0.1);
+    const millivolts v2 = history.voltage_for_failure_probability(0.01);
+    const millivolts v3 = history.voltage_for_failure_probability(1e-4);
+    EXPECT_LT(v1, v2);
+    EXPECT_LT(v2, v3);
+    // The rarer-than-sample target must sit at or above the observed max.
+    EXPECT_GE(v3, history.max_requirement());
+    // And its predicted exceedance must be at or below the target.
+    EXPECT_LE(history.exceedance_probability(v3), 1e-4 + 1e-9);
+}
+
+TEST(history_test, degenerate_history_steps_at_max) {
+    droop_history history(32);
+    for (int i = 0; i < 20; ++i) {
+        history.record(millivolts{905.0});
+    }
+    EXPECT_DOUBLE_EQ(
+        history.exceedance_probability(millivolts{906.0}), 0.0);
+    EXPECT_DOUBLE_EQ(
+        history.exceedance_probability(millivolts{904.0}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        history.voltage_for_failure_probability(1e-4).value, 905.0);
+}
+
+TEST(history_test, preconditions) {
+    EXPECT_THROW(droop_history(4), contract_violation);
+    droop_history history(32);
+    EXPECT_THROW(history.record(millivolts{0.0}), contract_violation);
+    EXPECT_THROW((void)history.quantile(0.5), contract_violation);
+    EXPECT_THROW((void)history.voltage_for_failure_probability(0.0),
+                 contract_violation);
+    history.record(millivolts{900.0});
+    EXPECT_THROW((void)history.voltage_for_failure_probability(1.0),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace gb

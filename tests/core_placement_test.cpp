@@ -1,0 +1,129 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/contracts.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+class placement_test : public ::testing::Test {
+protected:
+    chip_model ttt_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_{ttt_, 77};
+
+    std::vector<const kernel*> mix_programs() {
+        static const std::vector<cpu_benchmark> mix = fig5_mix();
+        std::vector<const kernel*> programs;
+        for (const cpu_benchmark& b : mix) {
+            programs.push_back(&b.loop);
+        }
+        return programs;
+    }
+};
+
+TEST_F(placement_test, optimized_never_worse_than_naive) {
+    const placement_result result =
+        optimize_placement(framework_, mix_programs());
+    EXPECT_LE(result.optimized_vmin, result.naive_vmin);
+    EXPECT_GE(result.gain().value, 0.0);
+}
+
+TEST_F(placement_test, placement_is_a_permutation) {
+    const placement_result result =
+        optimize_placement(framework_, mix_programs());
+    std::set<int> cores(result.core_of_program.begin(),
+                        result.core_of_program.end());
+    EXPECT_EQ(cores.size(), 8u);
+    EXPECT_EQ(*cores.begin(), 0);
+    EXPECT_EQ(*cores.rbegin(), 7);
+}
+
+TEST_F(placement_test, noisiest_program_on_strongest_core) {
+    const std::vector<const kernel*> programs = mix_programs();
+    const placement_result result =
+        optimize_placement(framework_, programs);
+    // milc (index 6 in the fig5 mix) is the noisiest program; TTT's
+    // strongest core is core 6 (offset 0).
+    EXPECT_EQ(result.core_of_program[6], 6);
+    // General anti-sorted property: if program a needs more voltage solo
+    // than program b, it must land on a core with a smaller offset.
+    const chip_config& chip = framework_.chip().config();
+    std::vector<double> solo(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        solo[i] = framework_.chip()
+                      .analyze_single(framework_.profile_of(
+                                          *programs[i],
+                                          nominal_core_frequency),
+                                      0)
+                      .vmin.value;
+    }
+    for (std::size_t a = 0; a < programs.size(); ++a) {
+        for (std::size_t b = 0; b < programs.size(); ++b) {
+            if (solo[a] > solo[b] + 1e-9) {
+                EXPECT_LE(
+                    chip.core_offset(result.core_of_program[a]).value,
+                    chip.core_offset(result.core_of_program[b]).value)
+                    << "programs " << a << " vs " << b;
+            }
+        }
+    }
+}
+
+TEST_F(placement_test, anti_sorted_is_optimal_among_samples) {
+    // The rearrangement argument says no permutation beats the anti-sorted
+    // pairing; verify against random permutations.
+    const std::vector<const kernel*> programs = mix_programs();
+    const placement_result result =
+        optimize_placement(framework_, programs);
+    rng r(5);
+    std::vector<int> perm(8);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int trial = 0; trial < 30; ++trial) {
+        for (std::size_t i = perm.size(); i > 1; --i) {
+            std::swap(perm[i - 1], perm[r.uniform_index(i)]);
+        }
+        const millivolts requirement =
+            placement_requirement(framework_, programs, perm);
+        EXPECT_GE(requirement.value, result.optimized_vmin.value - 1e-9);
+    }
+}
+
+TEST_F(placement_test, homogeneous_mix_gains_nothing) {
+    // All programs identical: placement cannot matter.
+    const kernel& loop = find_cpu_benchmark("namd").loop;
+    std::vector<const kernel*> programs(8, &loop);
+    const placement_result result = optimize_placement(framework_, programs);
+    EXPECT_NEAR(result.gain().value, 0.0, 1e-9);
+}
+
+TEST_F(placement_test, heterogeneous_mix_gains_voltage) {
+    // The fig5 mix is heterogeneous and naive placement puts the noisiest
+    // program (milc) on a middling core: optimization buys measurable mV.
+    const placement_result result =
+        optimize_placement(framework_, mix_programs());
+    EXPECT_GT(result.gain().value, 3.0);
+}
+
+TEST_F(placement_test, validates_inputs) {
+    std::vector<const kernel*> short_list(4, &find_cpu_benchmark("mcf").loop);
+    EXPECT_THROW((void)optimize_placement(framework_, short_list),
+                 contract_violation);
+    std::vector<const kernel*> with_null(8, &find_cpu_benchmark("mcf").loop);
+    with_null[3] = nullptr;
+    EXPECT_THROW((void)optimize_placement(framework_, with_null),
+                 contract_violation);
+    std::vector<int> wrong_size{0, 1};
+    EXPECT_THROW((void)placement_requirement(
+                     framework_, std::vector<const kernel*>(8, with_null[0]),
+                     wrong_size),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,137 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "util/contracts.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+class predictor_test : public ::testing::Test {
+protected:
+    chip_model ttt_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_{ttt_, 5};
+
+    /// Train on SPEC + NAS Vmin measurements on the robust core.
+    vmin_predictor trained_predictor() {
+        vmin_predictor predictor;
+        for (const cpu_benchmark& b : spec2006_suite()) {
+            add_benchmark(predictor, b);
+        }
+        for (const cpu_benchmark& b : nas_suite()) {
+            add_benchmark(predictor, b);
+        }
+        predictor.train();
+        return predictor;
+    }
+
+    void add_benchmark(vmin_predictor& predictor, const cpu_benchmark& b) {
+        const execution_profile& profile =
+            framework_.profile_of(b.loop, nominal_core_frequency);
+        predictor.add_sample(profile,
+                             ttt_.analyze_single(profile, 6).vmin);
+    }
+};
+
+TEST_F(predictor_test, features_extracted_from_counters) {
+    const execution_profile& profile = framework_.profile_of(
+        find_cpu_benchmark("milc").loop, nominal_core_frequency);
+    const predictor_features features =
+        predictor_features::from_profile(profile);
+    EXPECT_GT(features.ipc, 0.0);
+    EXPECT_GT(features.fp_fraction, 0.5);
+    EXPECT_GT(features.average_current_a, 0.5);
+    EXPECT_EQ(features.to_vector().size(), 6u);
+}
+
+TEST_F(predictor_test, trains_and_explains_variance) {
+    vmin_predictor predictor = trained_predictor();
+    EXPECT_TRUE(predictor.trained());
+    EXPECT_EQ(predictor.sample_count(), 18u);
+    // Counter features carry most of the Vmin signal ([11] reports high
+    // accuracy for such models).
+    EXPECT_GT(predictor.r_squared(), 0.5);
+}
+
+TEST_F(predictor_test, in_sample_predictions_close) {
+    vmin_predictor predictor = trained_predictor();
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const execution_profile& profile =
+            framework_.profile_of(b.loop, nominal_core_frequency);
+        const double truth = ttt_.analyze_single(profile, 6).vmin.value;
+        EXPECT_NEAR(predictor.predict(profile).value, truth, 12.0) << b.name;
+    }
+}
+
+TEST_F(predictor_test, holdout_prediction_reasonable) {
+    // Leave milc out, predict it from the rest.
+    vmin_predictor predictor;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        if (b.name != "milc") {
+            add_benchmark(predictor, b);
+        }
+    }
+    for (const cpu_benchmark& b : nas_suite()) {
+        add_benchmark(predictor, b);
+    }
+    predictor.train();
+    const execution_profile& milc = framework_.profile_of(
+        find_cpu_benchmark("milc").loop, nominal_core_frequency);
+    const double truth = ttt_.analyze_single(milc, 6).vmin.value;
+    EXPECT_NEAR(predictor.predict(milc).value, truth, 25.0);
+}
+
+TEST_F(predictor_test, safe_voltage_adds_guard) {
+    vmin_predictor predictor = trained_predictor();
+    const execution_profile& profile = framework_.profile_of(
+        find_cpu_benchmark("namd").loop, nominal_core_frequency);
+    EXPECT_NEAR(predictor.safe_voltage(profile, millivolts{15.0}).value -
+                    predictor.predict(profile).value,
+                15.0, 1e-9);
+}
+
+TEST_F(predictor_test, guarded_prediction_is_actually_safe) {
+    vmin_predictor predictor = trained_predictor();
+    rng r(9);
+    // Use the predictor the way the governor would: pick the safe voltage
+    // and check that runs at it do not disrupt.
+    for (const cpu_benchmark& b : nas_suite()) {
+        const execution_profile& profile =
+            framework_.profile_of(b.loop, nominal_core_frequency);
+        const millivolts v = predictor.safe_voltage(profile,
+                                                    millivolts{15.0});
+        const core_assignment assignment{6, &profile,
+                                         nominal_core_frequency};
+        for (int i = 0; i < 10; ++i) {
+            const run_evaluation eval = ttt_.evaluate_run(
+                std::span<const core_assignment>(&assignment, 1), v,
+                static_cast<std::uint64_t>(i), r);
+            EXPECT_FALSE(is_disruption(eval.outcome)) << b.name;
+        }
+    }
+}
+
+TEST_F(predictor_test, untrained_predictor_rejects_use) {
+    vmin_predictor predictor;
+    const execution_profile& profile = framework_.profile_of(
+        find_cpu_benchmark("mcf").loop, nominal_core_frequency);
+    EXPECT_THROW((void)predictor.predict(profile), contract_violation);
+    EXPECT_THROW((void)predictor.r_squared(), contract_violation);
+    EXPECT_THROW(predictor.train(), contract_violation);
+}
+
+TEST_F(predictor_test, retraining_after_new_samples) {
+    vmin_predictor predictor = trained_predictor();
+    EXPECT_TRUE(predictor.trained());
+    const execution_profile& profile = framework_.profile_of(
+        jammer_cpu_kernel(), nominal_core_frequency);
+    predictor.add_sample(profile, millivolts{900.0});
+    EXPECT_FALSE(predictor.trained());
+    predictor.train();
+    EXPECT_TRUE(predictor.trained());
+}
+
+} // namespace
+} // namespace gb

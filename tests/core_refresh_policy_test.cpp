@@ -1,0 +1,101 @@
+#include "core/refresh_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(refresh_policy_test, anchor_temperature_gives_derated_anchor) {
+    const adaptive_refresh_policy policy;
+    const milliseconds period = policy.period_for(celsius{60.0});
+    EXPECT_NEAR(period.value, 2283.0 * 0.8, 1e-9);
+}
+
+TEST(refresh_policy_test, cooler_dimms_relax_further) {
+    const adaptive_refresh_policy policy;
+    // 10 C cooler doubles retention, so the safe period doubles.
+    EXPECT_NEAR(policy.period_for(celsius{50.0}).value,
+                2.0 * policy.period_for(celsius{60.0}).value, 1e-9);
+    EXPECT_GT(policy.period_for(celsius{40.0}),
+              policy.period_for(celsius{50.0}));
+}
+
+TEST(refresh_policy_test, hotter_dimms_tighten_toward_nominal) {
+    const adaptive_refresh_policy policy;
+    const milliseconds at_70 = policy.period_for(celsius{70.0});
+    EXPECT_NEAR(at_70.value, 2283.0 * 0.5 * 0.8, 1e-9);
+    // Very hot: clamped at the JEDEC nominal, never below.
+    EXPECT_DOUBLE_EQ(policy.period_for(celsius{120.0}).value, 64.0);
+}
+
+TEST(refresh_policy_test, relaxation_cap_respected) {
+    refresh_policy_config config;
+    config.max_relaxation = 40.0;
+    const adaptive_refresh_policy policy(config);
+    // 30 C would scale 8x past the anchor; the cap binds first.
+    EXPECT_DOUBLE_EQ(policy.period_for(celsius{30.0}).value, 64.0 * 40.0);
+}
+
+TEST(refresh_policy_test, apply_follows_hottest_dimm) {
+    memory_system memory(single_dimm_geometry(), retention_model{}, 3,
+                         study_limits{});
+    memory.set_temperature(celsius{55.0});
+    const adaptive_refresh_policy policy;
+    const milliseconds chosen = policy.apply(memory);
+    EXPECT_DOUBLE_EQ(memory.refresh_period().value, chosen.value);
+    // 55 C is cooler than the anchor, but apply() never exceeds the
+    // characterized anchor itself.
+    EXPECT_LE(chosen.value, 2283.0);
+    EXPECT_GT(chosen.value, 64.0);
+}
+
+TEST(refresh_policy_test, applied_period_is_actually_safe) {
+    // The policy's whole point: at the chosen period, ECC contains every
+    // error at the measured temperature.
+    memory_system memory(xgene2_memory_geometry(), retention_model{}, 2018,
+                         study_limits{});
+    const adaptive_refresh_policy policy;
+    for (const double t : {45.0, 52.0, 60.0}) {
+        memory.set_temperature(celsius{t});
+        (void)policy.apply(memory);
+        for (const data_pattern pattern : all_data_patterns()) {
+            const scan_result scan = memory.run_dpbench(pattern, 99);
+            EXPECT_TRUE(scan.fully_corrected())
+                << t << " C, " << to_string(pattern);
+        }
+    }
+}
+
+TEST(refresh_policy_test, derating_reduces_exposure) {
+    memory_system memory(xgene2_memory_geometry(), retention_model{}, 2018,
+                         study_limits{});
+    memory.set_temperature(celsius{60.0});
+    refresh_policy_config tight;
+    tight.derating = 0.5;
+    refresh_policy_config loose;
+    loose.derating = 1.0;
+    (void)adaptive_refresh_policy(tight).apply(memory);
+    const std::uint64_t tight_failures =
+        memory.run_dpbench(data_pattern::random_data, 1).failed_cells;
+    (void)adaptive_refresh_policy(loose).apply(memory);
+    const std::uint64_t loose_failures =
+        memory.run_dpbench(data_pattern::random_data, 1).failed_cells;
+    EXPECT_LT(tight_failures, loose_failures);
+}
+
+TEST(refresh_policy_test, config_validation) {
+    refresh_policy_config bad;
+    bad.anchor_period = milliseconds{32.0};
+    EXPECT_THROW(adaptive_refresh_policy{bad}, contract_violation);
+    bad = refresh_policy_config{};
+    bad.derating = 0.0;
+    EXPECT_THROW(adaptive_refresh_policy{bad}, contract_violation);
+    bad = refresh_policy_config{};
+    bad.max_relaxation = 0.5;
+    EXPECT_THROW(adaptive_refresh_policy{bad}, contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,103 @@
+#include "core/savings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/framework.hpp"
+#include "workloads/cpu_profiles.hpp"
+#include "workloads/dram_profiles.hpp"
+
+namespace gb {
+namespace {
+
+class savings_test : public ::testing::Test {
+protected:
+    savings_test()
+        : server_(make_ttt_chip(), 2018, single_dimm_geometry()),
+          framework_(server_.cpu(), 7) {}
+
+    workload_snapshot jammer_snapshot() {
+        workload_snapshot snap;
+        const execution_profile& profile =
+            framework_.profile_of(jammer_cpu_kernel(),
+                                  nominal_core_frequency);
+        for (int c = 0; c < 8; ++c) {
+            snap.assignments.push_back({c, &profile,
+                                        nominal_core_frequency});
+        }
+        snap.dram_bandwidth_gbps = jammer_dram_workload().bandwidth_gbps;
+        return snap;
+    }
+
+    static operating_point paper_safe_point() {
+        operating_point op = operating_point::nominal();
+        op.pmd_voltage = millivolts{930.0};
+        op.soc_voltage = millivolts{920.0};
+        op.refresh_period = milliseconds{2283.0};
+        return op;
+    }
+
+    xgene2_server server_;
+    characterization_framework framework_;
+};
+
+TEST_F(savings_test, identical_points_save_nothing) {
+    const workload_snapshot snap = jammer_snapshot();
+    const server_savings savings = compare_operating_points(
+        server_, snap, operating_point::nominal(),
+        operating_point::nominal());
+    EXPECT_DOUBLE_EQ(savings.total.saving_fraction(), 0.0);
+    EXPECT_DOUBLE_EQ(savings.pmd.saving_fraction(), 0.0);
+}
+
+TEST_F(savings_test, fig9_total_budget) {
+    const workload_snapshot snap = jammer_snapshot();
+    const server_savings savings = compare_operating_points(
+        server_, snap, operating_point::nominal(), paper_safe_point());
+    // Paper Fig 9: 31.1 W -> 24.8 W, a 20.2% total saving.
+    EXPECT_NEAR(savings.total.nominal.value, 31.1, 1.5);
+    EXPECT_NEAR(savings.total.tuned.value, 24.8, 1.5);
+    EXPECT_NEAR(savings.total.saving_fraction(), 0.202, 0.02);
+}
+
+TEST_F(savings_test, fig9_domain_breakdown) {
+    const workload_snapshot snap = jammer_snapshot();
+    const server_savings savings = compare_operating_points(
+        server_, snap, operating_point::nominal(), paper_safe_point());
+    EXPECT_NEAR(savings.pmd.saving_fraction(), 0.203, 0.03);
+    EXPECT_NEAR(savings.soc.saving_fraction(), 0.069, 0.02);
+    EXPECT_NEAR(savings.dram.saving_fraction(), 0.333, 0.03);
+    EXPECT_DOUBLE_EQ(savings.other.saving_fraction(), 0.0);
+    // DRAM relaxes the most, SoC the least -- the paper's ordering.
+    EXPECT_GT(savings.dram.saving_fraction(), savings.pmd.saving_fraction());
+    EXPECT_GT(savings.pmd.saving_fraction(), savings.soc.saving_fraction());
+}
+
+TEST_F(savings_test, server_left_at_tuned_point) {
+    const workload_snapshot snap = jammer_snapshot();
+    (void)compare_operating_points(server_, snap, operating_point::nominal(),
+                                   paper_safe_point());
+    EXPECT_DOUBLE_EQ(
+        server_.current_operating_point().pmd_voltage.value, 930.0);
+    EXPECT_DOUBLE_EQ(server_.memory().refresh_period().value, 2283.0);
+}
+
+TEST_F(savings_test, safe_point_does_not_disrupt_the_jammer) {
+    // The exploitation claim: the safe point saves power *without any
+    // disruption*.  Run the jammer snapshot repeatedly at 930 mV.
+    const workload_snapshot snap = jammer_snapshot();
+    server_.apply(paper_safe_point());
+    rng r(11);
+    for (int i = 0; i < 50; ++i) {
+        const run_evaluation eval =
+            server_.execute(snap, static_cast<std::uint64_t>(i), r);
+        EXPECT_FALSE(is_disruption(eval.outcome));
+    }
+}
+
+TEST_F(savings_test, domain_savings_fraction_handles_zero) {
+    const domain_savings zero{watts{0.0}, watts{0.0}};
+    EXPECT_DOUBLE_EQ(zero.saving_fraction(), 0.0);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,118 @@
+#include "core/thermal_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/framework.hpp"
+#include "util/contracts.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+class thermal_loop_test : public ::testing::Test {
+protected:
+    thermal_loop_test() : framework_(chip_model_, 3) {
+        const execution_profile& profile =
+            framework_.profile_of(jammer_cpu_kernel(),
+                                  nominal_core_frequency);
+        for (int core = 0; core < cores_per_chip; ++core) {
+            assignments_.push_back({core, &profile,
+                                    nominal_core_frequency});
+        }
+    }
+
+    chip_model chip_model_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_;
+    std::vector<core_assignment> assignments_;
+};
+
+TEST_F(thermal_loop_test, fixed_point_converges_above_ambient) {
+    const thermal_operating_point point = solve_thermal_operating_point(
+        chip_model_.config(), assignments_, nominal_pmd_voltage);
+    EXPECT_TRUE(point.converged);
+    EXPECT_GT(point.die_temperature.value, 55.0);
+    EXPECT_LT(point.die_temperature.value, 90.0);
+    // Self-consistency: T = ambient + theta * P(T).
+    const thermal_loop_config config;
+    EXPECT_NEAR(point.die_temperature.value,
+                config.ambient.value +
+                    config.theta_ja_c_per_w * point.pmd_power.value,
+                0.2);
+}
+
+TEST_F(thermal_loop_test, undervolting_cools_the_die) {
+    const thermal_operating_point hot = solve_thermal_operating_point(
+        chip_model_.config(), assignments_, nominal_pmd_voltage);
+    const thermal_operating_point cool = solve_thermal_operating_point(
+        chip_model_.config(), assignments_, millivolts{930.0});
+    ASSERT_TRUE(hot.converged);
+    ASSERT_TRUE(cool.converged);
+    EXPECT_LT(cool.die_temperature.value, hot.die_temperature.value - 3.0);
+    EXPECT_LT(cool.pmd_power.value, hot.pmd_power.value);
+}
+
+TEST_F(thermal_loop_test, coupled_saving_exceeds_flat_saving) {
+    // The compounding effect: cooler die -> less leakage -> extra saving
+    // the flat-temperature accounting misses.
+    const compounded_savings savings = compare_with_thermal_loop(
+        chip_model_.config(), assignments_, nominal_pmd_voltage,
+        millivolts{930.0}, celsius{50.0});
+    ASSERT_TRUE(savings.nominal.converged);
+    ASSERT_TRUE(savings.tuned.converged);
+    EXPECT_GT(savings.coupled_saving, savings.flat_saving);
+    EXPECT_GT(savings.coupled_saving, 0.15);
+    EXPECT_LT(savings.coupled_saving, 0.40);
+}
+
+TEST_F(thermal_loop_test, poor_cooling_runs_away) {
+    thermal_loop_config bad_cooling;
+    bad_cooling.theta_ja_c_per_w = 20.0; // fanless in a hot box
+    bad_cooling.ambient = celsius{55.0};
+    const thermal_operating_point point = solve_thermal_operating_point(
+        chip_model_.config(), assignments_, nominal_pmd_voltage,
+        bad_cooling);
+    EXPECT_FALSE(point.converged);
+}
+
+TEST_F(thermal_loop_test, high_leakage_corner_runs_hotter) {
+    // The TFF part's leakage is high enough that the default heatsink
+    // cannot hold it under a full jammer load -- give both parts the better
+    // cooler for a like-for-like comparison.
+    thermal_loop_config good_cooling;
+    good_cooling.theta_ja_c_per_w = 1.0;
+    const thermal_operating_point ttt = solve_thermal_operating_point(
+        make_ttt_chip(), assignments_, nominal_pmd_voltage, good_cooling);
+    const thermal_operating_point tff = solve_thermal_operating_point(
+        make_tff_chip(), assignments_, nominal_pmd_voltage, good_cooling);
+    ASSERT_TRUE(ttt.converged);
+    ASSERT_TRUE(tff.converged);
+    EXPECT_GT(tff.die_temperature.value, ttt.die_temperature.value + 3.0);
+}
+
+TEST_F(thermal_loop_test, default_cooling_cannot_hold_the_tff_corner) {
+    // ... and with the default heatsink the TFF corner does run away: the
+    // guardband story has a thermal face too.
+    const thermal_operating_point tff = solve_thermal_operating_point(
+        make_tff_chip(), assignments_, nominal_pmd_voltage);
+    EXPECT_FALSE(tff.converged);
+    // Undervolting rescues it.
+    const thermal_operating_point rescued = solve_thermal_operating_point(
+        make_tff_chip(), assignments_, millivolts{930.0});
+    EXPECT_TRUE(rescued.converged);
+}
+
+TEST_F(thermal_loop_test, config_validation) {
+    thermal_loop_config bad;
+    bad.theta_ja_c_per_w = 0.0;
+    EXPECT_THROW((void)solve_thermal_operating_point(
+                     chip_model_.config(), assignments_,
+                     nominal_pmd_voltage, bad),
+                 contract_violation);
+    EXPECT_THROW((void)compare_with_thermal_loop(
+                     chip_model_.config(), assignments_, millivolts{900.0},
+                     millivolts{950.0}, celsius{50.0}),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,215 @@
+// Cross-module consistency properties: invariants that tie the physics,
+// failure and measurement layers together.  These are the checks that catch
+// calibration drift -- each asserts a relationship between modules rather
+// than a module-local fact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/chip_model.hpp"
+#include "ecc/secded.hpp"
+#include "em/em_probe.hpp"
+#include "harness/framework.hpp"
+#include "pdn/pdn.hpp"
+#include "util/rng.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+// --- PDN <-> EM: the probe's amplitude must rank loops the same way the
+// droop does, since both measure coupling into the same resonance.  This is
+// the property that makes EM-guided virus search (the paper's methodology)
+// equivalent to droop-guided search.
+TEST(pdn_em_consistency, amplitude_and_droop_rank_identically) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const pdn_parameters pdn = make_xgene2_pdn();
+    const em_probe probe(pdn.resonant_frequency_hz(), pipeline.clock());
+    const pdn_model model(pdn, nominal_pmd_voltage, nominal_core_frequency);
+
+    struct sample {
+        double amplitude;
+        double droop;
+    };
+    std::vector<sample> samples;
+    for (const auto& [high, low] :
+         std::vector<std::pair<int, int>>{{24, 24}, {16, 32}, {12, 12},
+                                          {48, 48}, {8, 40}, {30, 18}}) {
+        const execution_profile profile =
+            pipeline.execute(make_square_wave_kernel(high, low), 8192);
+        samples.push_back(
+            sample{probe.amplitude(profile.current_trace),
+                   model.worst_droop(profile.current_trace).value});
+    }
+    for (std::size_t a = 0; a < samples.size(); ++a) {
+        for (std::size_t b = 0; b < samples.size(); ++b) {
+            if (samples[a].amplitude > 1.3 * samples[b].amplitude) {
+                EXPECT_GT(samples[a].droop, samples[b].droop)
+                    << "loops " << a << " vs " << b;
+            }
+        }
+    }
+}
+
+// --- droop response: monotone and continuous for random configurations.
+TEST(droop_response_property, monotone_for_random_configs) {
+    rng r(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        droop_response response;
+        response.gain_low = r.uniform(0.3, 2.0);
+        response.gain_high = r.uniform(response.gain_low, 8.0);
+        response.knee = millivolts{r.uniform(10.0, 60.0)};
+        double last = -1.0;
+        for (double d = 0.0; d <= 100.0; d += 2.5) {
+            const double eff = response.effective(millivolts{d}).value;
+            EXPECT_GE(eff, last);
+            last = eff;
+        }
+    }
+}
+
+// --- failure semantics: crash probability ramps with depth below Vmin.
+TEST(failure_semantics_property, crash_fraction_ramps_with_depth) {
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    const pipeline_model pipeline(nominal_core_frequency);
+    const execution_profile profile = pipeline.execute(
+        make_component_virus(cpu_component::fp_alu), 8192);
+    const core_assignment assignment{6, &profile, nominal_core_frequency};
+    const std::span<const core_assignment> one(&assignment, 1);
+    const vmin_analysis analysis = ttt.analyze(one, 0);
+
+    rng r(7);
+    const auto crash_fraction = [&](double depth_mv) {
+        int crashes = 0;
+        const int n = 400;
+        for (int i = 0; i < n; ++i) {
+            const run_evaluation eval = ttt.evaluate_run(
+                one, analysis.vmin - millivolts{depth_mv}, 0, r);
+            crashes += eval.outcome == run_outcome::crash ? 1 : 0;
+        }
+        return static_cast<double>(crashes) / n;
+    };
+    const double shallow = crash_fraction(2.0);
+    const double mid = crash_fraction(6.0);
+    const double deep = crash_fraction(15.0);
+    EXPECT_LT(shallow, mid);
+    EXPECT_LT(mid, deep);
+    EXPECT_GT(deep, 0.95); // beyond the window: hard crash
+}
+
+// --- ECC: an odd number of random flips never decodes clean (odd-weight
+// columns force an odd, hence nonzero, syndrome), and even-weight aliasing
+// onto a valid codeword -- the code's genuinely undetectable errors, which
+// distance 4 permits from 4 flips up -- is rare.
+TEST(ecc_property, flip_storm_detection_statistics) {
+    const secded72_64& codec = secded72_64::instance();
+    rng r(11);
+    int even_trials = 0;
+    int undetected_even = 0;
+    for (int trial = 0; trial < 6000; ++trial) {
+        const std::uint64_t data = r();
+        secded_word word = codec.encode(data);
+        const int flips = 1 + static_cast<int>(r.uniform_index(8));
+        std::vector<int> positions;
+        while (static_cast<int>(positions.size()) < flips) {
+            const int bit = static_cast<int>(r.uniform_index(72));
+            if (std::find(positions.begin(), positions.end(), bit) ==
+                positions.end()) {
+                positions.push_back(bit);
+                word = flip_codeword_bit(word, bit);
+            }
+        }
+        const decode_result result = codec.decode(word);
+        if (flips % 2 == 1) {
+            ASSERT_NE(result.status, decode_status::clean)
+                << flips << " flips";
+        } else {
+            ++even_trials;
+            undetected_even +=
+                result.status == decode_status::clean ? 1 : 0;
+        }
+    }
+    ASSERT_GT(even_trials, 1000);
+    // Zero-syndrome aliasing of random >= 4-flip patterns is possible but
+    // must stay a sub-percent event.
+    EXPECT_LT(static_cast<double>(undetected_even) / even_trials, 0.01);
+}
+
+// --- harness <-> chip: the measured Vmin brackets the analytic one for
+// every SPEC benchmark (parameterized sweep).
+class vmin_consistency_test : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(vmin_consistency_test, campaign_matches_analysis) {
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 13);
+    const kernel& loop = find_cpu_benchmark(GetParam()).loop;
+    const millivolts measured =
+        framework.find_vmin(loop, {6}, nominal_core_frequency, 5);
+    const execution_profile& profile =
+        framework.profile_of(loop, nominal_core_frequency);
+    const vmin_analysis analysis = ttt.analyze_single(profile, 6);
+    // Measured tracks the analytic threshold within the 2.5 mV run noise
+    // (which can pass a handful of repetitions slightly below it) plus the
+    // 5 mV step of the search.
+    EXPECT_GE(measured.value, analysis.vmin.value - 9.0) << GetParam();
+    EXPECT_LE(measured.value, analysis.vmin.value + 15.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(spec, vmin_consistency_test,
+                         ::testing::Values("bwaves", "cactusADM", "dealII",
+                                           "gromacs", "leslie3d", "mcf",
+                                           "milc", "namd", "gcc", "lbm"));
+
+// --- pipeline: current traces are bounded by the instruction table for
+// every opcode.
+class trace_bounds_test : public ::testing::TestWithParam<int> {};
+
+TEST_P(trace_bounds_test, current_within_table_bounds) {
+    const opcode op = all_opcodes()[static_cast<std::size_t>(GetParam())];
+    const pipeline_model pipeline(nominal_core_frequency);
+    kernel k{"single", std::vector<opcode>(8, op)};
+    const execution_profile profile = pipeline.execute(k, 512);
+    const op_traits& t = traits_of(op);
+    const double lo = core_baseline_current_a +
+                      std::min({0.0, t.issue_current_a, t.stall_current_a});
+    const double hi = core_baseline_current_a +
+                      std::max(t.issue_current_a, t.stall_current_a);
+    for (const double i : profile.current_trace) {
+        ASSERT_GE(i, lo - 1e-12);
+        ASSERT_LE(i, hi + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(opcodes, trace_bounds_test,
+                         ::testing::Range(0, opcode_count));
+
+// --- corners: on every chip, the virus requirement exceeds every SPEC
+// requirement (Fig 6's claim must hold fleet-wide, not just on TTT).
+TEST(corner_property, virus_dominates_spec_on_all_canonical_chips) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const execution_profile virus =
+        pipeline.execute(make_square_wave_kernel(24, 24), 8192);
+    for (const chip_config& config :
+         {make_ttt_chip(), make_tff_chip(), make_tss_chip()}) {
+        chip_model chip(config, make_xgene2_pdn());
+        characterization_framework framework(chip, 3);
+        std::vector<core_assignment> all;
+        for (int core = 0; core < cores_per_chip; ++core) {
+            all.push_back({core, &virus, nominal_core_frequency});
+        }
+        const double virus_vmin =
+            chip.analyze(all, hash_label("square")).vmin.value;
+        for (const cpu_benchmark& b : spec2006_suite()) {
+            const execution_profile& profile =
+                framework.profile_of(b.loop, nominal_core_frequency);
+            EXPECT_GT(virus_vmin,
+                      chip.analyze_single(profile, 6).vmin.value)
+                << config.name << " / " << b.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,178 @@
+#include "dram/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gb {
+namespace {
+
+cell_address make_cell(int row, int column, int bit) {
+    cell_address cell;
+    cell.row = row;
+    cell.column = static_cast<std::int16_t>(column);
+    cell.bit = static_cast<std::int8_t>(bit);
+    return cell;
+}
+
+TEST(patterns_test, solid_patterns) {
+    const cell_address cell = make_cell(10, 20, 3);
+    EXPECT_FALSE(pattern_bit(data_pattern::all_zeros, cell, 1));
+    EXPECT_TRUE(pattern_bit(data_pattern::all_ones, cell, 1));
+}
+
+TEST(patterns_test, checkerboard_alternates_per_bit) {
+    const cell_address a = make_cell(0, 0, 0);
+    const cell_address b = make_cell(0, 0, 1);
+    const cell_address c = make_cell(1, 0, 0);
+    EXPECT_NE(pattern_bit(data_pattern::checkerboard, a, 1),
+              pattern_bit(data_pattern::checkerboard, b, 1));
+    EXPECT_NE(pattern_bit(data_pattern::checkerboard, a, 1),
+              pattern_bit(data_pattern::checkerboard, c, 1));
+}
+
+TEST(patterns_test, checkerboard_independent_of_seed) {
+    const cell_address cell = make_cell(5, 6, 7);
+    EXPECT_EQ(pattern_bit(data_pattern::checkerboard, cell, 1),
+              pattern_bit(data_pattern::checkerboard, cell, 999));
+}
+
+TEST(patterns_test, random_pattern_balanced_and_seeded) {
+    int ones_a = 0;
+    int differing = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const cell_address cell = make_cell(i, i % 1024, i % 8);
+        const bool a = pattern_bit(data_pattern::random_data, cell, 1);
+        const bool b = pattern_bit(data_pattern::random_data, cell, 2);
+        ones_a += a ? 1 : 0;
+        differing += a != b ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(ones_a) / n, 0.5, 0.03);
+    EXPECT_NEAR(static_cast<double>(differing) / n, 0.5, 0.03);
+}
+
+weak_cell make_weak(bool anti, int row = 1) {
+    weak_cell cell;
+    // Vary the column with the row so checkerboard parity decorrelates from
+    // the polarity choice of the caller.
+    cell.address = make_cell(row, (row * 7) % 1024, 3);
+    cell.retention_at_reference_s = 1.0F;
+    cell.dpd_strength = 0.1F;
+    cell.anti_cell = anti;
+    return cell;
+}
+
+TEST(stress_test, vulnerability_follows_polarity) {
+    // True-cell (charged = 1): vulnerable under all-1s, safe under all-0s.
+    const weak_cell true_cell = make_weak(false);
+    EXPECT_TRUE(stress_of(data_pattern::all_ones, true_cell, 1).vulnerable);
+    EXPECT_FALSE(stress_of(data_pattern::all_zeros, true_cell, 1).vulnerable);
+    // Anti-cell (charged = 0): the reverse.
+    const weak_cell anti_cell = make_weak(true);
+    EXPECT_FALSE(stress_of(data_pattern::all_ones, anti_cell, 1).vulnerable);
+    EXPECT_TRUE(stress_of(data_pattern::all_zeros, anti_cell, 1).vulnerable);
+}
+
+TEST(stress_test, aggression_ordering_random_worst) {
+    // Averaged over many cells, aggression must order:
+    // random > checkerboard > solid (Liu ISCA'13, paper Section IV.C).
+    double solid = 0.0;
+    double checker = 0.0;
+    double random = 0.0;
+    int solid_n = 0;
+    int checker_n = 0;
+    int random_n = 0;
+    for (int i = 0; i < 4000; ++i) {
+        // Polarity alternates at half the rate of the checkerboard parity
+        // so all four (polarity, parity) combinations occur.
+        weak_cell cell = make_weak((i / 2) % 2 == 0, i);
+        const pattern_stress s0 =
+            stress_of(data_pattern::all_zeros, cell, 7);
+        if (s0.vulnerable) {
+            solid += s0.aggression;
+            ++solid_n;
+        }
+        const pattern_stress s1 =
+            stress_of(data_pattern::checkerboard, cell, 7);
+        if (s1.vulnerable) {
+            checker += s1.aggression;
+            ++checker_n;
+        }
+        const pattern_stress s2 =
+            stress_of(data_pattern::random_data, cell, 7);
+        if (s2.vulnerable) {
+            random += s2.aggression;
+            ++random_n;
+        }
+    }
+    ASSERT_GT(solid_n, 0);
+    ASSERT_GT(checker_n, 0);
+    ASSERT_GT(random_n, 0);
+    EXPECT_GT(random / random_n, checker / checker_n);
+    EXPECT_GT(checker / checker_n, solid / solid_n);
+}
+
+TEST(stress_test, invulnerable_cells_have_zero_aggression) {
+    const weak_cell cell = make_weak(false); // true-cell
+    const pattern_stress stress =
+        stress_of(data_pattern::all_zeros, cell, 1);
+    EXPECT_FALSE(stress.vulnerable);
+    EXPECT_DOUBLE_EQ(stress.aggression, 0.0);
+}
+
+TEST(application_stress_test, entropy_damps_aggression) {
+    double high_entropy = 0.0;
+    double low_entropy = 0.0;
+    int high_n = 0;
+    int low_n = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const weak_cell cell = make_weak(i % 2 == 0, i);
+        const pattern_stress balanced =
+            stress_of_application_data(cell, 0.5, 3);
+        if (balanced.vulnerable) {
+            high_entropy += balanced.aggression;
+            ++high_n;
+        }
+        const pattern_stress skewed =
+            stress_of_application_data(cell, 0.05, 3);
+        if (skewed.vulnerable) {
+            low_entropy += skewed.aggression;
+            ++low_n;
+        }
+    }
+    ASSERT_GT(high_n, 0);
+    ASSERT_GT(low_n, 0);
+    EXPECT_GT(high_entropy / high_n, 3.0 * (low_entropy / low_n));
+}
+
+TEST(application_stress_test, skewed_data_shifts_vulnerability) {
+    // With ones_density 0.9, true-cells are mostly charged (vulnerable) and
+    // anti-cells mostly discharged.
+    int true_vulnerable = 0;
+    int anti_vulnerable = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const weak_cell true_cell = [&] {
+            weak_cell c = make_weak(false, i);
+            return c;
+        }();
+        const weak_cell anti_cell = [&] {
+            weak_cell c = make_weak(true, i + 100000);
+            return c;
+        }();
+        true_vulnerable +=
+            stress_of_application_data(true_cell, 0.9, 5).vulnerable ? 1 : 0;
+        anti_vulnerable +=
+            stress_of_application_data(anti_cell, 0.9, 5).vulnerable ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(true_vulnerable) / n, 0.9, 0.05);
+    EXPECT_NEAR(static_cast<double>(anti_vulnerable) / n, 0.1, 0.05);
+}
+
+TEST(patterns_test, names_and_enumeration) {
+    EXPECT_EQ(all_data_patterns().size(), 4u);
+    EXPECT_EQ(to_string(data_pattern::all_zeros), "all_0s");
+    EXPECT_EQ(to_string(data_pattern::random_data), "random");
+}
+
+} // namespace
+} // namespace gb

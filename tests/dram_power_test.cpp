@@ -1,0 +1,94 @@
+#include "dram/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "workloads/dram_profiles.hpp"
+
+namespace gb {
+namespace {
+
+TEST(dram_power_test, refresh_component_scales_inversely) {
+    const dram_power_model model;
+    const watts nominal = model.power(milliseconds{64.0}, 0.0);
+    const watts relaxed = model.power(milliseconds{640.0}, 0.0);
+    EXPECT_NEAR(nominal.value - relaxed.value,
+                model.refresh_w_nominal * 0.9, 1e-9);
+}
+
+TEST(dram_power_test, access_power_linear_in_bandwidth) {
+    const dram_power_model model;
+    const watts idle = model.power(milliseconds{64.0}, 0.0);
+    const watts busy = model.power(milliseconds{64.0}, 10.0);
+    EXPECT_NEAR(busy.value - idle.value, 10.0 * model.access_w_per_gbps,
+                1e-9);
+}
+
+TEST(dram_power_test, saving_increases_with_relaxation) {
+    const dram_power_model model;
+    double last = 0.0;
+    for (const double period : {128.0, 640.0, 2283.0}) {
+        const double saving =
+            model.refresh_relaxation_saving(milliseconds{period}, 2.0);
+        EXPECT_GT(saving, last);
+        last = saving;
+    }
+}
+
+TEST(dram_power_test, saving_decreases_with_bandwidth) {
+    const dram_power_model model;
+    const double low_bw =
+        model.refresh_relaxation_saving(milliseconds{2283.0}, 1.0);
+    const double high_bw =
+        model.refresh_relaxation_saving(milliseconds{2283.0}, 25.0);
+    EXPECT_GT(low_bw, 2.0 * high_bw);
+}
+
+TEST(dram_power_test, fig8b_extremes) {
+    // Paper Fig 8b: 35x relaxation saves 27.3% of DRAM power for nw and
+    // 9.4% for kmeans.
+    const dram_power_model model;
+    const dram_workload& nw = find_dram_workload("nw");
+    const dram_workload& kmeans = find_dram_workload("kmeans");
+    EXPECT_NEAR(model.refresh_relaxation_saving(milliseconds{2283.0},
+                                                nw.bandwidth_gbps),
+                0.273, 0.02);
+    EXPECT_NEAR(model.refresh_relaxation_saving(milliseconds{2283.0},
+                                                kmeans.bandwidth_gbps),
+                0.094, 0.02);
+}
+
+TEST(dram_power_test, fig8b_ordering_complete) {
+    // nw > backprop > srad > kmeans in refresh-relaxation savings.
+    const dram_power_model model;
+    const auto saving = [&](const char* name) {
+        return model.refresh_relaxation_saving(
+            milliseconds{2283.0}, find_dram_workload(name).bandwidth_gbps);
+    };
+    EXPECT_GT(saving("nw"), saving("backprop"));
+    EXPECT_GT(saving("backprop"), saving("srad"));
+    EXPECT_GT(saving("srad"), saving("kmeans"));
+}
+
+TEST(dram_power_test, rejects_invalid_inputs) {
+    const dram_power_model model;
+    EXPECT_THROW((void)model.power(milliseconds{0.0}, 1.0),
+                 contract_violation);
+    EXPECT_THROW((void)model.power(milliseconds{64.0}, -1.0),
+                 contract_violation);
+}
+
+TEST(dram_power_test, jammer_dram_budget) {
+    // Fig 9 DRAM domain: ~6.3 W nominal for the jammer, ~33% saved at 35x.
+    const dram_power_model model;
+    const dram_workload& jammer = jammer_dram_workload();
+    const watts nominal =
+        model.power(milliseconds{64.0}, jammer.bandwidth_gbps);
+    EXPECT_NEAR(nominal.value, 6.3, 0.3);
+    EXPECT_NEAR(model.refresh_relaxation_saving(milliseconds{2283.0},
+                                                jammer.bandwidth_gbps),
+                0.333, 0.03);
+}
+
+} // namespace
+} // namespace gb

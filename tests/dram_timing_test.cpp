@@ -1,0 +1,108 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "workloads/dram_profiles.hpp"
+
+namespace gb {
+namespace {
+
+TEST(ddr3_timing_test, latency_components) {
+    const mcu_timing_model mcu;
+    // DDR3-1600, CL 11: hit = (11 + 4) * 1.25 ns = 18.75 ns.
+    EXPECT_NEAR(mcu.row_hit_latency().value, 18.75, 1e-9);
+    EXPECT_NEAR(mcu.row_miss_latency().value, (11 + 11 + 4) * 1.25, 1e-9);
+    EXPECT_NEAR(mcu.row_conflict_latency().value, (11 + 11 + 11 + 4) * 1.25,
+                1e-9);
+    // Ordering invariant.
+    EXPECT_LT(mcu.row_hit_latency(), mcu.row_miss_latency());
+    EXPECT_LT(mcu.row_miss_latency(), mcu.row_conflict_latency());
+}
+
+TEST(ddr3_timing_test, mean_latency_interpolates) {
+    const mcu_timing_model mcu;
+    EXPECT_DOUBLE_EQ(mcu.mean_latency(1.0).value,
+                     mcu.row_hit_latency().value);
+    EXPECT_DOUBLE_EQ(mcu.mean_latency(0.0).value,
+                     mcu.row_conflict_latency().value);
+    EXPECT_GT(mcu.mean_latency(0.3).value, mcu.mean_latency(0.7).value);
+}
+
+TEST(ddr3_timing_test, isa_dram_latency_is_consistent) {
+    // The ISA layer charges 75 ns for a DRAM load; that must cover the
+    // device-side conflict latency (46 ns) plus queueing/controller/cache-
+    // miss-path overhead -- i.e. sit between 1x and 2.5x the device time.
+    const mcu_timing_model mcu;
+    EXPECT_GT(75.0, mcu.row_conflict_latency().value);
+    EXPECT_LT(75.0, 2.5 * mcu.row_conflict_latency().value);
+}
+
+TEST(ddr3_timing_test, peak_bandwidth) {
+    const mcu_timing_model mcu;
+    // DDR3-1600 x64: 12.8 GB/s per channel, 4 channels on the X-Gene2.
+    EXPECT_NEAR(mcu.channel_peak_gbps(), 12.8, 1e-9);
+    EXPECT_NEAR(mcu.aggregate_peak_gbps(), 51.2, 1e-9);
+}
+
+TEST(ddr3_timing_test, achievable_bandwidth_below_peak) {
+    const mcu_timing_model mcu;
+    const double streaming =
+        mcu.achievable_gbps(0.95, 4.0, nominal_refresh_period);
+    EXPECT_LT(streaming, mcu.aggregate_peak_gbps());
+    EXPECT_GT(streaming, 0.7 * mcu.aggregate_peak_gbps());
+    const double chasing =
+        mcu.achievable_gbps(0.05, 1.0, nominal_refresh_period);
+    EXPECT_LT(chasing, 0.25 * streaming);
+}
+
+TEST(ddr3_timing_test, bank_parallelism_hides_conflicts) {
+    const mcu_timing_model mcu;
+    const double serial =
+        mcu.achievable_gbps(0.2, 1.0, nominal_refresh_period);
+    const double parallel =
+        mcu.achievable_gbps(0.2, 8.0, nominal_refresh_period);
+    EXPECT_GT(parallel, 1.5 * serial);
+}
+
+TEST(ddr3_timing_test, workload_bandwidths_are_achievable) {
+    // The Rodinia bandwidth calibrations (Fig 8b) must be deliverable by
+    // the 4-channel DDR3 subsystem under plausible stream parameters.
+    const mcu_timing_model mcu;
+    const double best =
+        mcu.achievable_gbps(0.95, 8.0, nominal_refresh_period);
+    for (const dram_workload& workload : rodinia_suite()) {
+        EXPECT_LT(workload.bandwidth_gbps, best) << workload.name;
+    }
+}
+
+TEST(ddr3_timing_test, refresh_tax_at_nominal_and_relaxed) {
+    const mcu_timing_model mcu;
+    // 64 ms / 8192 slots = 7.8 us tREFI; tRFC 260 ns -> ~3.3% tax.
+    EXPECT_NEAR(mcu.refresh_time_fraction(nominal_refresh_period), 0.0333,
+                0.001);
+    // 35x relaxation shrinks it ~35x: bandwidth comes back.
+    EXPECT_NEAR(mcu.refresh_time_fraction(milliseconds{2283.0}),
+                0.0333 / 35.7, 0.0002);
+    const double nominal_bw =
+        mcu.achievable_gbps(0.9, 4.0, nominal_refresh_period);
+    const double relaxed_bw =
+        mcu.achievable_gbps(0.9, 4.0, milliseconds{2283.0});
+    EXPECT_GT(relaxed_bw, nominal_bw * 1.025);
+}
+
+TEST(ddr3_timing_test, validation) {
+    ddr3_timing bad;
+    bad.cl = 0;
+    EXPECT_THROW(bad.validate(), contract_violation);
+    const mcu_timing_model mcu;
+    EXPECT_THROW((void)mcu.mean_latency(1.5), contract_violation);
+    EXPECT_THROW((void)mcu.achievable_gbps(0.5, 0.5,
+                                           nominal_refresh_period),
+                 contract_violation);
+    EXPECT_THROW((void)mcu.refresh_time_fraction(milliseconds{0.0}),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,120 @@
+#include "dram/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+namespace {
+
+TEST(geometry_test, xgene2_testbed_shape) {
+    const dram_geometry g = xgene2_memory_geometry();
+    EXPECT_EQ(g.total_chips(), 72);
+    EXPECT_EQ(g.total_ranks(), 8);
+    EXPECT_EQ(g.data_bytes(), 32LL * 1024 * 1024 * 1024);
+    EXPECT_EQ(g.cells_per_bank(), 65536LL * 1024 * 8);
+    EXPECT_EQ(g.cells_per_chip(), g.cells_per_bank() * 8);
+    EXPECT_EQ(g.total_rows(), 8LL * 8 * 65536);
+}
+
+TEST(geometry_test, single_dimm) {
+    const dram_geometry g = single_dimm_geometry();
+    EXPECT_EQ(g.total_chips(), 18);
+    EXPECT_EQ(g.data_bytes(), 8LL * 1024 * 1024 * 1024);
+}
+
+TEST(geometry_test, validation_rejects_non_x8) {
+    dram_geometry g;
+    g.data_chips_per_rank = 4;
+    EXPECT_THROW(g.validate(), contract_violation);
+}
+
+TEST(cell_address_test, keys_are_unique) {
+    rng r(1);
+    std::set<std::uint64_t> keys;
+    const dram_geometry g = xgene2_memory_geometry();
+    for (int i = 0; i < 20000; ++i) {
+        cell_address cell;
+        cell.dimm = static_cast<std::int16_t>(r.uniform_index(4));
+        cell.rank = static_cast<std::int16_t>(r.uniform_index(2));
+        cell.chip = static_cast<std::int16_t>(r.uniform_index(9));
+        cell.bank = static_cast<std::int16_t>(r.uniform_index(8));
+        cell.row = static_cast<std::int32_t>(
+            r.uniform_index(static_cast<std::uint64_t>(g.rows_per_bank)));
+        cell.column = static_cast<std::int16_t>(r.uniform_index(1024));
+        cell.bit = static_cast<std::int8_t>(r.uniform_index(8));
+        keys.insert(cell_key(cell));
+    }
+    // Random distinct addresses must map to distinct keys (packing is
+    // injective); a few random collisions in address space itself are
+    // possible but vanishingly unlikely at this sample size.
+    EXPECT_GT(keys.size(), 19990u);
+}
+
+TEST(cell_address_test, key_packing_is_positional) {
+    cell_address a;
+    cell_address b = a;
+    b.bit = 1;
+    EXPECT_EQ(cell_key(b) - cell_key(a), 1u);
+    b = a;
+    b.column = 1;
+    EXPECT_EQ(cell_key(b) - cell_key(a), 1u << 3);
+}
+
+TEST(codeword_test, same_word_for_all_chips) {
+    cell_address a;
+    a.dimm = 1;
+    a.rank = 1;
+    a.bank = 3;
+    a.row = 1234;
+    a.column = 55;
+    a.chip = 0;
+    a.bit = 2;
+    cell_address b = a;
+    b.chip = 8;
+    b.bit = 7;
+    EXPECT_EQ(codeword_of(a), codeword_of(b));
+    EXPECT_EQ(codeword_key(codeword_of(a)), codeword_key(codeword_of(b)));
+}
+
+TEST(codeword_test, different_columns_different_words) {
+    cell_address a;
+    a.column = 1;
+    cell_address b;
+    b.column = 2;
+    EXPECT_NE(codeword_key(codeword_of(a)), codeword_key(codeword_of(b)));
+}
+
+TEST(codeword_test, bit_positions_cover_72) {
+    std::set<int> positions;
+    for (int chip = 0; chip <= 8; ++chip) {
+        for (int bit = 0; bit < 8; ++bit) {
+            cell_address cell;
+            cell.chip = static_cast<std::int16_t>(chip);
+            cell.bit = static_cast<std::int8_t>(bit);
+            positions.insert(codeword_bit_of(cell));
+        }
+    }
+    EXPECT_EQ(positions.size(), 72u);
+    EXPECT_EQ(*positions.begin(), 0);
+    EXPECT_EQ(*positions.rbegin(), 71);
+}
+
+TEST(codeword_test, ecc_chip_maps_to_check_bits) {
+    cell_address cell;
+    cell.chip = 8;
+    cell.bit = 0;
+    EXPECT_EQ(codeword_bit_of(cell), 64);
+}
+
+TEST(codeword_test, bounds_checked) {
+    cell_address cell;
+    cell.chip = 9;
+    EXPECT_THROW((void)codeword_bit_of(cell), contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,93 @@
+#include "em/em_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel.hpp"
+#include "isa/pipeline.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+constexpr double resonance_hz = 50.0e6;
+const megahertz clock = megahertz::from_gigahertz(2.4);
+
+TEST(em_probe_test, square_wave_beats_steady_loop) {
+    const pipeline_model pipeline(clock);
+    const em_probe probe(resonance_hz, clock);
+
+    const kernel square = make_square_wave_kernel(24, 24);
+    kernel steady{"steady", std::vector<opcode>(48, opcode::simd_mul)};
+
+    const double square_amp =
+        probe.amplitude(pipeline.execute(square, 4096).current_trace);
+    const double steady_amp =
+        probe.amplitude(pipeline.execute(steady, 4096).current_trace);
+    EXPECT_GT(square_amp, 20.0 * steady_amp);
+}
+
+TEST(em_probe_test, resonant_period_radiates_most) {
+    const pipeline_model pipeline(clock);
+    const em_probe probe(resonance_hz, clock);
+    const auto amp_of = [&](int high, int low) {
+        return probe.amplitude(
+            pipeline.execute(make_square_wave_kernel(high, low), 4096)
+                .current_trace);
+    };
+    const double resonant = amp_of(24, 24);
+    EXPECT_GT(resonant, amp_of(8, 8));
+    EXPECT_GT(resonant, amp_of(48, 48));
+    EXPECT_GT(resonant, amp_of(120, 120));
+}
+
+TEST(em_probe_test, amplitude_normalized_by_length) {
+    const pipeline_model pipeline(clock);
+    const em_probe probe(resonance_hz, clock);
+    const kernel square = make_square_wave_kernel(24, 24);
+    const double short_amp =
+        probe.amplitude(pipeline.execute(square, 2400).current_trace);
+    const double long_amp =
+        probe.amplitude(pipeline.execute(square, 9600).current_trace);
+    EXPECT_NEAR(short_amp, long_amp, 0.15 * short_amp);
+}
+
+TEST(em_probe_test, noisy_amplitude_statistics) {
+    const pipeline_model pipeline(clock);
+    const em_probe probe(resonance_hz, clock);
+    const kernel square = make_square_wave_kernel(24, 24);
+    const auto trace = pipeline.execute(square, 2400).current_trace;
+    const double clean = probe.amplitude(trace);
+
+    rng r(11);
+    double sum = 0.0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        sum += probe.noisy_amplitude(trace, 0.05, r);
+    }
+    EXPECT_NEAR(sum / n, clean, 0.02 * clean);
+}
+
+TEST(em_probe_test, zero_noise_equals_clean) {
+    const pipeline_model pipeline(clock);
+    const em_probe probe(resonance_hz, clock);
+    const auto trace =
+        pipeline.execute(make_square_wave_kernel(24, 24), 2400).current_trace;
+    rng r(1);
+    EXPECT_DOUBLE_EQ(probe.noisy_amplitude(trace, 0.0, r),
+                     probe.amplitude(trace));
+}
+
+TEST(em_probe_test, carrier_must_be_below_nyquist) {
+    EXPECT_THROW(em_probe(1.3e9, clock), contract_violation);
+    EXPECT_THROW(em_probe(0.0, clock), contract_violation);
+    EXPECT_NO_THROW(em_probe(1.2e9, clock));
+}
+
+TEST(em_probe_test, constant_current_radiates_nothing) {
+    const em_probe probe(resonance_hz, clock);
+    const std::vector<double> flat(4096, 1.5);
+    EXPECT_NEAR(probe.amplitude(flat), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,182 @@
+#include "ga/genetic.hpp"
+#include "ga/virus_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/chip_model.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+/// Toy GA problem: maximize the number of 'true' genes (one-max).
+struct one_max_problem {
+    using genome_type = std::vector<bool>;
+    std::size_t length = 64;
+
+    genome_type random_genome(rng& r) const {
+        genome_type g(length);
+        for (std::size_t i = 0; i < length; ++i) {
+            g[i] = r.bernoulli(0.5);
+        }
+        return g;
+    }
+    double fitness(const genome_type& g) const {
+        return static_cast<double>(std::count(g.begin(), g.end(), true));
+    }
+    genome_type mutate(const genome_type& g, rng& r) const {
+        genome_type m = g;
+        for (std::size_t i = 0; i < m.size(); ++i) {
+            if (r.bernoulli(0.02)) {
+                m[i] = !m[i];
+            }
+        }
+        return m;
+    }
+    genome_type crossover(const genome_type& a, const genome_type& b,
+                          rng& r) const {
+        genome_type child = a;
+        const std::size_t cut = r.uniform_index(a.size());
+        for (std::size_t i = cut; i < b.size(); ++i) {
+            child[i] = b[i];
+        }
+        return child;
+    }
+};
+
+TEST(ga_test, one_max_converges) {
+    one_max_problem problem;
+    ga_config config;
+    config.population_size = 40;
+    config.generations = 60;
+    rng r(3);
+    const auto result = run_ga(problem, config, r);
+    EXPECT_GE(result.best_fitness, 62.0);
+    EXPECT_EQ(result.history.size(), config.generations + 1);
+}
+
+TEST(ga_test, deterministic_for_same_seed) {
+    one_max_problem problem;
+    ga_config config;
+    config.population_size = 20;
+    config.generations = 10;
+    rng r1(7);
+    rng r2(7);
+    const auto a = run_ga(problem, config, r1);
+    const auto b = run_ga(problem, config, r2);
+    EXPECT_EQ(a.best_fitness, b.best_fitness);
+    EXPECT_EQ(a.best, b.best);
+}
+
+TEST(ga_test, elitism_makes_best_monotonic) {
+    one_max_problem problem;
+    ga_config config;
+    config.population_size = 30;
+    config.generations = 40;
+    config.elite_count = 2;
+    rng r(5);
+    const auto result = run_ga(problem, config, r);
+    for (std::size_t g = 1; g < result.history.size(); ++g) {
+        EXPECT_GE(result.history[g].best_fitness,
+                  result.history[g - 1].best_fitness);
+    }
+}
+
+TEST(ga_test, mean_fitness_never_exceeds_best) {
+    one_max_problem problem;
+    ga_config config;
+    rng r(9);
+    const auto result = run_ga(problem, config, r);
+    for (const ga_generation_stats& stats : result.history) {
+        EXPECT_LE(stats.mean_fitness, stats.best_fitness + 1e-12);
+    }
+}
+
+TEST(ga_test, config_validation) {
+    ga_config config;
+    config.population_size = 1;
+    EXPECT_THROW(config.validate(), contract_violation);
+    config = ga_config{};
+    config.elite_count = config.population_size;
+    EXPECT_THROW(config.validate(), contract_violation);
+    config = ga_config{};
+    config.tournament_size = config.population_size + 1;
+    EXPECT_THROW(config.validate(), contract_violation);
+}
+
+TEST(virus_search_test, evolved_virus_outradiates_component_viruses) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const pdn_parameters pdn = make_xgene2_pdn();
+    ga_config config;
+    config.population_size = 64;
+    config.generations = 60;
+    rng r(7);
+    const virus_search_result result =
+        evolve_didt_virus(pipeline, pdn, config, r);
+
+    const em_probe probe(pdn.resonant_frequency_hz(), pipeline.clock());
+    for (const kernel& virus : all_component_viruses()) {
+        const double amp = probe.amplitude(
+            pipeline.execute(virus, 2048).current_trace);
+        EXPECT_GT(result.em_amplitude, amp)
+            << "GA virus must outradiate " << virus.name;
+    }
+}
+
+TEST(virus_search_test, approaches_square_wave_ideal) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const pdn_parameters pdn = make_xgene2_pdn();
+    const em_probe probe(pdn.resonant_frequency_hz(), pipeline.clock());
+    const double ideal = probe.amplitude(
+        pipeline.execute(make_square_wave_kernel(24, 24), 2048)
+            .current_trace);
+
+    ga_config config;
+    config.population_size = 96;
+    config.generations = 120;
+    rng r(13);
+    const virus_search_result result =
+        evolve_didt_virus(pipeline, pdn, config, r);
+    EXPECT_GT(result.em_amplitude, 0.8 * ideal);
+}
+
+TEST(virus_search_test, fitness_improves_over_generations) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    ga_config config;
+    config.population_size = 48;
+    config.generations = 40;
+    rng r(21);
+    const virus_search_result result =
+        evolve_didt_virus(pipeline, make_xgene2_pdn(), config, r);
+    ASSERT_GE(result.history.size(), 2u);
+    EXPECT_GT(result.history.back().best_fitness,
+              1.5 * result.history.front().best_fitness);
+}
+
+TEST(virus_search_test, genome_length_respected) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const em_probe probe(50.0e6, pipeline.clock());
+    const virus_problem problem(pipeline, probe, 96, 1024);
+    rng r(1);
+    EXPECT_EQ(problem.random_genome(r).size(), 96u);
+    const auto g = problem.random_genome(r);
+    EXPECT_EQ(problem.mutate(g, r).size(), 96u);
+    EXPECT_EQ(problem.crossover(g, g, r).size(), 96u);
+}
+
+TEST(virus_search_test, random_genome_has_run_structure) {
+    const pipeline_model pipeline(nominal_core_frequency);
+    const em_probe probe(50.0e6, pipeline.clock());
+    const virus_problem problem(pipeline, probe, 192, 1024);
+    rng r(2);
+    const auto g = problem.random_genome(r);
+    // Count runs; run-structured init should have far fewer runs than genes.
+    std::size_t runs = 1;
+    for (std::size_t i = 1; i < g.size(); ++i) {
+        runs += g[i] != g[i - 1] ? 1 : 0;
+    }
+    EXPECT_LT(runs, g.size() / 3);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,89 @@
+#include "harness/dram_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+class dram_campaign_test : public ::testing::Test {
+protected:
+    dram_campaign_test()
+        : memory_(single_dimm_geometry(), retention_model{}, 2018,
+                  study_limits{celsius{62.0}, milliseconds{2283.0}}),
+          testbed_(1, thermal_plant_config{}, 7) {}
+
+    memory_system memory_;
+    thermal_testbed testbed_;
+};
+
+TEST_F(dram_campaign_test, runs_every_setup) {
+    dram_campaign_spec spec;
+    spec.temperatures = {celsius{50.0}, celsius{60.0}};
+    spec.refresh_periods = {milliseconds{64.0}, milliseconds{2283.0}};
+    spec.repetitions = 2;
+    const dram_campaign_result result =
+        run_dram_campaign(memory_, testbed_, spec);
+    EXPECT_EQ(result.records.size(), 2u * 2u * 4u * 2u);
+    for (const dram_run_record& record : result.records) {
+        EXPECT_LT(record.regulation_deviation_c, 1.0);
+    }
+}
+
+TEST_F(dram_campaign_test, paper_study_point_is_contained) {
+    dram_campaign_spec spec;
+    spec.temperatures = {celsius{60.0}};
+    spec.refresh_periods = {milliseconds{64.0}, milliseconds{512.0},
+                            milliseconds{2283.0}};
+    const dram_campaign_result result =
+        run_dram_campaign(memory_, testbed_, spec);
+    EXPECT_EQ(result.uncorrectable_records(), 0u);
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{60.0}).value, 2283.0);
+    // Nominal refresh at 60 C: every scan is completely clean.
+    for (const dram_run_record& record : result.records) {
+        if (record.refresh_period.value == 64.0) {
+            EXPECT_EQ(record.outcome, dram_run_outcome::clean);
+        } else if (record.refresh_period.value == 2283.0) {
+            EXPECT_EQ(record.outcome, dram_run_outcome::contained);
+        }
+    }
+}
+
+TEST_F(dram_campaign_test, csv_parsing_phase) {
+    dram_campaign_spec spec;
+    spec.temperatures = {celsius{60.0}};
+    spec.refresh_periods = {milliseconds{2283.0}};
+    spec.patterns = {data_pattern::random_data};
+    const dram_campaign_result result =
+        run_dram_campaign(memory_, testbed_, spec);
+    std::ostringstream out;
+    write_dram_campaign_csv(out, result);
+    const std::string csv = out.str();
+    EXPECT_NE(csv.find("temperature_c,refresh_ms"), std::string::npos);
+    EXPECT_NE(csv.find("35.7,random,0"), std::string::npos);
+    EXPECT_NE(csv.find("CE-contained"), std::string::npos);
+}
+
+TEST_F(dram_campaign_test, spec_validation) {
+    dram_campaign_spec spec;
+    spec.repetitions = 0;
+    EXPECT_THROW(spec.validate(), contract_violation);
+    spec = dram_campaign_spec{};
+    spec.refresh_periods = {milliseconds{32.0}}; // below JEDEC nominal
+    EXPECT_THROW(spec.validate(), contract_violation);
+    spec = dram_campaign_spec{};
+    spec.patterns.clear();
+    EXPECT_THROW(spec.validate(), contract_violation);
+}
+
+TEST_F(dram_campaign_test, outcome_names) {
+    EXPECT_EQ(to_string(dram_run_outcome::clean), "clean");
+    EXPECT_EQ(to_string(dram_run_outcome::contained), "CE-contained");
+    EXPECT_EQ(to_string(dram_run_outcome::uncorrectable), "UE");
+}
+
+} // namespace
+} // namespace gb

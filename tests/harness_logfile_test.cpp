@@ -1,0 +1,130 @@
+#include "harness/logfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/framework.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+run_record sample_record() {
+    run_record record;
+    record.benchmark = "milc";
+    record.voltage = millivolts{905.0};
+    record.frequency = megahertz{2400.0};
+    record.cores = {0, 1, 6};
+    record.repetition = 4;
+    record.outcome = run_outcome::silent_data_corruption;
+    record.margin = millivolts{-3.5};
+    record.path = failure_path::sram;
+    record.watchdog_reset = false;
+    return record;
+}
+
+TEST(logfile_test, roundtrip_preserves_every_field) {
+    const run_record original = sample_record();
+    run_record parsed;
+    ASSERT_TRUE(parse_log_line(to_log_line(original), parsed));
+    EXPECT_EQ(parsed.benchmark, original.benchmark);
+    EXPECT_DOUBLE_EQ(parsed.voltage.value, original.voltage.value);
+    EXPECT_DOUBLE_EQ(parsed.frequency.value, original.frequency.value);
+    EXPECT_EQ(parsed.cores, original.cores);
+    EXPECT_EQ(parsed.repetition, original.repetition);
+    EXPECT_EQ(parsed.outcome, original.outcome);
+    EXPECT_DOUBLE_EQ(parsed.margin.value, original.margin.value);
+    EXPECT_EQ(parsed.path, original.path);
+    EXPECT_EQ(parsed.watchdog_reset, original.watchdog_reset);
+}
+
+class outcome_roundtrip_test : public ::testing::TestWithParam<run_outcome> {
+};
+
+TEST_P(outcome_roundtrip_test, every_outcome_survives) {
+    run_record record = sample_record();
+    record.outcome = GetParam();
+    record.watchdog_reset = GetParam() == run_outcome::crash;
+    run_record parsed;
+    ASSERT_TRUE(parse_log_line(to_log_line(record), parsed));
+    EXPECT_EQ(parsed.outcome, record.outcome);
+    EXPECT_EQ(parsed.watchdog_reset, record.watchdog_reset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    outcomes, outcome_roundtrip_test,
+    ::testing::Values(run_outcome::ok, run_outcome::corrected_error,
+                      run_outcome::uncorrectable_error,
+                      run_outcome::silent_data_corruption,
+                      run_outcome::crash, run_outcome::hang));
+
+TEST(logfile_test, rejects_noise_and_corruption) {
+    run_record record;
+    // Boot noise and junk must be skipped, not crash the parser.
+    EXPECT_FALSE(parse_log_line("", record));
+    EXPECT_FALSE(parse_log_line("[    0.000000] Booting Linux", record));
+    EXPECT_FALSE(parse_log_line("run=", record));
+    EXPECT_FALSE(parse_log_line("run=milc v=abc outcome=OK", record));
+    EXPECT_FALSE(parse_log_line("run=milc v=900", record)); // no outcome
+    EXPECT_FALSE(parse_log_line("run=milc v=900 outcome=EXPLODED", record));
+    EXPECT_FALSE(
+        parse_log_line("run=milc v=900 outcome=OK banana=1", record));
+    // Truncated mid-field (the crash case).
+    const std::string full = to_log_line(sample_record());
+    EXPECT_FALSE(parse_log_line(
+        std::string_view(full).substr(0, full.size() / 2), record));
+}
+
+TEST(logfile_test, raw_log_roundtrip_with_boot_noise) {
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 55);
+    campaign_spec spec;
+    spec.benchmark = "namd";
+    spec.repetitions = 4;
+    for (const double v : {980.0, 880.0, 840.0}) {
+        characterization_setup setup;
+        setup.voltage = millivolts{v};
+        setup.cores = {6};
+        spec.setups.push_back(setup);
+    }
+    const campaign_result result =
+        framework.run_campaign(spec, find_cpu_benchmark("namd").loop);
+
+    // The wire: boot banner, records, a mid-stream reset banner, and a
+    // truncated final line (the board died mid-write).
+    std::ostringstream wire;
+    wire << "U-Boot 2016.01 (X-Gene2)\n";
+    write_raw_log(wire, result);
+    wire << "[watchdog] system reset\n";
+    wire << to_log_line(result.records.front()).substr(0, 10) << '\n';
+
+    std::istringstream in(wire.str());
+    std::size_t skipped = 0;
+    const std::vector<run_record> recovered = parse_raw_log(in, &skipped);
+    ASSERT_EQ(recovered.size(), result.records.size());
+    EXPECT_EQ(skipped, 3u);
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+        EXPECT_EQ(recovered[i].benchmark, result.records[i].benchmark);
+        EXPECT_EQ(recovered[i].outcome, result.records[i].outcome);
+        EXPECT_DOUBLE_EQ(recovered[i].voltage.value,
+                         result.records[i].voltage.value);
+    }
+
+    // The recovered records drive the same parsing phase.
+    campaign_result reparsed;
+    reparsed.records = recovered;
+    EXPECT_EQ(reparsed.summarize().total(), result.summarize().total());
+    EXPECT_EQ(reparsed.summarize().crash, result.summarize().crash);
+}
+
+TEST(logfile_test, negative_margins_roundtrip) {
+    run_record record = sample_record();
+    record.margin = millivolts{-27.25};
+    run_record parsed;
+    ASSERT_TRUE(parse_log_line(to_log_line(record), parsed));
+    EXPECT_DOUBLE_EQ(parsed.margin.value, -27.25);
+}
+
+} // namespace
+} // namespace gb

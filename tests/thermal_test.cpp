@@ -1,0 +1,205 @@
+#include "thermal/pid.hpp"
+#include "thermal/plant.hpp"
+#include "thermal/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(plant_test, starts_at_ambient) {
+    const thermal_plant_config config;
+    thermal_plant plant(config);
+    EXPECT_DOUBLE_EQ(plant.temperature().value, config.ambient.value);
+}
+
+TEST(plant_test, converges_to_steady_state) {
+    const thermal_plant_config config;
+    thermal_plant plant(config);
+    for (int i = 0; i < 5000; ++i) {
+        plant.step(1.0, 0.5);
+    }
+    const double expected =
+        config.ambient.value +
+        config.heater_gain_c_per_w *
+            (0.5 * config.heater_max_w + config.self_heat_w);
+    EXPECT_NEAR(plant.temperature().value, expected, 0.01);
+}
+
+TEST(plant_test, exact_discretization_step_invariant) {
+    // The exponential integrator must give the same trajectory for one big
+    // step as for many small ones.
+    const thermal_plant_config config;
+    thermal_plant coarse(config);
+    thermal_plant fine(config);
+    coarse.step(100.0, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        fine.step(1.0, 1.0);
+    }
+    EXPECT_NEAR(coarse.temperature().value, fine.temperature().value, 1e-9);
+}
+
+TEST(plant_test, sensors_track_temperature) {
+    thermal_plant plant(thermal_plant_config{});
+    for (int i = 0; i < 1000; ++i) {
+        plant.step(1.0, 0.4);
+    }
+    rng r(5);
+    double thermo_sum = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        thermo_sum += plant.thermocouple_reading(r).value;
+    }
+    EXPECT_NEAR(thermo_sum / 500.0, plant.temperature().value, 0.05);
+    // SPD readings quantize to 0.25 C.
+    const double spd = plant.spd_reading(r).value;
+    EXPECT_NEAR(std::round(spd * 4.0) / 4.0, spd, 1e-12);
+}
+
+TEST(plant_test, duty_bounds_enforced) {
+    thermal_plant plant(thermal_plant_config{});
+    EXPECT_THROW(plant.step(1.0, -0.1), contract_violation);
+    EXPECT_THROW(plant.step(1.0, 1.1), contract_violation);
+    EXPECT_THROW(plant.step(0.0, 0.5), contract_violation);
+}
+
+TEST(pid_test, proportional_action) {
+    pid_controller pid(pid_gains{2.0, 0.0, 0.0}, -100.0, 100.0);
+    EXPECT_DOUBLE_EQ(pid.update(10.0, 0.0, 1.0), 20.0);
+    EXPECT_DOUBLE_EQ(pid.update(10.0, 10.0, 1.0), 0.0);
+}
+
+TEST(pid_test, integral_accumulates) {
+    pid_controller pid(pid_gains{0.0, 1.0, 0.0}, -100.0, 100.0);
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 1.0), 2.0);
+}
+
+TEST(pid_test, output_clamped_with_anti_windup) {
+    pid_controller pid(pid_gains{0.0, 1.0, 0.0}, 0.0, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_LE(pid.update(10.0, 0.0, 1.0), 1.0);
+    }
+    // After saturation the integral must not have wound up: a reversal
+    // brings the output down immediately.
+    const double recovered = pid.update(10.0, 100.0, 1.0);
+    EXPECT_LE(recovered, 1.0);
+    EXPECT_LE(pid.update(10.0, 12.0, 1.0), 1.0);
+}
+
+TEST(pid_test, derivative_on_measurement_ignores_setpoint_step) {
+    pid_controller pid(pid_gains{0.0, 0.0, 5.0}, -100.0, 100.0);
+    (void)pid.update(0.0, 2.0, 1.0);
+    // Setpoint jumps, measurement unchanged: no derivative kick.
+    EXPECT_DOUBLE_EQ(pid.update(50.0, 2.0, 1.0), 0.0);
+    // Measurement rises: derivative pushes down.
+    EXPECT_LT(pid.update(50.0, 4.0, 1.0), 0.0);
+}
+
+TEST(pid_test, reset_clears_state) {
+    pid_controller pid(pid_gains{0.0, 1.0, 0.0}, -100.0, 100.0);
+    (void)pid.update(1.0, 0.0, 1.0);
+    pid.reset();
+    EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 1.0), 1.0);
+}
+
+// The paper's testbed regulates each DIMM to the set temperature with less
+// than 1 C of deviation; sweep the study's target temperatures.
+class testbed_regulation_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(testbed_regulation_test, holds_within_one_degree) {
+    const double target = GetParam();
+    thermal_testbed testbed(4, thermal_plant_config{}, 99);
+    testbed.set_all_targets(celsius{target});
+    // Approach, then measure over a long hold (the paper heats, settles,
+    // then runs hours of characterization).
+    testbed.run(3600.0, 1.0, 900.0);
+    for (int dimm = 0; dimm < testbed.dimm_count(); ++dimm) {
+        EXPECT_NEAR(testbed.temperature(dimm).value, target, 1.0);
+        EXPECT_LT(testbed.max_deviation_c(dimm), 1.0) << "dimm " << dimm;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(targets, testbed_regulation_test,
+                         ::testing::Values(40.0, 50.0, 60.0, 70.0));
+
+TEST(testbed_test, dimms_regulate_independently) {
+    thermal_testbed testbed(2, thermal_plant_config{}, 7);
+    testbed.set_target(0, celsius{50.0});
+    testbed.set_target(1, celsius{60.0});
+    testbed.run(2400.0, 1.0, 900.0);
+    EXPECT_NEAR(testbed.temperature(0).value, 50.0, 1.0);
+    EXPECT_NEAR(testbed.temperature(1).value, 60.0, 1.0);
+}
+
+TEST(testbed_test, applies_temperatures_to_memory) {
+    thermal_testbed testbed(4, thermal_plant_config{}, 7);
+    testbed.set_all_targets(celsius{55.0});
+    testbed.run(2400.0, 1.0, 900.0);
+    memory_system memory(single_dimm_geometry(), retention_model{}, 1,
+                         study_limits{});
+    testbed.apply_to(memory);
+    EXPECT_NEAR(memory.dimm_temperature(0).value, 55.0, 1.0);
+}
+
+TEST(testbed_test, unreachable_target_rejected) {
+    thermal_testbed testbed(1, thermal_plant_config{}, 7);
+    EXPECT_THROW(testbed.set_target(0, celsius{200.0}), contract_violation);
+    EXPECT_THROW(testbed.set_target(0, celsius{10.0}), contract_violation);
+}
+
+TEST(testbed_fault_test, thermocouple_fault_biases_regulation) {
+    // A +5 C mounting fault makes the controller believe the DIMM is hotter
+    // than it is: the plant regulates ~5 C LOW and the <1 C spec is lost.
+    thermal_testbed testbed(1, thermal_plant_config{}, 7);
+    testbed.inject_thermocouple_fault(0, celsius{5.0});
+    testbed.set_target(0, celsius{55.0});
+    testbed.run(2400.0, 1.0, 900.0);
+    EXPECT_NEAR(testbed.temperature(0).value, 50.0, 1.2);
+    EXPECT_GT(testbed.max_deviation_c(0), 3.5);
+}
+
+TEST(testbed_fault_test, spd_cross_check_catches_the_fault) {
+    thermal_testbed testbed(2, thermal_plant_config{}, 7);
+    testbed.enable_spd_cross_check(celsius{2.0});
+    testbed.inject_thermocouple_fault(0, celsius{5.0});
+    testbed.set_all_targets(celsius{55.0});
+    testbed.run(2400.0, 1.0, 900.0);
+    // The faulty DIMM trips the alarm and control falls back to the SPD
+    // sensor: regulation recovers to within 1 C.  The healthy DIMM is
+    // untouched.
+    EXPECT_TRUE(testbed.cross_check_alarm(0));
+    EXPECT_FALSE(testbed.cross_check_alarm(1));
+    EXPECT_NEAR(testbed.temperature(0).value, 55.0, 1.0);
+    EXPECT_NEAR(testbed.temperature(1).value, 55.0, 1.0);
+}
+
+TEST(testbed_fault_test, cross_check_quiet_without_fault) {
+    thermal_testbed testbed(2, thermal_plant_config{}, 9);
+    testbed.enable_spd_cross_check(celsius{2.0});
+    testbed.set_all_targets(celsius{60.0});
+    testbed.run(2400.0, 1.0, 900.0);
+    EXPECT_FALSE(testbed.cross_check_alarm(0));
+    EXPECT_FALSE(testbed.cross_check_alarm(1));
+    EXPECT_LT(testbed.max_deviation_c(0), 1.0);
+}
+
+TEST(testbed_fault_test, cross_check_threshold_validated) {
+    thermal_testbed testbed(1, thermal_plant_config{}, 7);
+    EXPECT_THROW(testbed.enable_spd_cross_check(celsius{0.2}),
+                 contract_violation);
+    EXPECT_THROW(testbed.inject_thermocouple_fault(3, celsius{1.0}),
+                 contract_violation);
+}
+
+TEST(testbed_test, target_bounds_checked) {
+    thermal_testbed testbed(2, thermal_plant_config{}, 7);
+    EXPECT_THROW(testbed.set_target(2, celsius{50.0}), contract_violation);
+    EXPECT_THROW((void)testbed.temperature(-1), contract_violation);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(csv_escape_test, plain_field_unchanged) {
+    EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(csv_escape_test, comma_quoted) {
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(csv_escape_test, embedded_quotes_doubled) {
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(csv_escape_test, newline_quoted) {
+    EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(csv_writer_test, header_and_rows) {
+    std::ostringstream out;
+    csv_writer writer(out, {"benchmark", "vmin"});
+    writer.write_row({"milc", "885"});
+    writer.write_row({"mcf, test", "866"});
+    EXPECT_EQ(out.str(), "benchmark,vmin\nmilc,885\n\"mcf, test\",866\n");
+    EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(csv_writer_test, column_count_enforced) {
+    std::ostringstream out;
+    csv_writer writer(out, {"a", "b"});
+    EXPECT_THROW(writer.write_row({"only-one"}), contract_violation);
+}
+
+TEST(csv_number_test, precision) {
+    EXPECT_EQ(csv_number(3.14159, 2), "3.14");
+    EXPECT_EQ(csv_number(980.0, 0), "980");
+}
+
+TEST(text_table_test, renders_aligned) {
+    text_table table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"b", "22222"});
+    std::ostringstream out;
+    table.render(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name   value"), std::string::npos);
+    EXPECT_NE(text.find("alpha  1"), std::string::npos);
+    EXPECT_NE(text.find("b      22222"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(text_table_test, row_width_enforced) {
+    text_table table({"a"});
+    EXPECT_THROW(table.add_row({"x", "y"}), contract_violation);
+}
+
+TEST(format_test, number_and_percent) {
+    EXPECT_EQ(format_number(12.345, 1), "12.3");
+    EXPECT_EQ(format_percent(0.202, 1), "20.2%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace gb

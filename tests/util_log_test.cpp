@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gb {
+namespace {
+
+/// RAII guard: capture the logger into a stream and restore defaults.
+class capture_guard {
+public:
+    explicit capture_guard(log_level level) {
+        logger::instance().set_sink(&stream_);
+        logger::instance().set_level(level);
+    }
+    ~capture_guard() {
+        logger::instance().set_sink(nullptr);
+        logger::instance().set_level(log_level::warn);
+    }
+    [[nodiscard]] std::string text() const { return stream_.str(); }
+
+private:
+    std::ostringstream stream_;
+};
+
+TEST(log_test, level_filtering) {
+    capture_guard capture(log_level::warn);
+    log_debug("invisible ", 1);
+    log_info("also invisible");
+    log_warn("visible ", 42);
+    log_error("and this");
+    const std::string text = capture.text();
+    EXPECT_EQ(text.find("invisible"), std::string::npos);
+    EXPECT_NE(text.find("[WARN] visible 42"), std::string::npos);
+    EXPECT_NE(text.find("[ERROR] and this"), std::string::npos);
+}
+
+TEST(log_test, debug_level_passes_everything) {
+    capture_guard capture(log_level::debug);
+    log_debug("d");
+    log_info("i");
+    const std::string text = capture.text();
+    EXPECT_NE(text.find("[DEBUG] d"), std::string::npos);
+    EXPECT_NE(text.find("[INFO] i"), std::string::npos);
+}
+
+TEST(log_test, off_silences_all) {
+    capture_guard capture(log_level::off);
+    log_error("should not appear");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(log_test, streams_mixed_types) {
+    capture_guard capture(log_level::info);
+    log_info("x=", 3.5, " n=", 7, " s=", std::string("abc"));
+    EXPECT_NE(capture.text().find("x=3.5 n=7 s=abc"), std::string::npos);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,188 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace gb {
+namespace {
+
+TEST(rng_test, same_seed_same_stream) {
+    rng a(42);
+    rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(rng_test, different_seeds_differ) {
+    rng a(1);
+    rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a() == b()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(rng_test, child_streams_are_stable_and_independent) {
+    const rng parent(7);
+    rng c1 = parent.child("dram");
+    rng c2 = parent.child("dram");
+    rng c3 = parent.child("cpu");
+    EXPECT_EQ(c1(), c2());
+    rng c1b = parent.child("dram");
+    EXPECT_NE(c1b(), c3());
+}
+
+TEST(rng_test, indexed_children_differ) {
+    const rng parent(7);
+    rng a = parent.child(std::uint64_t{0});
+    rng b = parent.child(std::uint64_t{1});
+    EXPECT_NE(a(), b());
+}
+
+TEST(rng_test, uniform_in_unit_interval) {
+    rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(rng_test, uniform_range_respected) {
+    rng r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(rng_test, uniform_index_bounds_and_coverage) {
+    rng r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t k = r.uniform_index(7);
+        ASSERT_LT(k, 7u);
+        seen.insert(k);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(rng_test, uniform_index_one_is_always_zero) {
+    rng r(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(r.uniform_index(1), 0u);
+    }
+}
+
+TEST(rng_test, uniform_index_rejects_zero) {
+    rng r(6);
+    EXPECT_THROW((void)r.uniform_index(0), contract_violation);
+}
+
+TEST(rng_test, normal_moments) {
+    rng r(8);
+    const int n = 50000;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(rng_test, normal_scaled) {
+    rng r(9);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += r.normal(10.0, 2.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(rng_test, normal_rejects_negative_sigma) {
+    rng r(9);
+    EXPECT_THROW((void)r.normal(0.0, -1.0), contract_violation);
+}
+
+TEST(rng_test, lognormal_median) {
+    rng r(10);
+    std::vector<double> xs(20001);
+    for (double& x : xs) {
+        x = r.lognormal(2.0, 0.5);
+    }
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[xs.size() / 2], std::exp(2.0), 0.3);
+}
+
+class poisson_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(poisson_test, mean_matches_lambda) {
+    const double lambda = GetParam();
+    rng r(static_cast<std::uint64_t>(lambda * 1000) + 11);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += static_cast<double>(r.poisson(lambda));
+    }
+    const double tolerance = 4.0 * std::sqrt(lambda / n) + 0.01;
+    EXPECT_NEAR(sum / n, lambda, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(lambdas, poisson_test,
+                         ::testing::Values(0.1, 1.0, 5.0, 29.0, 50.0, 200.0));
+
+TEST(rng_test, poisson_zero_lambda) {
+    rng r(12);
+    EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(rng_test, bernoulli_probability) {
+    rng r(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(rng_test, bernoulli_extremes) {
+    rng r(14);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(rng_test, pick_uniform_element) {
+    rng r(15);
+    const std::array<int, 3> items{10, 20, 30};
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i) {
+        seen.insert(r.pick(std::span<const int>(items)));
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(rng_test, hash_label_distinct) {
+    EXPECT_NE(hash_label("a"), hash_label("b"));
+    EXPECT_EQ(hash_label("dram"), hash_label("dram"));
+}
+
+} // namespace
+} // namespace gb

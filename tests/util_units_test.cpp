@@ -1,0 +1,62 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gb {
+namespace {
+
+TEST(units_test, millivolt_arithmetic) {
+    const millivolts a{980.0};
+    const millivolts b{60.0};
+    EXPECT_DOUBLE_EQ((a - b).value, 920.0);
+    EXPECT_DOUBLE_EQ((a + b).value, 1040.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value, 1960.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).value, 490.0);
+    EXPECT_DOUBLE_EQ(a / b, 980.0 / 60.0);
+}
+
+TEST(units_test, comparisons) {
+    EXPECT_LT(millivolts{860.0}, millivolts{980.0});
+    EXPECT_GE(millivolts{980.0}, millivolts{980.0});
+    EXPECT_EQ(millivolts{5.0}, millivolts{5.0});
+}
+
+TEST(units_test, compound_assignment) {
+    millivolts v{980.0};
+    v -= millivolts{5.0};
+    v += millivolts{1.0};
+    EXPECT_DOUBLE_EQ(v.value, 976.0);
+}
+
+TEST(units_test, voltage_conversions) {
+    EXPECT_DOUBLE_EQ(millivolts{980.0}.volts(), 0.98);
+    EXPECT_DOUBLE_EQ(millivolts::from_volts(0.98).value, 980.0);
+}
+
+TEST(units_test, frequency_conversions) {
+    EXPECT_DOUBLE_EQ(megahertz{2400.0}.hertz(), 2.4e9);
+    EXPECT_DOUBLE_EQ(megahertz{2400.0}.gigahertz(), 2.4);
+    EXPECT_DOUBLE_EQ(megahertz::from_gigahertz(1.2).value, 1200.0);
+}
+
+TEST(units_test, time_conversions) {
+    EXPECT_DOUBLE_EQ(milliseconds{64.0}.seconds(), 0.064);
+    EXPECT_DOUBLE_EQ(milliseconds::from_seconds(2.283).value, 2283.0);
+    EXPECT_DOUBLE_EQ(nanoseconds{1.0e6}.to_milliseconds().value, 1.0);
+    EXPECT_DOUBLE_EQ(nanoseconds{75.0}.seconds(), 7.5e-8);
+}
+
+TEST(units_test, temperature_kelvin) {
+    EXPECT_DOUBLE_EQ(celsius{50.0}.kelvin(), 323.15);
+}
+
+TEST(units_test, power_from_voltage_and_current) {
+    const watts p = millivolts{980.0} * amperes{10.0};
+    EXPECT_DOUBLE_EQ(p.value, 9.8);
+    const watts q = amperes{10.0} * millivolts{980.0};
+    EXPECT_DOUBLE_EQ(q.value, 9.8);
+    EXPECT_DOUBLE_EQ(watts{1.5}.milliwatts(), 1500.0);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,179 @@
+#include "workloads/cpu_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chip/chip_model.hpp"
+#include "harness/framework.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+TEST(cpu_profiles_test, suites_are_complete) {
+    EXPECT_EQ(spec2006_suite().size(), 10u);
+    EXPECT_EQ(spec2006_int_suite().size(), 8u);
+    EXPECT_EQ(nas_suite().size(), 8u);
+    std::set<std::string> names;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        EXPECT_EQ(b.suite, "SPEC2006");
+        EXPECT_FALSE(b.loop.empty());
+        EXPECT_TRUE(names.insert(b.name).second) << "duplicate " << b.name;
+    }
+    for (const cpu_benchmark& b : spec2006_int_suite()) {
+        EXPECT_EQ(b.suite, "SPEC2006-INT");
+        EXPECT_FALSE(b.loop.empty());
+        EXPECT_TRUE(names.insert(b.name).second) << "duplicate " << b.name;
+    }
+    for (const cpu_benchmark& b : nas_suite()) {
+        EXPECT_EQ(b.suite, "NAS");
+        EXPECT_TRUE(names.insert(b.name).second);
+    }
+}
+
+TEST(cpu_profiles_test, int_suite_lookup_and_character) {
+    EXPECT_EQ(find_cpu_benchmark("hmmer").suite, "SPEC2006-INT");
+    // Integer codes are not FP-heavy (h264ref's SIMD is the exception).
+    const pipeline_model pipeline(nominal_core_frequency);
+    for (const cpu_benchmark& b : spec2006_int_suite()) {
+        const execution_profile profile = pipeline.execute(b.loop, 4096);
+        if (b.name != "h264ref") {
+            EXPECT_LT(profile.counters.fp_fraction(), 0.2) << b.name;
+        }
+    }
+}
+
+TEST(cpu_profiles_test, int_suite_vmin_within_band) {
+    chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 6);
+    for (const cpu_benchmark& b : spec2006_int_suite()) {
+        const double vmin =
+            ttt.analyze_single(
+                   framework.profile_of(b.loop, nominal_core_frequency), 6)
+                .vmin.value;
+        EXPECT_GE(vmin, 855.0) << b.name;
+        EXPECT_LE(vmin, 895.0) << b.name;
+    }
+}
+
+TEST(cpu_profiles_test, fig5_mix_is_the_papers_eight) {
+    const std::vector<cpu_benchmark> mix = fig5_mix();
+    ASSERT_EQ(mix.size(), 8u);
+    const std::set<std::string> expected{"bwaves", "cactusADM", "dealII",
+                                         "gromacs", "leslie3d", "mcf",
+                                         "milc", "namd"};
+    for (const cpu_benchmark& b : mix) {
+        EXPECT_TRUE(expected.contains(b.name)) << b.name;
+    }
+}
+
+TEST(cpu_profiles_test, lookup_by_name) {
+    EXPECT_EQ(find_cpu_benchmark("milc").name, "milc");
+    EXPECT_EQ(find_cpu_benchmark("ft").suite, "NAS");
+    EXPECT_THROW((void)find_cpu_benchmark("doom"), std::invalid_argument);
+}
+
+TEST(cpu_profiles_test, phased_kernel_expands_runs) {
+    const kernel k =
+        make_phased_kernel("k", {{opcode::fp_mul, 3}, {opcode::nop, 2}});
+    ASSERT_EQ(k.body.size(), 5u);
+    EXPECT_EQ(k.body[0], opcode::fp_mul);
+    EXPECT_EQ(k.body[2], opcode::fp_mul);
+    EXPECT_EQ(k.body[3], opcode::nop);
+    EXPECT_THROW((void)make_phased_kernel("bad", {{opcode::nop, 0}}),
+                 contract_violation);
+    EXPECT_THROW((void)make_phased_kernel("bad", {}), contract_violation);
+}
+
+class spec_vmin_test : public ::testing::Test {
+protected:
+    chip_model ttt_{make_ttt_chip(), make_xgene2_pdn()};
+    characterization_framework framework_{ttt_, 4};
+
+    millivolts vmin_of(const cpu_benchmark& b) {
+        return millivolts{
+            ttt_.analyze_single(
+                    framework_.profile_of(b.loop, nominal_core_frequency), 6)
+                .vmin.value};
+    }
+};
+
+TEST_F(spec_vmin_test, fig4_band_on_robust_core) {
+    // Calibration property for Fig 4: on the TTT chip's most robust core,
+    // all ten SPEC programs sit in a ~[855, 890] mV band.
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const millivolts vmin = vmin_of(b);
+        EXPECT_GE(vmin.value, 855.0) << b.name;
+        EXPECT_LE(vmin.value, 890.0) << b.name;
+    }
+}
+
+TEST_F(spec_vmin_test, fig4_spread_is_significant) {
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const double v = vmin_of(b).value;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    // The paper reports ~25 mV of workload-to-workload variation.
+    EXPECT_GE(hi - lo, 15.0);
+    EXPECT_LE(hi - lo, 40.0);
+}
+
+TEST_F(spec_vmin_test, milc_is_the_noisiest_spec_program) {
+    const double milc = vmin_of(find_cpu_benchmark("milc")).value;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        if (b.name != "milc") {
+            EXPECT_GE(milc, vmin_of(b).value) << b.name;
+        }
+    }
+}
+
+TEST_F(spec_vmin_test, memory_bound_programs_are_robust) {
+    // mcf's long flat DRAM stalls are far off the PDN resonance.
+    const double mcf = vmin_of(find_cpu_benchmark("mcf")).value;
+    const double milc = vmin_of(find_cpu_benchmark("milc")).value;
+    EXPECT_LT(mcf, milc - 15.0);
+}
+
+TEST_F(spec_vmin_test, workload_ordering_consistent_across_chips) {
+    // Fig 4: "the workload-to-workload variation follows similar trends
+    // across the 3 chips" -- droop is shared, responses are monotonic.
+    chip_model tss(make_tss_chip(), make_xgene2_pdn());
+    const double ttt_milc = vmin_of(find_cpu_benchmark("milc")).value;
+    const double ttt_mcf = vmin_of(find_cpu_benchmark("mcf")).value;
+    const auto tss_vmin = [&](const char* name) {
+        return tss.analyze_single(
+                      framework_.profile_of(
+                          find_cpu_benchmark(name).loop,
+                          nominal_core_frequency),
+                      6)
+            .vmin.value;
+    };
+    EXPECT_GT(ttt_milc, ttt_mcf);
+    EXPECT_GT(tss_vmin("milc"), tss_vmin("mcf"));
+}
+
+TEST_F(spec_vmin_test, nas_suite_within_band) {
+    for (const cpu_benchmark& b : nas_suite()) {
+        const millivolts vmin = vmin_of(b);
+        EXPECT_GE(vmin.value, 850.0) << b.name;
+        EXPECT_LE(vmin.value, 895.0) << b.name;
+    }
+}
+
+TEST(jammer_kernel_test, compute_dense_and_fp_heavy) {
+    const kernel k = jammer_cpu_kernel();
+    EXPECT_FALSE(k.empty());
+    const pipeline_model pipeline(nominal_core_frequency);
+    const execution_profile profile = pipeline.execute(k, 4096);
+    EXPECT_GT(profile.counters.fp_fraction(), 0.5);
+    // High average current: the jammer saturates the SIMD units.
+    EXPECT_GT(profile.average_current_a(), 1.3);
+    EXPECT_GT(profile.counters.ipc(), 0.9);
+}
+
+} // namespace
+} // namespace gb

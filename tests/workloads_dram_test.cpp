@@ -1,0 +1,62 @@
+#include "workloads/dram_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gb {
+namespace {
+
+TEST(dram_profiles_test, rodinia_suite_complete) {
+    const std::vector<dram_workload>& suite = rodinia_suite();
+    ASSERT_EQ(suite.size(), 4u);
+    const std::vector<std::string> expected{"backprop", "kmeans", "nw",
+                                            "srad"};
+    for (const std::string& name : expected) {
+        EXPECT_NE(std::find_if(suite.begin(), suite.end(),
+                               [&](const dram_workload& w) {
+                                   return w.name == name;
+                               }),
+                  suite.end())
+            << name;
+    }
+}
+
+TEST(dram_profiles_test, profiles_within_valid_ranges) {
+    for (const dram_workload& w : rodinia_suite()) {
+        EXPECT_GT(w.profile.footprint_fraction, 0.0) << w.name;
+        EXPECT_LE(w.profile.footprint_fraction, 1.0) << w.name;
+        EXPECT_GE(w.profile.refreshed_fraction, 0.0) << w.name;
+        EXPECT_LE(w.profile.refreshed_fraction, 1.0) << w.name;
+        EXPECT_GE(w.profile.ones_density, 0.0) << w.name;
+        EXPECT_LE(w.profile.ones_density, 1.0) << w.name;
+        EXPECT_GT(w.bandwidth_gbps, 0.0) << w.name;
+    }
+}
+
+TEST(dram_profiles_test, kmeans_streams_nw_idles) {
+    const dram_workload& kmeans = find_dram_workload("kmeans");
+    const dram_workload& nw = find_dram_workload("nw");
+    // kmeans re-sweeps its points every iteration; nw's wavefront leaves
+    // rows cold -- the structure behind Fig 8's spread.
+    EXPECT_GT(kmeans.bandwidth_gbps, 8.0 * nw.bandwidth_gbps);
+    EXPECT_GT(kmeans.profile.refreshed_fraction,
+              nw.profile.refreshed_fraction);
+}
+
+TEST(dram_profiles_test, jammer_is_small_and_hot) {
+    const dram_workload& jammer = jammer_dram_workload();
+    EXPECT_EQ(jammer.name, "jammer");
+    EXPECT_LT(jammer.profile.footprint_fraction, 0.2);
+    EXPECT_GT(jammer.profile.refreshed_fraction, 0.8);
+    EXPECT_LT(jammer.bandwidth_gbps, 1.0);
+}
+
+TEST(dram_profiles_test, lookup) {
+    EXPECT_EQ(find_dram_workload("srad").name, "srad");
+    EXPECT_EQ(find_dram_workload("jammer").name, "jammer");
+    EXPECT_THROW((void)find_dram_workload("quake"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gb

@@ -1,0 +1,152 @@
+#include "workloads/jammer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+jammer_config small_config() {
+    jammer_config config;
+    config.fft_size = 256;
+    return config;
+}
+
+TEST(jammer_test, detects_strong_cw_tone) {
+    const jammer_detector detector(small_config());
+    std::vector<jam_event> events;
+    jam_event event;
+    event.kind = jam_kind::cw_tone;
+    event.start_window = 20;
+    event.duration_windows = 30;
+    event.center_frequency = 0.2;
+    event.power_db = 20.0;
+    events.push_back(event);
+    rng r(1);
+    const detection_report report = detector.run(100, events, r);
+    EXPECT_EQ(report.events_injected, 1);
+    EXPECT_EQ(report.events_detected, 1);
+    EXPECT_LT(report.mean_detection_latency_windows, 6.0);
+}
+
+TEST(jammer_test, clean_spectrum_rare_false_alarms) {
+    const jammer_detector detector(small_config());
+    rng r(2);
+    const detection_report report = detector.run(300, {}, r);
+    EXPECT_EQ(report.events_detected, 0);
+    EXPECT_LT(report.false_alarm_rate(), 0.05);
+}
+
+TEST(jammer_test, detects_sweep_and_pulsed_jammers) {
+    const jammer_detector detector(small_config());
+    std::vector<jam_event> events;
+    jam_event sweep;
+    sweep.kind = jam_kind::sweep;
+    sweep.start_window = 10;
+    sweep.duration_windows = 40;
+    sweep.center_frequency = 0.3;
+    sweep.power_db = 20.0;
+    events.push_back(sweep);
+    jam_event pulsed;
+    pulsed.kind = jam_kind::pulsed;
+    pulsed.start_window = 80;
+    pulsed.duration_windows = 40;
+    pulsed.center_frequency = 0.15;
+    pulsed.power_db = 22.0;
+    events.push_back(pulsed);
+    rng r(3);
+    const detection_report report = detector.run(140, events, r);
+    EXPECT_EQ(report.events_detected, 2);
+}
+
+TEST(jammer_test, weak_events_can_hide) {
+    const jammer_detector detector(small_config());
+    std::vector<jam_event> strong_events;
+    std::vector<jam_event> weak_events;
+    for (int i = 0; i < 5; ++i) {
+        jam_event event;
+        event.start_window = 10 + 40 * i;
+        event.duration_windows = 20;
+        event.center_frequency = 0.1 + 0.05 * i;
+        event.power_db = 20.0;
+        strong_events.push_back(event);
+        event.power_db = 1.0; // at the noise floor
+        weak_events.push_back(event);
+    }
+    rng r1(4);
+    rng r2(4);
+    const detection_report strong = detector.run(250, strong_events, r1);
+    const detection_report weak = detector.run(250, weak_events, r2);
+    EXPECT_GT(strong.events_detected, weak.events_detected);
+}
+
+TEST(jammer_test, random_events_mostly_detected) {
+    const jammer_detector detector(small_config());
+    rng gen(5);
+    const std::vector<jam_event> events =
+        make_random_jam_events(8, 640, gen);
+    EXPECT_EQ(events.size(), 8u);
+    rng r(6);
+    const detection_report report = detector.run(640, events, r);
+    EXPECT_GE(report.detection_rate(), 0.75);
+}
+
+TEST(jammer_test, random_events_are_ordered_and_bounded) {
+    rng gen(7);
+    const std::vector<jam_event> events =
+        make_random_jam_events(10, 1000, gen);
+    int previous_end = 0;
+    for (const jam_event& event : events) {
+        EXPECT_GE(event.start_window, previous_end);
+        EXPECT_GT(event.duration_windows, 0);
+        EXPECT_GE(event.center_frequency, 0.05);
+        EXPECT_LE(event.center_frequency, 0.45);
+        previous_end = event.start_window + event.duration_windows;
+        EXPECT_LE(previous_end, 1000);
+    }
+}
+
+TEST(jammer_test, qos_holds_at_nominal_frequency) {
+    const jammer_detector detector(jammer_config{});
+    // The paper's deployment: 4 instances on the 8-core server.
+    EXPECT_TRUE(detector.meets_qos(megahertz{2400.0}, 4, 8));
+    // The exploited point keeps frequency at 2.4 GHz, so QoS is untouched.
+    EXPECT_TRUE(detector.meets_qos(megahertz{2400.0}, 4, 8));
+}
+
+TEST(jammer_test, qos_fails_at_very_low_frequency) {
+    const jammer_detector detector(jammer_config{});
+    EXPECT_FALSE(detector.meets_qos(megahertz{40.0}, 4, 8));
+}
+
+TEST(jammer_test, cycles_per_window_scales_with_fft_size) {
+    jammer_config small = small_config();
+    jammer_config big;
+    big.fft_size = 4096;
+    const jammer_detector a(small);
+    const jammer_detector b(big);
+    EXPECT_GT(b.cycles_per_window(), 10.0 * a.cycles_per_window());
+}
+
+TEST(jammer_test, config_validation) {
+    jammer_config bad;
+    bad.fft_size = 1000; // not a power of two
+    EXPECT_THROW(jammer_detector{bad}, contract_violation);
+    bad = jammer_config{};
+    bad.fft_size = 32;
+    EXPECT_THROW(jammer_detector{bad}, contract_violation);
+}
+
+TEST(jammer_test, detection_rate_helpers) {
+    detection_report report;
+    report.events_injected = 4;
+    report.events_detected = 3;
+    report.windows_processed = 100;
+    report.false_alarm_windows = 2;
+    EXPECT_DOUBLE_EQ(report.detection_rate(), 0.75);
+    EXPECT_DOUBLE_EQ(report.false_alarm_rate(), 0.02);
+}
+
+} // namespace
+} // namespace gb

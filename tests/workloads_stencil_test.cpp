@@ -1,0 +1,124 @@
+#include "workloads/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace gb {
+namespace {
+
+stencil_config small_grid() {
+    stencil_config config;
+    config.grid_rows = 8192;
+    config.grid_cols = 4096;
+    config.bytes_per_point = 8;
+    config.bandwidth_gbps = 12.0;
+    config.time_steps = 64;
+    return config;
+}
+
+TEST(stencil_test, sweep_time_from_bandwidth) {
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis analysis =
+        analyze_stencil(config, stencil_schedule{1024, 1});
+    const double bytes = 8192.0 * 4096.0 * 8.0;
+    EXPECT_NEAR(analysis.sweep_time_s, bytes / 12.0e9, 1e-9);
+}
+
+TEST(stencil_test, naive_sweep_interval_is_one_sweep) {
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis analysis =
+        analyze_stencil(config, stencil_schedule{config.grid_rows, 1});
+    // Whole grid as one tile, one step per visit: the revisit gap is one
+    // full sweep.
+    EXPECT_NEAR(analysis.max_interval_s, analysis.sweep_time_s, 1e-9);
+}
+
+TEST(stencil_test, temporal_blocking_stretches_intervals) {
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis block1 =
+        analyze_stencil(config, stencil_schedule{1024, 1});
+    const stencil_interval_analysis block8 =
+        analyze_stencil(config, stencil_schedule{1024, 8});
+    EXPECT_GT(block8.max_interval_s, 6.0 * block1.max_interval_s);
+    // In-tile revisit gap is unchanged.
+    EXPECT_DOUBLE_EQ(block8.typical_interval_s, block1.typical_interval_s);
+}
+
+TEST(stencil_test, fraction_rows_within_window) {
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis analysis =
+        analyze_stencil(config, stencil_schedule{1024, 2});
+    const milliseconds generous{1e6};
+    const milliseconds tight{0.001};
+    EXPECT_DOUBLE_EQ(analysis.fraction_rows_within(generous), 1.0);
+    EXPECT_DOUBLE_EQ(analysis.fraction_rows_within(tight), 0.0);
+}
+
+TEST(stencil_test, paper_claim_accesses_within_refresh_period) {
+    // Section IV.C: for the stencil runs, "access intervals are shorter
+    // than the refresh period" -- at realistic bandwidth even the relaxed
+    // 2.283 s period comfortably contains a sweep.
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis analysis =
+        analyze_stencil(config, stencil_schedule{1024, 1});
+    EXPECT_LT(analysis.max_interval_s, 2.283);
+    EXPECT_DOUBLE_EQ(
+        analysis.fraction_rows_within(milliseconds{2283.0}), 1.0);
+}
+
+TEST(stencil_test, scheduler_picks_largest_safe_blocking) {
+    const stencil_config config = small_grid();
+    const stencil_schedule schedule{1024, 1};
+    const int factor = max_safe_blocking_factor(config, schedule,
+                                                milliseconds{2283.0}, 0.8);
+    EXPECT_GE(factor, 1);
+    // The chosen factor is safe ...
+    stencil_schedule chosen = schedule;
+    chosen.time_steps_per_tile = factor;
+    EXPECT_LE(analyze_stencil(config, chosen).max_interval_s,
+              0.8 * 2.283);
+    // ... and factor + 1 is not (unless we ran out of time steps).
+    if (factor < config.time_steps) {
+        stencil_schedule next = schedule;
+        next.time_steps_per_tile = factor + 1;
+        EXPECT_GT(analyze_stencil(config, next).max_interval_s, 0.8 * 2.283);
+    }
+}
+
+TEST(stencil_test, tighter_window_allows_less_blocking) {
+    const stencil_config config = small_grid();
+    const stencil_schedule schedule{1024, 1};
+    const int relaxed = max_safe_blocking_factor(config, schedule,
+                                                 milliseconds{2283.0});
+    const int tight = max_safe_blocking_factor(config, schedule,
+                                               milliseconds{200.0});
+    EXPECT_GE(relaxed, tight);
+}
+
+TEST(stencil_test, access_profile_conversion) {
+    const stencil_config config = small_grid();
+    const stencil_interval_analysis analysis =
+        analyze_stencil(config, stencil_schedule{1024, 1});
+    const access_profile profile =
+        stencil_access_profile(config, analysis, milliseconds{2283.0});
+    EXPECT_GT(profile.footprint_fraction, 0.0);
+    EXPECT_LE(profile.footprint_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(profile.refreshed_fraction, 1.0);
+}
+
+TEST(stencil_test, validates_inputs) {
+    stencil_config config = small_grid();
+    EXPECT_THROW(
+        (void)analyze_stencil(config,
+                              stencil_schedule{config.grid_rows + 1, 1}),
+        contract_violation);
+    EXPECT_THROW((void)analyze_stencil(config, stencil_schedule{0, 1}),
+                 contract_violation);
+    config.bandwidth_gbps = 0.0;
+    EXPECT_THROW((void)analyze_stencil(config, stencil_schedule{1024, 1}),
+                 contract_violation);
+}
+
+} // namespace
+} // namespace gb
