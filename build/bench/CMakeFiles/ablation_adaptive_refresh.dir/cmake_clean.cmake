@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_refresh.dir/ablation_adaptive_refresh.cpp.o"
+  "CMakeFiles/ablation_adaptive_refresh.dir/ablation_adaptive_refresh.cpp.o.d"
+  "ablation_adaptive_refresh"
+  "ablation_adaptive_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_latency.dir/ablation_cache_latency.cpp.o"
+  "CMakeFiles/ablation_cache_latency.dir/ablation_cache_latency.cpp.o.d"
+  "ablation_cache_latency"
+  "ablation_cache_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

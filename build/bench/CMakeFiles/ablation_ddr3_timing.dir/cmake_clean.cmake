@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ddr3_timing.dir/ablation_ddr3_timing.cpp.o"
+  "CMakeFiles/ablation_ddr3_timing.dir/ablation_ddr3_timing.cpp.o.d"
+  "ablation_ddr3_timing"
+  "ablation_ddr3_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ddr3_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecc_efficacy.dir/ablation_ecc_efficacy.cpp.o"
+  "CMakeFiles/ablation_ecc_efficacy.dir/ablation_ecc_efficacy.cpp.o.d"
+  "ablation_ecc_efficacy"
+  "ablation_ecc_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecc_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

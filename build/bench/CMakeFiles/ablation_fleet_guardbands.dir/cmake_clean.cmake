@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fleet_guardbands.dir/ablation_fleet_guardbands.cpp.o"
+  "CMakeFiles/ablation_fleet_guardbands.dir/ablation_fleet_guardbands.cpp.o.d"
+  "ablation_fleet_guardbands"
+  "ablation_fleet_guardbands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fleet_guardbands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

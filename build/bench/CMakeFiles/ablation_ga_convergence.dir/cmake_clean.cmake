@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga_convergence.dir/ablation_ga_convergence.cpp.o"
+  "CMakeFiles/ablation_ga_convergence.dir/ablation_ga_convergence.cpp.o.d"
+  "ablation_ga_convergence"
+  "ablation_ga_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

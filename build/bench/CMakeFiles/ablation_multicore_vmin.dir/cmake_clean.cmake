@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multicore_vmin.dir/ablation_multicore_vmin.cpp.o"
+  "CMakeFiles/ablation_multicore_vmin.dir/ablation_multicore_vmin.cpp.o.d"
+  "ablation_multicore_vmin"
+  "ablation_multicore_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicore_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

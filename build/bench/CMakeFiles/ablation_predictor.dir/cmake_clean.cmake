@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictor.dir/ablation_predictor.cpp.o"
+  "CMakeFiles/ablation_predictor.dir/ablation_predictor.cpp.o.d"
+  "ablation_predictor"
+  "ablation_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

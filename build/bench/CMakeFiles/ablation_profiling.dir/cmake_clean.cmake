@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profiling.dir/ablation_profiling.cpp.o"
+  "CMakeFiles/ablation_profiling.dir/ablation_profiling.cpp.o.d"
+  "ablation_profiling"
+  "ablation_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scrubbing.dir/ablation_scrubbing.cpp.o"
+  "CMakeFiles/ablation_scrubbing.dir/ablation_scrubbing.cpp.o.d"
+  "ablation_scrubbing"
+  "ablation_scrubbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shmoo.dir/ablation_shmoo.cpp.o"
+  "CMakeFiles/ablation_shmoo.dir/ablation_shmoo.cpp.o.d"
+  "ablation_shmoo"
+  "ablation_shmoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shmoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stencil_sched.dir/ablation_stencil_sched.cpp.o"
+  "CMakeFiles/ablation_stencil_sched.dir/ablation_stencil_sched.cpp.o.d"
+  "ablation_stencil_sched"
+  "ablation_stencil_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stencil_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thermal_coupling.dir/ablation_thermal_coupling.cpp.o"
+  "CMakeFiles/ablation_thermal_coupling.dir/ablation_thermal_coupling.cpp.o.d"
+  "ablation_thermal_coupling"
+  "ablation_thermal_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_thermal_pid.cpp" "bench/CMakeFiles/ablation_thermal_pid.dir/ablation_thermal_pid.cpp.o" "gcc" "bench/CMakeFiles/ablation_thermal_pid.dir/ablation_thermal_pid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/thermal/CMakeFiles/gb_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/gb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thermal_pid.dir/ablation_thermal_pid.cpp.o"
+  "CMakeFiles/ablation_thermal_pid.dir/ablation_thermal_pid.cpp.o.d"
+  "ablation_thermal_pid"
+  "ablation_thermal_pid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thermal_pid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

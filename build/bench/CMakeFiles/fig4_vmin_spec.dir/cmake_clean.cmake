@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vmin_spec.dir/fig4_vmin_spec.cpp.o"
+  "CMakeFiles/fig4_vmin_spec.dir/fig4_vmin_spec.cpp.o.d"
+  "fig4_vmin_spec"
+  "fig4_vmin_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vmin_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

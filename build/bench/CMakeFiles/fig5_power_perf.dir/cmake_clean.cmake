@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_power_perf.dir/fig5_power_perf.cpp.o"
+  "CMakeFiles/fig5_power_perf.dir/fig5_power_perf.cpp.o.d"
+  "fig5_power_perf"
+  "fig5_power_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_power_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

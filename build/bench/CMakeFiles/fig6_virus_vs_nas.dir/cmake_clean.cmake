@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_virus_vs_nas.dir/fig6_virus_vs_nas.cpp.o"
+  "CMakeFiles/fig6_virus_vs_nas.dir/fig6_virus_vs_nas.cpp.o.d"
+  "fig6_virus_vs_nas"
+  "fig6_virus_vs_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_virus_vs_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_interchip_margin.dir/fig7_interchip_margin.cpp.o"
+  "CMakeFiles/fig7_interchip_margin.dir/fig7_interchip_margin.cpp.o.d"
+  "fig7_interchip_margin"
+  "fig7_interchip_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_interchip_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_interchip_margin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_ber.dir/fig8a_ber.cpp.o"
+  "CMakeFiles/fig8a_ber.dir/fig8a_ber.cpp.o.d"
+  "fig8a_ber"
+  "fig8a_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

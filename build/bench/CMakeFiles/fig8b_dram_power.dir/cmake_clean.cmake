@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_dram_power.dir/fig8b_dram_power.cpp.o"
+  "CMakeFiles/fig8b_dram_power.dir/fig8b_dram_power.cpp.o.d"
+  "fig8b_dram_power"
+  "fig8b_dram_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_dram_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

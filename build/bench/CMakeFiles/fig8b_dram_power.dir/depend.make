@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_dram_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_jammer_power.dir/fig9_jammer_power.cpp.o"
+  "CMakeFiles/fig9_jammer_power.dir/fig9_jammer_power.cpp.o.d"
+  "fig9_jammer_power"
+  "fig9_jammer_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_jammer_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_perf.dir/micro_perf.cpp.o"
+  "CMakeFiles/micro_perf.dir/micro_perf.cpp.o.d"
+  "micro_perf"
+  "micro_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

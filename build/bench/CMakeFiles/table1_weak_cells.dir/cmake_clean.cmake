@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_weak_cells.dir/table1_weak_cells.cpp.o"
+  "CMakeFiles/table1_weak_cells.dir/table1_weak_cells.cpp.o.d"
+  "table1_weak_cells"
+  "table1_weak_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_weak_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_retention_explorer.dir/dram_retention_explorer.cpp.o"
+  "CMakeFiles/dram_retention_explorer.dir/dram_retention_explorer.cpp.o.d"
+  "dram_retention_explorer"
+  "dram_retention_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_retention_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

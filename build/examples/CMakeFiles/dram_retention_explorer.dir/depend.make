@@ -1,0 +1,2 @@
+# Empty dependencies file for dram_retention_explorer.
+# This may be replaced when dependencies are built.

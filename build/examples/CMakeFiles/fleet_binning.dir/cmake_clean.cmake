@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_binning.dir/fleet_binning.cpp.o"
+  "CMakeFiles/fleet_binning.dir/fleet_binning.cpp.o.d"
+  "fleet_binning"
+  "fleet_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jammer_detector.dir/jammer_detector.cpp.o"
+  "CMakeFiles/jammer_detector.dir/jammer_detector.cpp.o.d"
+  "jammer_detector"
+  "jammer_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jammer_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undervolt_campaign.dir/undervolt_campaign.cpp.o"
+  "CMakeFiles/undervolt_campaign.dir/undervolt_campaign.cpp.o.d"
+  "undervolt_campaign"
+  "undervolt_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undervolt_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/uniserver_autopilot.cpp" "examples/CMakeFiles/uniserver_autopilot.dir/uniserver_autopilot.cpp.o" "gcc" "examples/CMakeFiles/uniserver_autopilot.dir/uniserver_autopilot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/gb_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xgene/CMakeFiles/gb_xgene.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/gb_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/gb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/gb_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/gb_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/gb_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

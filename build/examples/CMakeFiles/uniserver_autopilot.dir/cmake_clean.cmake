@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniserver_autopilot.dir/uniserver_autopilot.cpp.o"
+  "CMakeFiles/uniserver_autopilot.dir/uniserver_autopilot.cpp.o.d"
+  "uniserver_autopilot"
+  "uniserver_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniserver_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

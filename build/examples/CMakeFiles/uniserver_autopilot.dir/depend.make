@@ -1,0 +1,2 @@
+# Empty dependencies file for uniserver_autopilot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_lab.dir/virus_lab.cpp.o"
+  "CMakeFiles/virus_lab.dir/virus_lab.cpp.o.d"
+  "virus_lab"
+  "virus_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ecc")
+subdirs("pdn")
+subdirs("isa")
+subdirs("cache")
+subdirs("em")
+subdirs("ga")
+subdirs("chip")
+subdirs("dram")
+subdirs("thermal")
+subdirs("xgene")
+subdirs("workloads")
+subdirs("harness")
+subdirs("core")

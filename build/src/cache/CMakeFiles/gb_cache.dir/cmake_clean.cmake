@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_cache.dir/cache.cpp.o"
+  "CMakeFiles/gb_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/gb_cache.dir/streams.cpp.o"
+  "CMakeFiles/gb_cache.dir/streams.cpp.o.d"
+  "CMakeFiles/gb_cache.dir/trace_pipeline.cpp.o"
+  "CMakeFiles/gb_cache.dir/trace_pipeline.cpp.o.d"
+  "libgb_cache.a"
+  "libgb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

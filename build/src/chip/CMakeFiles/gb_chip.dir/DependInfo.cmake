@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/chip_model.cpp" "src/chip/CMakeFiles/gb_chip.dir/chip_model.cpp.o" "gcc" "src/chip/CMakeFiles/gb_chip.dir/chip_model.cpp.o.d"
+  "/root/repo/src/chip/corners.cpp" "src/chip/CMakeFiles/gb_chip.dir/corners.cpp.o" "gcc" "src/chip/CMakeFiles/gb_chip.dir/corners.cpp.o.d"
+  "/root/repo/src/chip/power.cpp" "src/chip/CMakeFiles/gb_chip.dir/power.cpp.o" "gcc" "src/chip/CMakeFiles/gb_chip.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/gb_pdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_chip.dir/chip_model.cpp.o"
+  "CMakeFiles/gb_chip.dir/chip_model.cpp.o.d"
+  "CMakeFiles/gb_chip.dir/corners.cpp.o"
+  "CMakeFiles/gb_chip.dir/corners.cpp.o.d"
+  "CMakeFiles/gb_chip.dir/power.cpp.o"
+  "CMakeFiles/gb_chip.dir/power.cpp.o.d"
+  "libgb_chip.a"
+  "libgb_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gb_chip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explorer.cpp" "src/core/CMakeFiles/gb_core.dir/explorer.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/core/governor.cpp" "src/core/CMakeFiles/gb_core.dir/governor.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/governor.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/gb_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/gb_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/gb_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/refresh_policy.cpp" "src/core/CMakeFiles/gb_core.dir/refresh_policy.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/refresh_policy.cpp.o.d"
+  "/root/repo/src/core/savings.cpp" "src/core/CMakeFiles/gb_core.dir/savings.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/savings.cpp.o.d"
+  "/root/repo/src/core/thermal_loop.cpp" "src/core/CMakeFiles/gb_core.dir/thermal_loop.cpp.o" "gcc" "src/core/CMakeFiles/gb_core.dir/thermal_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/gb_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/gb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xgene/CMakeFiles/gb_xgene.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/gb_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/gb_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/gb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/gb_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/gb_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

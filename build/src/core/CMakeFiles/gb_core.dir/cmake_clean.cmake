@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_core.dir/explorer.cpp.o"
+  "CMakeFiles/gb_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/gb_core.dir/governor.cpp.o"
+  "CMakeFiles/gb_core.dir/governor.cpp.o.d"
+  "CMakeFiles/gb_core.dir/history.cpp.o"
+  "CMakeFiles/gb_core.dir/history.cpp.o.d"
+  "CMakeFiles/gb_core.dir/placement.cpp.o"
+  "CMakeFiles/gb_core.dir/placement.cpp.o.d"
+  "CMakeFiles/gb_core.dir/predictor.cpp.o"
+  "CMakeFiles/gb_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/gb_core.dir/refresh_policy.cpp.o"
+  "CMakeFiles/gb_core.dir/refresh_policy.cpp.o.d"
+  "CMakeFiles/gb_core.dir/savings.cpp.o"
+  "CMakeFiles/gb_core.dir/savings.cpp.o.d"
+  "CMakeFiles/gb_core.dir/thermal_loop.cpp.o"
+  "CMakeFiles/gb_core.dir/thermal_loop.cpp.o.d"
+  "libgb_core.a"
+  "libgb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

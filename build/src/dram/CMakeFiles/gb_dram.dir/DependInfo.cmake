@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/memory_system.cpp" "src/dram/CMakeFiles/gb_dram.dir/memory_system.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/memory_system.cpp.o.d"
+  "/root/repo/src/dram/patterns.cpp" "src/dram/CMakeFiles/gb_dram.dir/patterns.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/patterns.cpp.o.d"
+  "/root/repo/src/dram/power.cpp" "src/dram/CMakeFiles/gb_dram.dir/power.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/power.cpp.o.d"
+  "/root/repo/src/dram/profiling.cpp" "src/dram/CMakeFiles/gb_dram.dir/profiling.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/profiling.cpp.o.d"
+  "/root/repo/src/dram/retention.cpp" "src/dram/CMakeFiles/gb_dram.dir/retention.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/retention.cpp.o.d"
+  "/root/repo/src/dram/scrubbing.cpp" "src/dram/CMakeFiles/gb_dram.dir/scrubbing.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/scrubbing.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/dram/CMakeFiles/gb_dram.dir/timing.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/timing.cpp.o.d"
+  "/root/repo/src/dram/topology.cpp" "src/dram/CMakeFiles/gb_dram.dir/topology.cpp.o" "gcc" "src/dram/CMakeFiles/gb_dram.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

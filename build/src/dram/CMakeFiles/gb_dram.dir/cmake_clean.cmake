@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_dram.dir/memory_system.cpp.o"
+  "CMakeFiles/gb_dram.dir/memory_system.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/patterns.cpp.o"
+  "CMakeFiles/gb_dram.dir/patterns.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/power.cpp.o"
+  "CMakeFiles/gb_dram.dir/power.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/profiling.cpp.o"
+  "CMakeFiles/gb_dram.dir/profiling.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/retention.cpp.o"
+  "CMakeFiles/gb_dram.dir/retention.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/scrubbing.cpp.o"
+  "CMakeFiles/gb_dram.dir/scrubbing.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/timing.cpp.o"
+  "CMakeFiles/gb_dram.dir/timing.cpp.o.d"
+  "CMakeFiles/gb_dram.dir/topology.cpp.o"
+  "CMakeFiles/gb_dram.dir/topology.cpp.o.d"
+  "libgb_dram.a"
+  "libgb_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_ecc.dir/secded.cpp.o"
+  "CMakeFiles/gb_ecc.dir/secded.cpp.o.d"
+  "libgb_ecc.a"
+  "libgb_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_em.dir/em_probe.cpp.o"
+  "CMakeFiles/gb_em.dir/em_probe.cpp.o.d"
+  "libgb_em.a"
+  "libgb_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/virus_search.cpp" "src/ga/CMakeFiles/gb_ga.dir/virus_search.cpp.o" "gcc" "src/ga/CMakeFiles/gb_ga.dir/virus_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/gb_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/gb_pdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

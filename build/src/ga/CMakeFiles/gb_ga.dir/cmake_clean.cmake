@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_ga.dir/virus_search.cpp.o"
+  "CMakeFiles/gb_ga.dir/virus_search.cpp.o.d"
+  "libgb_ga.a"
+  "libgb_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

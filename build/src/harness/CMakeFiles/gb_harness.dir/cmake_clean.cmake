@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_harness.dir/campaign.cpp.o"
+  "CMakeFiles/gb_harness.dir/campaign.cpp.o.d"
+  "CMakeFiles/gb_harness.dir/dram_campaign.cpp.o"
+  "CMakeFiles/gb_harness.dir/dram_campaign.cpp.o.d"
+  "CMakeFiles/gb_harness.dir/framework.cpp.o"
+  "CMakeFiles/gb_harness.dir/framework.cpp.o.d"
+  "CMakeFiles/gb_harness.dir/logfile.cpp.o"
+  "CMakeFiles/gb_harness.dir/logfile.cpp.o.d"
+  "libgb_harness.a"
+  "libgb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instruction.cpp" "src/isa/CMakeFiles/gb_isa.dir/instruction.cpp.o" "gcc" "src/isa/CMakeFiles/gb_isa.dir/instruction.cpp.o.d"
+  "/root/repo/src/isa/kernel.cpp" "src/isa/CMakeFiles/gb_isa.dir/kernel.cpp.o" "gcc" "src/isa/CMakeFiles/gb_isa.dir/kernel.cpp.o.d"
+  "/root/repo/src/isa/pipeline.cpp" "src/isa/CMakeFiles/gb_isa.dir/pipeline.cpp.o" "gcc" "src/isa/CMakeFiles/gb_isa.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

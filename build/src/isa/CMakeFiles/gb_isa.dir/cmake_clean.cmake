@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_isa.dir/instruction.cpp.o"
+  "CMakeFiles/gb_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/gb_isa.dir/kernel.cpp.o"
+  "CMakeFiles/gb_isa.dir/kernel.cpp.o.d"
+  "CMakeFiles/gb_isa.dir/pipeline.cpp.o"
+  "CMakeFiles/gb_isa.dir/pipeline.cpp.o.d"
+  "libgb_isa.a"
+  "libgb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_pdn.dir/pdn.cpp.o"
+  "CMakeFiles/gb_pdn.dir/pdn.cpp.o.d"
+  "libgb_pdn.a"
+  "libgb_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/pid.cpp" "src/thermal/CMakeFiles/gb_thermal.dir/pid.cpp.o" "gcc" "src/thermal/CMakeFiles/gb_thermal.dir/pid.cpp.o.d"
+  "/root/repo/src/thermal/plant.cpp" "src/thermal/CMakeFiles/gb_thermal.dir/plant.cpp.o" "gcc" "src/thermal/CMakeFiles/gb_thermal.dir/plant.cpp.o.d"
+  "/root/repo/src/thermal/testbed.cpp" "src/thermal/CMakeFiles/gb_thermal.dir/testbed.cpp.o" "gcc" "src/thermal/CMakeFiles/gb_thermal.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/gb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_thermal.dir/pid.cpp.o"
+  "CMakeFiles/gb_thermal.dir/pid.cpp.o.d"
+  "CMakeFiles/gb_thermal.dir/plant.cpp.o"
+  "CMakeFiles/gb_thermal.dir/plant.cpp.o.d"
+  "CMakeFiles/gb_thermal.dir/testbed.cpp.o"
+  "CMakeFiles/gb_thermal.dir/testbed.cpp.o.d"
+  "libgb_thermal.a"
+  "libgb_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

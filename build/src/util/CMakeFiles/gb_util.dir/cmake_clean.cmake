@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_util.dir/csv.cpp.o"
+  "CMakeFiles/gb_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gb_util.dir/fft.cpp.o"
+  "CMakeFiles/gb_util.dir/fft.cpp.o.d"
+  "CMakeFiles/gb_util.dir/log.cpp.o"
+  "CMakeFiles/gb_util.dir/log.cpp.o.d"
+  "CMakeFiles/gb_util.dir/rng.cpp.o"
+  "CMakeFiles/gb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gb_util.dir/stats.cpp.o"
+  "CMakeFiles/gb_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gb_util.dir/table.cpp.o"
+  "CMakeFiles/gb_util.dir/table.cpp.o.d"
+  "libgb_util.a"
+  "libgb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

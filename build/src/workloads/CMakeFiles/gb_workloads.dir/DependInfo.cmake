@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cpu_profiles.cpp" "src/workloads/CMakeFiles/gb_workloads.dir/cpu_profiles.cpp.o" "gcc" "src/workloads/CMakeFiles/gb_workloads.dir/cpu_profiles.cpp.o.d"
+  "/root/repo/src/workloads/dram_profiles.cpp" "src/workloads/CMakeFiles/gb_workloads.dir/dram_profiles.cpp.o" "gcc" "src/workloads/CMakeFiles/gb_workloads.dir/dram_profiles.cpp.o.d"
+  "/root/repo/src/workloads/jammer.cpp" "src/workloads/CMakeFiles/gb_workloads.dir/jammer.cpp.o" "gcc" "src/workloads/CMakeFiles/gb_workloads.dir/jammer.cpp.o.d"
+  "/root/repo/src/workloads/stencil.cpp" "src/workloads/CMakeFiles/gb_workloads.dir/stencil.cpp.o" "gcc" "src/workloads/CMakeFiles/gb_workloads.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/gb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/gb_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_workloads.dir/cpu_profiles.cpp.o"
+  "CMakeFiles/gb_workloads.dir/cpu_profiles.cpp.o.d"
+  "CMakeFiles/gb_workloads.dir/dram_profiles.cpp.o"
+  "CMakeFiles/gb_workloads.dir/dram_profiles.cpp.o.d"
+  "CMakeFiles/gb_workloads.dir/jammer.cpp.o"
+  "CMakeFiles/gb_workloads.dir/jammer.cpp.o.d"
+  "CMakeFiles/gb_workloads.dir/stencil.cpp.o"
+  "CMakeFiles/gb_workloads.dir/stencil.cpp.o.d"
+  "libgb_workloads.a"
+  "libgb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

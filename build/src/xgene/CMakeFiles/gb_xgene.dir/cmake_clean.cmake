@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_xgene.dir/server.cpp.o"
+  "CMakeFiles/gb_xgene.dir/server.cpp.o.d"
+  "CMakeFiles/gb_xgene.dir/slimpro.cpp.o"
+  "CMakeFiles/gb_xgene.dir/slimpro.cpp.o.d"
+  "CMakeFiles/gb_xgene.dir/soc.cpp.o"
+  "CMakeFiles/gb_xgene.dir/soc.cpp.o.d"
+  "libgb_xgene.a"
+  "libgb_xgene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_xgene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

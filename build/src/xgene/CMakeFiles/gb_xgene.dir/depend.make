@@ -1,0 +1,2 @@
+# Empty dependencies file for gb_xgene.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_trace_pipeline_test.dir/cache_trace_pipeline_test.cpp.o"
+  "CMakeFiles/cache_trace_pipeline_test.dir/cache_trace_pipeline_test.cpp.o.d"
+  "cache_trace_pipeline_test"
+  "cache_trace_pipeline_test.pdb"
+  "cache_trace_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_trace_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

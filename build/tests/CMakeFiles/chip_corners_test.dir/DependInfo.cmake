@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chip_corners_test.cpp" "tests/CMakeFiles/chip_corners_test.dir/chip_corners_test.cpp.o" "gcc" "tests/CMakeFiles/chip_corners_test.dir/chip_corners_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chip/CMakeFiles/gb_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/gb_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

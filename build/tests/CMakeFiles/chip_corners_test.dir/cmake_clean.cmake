@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_corners_test.dir/chip_corners_test.cpp.o"
+  "CMakeFiles/chip_corners_test.dir/chip_corners_test.cpp.o.d"
+  "chip_corners_test"
+  "chip_corners_test.pdb"
+  "chip_corners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_corners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

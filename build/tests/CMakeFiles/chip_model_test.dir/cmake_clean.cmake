@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_model_test.dir/chip_model_test.cpp.o"
+  "CMakeFiles/chip_model_test.dir/chip_model_test.cpp.o.d"
+  "chip_model_test"
+  "chip_model_test.pdb"
+  "chip_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

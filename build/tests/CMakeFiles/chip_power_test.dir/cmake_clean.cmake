@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_power_test.dir/chip_power_test.cpp.o"
+  "CMakeFiles/chip_power_test.dir/chip_power_test.cpp.o.d"
+  "chip_power_test"
+  "chip_power_test.pdb"
+  "chip_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

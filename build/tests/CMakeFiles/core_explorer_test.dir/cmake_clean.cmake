@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_explorer_test.dir/core_explorer_test.cpp.o"
+  "CMakeFiles/core_explorer_test.dir/core_explorer_test.cpp.o.d"
+  "core_explorer_test"
+  "core_explorer_test.pdb"
+  "core_explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

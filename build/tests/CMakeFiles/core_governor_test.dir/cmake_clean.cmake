@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_governor_test.dir/core_governor_test.cpp.o"
+  "CMakeFiles/core_governor_test.dir/core_governor_test.cpp.o.d"
+  "core_governor_test"
+  "core_governor_test.pdb"
+  "core_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_predictor_test.dir/core_predictor_test.cpp.o"
+  "CMakeFiles/core_predictor_test.dir/core_predictor_test.cpp.o.d"
+  "core_predictor_test"
+  "core_predictor_test.pdb"
+  "core_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

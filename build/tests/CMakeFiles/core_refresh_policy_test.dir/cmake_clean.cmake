@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_refresh_policy_test.dir/core_refresh_policy_test.cpp.o"
+  "CMakeFiles/core_refresh_policy_test.dir/core_refresh_policy_test.cpp.o.d"
+  "core_refresh_policy_test"
+  "core_refresh_policy_test.pdb"
+  "core_refresh_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_refresh_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

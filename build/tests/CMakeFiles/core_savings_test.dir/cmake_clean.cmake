@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_savings_test.dir/core_savings_test.cpp.o"
+  "CMakeFiles/core_savings_test.dir/core_savings_test.cpp.o.d"
+  "core_savings_test"
+  "core_savings_test.pdb"
+  "core_savings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_savings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_thermal_loop_test.dir/core_thermal_loop_test.cpp.o"
+  "CMakeFiles/core_thermal_loop_test.dir/core_thermal_loop_test.cpp.o.d"
+  "core_thermal_loop_test"
+  "core_thermal_loop_test.pdb"
+  "core_thermal_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_thermal_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

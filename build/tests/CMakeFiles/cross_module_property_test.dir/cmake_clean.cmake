@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_module_property_test.dir/cross_module_property_test.cpp.o"
+  "CMakeFiles/cross_module_property_test.dir/cross_module_property_test.cpp.o.d"
+  "cross_module_property_test"
+  "cross_module_property_test.pdb"
+  "cross_module_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_module_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_memory_system_test.dir/dram_memory_system_test.cpp.o"
+  "CMakeFiles/dram_memory_system_test.dir/dram_memory_system_test.cpp.o.d"
+  "dram_memory_system_test"
+  "dram_memory_system_test.pdb"
+  "dram_memory_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_memory_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_patterns_test.dir/dram_patterns_test.cpp.o"
+  "CMakeFiles/dram_patterns_test.dir/dram_patterns_test.cpp.o.d"
+  "dram_patterns_test"
+  "dram_patterns_test.pdb"
+  "dram_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

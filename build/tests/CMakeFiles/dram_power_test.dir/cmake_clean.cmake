@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_power_test.dir/dram_power_test.cpp.o"
+  "CMakeFiles/dram_power_test.dir/dram_power_test.cpp.o.d"
+  "dram_power_test"
+  "dram_power_test.pdb"
+  "dram_power_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_profiling_test.dir/dram_profiling_test.cpp.o"
+  "CMakeFiles/dram_profiling_test.dir/dram_profiling_test.cpp.o.d"
+  "dram_profiling_test"
+  "dram_profiling_test.pdb"
+  "dram_profiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_retention_test.dir/dram_retention_test.cpp.o"
+  "CMakeFiles/dram_retention_test.dir/dram_retention_test.cpp.o.d"
+  "dram_retention_test"
+  "dram_retention_test.pdb"
+  "dram_retention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_retention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_scrubbing_test.dir/dram_scrubbing_test.cpp.o"
+  "CMakeFiles/dram_scrubbing_test.dir/dram_scrubbing_test.cpp.o.d"
+  "dram_scrubbing_test"
+  "dram_scrubbing_test.pdb"
+  "dram_scrubbing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_scrubbing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

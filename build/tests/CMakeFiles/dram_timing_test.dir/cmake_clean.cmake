@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_timing_test.dir/dram_timing_test.cpp.o"
+  "CMakeFiles/dram_timing_test.dir/dram_timing_test.cpp.o.d"
+  "dram_timing_test"
+  "dram_timing_test.pdb"
+  "dram_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_topology_test.dir/dram_topology_test.cpp.o"
+  "CMakeFiles/dram_topology_test.dir/dram_topology_test.cpp.o.d"
+  "dram_topology_test"
+  "dram_topology_test.pdb"
+  "dram_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

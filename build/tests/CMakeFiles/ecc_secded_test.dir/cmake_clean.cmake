@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_secded_test.dir/ecc_secded_test.cpp.o"
+  "CMakeFiles/ecc_secded_test.dir/ecc_secded_test.cpp.o.d"
+  "ecc_secded_test"
+  "ecc_secded_test.pdb"
+  "ecc_secded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_secded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

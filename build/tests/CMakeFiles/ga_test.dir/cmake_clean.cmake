@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_test.dir/ga_test.cpp.o"
+  "CMakeFiles/ga_test.dir/ga_test.cpp.o.d"
+  "ga_test"
+  "ga_test.pdb"
+  "ga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

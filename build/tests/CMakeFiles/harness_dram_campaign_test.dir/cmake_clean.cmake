@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_dram_campaign_test.dir/harness_dram_campaign_test.cpp.o"
+  "CMakeFiles/harness_dram_campaign_test.dir/harness_dram_campaign_test.cpp.o.d"
+  "harness_dram_campaign_test"
+  "harness_dram_campaign_test.pdb"
+  "harness_dram_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_dram_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_logfile_test.dir/harness_logfile_test.cpp.o"
+  "CMakeFiles/harness_logfile_test.dir/harness_logfile_test.cpp.o.d"
+  "harness_logfile_test"
+  "harness_logfile_test.pdb"
+  "harness_logfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_logfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

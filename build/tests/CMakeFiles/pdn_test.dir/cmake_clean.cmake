@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn_test.dir/pdn_test.cpp.o"
+  "CMakeFiles/pdn_test.dir/pdn_test.cpp.o.d"
+  "pdn_test"
+  "pdn_test.pdb"
+  "pdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

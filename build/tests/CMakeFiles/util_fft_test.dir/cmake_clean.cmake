@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fft_test.dir/util_fft_test.cpp.o"
+  "CMakeFiles/util_fft_test.dir/util_fft_test.cpp.o.d"
+  "util_fft_test"
+  "util_fft_test.pdb"
+  "util_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_cpu_test.dir/workloads_cpu_test.cpp.o"
+  "CMakeFiles/workloads_cpu_test.dir/workloads_cpu_test.cpp.o.d"
+  "workloads_cpu_test"
+  "workloads_cpu_test.pdb"
+  "workloads_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_jammer_test.dir/workloads_jammer_test.cpp.o"
+  "CMakeFiles/workloads_jammer_test.dir/workloads_jammer_test.cpp.o.d"
+  "workloads_jammer_test"
+  "workloads_jammer_test.pdb"
+  "workloads_jammer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_jammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_stencil_test.dir/workloads_stencil_test.cpp.o"
+  "CMakeFiles/workloads_stencil_test.dir/workloads_stencil_test.cpp.o.d"
+  "workloads_stencil_test"
+  "workloads_stencil_test.pdb"
+  "workloads_stencil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_stencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

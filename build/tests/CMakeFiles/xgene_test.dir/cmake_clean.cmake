@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgene_test.dir/xgene_test.cpp.o"
+  "CMakeFiles/xgene_test.dir/xgene_test.cpp.o.d"
+  "xgene_test"
+  "xgene_test.pdb"
+  "xgene_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
