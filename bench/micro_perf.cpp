@@ -1,13 +1,18 @@
 // google-benchmark micro-benchmarks of the library's hot paths: the SECDED
 // codec, the PDN integrator, the pipeline executor, the EM probe, DPBench
-// scans and one GA generation.
+// scans, one GA generation, and the parallel campaign execution engine
+// (dispatch overhead and worker scaling).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "chip/chip_model.hpp"
 #include "dram/memory_system.hpp"
 #include "ecc/secded.hpp"
 #include "em/em_probe.hpp"
 #include "ga/virus_search.hpp"
+#include "harness/execution_engine.hpp"
+#include "harness/framework.hpp"
 #include "isa/pipeline.hpp"
 #include "pdn/pdn.hpp"
 #include "util/rng.hpp"
@@ -131,6 +136,49 @@ void bm_dpbench_scan(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_dpbench_scan);
+
+// Engine dispatch overhead: 1024 near-empty tasks through the pool.  The
+// per-task cost (queue claim, seed derivation, histogram update) bounds how
+// fine-grained campaign cells can be before scheduling dominates.
+void bm_engine_dispatch(benchmark::State& state) {
+    execution_options options;
+    options.workers = static_cast<int>(state.range(0));
+    const execution_engine engine(options);
+    for (auto _ : state) {
+        std::atomic<std::uint64_t> sink{0};
+        engine.run(1024, [&](const task_context& ctx) {
+            sink.fetch_add(ctx.seed, std::memory_order_relaxed);
+            return -1;
+        });
+        benchmark::DoNotOptimize(sink.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(bm_engine_dispatch)->Arg(1)->Arg(8);
+
+// Worker scaling on a fixed CPU campaign (3 voltages x 10 repetitions x 8
+// cores).  Compare the w1/w8 wall-clock ratio across commits to catch
+// scheduler regressions; results are identical at every worker count.
+void bm_engine_campaign(benchmark::State& state) {
+    static chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    static characterization_framework framework(ttt, 2018);
+    campaign_spec spec;
+    spec.benchmark = "milc";
+    spec.repetitions = 10;
+    spec.workers = static_cast<int>(state.range(0));
+    for (const double v : {980.0, 920.0, 880.0}) {
+        characterization_setup setup;
+        setup.voltage = millivolts{v};
+        setup.cores = {0, 1, 2, 3, 4, 5, 6, 7};
+        spec.setups.push_back(setup);
+    }
+    const kernel& loop = find_cpu_benchmark("milc").loop;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(framework.run_campaign(spec, loop));
+    }
+    state.SetItemsProcessed(state.iterations() * 30);
+}
+BENCHMARK(bm_engine_campaign)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -7,6 +7,7 @@
 
 #include "bench_util.hpp"
 #include "dram/memory_system.hpp"
+#include "harness/execution_engine.hpp"
 #include "thermal/testbed.hpp"
 #include "util/table.hpp"
 
@@ -15,16 +16,36 @@ using namespace gb;
 namespace {
 
 std::array<std::uint64_t, 8> per_bank_totals(const memory_system& memory) {
-    std::array<std::uint64_t, 8> totals{};
+    // One engine task per (dimm, rank, chip): the weak-cell census is pure
+    // reads, each task owns its result slot, and the reduction below runs
+    // in index order -- totals are identical for any worker count.
     const dram_geometry& g = memory.geometry();
-    for (int d = 0; d < g.dimms; ++d) {
-        for (int r = 0; r < g.ranks_per_dimm; ++r) {
-            for (int c = 0; c < g.chips_per_rank(); ++c) {
-                for (int b = 0; b < g.banks_per_chip; ++b) {
-                    totals[static_cast<std::size_t>(b)] +=
-                        memory.weak_cell_count(d, r, c, b);
-                }
-            }
+    const std::size_t groups =
+        static_cast<std::size_t>(g.dimms) *
+        static_cast<std::size_t>(g.ranks_per_dimm) *
+        static_cast<std::size_t>(g.chips_per_rank());
+    std::vector<std::array<std::uint64_t, 8>> counts(groups);
+
+    const execution_engine engine;
+    engine.run(groups, [&](const task_context& ctx) {
+        const int chips = g.chips_per_rank();
+        const int c = static_cast<int>(ctx.index) % chips;
+        const int r = (static_cast<int>(ctx.index) / chips) %
+                      g.ranks_per_dimm;
+        const int d = static_cast<int>(ctx.index) /
+                      (chips * g.ranks_per_dimm);
+        counts[ctx.index] = {};
+        for (int b = 0; b < g.banks_per_chip; ++b) {
+            counts[ctx.index][static_cast<std::size_t>(b)] =
+                memory.weak_cell_count(d, r, c, b);
+        }
+        return -1;
+    });
+
+    std::array<std::uint64_t, 8> totals{};
+    for (const std::array<std::uint64_t, 8>& group : counts) {
+        for (std::size_t b = 0; b < totals.size(); ++b) {
+            totals[b] += group[b];
         }
     }
     return totals;
@@ -85,10 +106,17 @@ int main() {
         table.add_row(paper);
         table.render(std::cout);
 
-        // ECC containment at this temperature.
+        // ECC containment at this temperature: the four DPBench scans are
+        // independent engine tasks; the max-reduction is order-free.
+        const std::array<data_pattern, 4>& patterns = all_data_patterns();
+        std::vector<scan_result> scans(patterns.size());
+        const execution_engine scan_engine;
+        scan_engine.run(patterns.size(), [&](const task_context& ctx) {
+            scans[ctx.index] = memory.run_dpbench(patterns[ctx.index], 2018);
+            return -1;
+        });
         std::uint64_t worst_ue = 0;
-        for (const data_pattern pattern : all_data_patterns()) {
-            const scan_result scan = memory.run_dpbench(pattern, 2018);
+        for (const scan_result& scan : scans) {
             worst_ue = std::max(worst_ue, scan.ue_words + scan.sdc_words);
         }
         std::cout << "uncorrected words across the DPBench suite: "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "harness/execution_engine.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -137,17 +138,30 @@ refresh_exploration guardband_explorer::explore_refresh(
     memory_system& memory, const std::vector<milliseconds>& ladder,
     std::uint64_t pattern_seed) {
     GB_EXPECTS(!ladder.empty());
-    const milliseconds original = memory.refresh_period();
+
+    // Every (period, pattern) scan is independent and const against the
+    // memory system (the period is a scan parameter), so the whole ladder
+    // runs as one engine sweep; the per-period reduction below consumes the
+    // scans in submission order, keeping results worker-count-invariant.
+    const std::array<data_pattern, 4>& patterns = all_data_patterns();
+    std::vector<scan_result> scans(ladder.size() * patterns.size());
+    execution_options options;
+    options.campaign = "refresh_exploration";
+    const execution_engine engine(options);
+    engine.run(scans.size(), [&](const task_context& ctx) {
+        const milliseconds period = ladder[ctx.index / patterns.size()];
+        const data_pattern pattern = patterns[ctx.index % patterns.size()];
+        scans[ctx.index] = memory.run_dpbench(pattern, pattern_seed, period);
+        return scans[ctx.index].fully_corrected() ? 0 : 1;
+    });
 
     refresh_exploration exploration;
     exploration.max_safe_period = milliseconds{0.0};
-    for (const milliseconds period : ladder) {
-        memory.set_refresh_period(period);
-
+    for (std::size_t p = 0; p < ladder.size(); ++p) {
         refresh_step step;
-        step.period = period;
-        for (const data_pattern pattern : all_data_patterns()) {
-            const scan_result scan = memory.run_dpbench(pattern, pattern_seed);
+        step.period = ladder[p];
+        for (std::size_t i = 0; i < patterns.size(); ++i) {
+            const scan_result& scan = scans[p * patterns.size() + i];
             if (scan.failed_cells >= step.worst_scan.failed_cells) {
                 step.worst_scan = scan;
             }
@@ -155,12 +169,11 @@ refresh_exploration guardband_explorer::explore_refresh(
                 step.fully_corrected && scan.fully_corrected();
         }
         if (step.fully_corrected &&
-            period > exploration.max_safe_period) {
-            exploration.max_safe_period = period;
+            step.period > exploration.max_safe_period) {
+            exploration.max_safe_period = step.period;
         }
         exploration.steps.push_back(step);
     }
-    memory.set_refresh_period(original);
     if (exploration.max_safe_period.value == 0.0) {
         exploration.max_safe_period = nominal_refresh_period;
     }

@@ -179,6 +179,14 @@ double memory_system::scan_retention_seconds(const weak_cell& cell,
 
 scan_result memory_system::run_dpbench(data_pattern pattern,
                                        std::uint64_t pattern_seed) const {
+    return run_dpbench(pattern, pattern_seed, refresh_);
+}
+
+scan_result memory_system::run_dpbench(data_pattern pattern,
+                                       std::uint64_t pattern_seed,
+                                       milliseconds refresh_period) const {
+    GB_EXPECTS(refresh_period.value > 0.0);
+    GB_EXPECTS(refresh_period <= limits_.max_refresh_period);
     scan_result result;
     result.scanned_bits = geometry_.data_bytes() * 8;
 
@@ -198,7 +206,7 @@ scan_result memory_system::run_dpbench(data_pattern pattern,
                         if (scan_retention_seconds(cell, t,
                                                    stress.aggression,
                                                    pattern_seed) <
-                            refresh_.seconds()) {
+                            refresh_period.seconds()) {
                             failures.push_back(&cell);
                             ++result.per_bank_failures[static_cast<
                                 std::size_t>(bank)];

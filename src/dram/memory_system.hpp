@@ -79,6 +79,15 @@ public:
     [[nodiscard]] scan_result run_dpbench(data_pattern pattern,
                                           std::uint64_t pattern_seed) const;
 
+    /// Same scan evaluated at an explicit refresh period instead of the
+    /// stored one.  Being const and side-effect free, this is the form the
+    /// parallel campaign engine uses: concurrent tasks sweep different
+    /// periods against one shared memory_system without mutating it.  The
+    /// period must be within the study limits.
+    [[nodiscard]] scan_result run_dpbench(data_pattern pattern,
+                                          std::uint64_t pattern_seed,
+                                          milliseconds refresh_period) const;
+
     /// Keys (cell_key) of the cells that fail a DPBench scan: the raw
     /// material of retention profiling (dram/profiling.hpp) and scrub
     /// analysis (dram/scrubbing.hpp).  `vrt_seed` selects the VRT cells'

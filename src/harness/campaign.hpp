@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "chip/chip_model.hpp"
+#include "harness/execution_engine.hpp"
 #include "util/units.hpp"
 
 namespace gb {
@@ -29,6 +30,9 @@ struct campaign_spec {
     std::string benchmark;
     std::vector<characterization_setup> setups;
     int repetitions = 10;
+    /// Worker threads for the execution engine (0: GB_JOBS env var, then
+    /// hardware_concurrency).  Results are identical for any value.
+    int workers = 0;
 };
 
 /// Everything logged about one run.
@@ -61,6 +65,9 @@ struct campaign_result {
     campaign_spec spec;
     std::vector<run_record> records;
     std::uint64_t watchdog_resets = 0;
+    /// Engine observability for the campaign's task sweep (timing fields
+    /// are scheduling-dependent; records above are not).
+    execution_stats stats;
 
     [[nodiscard]] classification_summary summarize() const;
     /// Summary restricted to one supply voltage.

@@ -64,10 +64,26 @@ dram_campaign_result run_dram_campaign(memory_system& memory,
     spec.validate();
     GB_EXPECTS(testbed.dimm_count() >= memory.geometry().dimms);
 
+    const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
+    const std::size_t per_pattern = reps;
+    const std::size_t per_period = spec.patterns.size() * per_pattern;
+    const std::size_t per_temperature =
+        spec.refresh_periods.size() * per_period;
+
     dram_campaign_result result;
     result.spec = spec;
-    std::uint64_t seed = spec.base_seed;
-    for (const celsius temperature : spec.temperatures) {
+    result.records.resize(spec.temperatures.size() * per_temperature);
+
+    execution_options options;
+    options.workers = spec.workers;
+    options.base_seed = spec.base_seed;
+    options.campaign = "dram_campaign";
+    const execution_engine engine(options);
+
+    for (std::size_t t = 0; t < spec.temperatures.size(); ++t) {
+        const celsius temperature = spec.temperatures[t];
+        // The soak is inherently serial: every scan of this block sees the
+        // same regulated thermal state.
         testbed.set_all_targets(temperature);
         testbed.run(/*duration_s=*/2400.0, /*control_period_s=*/1.0,
                     /*settle_s=*/900.0);
@@ -77,28 +93,36 @@ dram_campaign_result run_dram_campaign(memory_system& memory,
             regulation = std::max(regulation, testbed.max_deviation_c(dimm));
         }
 
-        for (const milliseconds period : spec.refresh_periods) {
-            memory.set_refresh_period(period);
-            for (const data_pattern pattern : spec.patterns) {
-                for (int rep = 0; rep < spec.repetitions; ++rep) {
-                    dram_run_record record;
-                    record.temperature = temperature;
-                    record.refresh_period = period;
-                    record.pattern = pattern;
-                    record.repetition = rep;
-                    record.regulation_deviation_c = regulation;
-                    record.scan = memory.run_dpbench(pattern, seed++);
-                    if (record.scan.failed_cells == 0) {
-                        record.outcome = dram_run_outcome::clean;
-                    } else if (record.scan.fully_corrected()) {
-                        record.outcome = dram_run_outcome::contained;
-                    } else {
-                        record.outcome = dram_run_outcome::uncorrectable;
-                    }
-                    result.records.push_back(std::move(record));
+        // The (period x pattern x repetition) grid of scans, flattened in
+        // the legacy nested-loop order.  Tasks only read the memory system:
+        // the refresh period travels as a scan parameter, and scan N keeps
+        // the serial seed sequence base_seed + N.
+        const execution_stats stats = engine.run(
+            per_temperature,
+            [&](const task_context& ctx) {
+                const std::size_t within = ctx.index - t * per_temperature;
+                dram_run_record& record = result.records[ctx.index];
+                record.temperature = temperature;
+                record.refresh_period =
+                    spec.refresh_periods[within / per_period];
+                record.pattern =
+                    spec.patterns[(within % per_period) / per_pattern];
+                record.repetition = static_cast<int>(within % per_pattern);
+                record.regulation_deviation_c = regulation;
+                record.scan = memory.run_dpbench(
+                    record.pattern, spec.base_seed + ctx.index,
+                    record.refresh_period);
+                if (record.scan.failed_cells == 0) {
+                    record.outcome = dram_run_outcome::clean;
+                } else if (record.scan.fully_corrected()) {
+                    record.outcome = dram_run_outcome::contained;
+                } else {
+                    record.outcome = dram_run_outcome::uncorrectable;
                 }
-            }
-        }
+                return static_cast<int>(record.outcome);
+            },
+            /*first_index=*/t * per_temperature);
+        result.stats.merge(stats);
     }
     return result;
 }

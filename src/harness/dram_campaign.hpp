@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dram/memory_system.hpp"
+#include "harness/execution_engine.hpp"
 #include "thermal/testbed.hpp"
 #include "util/units.hpp"
 
@@ -28,6 +29,9 @@ struct dram_campaign_spec {
     /// observe different states).
     int repetitions = 1;
     std::uint64_t base_seed = 2018;
+    /// Worker threads for the execution engine (0: GB_JOBS env var, then
+    /// hardware_concurrency).  Results are identical for any value.
+    int workers = 0;
 
     void validate() const;
 };
@@ -55,6 +59,9 @@ struct dram_run_record {
 struct dram_campaign_result {
     dram_campaign_spec spec;
     std::vector<dram_run_record> records;
+    /// Engine observability summed over the per-temperature sweeps (timing
+    /// fields are scheduling-dependent; records above are not).
+    execution_stats stats;
 
     /// Largest refresh period at which every record of a temperature is
     /// contained (or clean); nominal if none.
@@ -62,9 +69,14 @@ struct dram_campaign_result {
     [[nodiscard]] std::uint64_t uncorrectable_records() const;
 };
 
-/// Run the campaign: the testbed soaks the DIMMs at each temperature, then
-/// every (period, pattern, repetition) scan executes.  The memory's study
-/// limits must cover the spec's extremes.
+/// Run the campaign: the testbed soaks the DIMMs at each temperature
+/// (serial -- thermal state is shared), then the (period, pattern,
+/// repetition) grid of scans runs on the parallel execution engine.  Scans
+/// are const against the memory system (the refresh period is a per-task
+/// parameter), and scan N keeps the legacy serial seed `base_seed + N`, so
+/// the records and CSV are byte-identical to the historical serial runner
+/// for any worker count.  The memory's study limits must cover the spec's
+/// extremes.
 [[nodiscard]] dram_campaign_result run_dram_campaign(
     memory_system& memory, thermal_testbed& testbed,
     const dram_campaign_spec& spec);

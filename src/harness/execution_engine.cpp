@@ -1,0 +1,202 @@
+#include "harness/execution_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/contracts.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+
+namespace {
+
+/// Outcome buckets the histogram can hold; covers run_outcome (6) and
+/// dram_run_outcome (3) with room to spare.
+constexpr int max_buckets = 8;
+
+} // namespace
+
+double execution_stats::runs_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(tasks) / wall_seconds
+                              : 0.0;
+}
+
+double execution_stats::worker_utilization() const {
+    if (tasks_per_worker.empty()) {
+        return 1.0;
+    }
+    std::uint64_t max_tasks = 0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : tasks_per_worker) {
+        max_tasks = std::max(max_tasks, n);
+        total += n;
+    }
+    if (max_tasks == 0) {
+        return 1.0;
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(tasks_per_worker.size());
+    return mean / static_cast<double>(max_tasks);
+}
+
+void execution_stats::merge(const execution_stats& other) {
+    tasks += other.tasks;
+    workers = std::max(workers, other.workers);
+    wall_seconds += other.wall_seconds;
+    if (outcome_histogram.size() < other.outcome_histogram.size()) {
+        outcome_histogram.resize(other.outcome_histogram.size());
+    }
+    for (std::size_t i = 0; i < other.outcome_histogram.size(); ++i) {
+        outcome_histogram[i] += other.outcome_histogram[i];
+    }
+    if (tasks_per_worker.size() < other.tasks_per_worker.size()) {
+        tasks_per_worker.resize(other.tasks_per_worker.size());
+    }
+    for (std::size_t i = 0; i < other.tasks_per_worker.size(); ++i) {
+        tasks_per_worker[i] += other.tasks_per_worker[i];
+    }
+}
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                               std::uint64_t task_index) {
+    // Decorrelate base and index with one golden-ratio step each before the
+    // final mix, so (base, i) and (base + 1, i - 1) share no structure.
+    std::uint64_t s = base_seed;
+    std::uint64_t mixed = splitmix64(s);
+    s = mixed ^ (task_index + 0x9e3779b97f4a7c15ULL);
+    return splitmix64(s);
+}
+
+int resolve_worker_count(int requested) {
+    if (requested <= 0) {
+        if (const char* env = std::getenv("GB_JOBS")) {
+            requested = std::atoi(env);
+        }
+    }
+    if (requested <= 0) {
+        requested = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    return std::clamp(requested, 1, 256);
+}
+
+execution_engine::execution_engine(execution_options options)
+    : options_(std::move(options)),
+      workers_(resolve_worker_count(options_.workers)) {}
+
+execution_stats execution_engine::run(std::size_t task_count,
+                                      const task_fn& task,
+                                      std::size_t first_index) const {
+    GB_EXPECTS(task != nullptr);
+
+    execution_stats stats;
+    stats.tasks = task_count;
+    stats.outcome_histogram.assign(max_buckets, 0);
+    if (task_count == 0) {
+        stats.workers = 0;
+        return stats;
+    }
+    const int pool = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers_), task_count));
+    stats.workers = pool;
+    stats.tasks_per_worker.assign(static_cast<std::size_t>(pool), 0);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::array<std::atomic<std::uint64_t>, max_buckets> histogram{};
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    // Progress is logged when a worker crosses a decile of the task count;
+    // the lines go through the (thread-safe) log layer at debug level so
+    // default-level campaign output stays byte-identical across worker
+    // counts.
+    const std::size_t progress_stride =
+        std::max<std::size_t>(1, task_count / 10);
+
+    const auto worker_loop = [&](int worker) {
+        std::uint64_t executed = 0;
+        while (!cancelled.load(std::memory_order_relaxed)) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= task_count) {
+                break;
+            }
+            task_context ctx;
+            ctx.index = first_index + i;
+            ctx.seed = derive_task_seed(options_.base_seed, ctx.index);
+            ctx.worker = worker;
+            try {
+                const int bucket = task(ctx);
+                if (bucket >= 0) {
+                    GB_EXPECTS(bucket < max_buckets);
+                    histogram[static_cast<std::size_t>(bucket)].fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+                cancelled.store(true, std::memory_order_relaxed);
+                break;
+            }
+            ++executed;
+            const std::size_t completed =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (!options_.campaign.empty() &&
+                completed % progress_stride == 0 && completed < task_count) {
+                std::string buckets;
+                for (const auto& b : histogram) {
+                    buckets += buckets.empty() ? "" : "/";
+                    buckets += std::to_string(
+                        b.load(std::memory_order_relaxed));
+                }
+                log_debug("campaign ", options_.campaign, ": ", completed,
+                          "/", task_count, " tasks, outcomes ", buckets);
+            }
+        }
+        stats.tasks_per_worker[static_cast<std::size_t>(worker)] = executed;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    if (pool == 1) {
+        worker_loop(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(pool));
+        for (int w = 0; w < pool; ++w) {
+            threads.emplace_back(worker_loop, w);
+        }
+        for (std::thread& t : threads) {
+            t.join();
+        }
+    }
+    stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (std::size_t b = 0; b < histogram.size(); ++b) {
+        stats.outcome_histogram[b] =
+            histogram[b].load(std::memory_order_relaxed);
+    }
+
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    if (!options_.campaign.empty()) {
+        log_info("campaign ", options_.campaign, ": ", task_count,
+                 " tasks on ", pool, " workers in ", stats.wall_seconds,
+                 " s (", stats.runs_per_second(), " runs/s, utilization ",
+                 stats.worker_utilization(), ")");
+    }
+    return stats;
+}
+
+} // namespace gb

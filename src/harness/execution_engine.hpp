@@ -1,0 +1,96 @@
+// Deterministic parallel campaign execution.
+//
+// The paper's framework (Fig 2) evaluates thousands of (setup x repetition)
+// cells per campaign.  Both campaign runners (CPU and DRAM) enumerate their
+// sweep grids into a flat task list and hand it to this engine, which runs
+// the tasks on a pool of worker threads.  Determinism is preserved by
+// construction:
+//
+//   * every task owns an independent RNG seed derived with splitmix64 from
+//     (base_seed, task_index) -- no draw ever crosses a task boundary;
+//   * every task writes only to its own index-addressed result slot, so
+//     collection order equals submission order;
+//   * shared model state (chip, memory, profiles) is read-only during a run.
+//
+// Consequently the output is bitwise identical to the 1-worker (serial) run
+// regardless of thread count or scheduling.  Worker count comes from the
+// options, the GB_JOBS environment variable, or hardware_concurrency, in
+// that order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gb {
+
+struct execution_options {
+    /// Worker threads; <= 0 means GB_JOBS env var, else
+    /// hardware_concurrency.
+    int workers = 0;
+    /// Root of the per-task seed derivation.
+    std::uint64_t base_seed = 0;
+    /// Campaign name used in progress/summary log lines (empty: quiet).
+    std::string campaign;
+};
+
+/// Everything a task may depend on.  Tasks must derive all randomness from
+/// `seed` and must not read `worker` for anything that affects results.
+struct task_context {
+    std::size_t index = 0;  ///< position in the flat task list
+    std::uint64_t seed = 0; ///< splitmix64(base_seed, index)
+    int worker = 0;         ///< executing worker id (observability only)
+};
+
+/// Observability record of one engine run.  Timing and per-worker counts
+/// are scheduling-dependent; the histogram and task count are deterministic.
+struct execution_stats {
+    std::size_t tasks = 0;
+    int workers = 0;
+    double wall_seconds = 0.0;
+    /// Tasks per outcome bucket (the task function's return value); tasks
+    /// returning a negative bucket are not counted.
+    std::vector<std::uint64_t> outcome_histogram;
+    std::vector<std::uint64_t> tasks_per_worker;
+
+    [[nodiscard]] double runs_per_second() const;
+    /// Load balance in (0, 1]: mean tasks/worker over max tasks/worker.
+    [[nodiscard]] double worker_utilization() const;
+    /// Accumulate another run (multi-phase campaigns sum their phases).
+    void merge(const execution_stats& other);
+};
+
+/// Per-task seed: splitmix64 stream over (base_seed, task_index).
+[[nodiscard]] std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                                             std::uint64_t task_index);
+
+/// Effective worker count for a request (<= 0: GB_JOBS, then
+/// hardware_concurrency; always >= 1).
+[[nodiscard]] int resolve_worker_count(int requested);
+
+class execution_engine {
+public:
+    /// A task runs one (setup, repetition) cell and returns its outcome
+    /// bucket for the histogram (or a negative value for "no bucket").
+    /// Tasks run concurrently: they must only write state owned by their
+    /// own index.
+    using task_fn = std::function<int(const task_context&)>;
+
+    explicit execution_engine(execution_options options = {});
+
+    /// Run `task_count` tasks; task i sees index `first_index + i` (the
+    /// offset keeps seeds stable when a sweep is issued in chunks).  Blocks
+    /// until all tasks finish; rethrows the first task exception after the
+    /// pool drains.
+    execution_stats run(std::size_t task_count, const task_fn& task,
+                        std::size_t first_index = 0) const;
+
+    [[nodiscard]] int workers() const { return workers_; }
+
+private:
+    execution_options options_;
+    int workers_;
+};
+
+} // namespace gb

@@ -7,23 +7,48 @@
 
 namespace gb {
 
+namespace {
+
+/// Campaign-level seed root: decorrelates the framework seed from the
+/// benchmark identity so two benchmarks never share task seeds.
+std::uint64_t campaign_seed(std::uint64_t framework_seed,
+                            std::string_view label) {
+    return derive_task_seed(framework_seed, hash_label(label));
+}
+
+} // namespace
+
 characterization_framework::characterization_framework(const chip_model& chip,
                                                        std::uint64_t seed)
-    : chip_(chip), rng_(seed) {}
+    : chip_(chip), seed_(seed), rng_(seed) {}
 
 const execution_profile& characterization_framework::profile_of(
     const kernel& program, megahertz frequency) {
     GB_EXPECTS(!program.empty());
     const auto key = std::make_pair(program.name,
                                     std::lround(frequency.value));
-    auto it = profiles_.find(key);
-    if (it == profiles_.end()) {
-        const pipeline_model pipeline(frequency);
-        auto profile = std::make_unique<execution_profile>(
-            pipeline.execute(program, 8192));
-        it = profiles_.emplace(key, std::move(profile)).first;
+    profile_entry* entry = nullptr;
+    {
+        std::shared_lock<std::shared_mutex> read(profiles_mutex_);
+        auto it = profiles_.find(key);
+        if (it != profiles_.end()) {
+            entry = it->second.get();
+        }
     }
-    return *it->second;
+    if (entry == nullptr) {
+        std::unique_lock<std::shared_mutex> write(profiles_mutex_);
+        entry = profiles_.try_emplace(key, std::make_unique<profile_entry>())
+                    .first->second.get();
+    }
+    // First caller profiles the kernel; concurrent callers for the same key
+    // block here until the profile is ready.  The pipeline execution runs
+    // outside the map lock so unrelated keys proceed in parallel.
+    std::call_once(entry->once, [&] {
+        const pipeline_model pipeline(frequency);
+        entry->profile = std::make_unique<execution_profile>(
+            pipeline.execute(program, 8192));
+    });
+    return *entry->profile;
 }
 
 std::vector<core_assignment> characterization_framework::make_assignments(
@@ -48,8 +73,10 @@ campaign_result characterization_framework::run_campaign(
     GB_EXPECTS(spec.repetitions >= 1);
     GB_EXPECTS(!spec.setups.empty());
 
-    campaign_result result;
-    result.spec = spec;
+    // Profiles are warmed serially while the setups are enumerated, so the
+    // engine tasks below only ever read shared state.
+    std::vector<std::vector<core_assignment>> setup_assignments;
+    setup_assignments.reserve(spec.setups.size());
     for (const characterization_setup& setup : spec.setups) {
         GB_EXPECTS(!setup.cores.empty());
         std::vector<program_assignment> programs;
@@ -60,36 +87,56 @@ campaign_result characterization_framework::run_campaign(
         const std::array<megahertz, 4> frequencies{
             setup.frequency, setup.frequency, setup.frequency,
             setup.frequency};
-        const std::vector<core_assignment> assignments =
-            make_assignments(programs, frequencies);
+        setup_assignments.push_back(make_assignments(programs, frequencies));
+    }
 
-        // Thread launch alignment is part of the workload setup: the
-        // campaign scripts start instances the same way every run, so the
-        // phase draw is stable per benchmark (run-to-run variability comes
-        // from the threshold noise, as on the real rig).
-        const std::uint64_t phase_seed = hash_label(spec.benchmark);
-        for (int rep = 0; rep < spec.repetitions; ++rep) {
-            const run_evaluation eval = chip_.evaluate_run(
-                assignments, setup.voltage, phase_seed, rng_);
+    // Thread launch alignment is part of the workload setup: the campaign
+    // scripts start instances the same way every run, so the phase draw is
+    // stable per benchmark (run-to-run variability comes from the threshold
+    // noise, as on the real rig).
+    const std::uint64_t phase_seed = hash_label(spec.benchmark);
+    const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
+    const std::size_t total = spec.setups.size() * reps;
 
-            run_record record;
-            record.benchmark = spec.benchmark;
-            record.voltage = setup.voltage;
-            record.frequency = setup.frequency;
-            record.cores = setup.cores;
-            record.repetition = rep;
-            record.outcome = eval.outcome;
-            record.margin = eval.margin;
-            record.path = eval.path;
-            record.watchdog_reset = eval.outcome == run_outcome::crash ||
-                                    eval.outcome == run_outcome::hang;
-            if (record.watchdog_reset) {
-                ++result.watchdog_resets;
-                ++watchdog_resets_;
-                log_debug("watchdog reset: ", spec.benchmark, " at ",
-                          setup.voltage.value, " mV");
-            }
-            result.records.push_back(std::move(record));
+    campaign_result result;
+    result.spec = spec;
+    result.records.resize(total);
+
+    execution_options options;
+    options.workers = spec.workers;
+    options.base_seed = campaign_seed(seed_, spec.benchmark);
+    options.campaign = spec.benchmark;
+    const execution_engine engine(options);
+    result.stats = engine.run(total, [&](const task_context& ctx) {
+        const std::size_t setup_index = ctx.index / reps;
+        const characterization_setup& setup = spec.setups[setup_index];
+        rng task_rng(ctx.seed);
+        const run_evaluation eval =
+            chip_.evaluate_run(setup_assignments[setup_index], setup.voltage,
+                               phase_seed, task_rng);
+
+        run_record& record = result.records[ctx.index];
+        record.benchmark = spec.benchmark;
+        record.voltage = setup.voltage;
+        record.frequency = setup.frequency;
+        record.cores = setup.cores;
+        record.repetition = static_cast<int>(ctx.index % reps);
+        record.outcome = eval.outcome;
+        record.margin = eval.margin;
+        record.path = eval.path;
+        record.watchdog_reset = eval.outcome == run_outcome::crash ||
+                                eval.outcome == run_outcome::hang;
+        return static_cast<int>(eval.outcome);
+    });
+
+    // Watchdog accounting happens after the sweep, in record order, so the
+    // count and the debug log sequence are scheduling-independent.
+    for (const run_record& record : result.records) {
+        if (record.watchdog_reset) {
+            ++result.watchdog_resets;
+            ++watchdog_resets_;
+            log_debug("watchdog reset: ", spec.benchmark, " at ",
+                      record.voltage.value, " mV");
         }
     }
     return result;
@@ -111,7 +158,7 @@ run_evaluation characterization_framework::run_mix(
 
 millivolts characterization_framework::find_vmin(
     const kernel& program, const std::vector<int>& cores, megahertz frequency,
-    int repetitions, millivolts step) {
+    int repetitions, millivolts step, int workers) {
     GB_EXPECTS(repetitions >= 1);
     GB_EXPECTS(step.value > 0.0);
     GB_EXPECTS(!cores.empty());
@@ -126,25 +173,81 @@ millivolts characterization_framework::find_vmin(
     const std::vector<core_assignment> assignments =
         make_assignments(programs, frequencies);
 
-    const std::uint64_t phase_seed = hash_label(program.name);
-    millivolts safe = nominal_pmd_voltage;
+    // The descending voltage ladder, fully enumerated up front.
+    std::vector<millivolts> ladder;
     for (millivolts v = nominal_pmd_voltage; v.value > 0.0; v -= step) {
-        bool all_clean = true;
-        for (int rep = 0; rep < repetitions && all_clean; ++rep) {
-            const run_evaluation eval =
-                chip_.evaluate_run(assignments, v, phase_seed, rng_);
-            if (is_disruption(eval.outcome)) {
-                all_clean = false;
-                if (eval.outcome == run_outcome::crash ||
-                    eval.outcome == run_outcome::hang) {
+        ladder.push_back(v);
+    }
+
+    // The search seed identifies the (kernel, frequency, cores) sweep so
+    // repeated searches of the same point reproduce exactly, while every
+    // distinct sweep draws independent noise.
+    std::uint64_t base = campaign_seed(seed_, program.name);
+    base = derive_task_seed(base, static_cast<std::uint64_t>(
+                                      std::lround(frequency.value)));
+    for (const int core : cores) {
+        base = derive_task_seed(base, static_cast<std::uint64_t>(core) + 1);
+    }
+
+    execution_options options;
+    options.workers = workers;
+    options.base_seed = base;
+    options.campaign = program.name + "/vmin";
+    const execution_engine engine(options);
+
+    const std::uint64_t phase_seed = hash_label(program.name);
+    const std::size_t reps = static_cast<std::size_t>(repetitions);
+    // Fixed speculation depth: the chunk size must not depend on the worker
+    // count or the set of evaluated cells (and thus the result and the
+    // watchdog accounting) would change with parallelism.  16 voltages keep
+    // 8 workers saturated at 10 repetitions while over-descending past the
+    // failure point by less than one chunk.
+    constexpr std::size_t chunk_voltages = 16;
+
+    millivolts safe = nominal_pmd_voltage;
+    std::vector<run_outcome> outcomes;
+    for (std::size_t chunk_start = 0; chunk_start < ladder.size();
+         chunk_start += chunk_voltages) {
+        const std::size_t chunk_end =
+            std::min(chunk_start + chunk_voltages, ladder.size());
+        const std::size_t chunk_tasks = (chunk_end - chunk_start) * reps;
+        outcomes.assign(chunk_tasks, run_outcome::ok);
+
+        engine.run(
+            chunk_tasks,
+            [&](const task_context& ctx) {
+                const std::size_t local = ctx.index - chunk_start * reps;
+                const millivolts v = ladder[ctx.index / reps];
+                rng task_rng(ctx.seed);
+                const run_evaluation eval = chip_.evaluate_run(
+                    assignments, v, phase_seed, task_rng);
+                outcomes[local] = eval.outcome;
+                return static_cast<int>(eval.outcome);
+            },
+            /*first_index=*/chunk_start * reps);
+
+        // Scan the chunk in ladder order: descend while every repetition is
+        // clean; the first disruptive voltage ends the search.  Watchdog
+        // resets are counted only down to that voltage -- the speculative
+        // cells below it are discarded, as the serial descent would never
+        // have evaluated them.
+        for (std::size_t v_idx = chunk_start; v_idx < chunk_end; ++v_idx) {
+            bool all_clean = true;
+            for (std::size_t rep = 0; rep < reps; ++rep) {
+                const run_outcome outcome =
+                    outcomes[(v_idx - chunk_start) * reps + rep];
+                if (outcome == run_outcome::crash ||
+                    outcome == run_outcome::hang) {
                     ++watchdog_resets_;
                 }
+                all_clean = all_clean && !is_disruption(outcome);
             }
+            if (!all_clean) {
+                GB_ENSURES(safe <= nominal_pmd_voltage);
+                return safe;
+            }
+            safe = ladder[v_idx];
         }
-        if (!all_clean) {
-            break;
-        }
-        safe = v;
     }
     GB_ENSURES(safe <= nominal_pmd_voltage);
     return safe;

@@ -3,6 +3,12 @@
 // or hung run trips the watchdog monitor, the board is power-cycled, and the
 // campaign continues with the next run).
 //
+// Campaigns and Vmin searches enumerate their sweep grids into flat task
+// lists and run on the deterministic parallel execution engine
+// (execution_engine.hpp): every (setup, repetition) cell draws its noise
+// from a task-local RNG seeded from (framework seed, benchmark, cell
+// index), so results are bitwise identical for any worker count.
+//
 // Also provides the two search procedures the paper's results are built on:
 //   * find_vmin: descend the supply in fixed steps, running N repetitions at
 //     each point; the safe Vmin is the lowest voltage at which every
@@ -14,11 +20,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "chip/chip_model.hpp"
 #include "harness/campaign.hpp"
+#include "harness/execution_engine.hpp"
 #include "isa/kernel.hpp"
 #include "isa/pipeline.hpp"
 #include "util/rng.hpp"
@@ -35,7 +44,9 @@ class characterization_framework {
 public:
     characterization_framework(const chip_model& chip, std::uint64_t seed);
 
-    /// Execute a full campaign of one kernel.
+    /// Execute a full campaign of one kernel.  The (setup x repetition)
+    /// grid runs on `spec.workers` engine workers; record order matches the
+    /// serial nested-loop order regardless of thread count.
     [[nodiscard]] campaign_result run_campaign(const campaign_spec& spec,
                                                const kernel& program);
 
@@ -45,18 +56,24 @@ public:
         const std::vector<program_assignment>& programs,
         millivolts voltage, const std::array<megahertz, 4>& pmd_frequency);
 
-    /// Safe Vmin search for a kernel on given cores at one frequency.
+    /// Safe Vmin search for a kernel on given cores at one frequency.  The
+    /// voltage ladder is evaluated in fixed-size speculative chunks of
+    /// engine tasks; each (voltage, repetition) cell is independently
+    /// seeded, so the measured Vmin is identical for any worker count.
     [[nodiscard]] millivolts find_vmin(const kernel& program,
                                        const std::vector<int>& cores,
                                        megahertz frequency, int repetitions,
-                                       millivolts step = millivolts{5.0});
+                                       millivolts step = millivolts{5.0},
+                                       int workers = 0);
 
     /// Vmin analysis (deterministic, no repetition noise) of a mix.
     [[nodiscard]] vmin_analysis analyze_mix(
         const std::vector<program_assignment>& programs,
         const std::array<megahertz, 4>& pmd_frequency);
 
-    /// Cached execution profile of a kernel at a frequency.
+    /// Cached execution profile of a kernel at a frequency.  Safe to call
+    /// concurrently: the cache is a read-mostly map with per-entry
+    /// single-initialization (one thread profiles, the rest wait).
     [[nodiscard]] const execution_profile& profile_of(const kernel& program,
                                                       megahertz frequency);
 
@@ -66,18 +83,27 @@ public:
     [[nodiscard]] const chip_model& chip() const { return chip_; }
 
 private:
+    /// A profile slot is created under the map lock, then initialized
+    /// exactly once outside it; the entry address is stable for the
+    /// framework's lifetime so returned references stay valid.
+    struct profile_entry {
+        std::once_flag once;
+        std::unique_ptr<execution_profile> profile;
+    };
+
     [[nodiscard]] std::vector<core_assignment> make_assignments(
         const std::vector<program_assignment>& programs,
         const std::array<megahertz, 4>& pmd_frequency);
 
     const chip_model& chip_;
+    std::uint64_t seed_;
     rng rng_;
     std::uint64_t next_phase_seed_ = 1;
     std::uint64_t watchdog_resets_ = 0;
     /// Keyed by (kernel name, frequency in MHz); profiles are immutable once
     /// created so references stay valid for the framework's lifetime.
-    std::map<std::pair<std::string, long>,
-             std::unique_ptr<execution_profile>>
+    std::shared_mutex profiles_mutex_;
+    std::map<std::pair<std::string, long>, std::unique_ptr<profile_entry>>
         profiles_;
 };
 

@@ -9,10 +9,12 @@ logger& logger::instance() {
     return the_logger;
 }
 
-void logger::set_sink(std::ostream* sink) { sink_ = sink; }
+void logger::set_sink(std::ostream* sink) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = sink;
+}
 
 void logger::write(log_level level, const std::string& message) {
-    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
     const char* tag = "?";
     switch (level) {
     case log_level::debug: tag = "DEBUG"; break;
@@ -21,7 +23,16 @@ void logger::write(log_level level, const std::string& message) {
     case log_level::error: tag = "ERROR"; break;
     case log_level::off: return;
     }
-    out << '[' << tag << "] " << message << '\n';
+    std::string line;
+    line.reserve(message.size() + 16);
+    line += '[';
+    line += tag;
+    line += "] ";
+    line += message;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostream& out = sink_ != nullptr ? *sink_ : std::clog;
+    out << line;
 }
 
 } // namespace gb

@@ -1,7 +1,16 @@
 // Minimal leveled logger.  The characterization framework logs the effects of
 // every run; tests silence it, examples turn it up.
+//
+// Thread safety: campaign workers log concurrently, so the process-wide
+// sink is mutex-guarded -- each message is rendered to a single string
+// first and emitted as one write, so lines never interleave.  The level is
+// atomic (the common level check stays lock-free); set_sink/set_level are
+// safe to call at any time, though reconfiguring while workers are running
+// applies to subsequent messages only.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -10,13 +19,17 @@ namespace gb {
 
 enum class log_level { debug, info, warn, error, off };
 
-/// Process-wide log configuration (single-threaded simulator: no locking).
+/// Process-wide log configuration.
 class logger {
 public:
     static logger& instance();
 
-    void set_level(log_level level) { level_ = level; }
-    [[nodiscard]] log_level level() const { return level_; }
+    void set_level(log_level level) {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    [[nodiscard]] log_level level() const {
+        return level_.load(std::memory_order_relaxed);
+    }
 
     /// Redirect output (default std::clog).  Pass nullptr to restore default.
     void set_sink(std::ostream* sink);
@@ -25,8 +38,9 @@ public:
 
 private:
     logger() = default;
-    log_level level_ = log_level::warn;
-    std::ostream* sink_ = nullptr;
+    std::atomic<log_level> level_{log_level::warn};
+    std::ostream* sink_ = nullptr; ///< guarded by mutex_
+    std::mutex mutex_;             ///< serializes sink access and writes
 };
 
 namespace detail {

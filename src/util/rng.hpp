@@ -3,6 +3,12 @@
 // and for deriving independent child streams from (seed, label) pairs so that
 // e.g. every DRAM chip gets its own stable stream regardless of simulation
 // order.
+//
+// Thread safety: there is no global or static generator state anywhere in
+// this module -- every `rng` instance is self-contained, so distinct
+// instances may be used from distinct threads freely.  A single instance is
+// not synchronized; the parallel campaign engine gives every task its own
+// instance seeded from (base_seed, task_index) instead of sharing one.
 #pragma once
 
 #include <cstdint>

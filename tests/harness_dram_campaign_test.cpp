@@ -79,6 +79,67 @@ TEST_F(dram_campaign_test, spec_validation) {
     EXPECT_THROW(spec.validate(), contract_violation);
 }
 
+// Hand-built results pin down max_safe_period's edge cases: the answer must
+// come only from records of the queried temperature, and fall back to the
+// nominal JEDEC period when nothing qualifies.
+dram_run_record make_record(double temp_c, double period_ms,
+                            dram_run_outcome outcome) {
+    dram_run_record record;
+    record.temperature = celsius{temp_c};
+    record.refresh_period = milliseconds{period_ms};
+    record.outcome = outcome;
+    return record;
+}
+
+TEST(dram_max_safe_period_test, no_records_at_temperature_is_nominal) {
+    dram_campaign_result result;
+    result.spec.refresh_periods = {milliseconds{64.0}, milliseconds{512.0}};
+    result.records.push_back(
+        make_record(50.0, 512.0, dram_run_outcome::contained));
+    // 60 C was never measured: a period is only safe if it was observed
+    // safe at that temperature.
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{60.0}).value,
+                     nominal_refresh_period.value);
+}
+
+TEST(dram_max_safe_period_test, all_uncorrectable_is_nominal) {
+    dram_campaign_result result;
+    result.spec.refresh_periods = {milliseconds{512.0},
+                                   milliseconds{2283.0}};
+    result.records.push_back(
+        make_record(60.0, 512.0, dram_run_outcome::uncorrectable));
+    result.records.push_back(
+        make_record(60.0, 2283.0, dram_run_outcome::uncorrectable));
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{60.0}).value,
+                     nominal_refresh_period.value);
+}
+
+TEST(dram_max_safe_period_test, one_bad_repetition_disqualifies_period) {
+    dram_campaign_result result;
+    result.spec.refresh_periods = {milliseconds{512.0},
+                                   milliseconds{2283.0}};
+    result.records.push_back(
+        make_record(60.0, 512.0, dram_run_outcome::contained));
+    result.records.push_back(
+        make_record(60.0, 2283.0, dram_run_outcome::clean));
+    result.records.push_back(
+        make_record(60.0, 2283.0, dram_run_outcome::uncorrectable));
+    // 2283 ms had one UE repetition, so 512 ms is the largest safe period.
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{60.0}).value, 512.0);
+}
+
+TEST(dram_max_safe_period_test, temperatures_are_independent) {
+    dram_campaign_result result;
+    result.spec.refresh_periods = {milliseconds{2283.0}};
+    result.records.push_back(
+        make_record(50.0, 2283.0, dram_run_outcome::contained));
+    result.records.push_back(
+        make_record(60.0, 2283.0, dram_run_outcome::uncorrectable));
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{50.0}).value, 2283.0);
+    EXPECT_DOUBLE_EQ(result.max_safe_period(celsius{60.0}).value,
+                     nominal_refresh_period.value);
+}
+
 TEST_F(dram_campaign_test, outcome_names) {
     EXPECT_EQ(to_string(dram_run_outcome::clean), "clean");
     EXPECT_EQ(to_string(dram_run_outcome::contained), "CE-contained");

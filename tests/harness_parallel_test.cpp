@@ -1,0 +1,258 @@
+// The deterministic parallel execution engine, and the contract both
+// campaign runners build on it: identical records and identical CSV at any
+// worker count.
+#include "harness/execution_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/campaign.hpp"
+#include "harness/dram_campaign.hpp"
+#include "harness/framework.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+TEST(execution_engine_test, runs_every_task_exactly_once) {
+    execution_options options;
+    options.workers = 8;
+    const execution_engine engine(options);
+    std::vector<int> visits(1000, 0);
+    const execution_stats stats =
+        engine.run(visits.size(), [&](const task_context& ctx) {
+            ++visits[ctx.index];
+            return -1;
+        });
+    EXPECT_EQ(stats.tasks, visits.size());
+    for (const int count : visits) {
+        EXPECT_EQ(count, 1);
+    }
+    std::uint64_t executed = 0;
+    for (const std::uint64_t n : stats.tasks_per_worker) {
+        executed += n;
+    }
+    EXPECT_EQ(executed, visits.size());
+}
+
+TEST(execution_engine_test, task_seeds_are_stable_and_unique) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        seeds.insert(derive_task_seed(2018, i));
+    }
+    EXPECT_EQ(seeds.size(), 4096u);
+    // Stable across calls, sensitive to the base seed.
+    EXPECT_EQ(derive_task_seed(2018, 7), derive_task_seed(2018, 7));
+    EXPECT_NE(derive_task_seed(2018, 7), derive_task_seed(2019, 7));
+}
+
+TEST(execution_engine_test, first_index_offsets_seed_derivation) {
+    execution_options options;
+    options.base_seed = 99;
+    const execution_engine engine(options);
+    std::vector<std::uint64_t> seeds(16, 0);
+    engine.run(
+        8,
+        [&](const task_context& ctx) {
+            seeds[ctx.index] = ctx.seed;
+            return -1;
+        },
+        /*first_index=*/8);
+    for (std::size_t i = 8; i < 16; ++i) {
+        EXPECT_EQ(seeds[i], derive_task_seed(99, i));
+    }
+}
+
+TEST(execution_engine_test, histogram_counts_buckets) {
+    execution_options options;
+    options.workers = 4;
+    const execution_engine engine(options);
+    const execution_stats stats =
+        engine.run(90, [](const task_context& ctx) {
+            return static_cast<int>(ctx.index % 3);
+        });
+    ASSERT_GE(stats.outcome_histogram.size(), 3u);
+    EXPECT_EQ(stats.outcome_histogram[0], 30u);
+    EXPECT_EQ(stats.outcome_histogram[1], 30u);
+    EXPECT_EQ(stats.outcome_histogram[2], 30u);
+    EXPECT_GT(stats.runs_per_second(), 0.0);
+    EXPECT_GT(stats.worker_utilization(), 0.0);
+    EXPECT_LE(stats.worker_utilization(), 1.0);
+}
+
+TEST(execution_engine_test, propagates_task_exceptions) {
+    execution_options options;
+    options.workers = 4;
+    const execution_engine engine(options);
+    EXPECT_THROW(engine.run(64,
+                            [](const task_context& ctx) {
+                                if (ctx.index == 13) {
+                                    throw std::runtime_error("boom");
+                                }
+                                return -1;
+                            }),
+                 std::runtime_error);
+}
+
+TEST(execution_engine_test, resolve_worker_count_clamps) {
+    EXPECT_EQ(resolve_worker_count(3), 3);
+    EXPECT_EQ(resolve_worker_count(100000), 256);
+    EXPECT_GE(resolve_worker_count(0), 1);
+}
+
+TEST(execution_engine_test, stats_merge_accumulates) {
+    execution_stats a;
+    a.tasks = 10;
+    a.workers = 2;
+    a.wall_seconds = 1.0;
+    a.outcome_histogram = {5, 5};
+    execution_stats b;
+    b.tasks = 6;
+    b.workers = 4;
+    b.wall_seconds = 0.5;
+    b.outcome_histogram = {1, 2, 3};
+    a.merge(b);
+    EXPECT_EQ(a.tasks, 16u);
+    EXPECT_EQ(a.workers, 4);
+    EXPECT_DOUBLE_EQ(a.wall_seconds, 1.5);
+    ASSERT_EQ(a.outcome_histogram.size(), 3u);
+    EXPECT_EQ(a.outcome_histogram[0], 6u);
+    EXPECT_EQ(a.outcome_histogram[1], 7u);
+    EXPECT_EQ(a.outcome_histogram[2], 3u);
+}
+
+// --- Worker-count invariance of the campaign runners. ---
+
+campaign_spec cpu_spec(int workers) {
+    campaign_spec spec;
+    spec.benchmark = "milc";
+    spec.repetitions = 10;
+    spec.workers = workers;
+    for (const double v : {980.0, 940.0, 905.0, 885.0, 870.0}) {
+        characterization_setup setup;
+        setup.voltage = millivolts{v};
+        setup.cores = {0, 6};
+        spec.setups.push_back(setup);
+    }
+    return spec;
+}
+
+void expect_same_records(const std::vector<run_record>& a,
+                         const std::vector<run_record>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+        EXPECT_DOUBLE_EQ(a[i].voltage.value, b[i].voltage.value);
+        EXPECT_DOUBLE_EQ(a[i].frequency.value, b[i].frequency.value);
+        EXPECT_EQ(a[i].cores, b[i].cores);
+        EXPECT_EQ(a[i].repetition, b[i].repetition);
+        EXPECT_EQ(a[i].outcome, b[i].outcome);
+        EXPECT_DOUBLE_EQ(a[i].margin.value, b[i].margin.value);
+        EXPECT_EQ(a[i].path, b[i].path);
+        EXPECT_EQ(a[i].watchdog_reset, b[i].watchdog_reset);
+    }
+}
+
+TEST(campaign_parallelism_test, cpu_records_and_csv_identical_1_vs_8) {
+    const chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    const kernel& loop = find_cpu_benchmark("milc").loop;
+
+    characterization_framework serial(ttt, 99);
+    const campaign_result one = serial.run_campaign(cpu_spec(1), loop);
+    characterization_framework parallel(ttt, 99);
+    const campaign_result eight = parallel.run_campaign(cpu_spec(8), loop);
+
+    expect_same_records(one.records, eight.records);
+    EXPECT_EQ(one.watchdog_resets, eight.watchdog_resets);
+    EXPECT_EQ(serial.watchdog_resets(), parallel.watchdog_resets());
+
+    std::ostringstream csv_one;
+    write_campaign_csv(csv_one, one);
+    std::ostringstream csv_eight;
+    write_campaign_csv(csv_eight, eight);
+    EXPECT_EQ(csv_one.str(), csv_eight.str());
+}
+
+TEST(campaign_parallelism_test, find_vmin_identical_1_vs_8) {
+    const chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    const kernel& loop = find_cpu_benchmark("gromacs").loop;
+
+    characterization_framework serial(ttt, 2018);
+    const millivolts one = serial.find_vmin(loop, {6}, nominal_core_frequency,
+                                            10, millivolts{5.0},
+                                            /*workers=*/1);
+    characterization_framework parallel(ttt, 2018);
+    const millivolts eight = parallel.find_vmin(
+        loop, {6}, nominal_core_frequency, 10, millivolts{5.0},
+        /*workers=*/8);
+    EXPECT_DOUBLE_EQ(one.value, eight.value);
+    EXPECT_EQ(serial.watchdog_resets(), parallel.watchdog_resets());
+}
+
+dram_campaign_spec dram_spec(int workers) {
+    dram_campaign_spec spec;
+    spec.temperatures = {celsius{50.0}, celsius{60.0}};
+    spec.refresh_periods = {milliseconds{64.0}, milliseconds{512.0},
+                            milliseconds{2283.0}};
+    spec.repetitions = 2;
+    spec.workers = workers;
+    return spec;
+}
+
+TEST(campaign_parallelism_test, dram_records_and_csv_identical_1_vs_8) {
+    const study_limits limits{celsius{62.0}, milliseconds{2283.0}};
+
+    memory_system memory_one(single_dimm_geometry(), retention_model{}, 2018,
+                             limits);
+    thermal_testbed testbed_one(1, thermal_plant_config{}, 7);
+    const dram_campaign_result one =
+        run_dram_campaign(memory_one, testbed_one, dram_spec(1));
+
+    memory_system memory_eight(single_dimm_geometry(), retention_model{},
+                               2018, limits);
+    thermal_testbed testbed_eight(1, thermal_plant_config{}, 7);
+    const dram_campaign_result eight =
+        run_dram_campaign(memory_eight, testbed_eight, dram_spec(8));
+
+    ASSERT_EQ(one.records.size(), eight.records.size());
+    for (std::size_t i = 0; i < one.records.size(); ++i) {
+        const dram_run_record& a = one.records[i];
+        const dram_run_record& b = eight.records[i];
+        EXPECT_DOUBLE_EQ(a.temperature.value, b.temperature.value);
+        EXPECT_DOUBLE_EQ(a.refresh_period.value, b.refresh_period.value);
+        EXPECT_EQ(a.pattern, b.pattern);
+        EXPECT_EQ(a.repetition, b.repetition);
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.scan.failed_cells, b.scan.failed_cells);
+        EXPECT_EQ(a.scan.ce_words, b.scan.ce_words);
+        EXPECT_EQ(a.scan.ue_words, b.scan.ue_words);
+        EXPECT_EQ(a.scan.sdc_words, b.scan.sdc_words);
+    }
+
+    std::ostringstream csv_one;
+    write_dram_campaign_csv(csv_one, one);
+    std::ostringstream csv_eight;
+    write_dram_campaign_csv(csv_eight, eight);
+    EXPECT_EQ(csv_one.str(), csv_eight.str());
+}
+
+TEST(campaign_parallelism_test, cpu_stats_record_the_sweep) {
+    const chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(ttt, 99);
+    const campaign_result result =
+        framework.run_campaign(cpu_spec(4), find_cpu_benchmark("milc").loop);
+    EXPECT_EQ(result.stats.tasks, result.records.size());
+    std::uint64_t histogram_total = 0;
+    for (const std::uint64_t n : result.stats.outcome_histogram) {
+        histogram_total += n;
+    }
+    EXPECT_EQ(histogram_total, result.records.size());
+    EXPECT_GT(result.stats.workers, 0);
+}
+
+} // namespace
+} // namespace gb
