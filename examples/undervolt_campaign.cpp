@@ -2,25 +2,54 @@
 // initialization (benchmark list x voltage ladder x cores), execution
 // (repetitions with watchdog), parsing (classification + final CSV).
 //
-//   $ ./undervolt_campaign [chip] [benchmark ...]
+//   $ ./undervolt_campaign [chip] [options] [benchmark ...]
 //     chip: TTT (default), TFF or TSS
+//     --journal <path>  append every completed run to a crash-safe journal
+//     --resume <path>   restore completed runs from a journal, run the rest
+//     --faults <rate>   inject rig faults (hangs/crashes/power-switch and
+//                       log corruption) at the given per-run rate
 //
 // Emits the per-run CSV on stdout and a classification summary per voltage
 // on stderr, so `./undervolt_campaign TTT milc > runs.csv` captures the
-// framework's final artifact.
+// framework's final artifact.  With --journal, killing the process and
+// re-running with --resume on the same path reproduces the uninterrupted
+// CSV bit for bit.
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "harness/campaign.hpp"
+#include "harness/fault_injection.hpp"
 #include "harness/framework.hpp"
+#include "harness/journal.hpp"
 #include "workloads/cpu_profiles.hpp"
 
 using namespace gb;
 
+namespace {
+
+/// With several benchmarks each campaign gets its own journal file, so a
+/// resume never replays one benchmark's records into another's grid.
+std::string journal_path_for(const std::string& base,
+                             const std::string& benchmark,
+                             std::size_t benchmark_count) {
+    if (benchmark_count == 1) {
+        return base;
+    }
+    return base + "." + benchmark;
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     process_corner corner = process_corner::ttt;
     std::vector<std::string> benchmarks;
+    std::string journal_base;
+    std::string resume_base;
+    double fault_rate = 0.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "TTT") {
@@ -29,6 +58,16 @@ int main(int argc, char** argv) {
             corner = process_corner::tff;
         } else if (arg == "TSS") {
             corner = process_corner::tss;
+        } else if (arg == "--journal" && i + 1 < argc) {
+            journal_base = argv[++i];
+        } else if (arg == "--resume" && i + 1 < argc) {
+            resume_base = argv[++i];
+        } else if (arg == "--faults" && i + 1 < argc) {
+            fault_rate = std::stod(argv[++i]);
+            if (fault_rate < 0.0 || fault_rate > 1.0) {
+                std::cerr << "--faults wants a rate in [0, 1]\n";
+                return 1;
+            }
         } else {
             benchmarks.push_back(arg);
         }
@@ -38,13 +77,24 @@ int main(int argc, char** argv) {
             benchmarks.push_back(b.name);
         }
     }
+    if (!resume_base.empty() && journal_base.empty()) {
+        // Resume keeps journaling to the same file by default, so a second
+        // kill is just as recoverable as the first.
+        journal_base = resume_base;
+    }
 
     chip_model chip(make_chip(corner), make_xgene2_pdn());
     characterization_framework framework(chip, /*seed=*/2018);
     std::cerr << "characterizing chip " << chip.config().name << ", "
               << benchmarks.size() << " benchmark(s)\n";
 
-    bool header_written = false;
+    std::optional<fault_plan> faults;
+    if (fault_rate > 0.0) {
+        faults = make_uniform_fault_plan(/*seed=*/2018, fault_rate);
+        std::cerr << "fault plan active: per-run fault rate " << fault_rate
+                  << '\n';
+    }
+
     for (const std::string& name : benchmarks) {
         const cpu_benchmark& benchmark = find_cpu_benchmark(name);
 
@@ -60,9 +110,27 @@ int main(int argc, char** argv) {
             spec.setups.push_back(setup);
         }
 
-        // Execution phase.
-        const campaign_result result =
-            framework.run_campaign(spec, benchmark.loop);
+        // Execution phase, optionally journaled / fault-injected / resumed.
+        campaign_io io;
+        if (faults) {
+            io.faults = &*faults;
+        }
+        std::unique_ptr<campaign_journal> journal;
+        if (!journal_base.empty()) {
+            journal = std::make_unique<campaign_journal>(journal_path_for(
+                journal_base, benchmark.name, benchmarks.size()));
+            io.journal = journal.get();
+        }
+
+        campaign_result result;
+        if (!resume_base.empty()) {
+            std::ifstream journal_in(journal_path_for(
+                resume_base, benchmark.name, benchmarks.size()));
+            result = framework.resume_campaign(spec, benchmark.loop,
+                                               journal_in, io);
+        } else {
+            result = framework.run_campaign(spec, benchmark.loop, io);
+        }
 
         // Parsing phase: summary per voltage + final CSV.
         std::cerr << benchmark.name << ":";
@@ -76,15 +144,15 @@ int main(int argc, char** argv) {
                           << "crash]";
             }
         }
-        std::cerr << "  (watchdog resets: " << result.watchdog_resets
-                  << ")\n";
-
-        if (!header_written) {
-            header_written = true;
-        } else {
-            // write_campaign_csv emits its own header; strip repeats by
-            // writing whole campaigns only for the first benchmark.
+        std::cerr << "  (watchdog resets: " << result.watchdog_resets;
+        if (result.stats.injected_faults() > 0 ||
+            result.stats.replayed_tasks > 0) {
+            std::cerr << ", rig faults: " << result.stats.injected_faults()
+                      << ", retries: " << result.stats.retries
+                      << ", aborted: " << result.stats.aborted_rig
+                      << ", replayed: " << result.stats.replayed_tasks;
         }
+        std::cerr << ")\n";
         write_campaign_csv(std::cout, result);
     }
     std::cerr << "total watchdog resets this session: "

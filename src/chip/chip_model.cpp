@@ -23,14 +23,18 @@ std::string_view to_string(run_outcome outcome) {
     case run_outcome::silent_data_corruption: return "SDC";
     case run_outcome::crash: return "CRASH";
     case run_outcome::hang: return "HANG";
+    case run_outcome::aborted_rig: return "ABORTED";
     }
     return "?";
 }
 
 bool is_disruption(run_outcome outcome) {
+    // An aborted-rig run yields no measurement; treating it as a
+    // disruption keeps searches (find_vmin descent) conservative.
     return outcome == run_outcome::uncorrectable_error ||
            outcome == run_outcome::silent_data_corruption ||
-           outcome == run_outcome::crash || outcome == run_outcome::hang;
+           outcome == run_outcome::crash || outcome == run_outcome::hang ||
+           outcome == run_outcome::aborted_rig;
 }
 
 pdn_parameters make_xgene2_pdn() {

@@ -51,7 +51,10 @@ struct vmin_analysis {
 /// How a characterization run at a given supply voltage ended.  Mirrors the
 /// paper's classification: correctable errors (CE), uncorrectable errors
 /// (UE), silent data corruption (SDC, caught against a golden reference),
-/// crashes and hangs (caught by the watchdog).
+/// crashes and hangs (caught by the watchdog).  `aborted_rig` is the
+/// framework's graceful-degradation bucket: the *rig* (not the chip) kept
+/// failing -- hangs, dead boards, stuck power switches -- until the retry
+/// budget ran out, so the run produced no measurement.
 enum class run_outcome : std::uint8_t {
     ok,
     corrected_error,
@@ -59,6 +62,7 @@ enum class run_outcome : std::uint8_t {
     silent_data_corruption,
     crash,
     hang,
+    aborted_rig,
 };
 
 [[nodiscard]] std::string_view to_string(run_outcome outcome);

@@ -8,11 +8,11 @@
 namespace gb {
 
 std::uint64_t classification_summary::total() const {
-    return ok + corrected + uncorrectable + sdc + crash + hang;
+    return ok + corrected + uncorrectable + sdc + crash + hang + aborted;
 }
 
 std::uint64_t classification_summary::disruptions() const {
-    return uncorrectable + sdc + crash + hang;
+    return uncorrectable + sdc + crash + hang + aborted;
 }
 
 namespace {
@@ -25,6 +25,7 @@ void count_outcome(classification_summary& summary, run_outcome outcome) {
     case run_outcome::silent_data_corruption: ++summary.sdc; break;
     case run_outcome::crash: ++summary.crash; break;
     case run_outcome::hang: ++summary.hang; break;
+    case run_outcome::aborted_rig: ++summary.aborted; break;
     }
 }
 

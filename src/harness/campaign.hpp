@@ -56,6 +56,8 @@ struct classification_summary {
     std::uint64_t sdc = 0;
     std::uint64_t crash = 0;
     std::uint64_t hang = 0;
+    /// Rig retry budget exhausted: no measurement for these runs.
+    std::uint64_t aborted = 0;
 
     [[nodiscard]] std::uint64_t total() const;
     [[nodiscard]] std::uint64_t disruptions() const;

@@ -38,9 +38,10 @@ struct dram_campaign_spec {
 
 /// How a DRAM setup's scan ended, in the CPU campaign's vocabulary.
 enum class dram_run_outcome : std::uint8_t {
-    clean,        ///< no failing bits at all
-    contained,    ///< failures present, every word corrected (CE)
-    uncorrectable ///< at least one UE or miscorrection
+    clean,         ///< no failing bits at all
+    contained,     ///< failures present, every word corrected (CE)
+    uncorrectable, ///< at least one UE or miscorrection
+    aborted_rig    ///< rig retry budget exhausted; no scan data
 };
 
 [[nodiscard]] std::string_view to_string(dram_run_outcome outcome);
@@ -62,11 +63,31 @@ struct dram_campaign_result {
     /// Engine observability summed over the per-temperature sweeps (timing
     /// fields are scheduling-dependent; records above are not).
     execution_stats stats;
+    /// Thermocouple mounting faults the fault plan injected, and how many
+    /// of them the testbed's SPD cross-check caught (alarm raised, control
+    /// fell back to the on-die sensor).
+    std::uint64_t thermocouple_faults = 0;
+    std::uint64_t cross_check_alarms = 0;
 
     /// Largest refresh period at which every record of a temperature is
-    /// contained (or clean); nominal if none.
+    /// contained (or clean); nominal if none.  Aborted-rig records count
+    /// as unsafe: a missing measurement must not certify a period.
     [[nodiscard]] milliseconds max_safe_period(celsius temperature) const;
     [[nodiscard]] std::uint64_t uncorrectable_records() const;
+    [[nodiscard]] std::uint64_t aborted_records() const;
+};
+
+class campaign_journal;
+class fault_plan;
+
+/// Rig I/O for a DRAM campaign: optional deterministic fault injection
+/// (run faults into the engine, thermocouple faults into the testbed) and
+/// crash-safe journaling of completed scan records.
+struct dram_campaign_io {
+    const fault_plan* faults = nullptr;
+    campaign_journal* journal = nullptr;
+    int retry_budget = 3;
+    double backoff_base_s = 0.0;
 };
 
 /// Run the campaign: the testbed soaks the DIMMs at each temperature
@@ -80,6 +101,19 @@ struct dram_campaign_result {
 [[nodiscard]] dram_campaign_result run_dram_campaign(
     memory_system& memory, thermal_testbed& testbed,
     const dram_campaign_spec& spec);
+[[nodiscard]] dram_campaign_result run_dram_campaign(
+    memory_system& memory, thermal_testbed& testbed,
+    const dram_campaign_spec& spec, const dram_campaign_io& io);
+
+/// Resume a killed campaign from its journal: completed task indices are
+/// restored from `journal_in` (corrupt lines are skipped and re-run) and
+/// only the remainder executes.  With fresh `memory`/`testbed` instances
+/// seeded as in the original run, records and CSV are bitwise identical to
+/// the uninterrupted campaign at any worker count.
+[[nodiscard]] dram_campaign_result resume_dram_campaign(
+    memory_system& memory, thermal_testbed& testbed,
+    const dram_campaign_spec& spec, std::istream& journal_in,
+    const dram_campaign_io& io = {});
 
 /// Final CSV of the parsing phase.
 void write_dram_campaign_csv(std::ostream& out,

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string_view>
 #include <thread>
 
+#include "harness/fault_injection.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -17,8 +21,8 @@ namespace gb {
 
 namespace {
 
-/// Outcome buckets the histogram can hold; covers run_outcome (6) and
-/// dram_run_outcome (3) with room to spare.
+/// Outcome buckets the histogram can hold; covers run_outcome (7) and
+/// dram_run_outcome (4) with room to spare.
 constexpr int max_buckets = 8;
 
 } // namespace
@@ -46,6 +50,10 @@ double execution_stats::worker_utilization() const {
     return mean / static_cast<double>(max_tasks);
 }
 
+std::uint64_t execution_stats::injected_faults() const {
+    return watchdog_timeouts + board_crashes + power_switch_failures;
+}
+
 void execution_stats::merge(const execution_stats& other) {
     tasks += other.tasks;
     workers = std::max(workers, other.workers);
@@ -62,6 +70,14 @@ void execution_stats::merge(const execution_stats& other) {
     for (std::size_t i = 0; i < other.tasks_per_worker.size(); ++i) {
         tasks_per_worker[i] += other.tasks_per_worker[i];
     }
+    retries += other.retries;
+    aborted_rig += other.aborted_rig;
+    watchdog_timeouts += other.watchdog_timeouts;
+    board_crashes += other.board_crashes;
+    power_switch_failures += other.power_switch_failures;
+    corrupted_log_lines += other.corrupted_log_lines;
+    replayed_tasks += other.replayed_tasks;
+    rig_downtime_s += other.rig_downtime_s;
 }
 
 std::uint64_t derive_task_seed(std::uint64_t base_seed,
@@ -77,7 +93,18 @@ std::uint64_t derive_task_seed(std::uint64_t base_seed,
 int resolve_worker_count(int requested) {
     if (requested <= 0) {
         if (const char* env = std::getenv("GB_JOBS")) {
-            requested = std::atoi(env);
+            const std::string_view text(env);
+            int parsed = 0;
+            const auto [ptr, ec] = std::from_chars(
+                text.data(), text.data() + text.size(), parsed);
+            if (ec == std::errc{} && ptr == text.data() + text.size() &&
+                parsed > 0) {
+                requested = parsed;
+            } else {
+                log_warn("ignoring GB_JOBS='", text,
+                         "' (want a positive integer); falling back to ",
+                         "hardware_concurrency");
+            }
         }
     }
     if (requested <= 0) {
@@ -88,7 +115,10 @@ int resolve_worker_count(int requested) {
 
 execution_engine::execution_engine(execution_options options)
     : options_(std::move(options)),
-      workers_(resolve_worker_count(options_.workers)) {}
+      workers_(resolve_worker_count(options_.workers)) {
+    GB_EXPECTS(options_.retry_budget >= 1);
+    GB_EXPECTS(options_.backoff_base_s >= 0.0);
+}
 
 execution_stats execution_engine::run(std::size_t task_count,
                                       const task_fn& task,
@@ -114,6 +144,20 @@ execution_stats execution_engine::run(std::size_t task_count,
     std::exception_ptr first_error;
     std::mutex error_mutex;
 
+    // Fault/retry accounting: atomics keep the totals deterministic (each
+    // injected fault is keyed to its (index, attempt), not to scheduling);
+    // downtime accumulates in integer microseconds so even the floating
+    // total is order-independent.
+    const fault_plan* faults = options_.faults;
+    const int budget = options_.retry_budget;
+    std::atomic<std::uint64_t> n_retries{0};
+    std::atomic<std::uint64_t> n_aborted{0};
+    std::atomic<std::uint64_t> n_hangs{0};
+    std::atomic<std::uint64_t> n_crashes{0};
+    std::atomic<std::uint64_t> n_switch{0};
+    std::atomic<std::uint64_t> n_replayed{0};
+    std::atomic<std::uint64_t> downtime_us{0};
+
     // Progress is logged when a worker crosses a decile of the task count;
     // the lines go through the (thread-safe) log layer at debug level so
     // default-level campaign output stays byte-identical across worker
@@ -132,6 +176,56 @@ execution_stats execution_engine::run(std::size_t task_count,
             ctx.index = first_index + i;
             ctx.seed = derive_task_seed(options_.base_seed, ctx.index);
             ctx.worker = worker;
+            if (options_.already_complete &&
+                options_.already_complete(ctx.index)) {
+                ctx.replayed = true;
+                n_replayed.fetch_add(1, std::memory_order_relaxed);
+            } else if (faults != nullptr) {
+                // The rig-fault path: draw per attempt, retry within the
+                // budget, give up into an aborted task.  Faulted attempts
+                // never reach the task function -- the board died before
+                // reporting -- so campaign side effects (journal lines)
+                // happen exactly once per task.
+                int attempt = 0;
+                for (; attempt < budget; ++attempt) {
+                    const rig_fault fault = faults->draw(ctx.index, attempt);
+                    if (fault == rig_fault::none) {
+                        break;
+                    }
+                    switch (fault) {
+                    case rig_fault::hang_until_watchdog:
+                        n_hangs.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case rig_fault::board_crash:
+                        n_crashes.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case rig_fault::power_switch_failure:
+                        n_switch.fetch_add(1, std::memory_order_relaxed);
+                        break;
+                    case rig_fault::none: break;
+                    }
+                    downtime_us.fetch_add(
+                        static_cast<std::uint64_t>(
+                            std::llround(faults->downtime_for(fault) * 1e6)),
+                        std::memory_order_relaxed);
+                    if (attempt + 1 < budget) {
+                        n_retries.fetch_add(1, std::memory_order_relaxed);
+                        if (options_.backoff_base_s > 0.0) {
+                            std::this_thread::sleep_for(
+                                std::chrono::duration<double>(
+                                    options_.backoff_base_s *
+                                    static_cast<double>(1ULL << attempt)));
+                        }
+                    } else {
+                        n_aborted.fetch_add(1, std::memory_order_relaxed);
+                        log_debug("task ", ctx.index,
+                                  ": retry budget exhausted (", budget,
+                                  " attempts), recording aborted_rig");
+                    }
+                }
+                ctx.attempt = attempt;
+                ctx.aborted = attempt == budget;
+            }
             try {
                 const int bucket = task(ctx);
                 if (bucket >= 0) {
@@ -186,6 +280,15 @@ execution_stats execution_engine::run(std::size_t task_count,
         stats.outcome_histogram[b] =
             histogram[b].load(std::memory_order_relaxed);
     }
+    stats.retries = n_retries.load(std::memory_order_relaxed);
+    stats.aborted_rig = n_aborted.load(std::memory_order_relaxed);
+    stats.watchdog_timeouts = n_hangs.load(std::memory_order_relaxed);
+    stats.board_crashes = n_crashes.load(std::memory_order_relaxed);
+    stats.power_switch_failures = n_switch.load(std::memory_order_relaxed);
+    stats.replayed_tasks = n_replayed.load(std::memory_order_relaxed);
+    stats.rig_downtime_s =
+        static_cast<double>(downtime_us.load(std::memory_order_relaxed)) /
+        1e6;
 
     if (first_error) {
         std::rethrow_exception(first_error);
@@ -195,6 +298,15 @@ execution_stats execution_engine::run(std::size_t task_count,
                  " tasks on ", pool, " workers in ", stats.wall_seconds,
                  " s (", stats.runs_per_second(), " runs/s, utilization ",
                  stats.worker_utilization(), ")");
+        if (stats.injected_faults() > 0) {
+            log_info("campaign ", options_.campaign, ": rig faults ",
+                     stats.injected_faults(), " (", stats.watchdog_timeouts,
+                     " hang/", stats.board_crashes, " crash/",
+                     stats.power_switch_failures, " power-switch), ",
+                     stats.retries, " retries, ", stats.aborted_rig,
+                     " aborted, ", stats.rig_downtime_s,
+                     " s simulated downtime");
+        }
     }
     return stats;
 }

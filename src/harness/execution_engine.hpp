@@ -16,6 +16,15 @@
 // regardless of thread count or scheduling.  Worker count comes from the
 // options, the GB_JOBS environment variable, or hardware_concurrency, in
 // that order.
+//
+// The engine also models the rig's fault path: an optional `fault_plan`
+// injects hang/crash/power-switch faults per task attempt, the engine
+// retries with exponential backoff inside a bounded budget (the watchdog
+// monitor power-cycling the board), and a task whose budget is exhausted is
+// handed back to its owner once with `task_context::aborted` set so the
+// campaign records an aborted-rig outcome instead of dying.  Fault draws
+// are keyed by (task index, attempt), never by worker or wall clock, so a
+// faulty campaign is exactly as reproducible as a healthy one.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,8 @@
 
 namespace gb {
 
+class fault_plan;
+
 struct execution_options {
     /// Worker threads; <= 0 means GB_JOBS env var, else
     /// hardware_concurrency.
@@ -33,6 +44,19 @@ struct execution_options {
     std::uint64_t base_seed = 0;
     /// Campaign name used in progress/summary log lines (empty: quiet).
     std::string campaign;
+    /// Injected rig faults (null: healthy rig, no retry machinery runs).
+    const fault_plan* faults = nullptr;
+    /// Attempts per task before the engine gives up and reports the task
+    /// as aborted (>= 1).  Only consulted when a fault plan is present.
+    int retry_budget = 3;
+    /// Real sleep before retry k of a task: backoff_base_s * 2^k seconds.
+    /// 0 (the default) retries immediately -- the simulated recovery time
+    /// is charged to execution_stats::rig_downtime_s either way.
+    double backoff_base_s = 0.0;
+    /// Journal-resume predicate: tasks whose absolute index tests true are
+    /// re-issued with `task_context::replayed` set and no fault injection
+    /// (their record was already recovered from the journal).
+    std::function<bool(std::size_t)> already_complete;
 };
 
 /// Everything a task may depend on.  Tasks must derive all randomness from
@@ -41,10 +65,18 @@ struct task_context {
     std::size_t index = 0;  ///< position in the flat task list
     std::uint64_t seed = 0; ///< splitmix64(base_seed, index)
     int worker = 0;         ///< executing worker id (observability only)
+    int attempt = 0;        ///< surviving attempt (faulted ones come before)
+    /// Retry budget exhausted: the task must record an aborted-rig result
+    /// for its slot instead of executing.
+    bool aborted = false;
+    /// Journal resume: the slot was prefilled from the journal; the task
+    /// must only report the replayed outcome bucket.
+    bool replayed = false;
 };
 
 /// Observability record of one engine run.  Timing and per-worker counts
-/// are scheduling-dependent; the histogram and task count are deterministic.
+/// are scheduling-dependent; the histogram, task count and fault/retry
+/// counters are deterministic.
 struct execution_stats {
     std::size_t tasks = 0;
     int workers = 0;
@@ -54,9 +86,29 @@ struct execution_stats {
     std::vector<std::uint64_t> outcome_histogram;
     std::vector<std::uint64_t> tasks_per_worker;
 
+    // Rig-fault resilience counters.  With a fault plan active every
+    // injected fault is accounted for exactly once:
+    //   watchdog_timeouts + board_crashes + power_switch_failures
+    //     == retries + aborted_rig
+    // (each faulted attempt either got retried or exhausted its task's
+    // budget).  All six are deterministic for a given plan.
+    std::uint64_t retries = 0;           ///< faulted attempts that retried
+    std::uint64_t aborted_rig = 0;       ///< tasks with budget exhausted
+    std::uint64_t watchdog_timeouts = 0; ///< injected hangs caught by wdt
+    std::uint64_t board_crashes = 0;     ///< injected mid-run crashes
+    std::uint64_t power_switch_failures = 0; ///< injected actuation faults
+    std::uint64_t corrupted_log_lines = 0;   ///< journal lines mangled
+    std::uint64_t replayed_tasks = 0;        ///< slots restored from journal
+    /// Simulated rig recovery time (watchdog timeouts, reboots, power
+    /// cycles) summed over injected faults; deterministic, unlike
+    /// wall_seconds.
+    double rig_downtime_s = 0.0;
+
     [[nodiscard]] double runs_per_second() const;
     /// Load balance in (0, 1]: mean tasks/worker over max tasks/worker.
     [[nodiscard]] double worker_utilization() const;
+    /// Total injected rig faults (= retries + aborted_rig).
+    [[nodiscard]] std::uint64_t injected_faults() const;
     /// Accumulate another run (multi-phase campaigns sum their phases).
     void merge(const execution_stats& other);
 };
@@ -66,7 +118,9 @@ struct execution_stats {
                                              std::uint64_t task_index);
 
 /// Effective worker count for a request (<= 0: GB_JOBS, then
-/// hardware_concurrency; always >= 1).
+/// hardware_concurrency; always >= 1).  Garbage, zero or negative GB_JOBS
+/// values are rejected with a warning and fall back to
+/// hardware_concurrency.
 [[nodiscard]] int resolve_worker_count(int requested);
 
 class execution_engine {
@@ -82,7 +136,8 @@ public:
     /// Run `task_count` tasks; task i sees index `first_index + i` (the
     /// offset keeps seeds stable when a sweep is issued in chunks).  Blocks
     /// until all tasks finish; rethrows the first task exception after the
-    /// pool drains.
+    /// pool drains.  Injected rig faults never throw: they retry within the
+    /// budget and then surface as aborted tasks.
     execution_stats run(std::size_t task_count, const task_fn& task,
                         std::size_t first_index = 0) const;
 

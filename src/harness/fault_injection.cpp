@@ -1,0 +1,128 @@
+#include "harness/fault_injection.hpp"
+
+#include "harness/execution_engine.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace gb {
+
+namespace {
+
+// Domain separators so the fault streams never alias the task-seed stream
+// the engine hands to the tasks themselves (same base seed, different
+// purpose).
+constexpr std::uint64_t run_fault_domain = 0x7269672d66617574ULL;
+constexpr std::uint64_t log_fault_domain = 0x6c6f672d66617574ULL;
+constexpr std::uint64_t sensor_fault_domain = 0x7463702d66617574ULL;
+
+} // namespace
+
+std::string_view to_string(rig_fault fault) {
+    switch (fault) {
+    case rig_fault::none: return "none";
+    case rig_fault::hang_until_watchdog: return "hang";
+    case rig_fault::board_crash: return "crash";
+    case rig_fault::power_switch_failure: return "power-switch";
+    }
+    return "?";
+}
+
+void fault_plan_config::validate() const {
+    GB_EXPECTS(hang_rate >= 0.0 && hang_rate <= 1.0);
+    GB_EXPECTS(crash_rate >= 0.0 && crash_rate <= 1.0);
+    GB_EXPECTS(power_switch_rate >= 0.0 && power_switch_rate <= 1.0);
+    GB_EXPECTS(hang_rate + crash_rate + power_switch_rate <= 1.0);
+    GB_EXPECTS(log_corruption_rate >= 0.0 && log_corruption_rate <= 1.0);
+    GB_EXPECTS(thermocouple_fault_rate >= 0.0 &&
+               thermocouple_fault_rate <= 1.0);
+    GB_EXPECTS(watchdog_timeout_s >= 0.0);
+    GB_EXPECTS(reboot_s >= 0.0);
+    GB_EXPECTS(power_cycle_retry_s >= 0.0);
+}
+
+fault_plan::fault_plan(fault_plan_config config) : config_(config) {
+    config_.validate();
+}
+
+rig_fault fault_plan::draw(std::uint64_t task_index, int attempt) const {
+    GB_EXPECTS(attempt >= 0);
+    const std::uint64_t base =
+        derive_task_seed(config_.seed ^ run_fault_domain, task_index);
+    rng stream(derive_task_seed(base,
+                                static_cast<std::uint64_t>(attempt) + 1));
+    double u = stream.uniform();
+    if (u < config_.hang_rate) {
+        return rig_fault::hang_until_watchdog;
+    }
+    u -= config_.hang_rate;
+    if (u < config_.crash_rate) {
+        return rig_fault::board_crash;
+    }
+    u -= config_.crash_rate;
+    if (u < config_.power_switch_rate) {
+        return rig_fault::power_switch_failure;
+    }
+    return rig_fault::none;
+}
+
+bool fault_plan::corrupts_log(std::uint64_t task_index) const {
+    if (config_.log_corruption_rate <= 0.0) {
+        return false;
+    }
+    rng stream(derive_task_seed(config_.seed ^ log_fault_domain, task_index));
+    return stream.bernoulli(config_.log_corruption_rate);
+}
+
+std::string fault_plan::corrupt_line(std::uint64_t task_index,
+                                     std::string_view line) const {
+    rng stream(derive_task_seed(config_.seed ^ log_fault_domain,
+                                task_index) +
+               1);
+    // Cut into the first half, then always smear line noise over the tail:
+    // the noise bytes contain no '=', so whatever field they land in (or
+    // start) fails key=value parsing -- the remnant can never parse as a
+    // (wrong) record, regardless of where the cut fell.
+    const std::uint64_t cut =
+        line.empty() ? 0 : stream.uniform_index(line.size() / 2 + 1);
+    std::string mangled(line.substr(0, cut));
+    mangled += "\x01#\x7f~";
+    return mangled;
+}
+
+celsius fault_plan::thermocouple_offset(int dimm) const {
+    GB_EXPECTS(dimm >= 0);
+    if (config_.thermocouple_fault_rate <= 0.0) {
+        return celsius{0.0};
+    }
+    rng stream(derive_task_seed(config_.seed ^ sensor_fault_domain,
+                                static_cast<std::uint64_t>(dimm)));
+    if (!stream.bernoulli(config_.thermocouple_fault_rate)) {
+        return celsius{0.0};
+    }
+    return config_.thermocouple_offset;
+}
+
+double fault_plan::downtime_for(rig_fault fault) const {
+    switch (fault) {
+    case rig_fault::none: return 0.0;
+    case rig_fault::hang_until_watchdog:
+        return config_.watchdog_timeout_s + config_.reboot_s;
+    case rig_fault::board_crash: return config_.reboot_s;
+    case rig_fault::power_switch_failure:
+        return config_.power_cycle_retry_s;
+    }
+    return 0.0;
+}
+
+fault_plan make_uniform_fault_plan(std::uint64_t seed, double fault_rate) {
+    GB_EXPECTS(fault_rate >= 0.0 && fault_rate <= 1.0);
+    fault_plan_config config;
+    config.seed = seed;
+    config.hang_rate = fault_rate / 3.0;
+    config.crash_rate = fault_rate / 3.0;
+    config.power_switch_rate = fault_rate / 3.0;
+    config.log_corruption_rate = fault_rate;
+    return fault_plan(config);
+}
+
+} // namespace gb

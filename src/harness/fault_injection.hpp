@@ -1,0 +1,106 @@
+// Deterministic rig-fault model for the characterization framework.
+//
+// The paper's rig is hostile: boards hang until the watchdog monitor
+// power-cycles them, crash mid-run, sometimes fail to come back when the
+// power switch is actuated, and stream raw-log lines over a serial link
+// that a dying machine truncates or garbles.  A `fault_plan` reproduces
+// all of that *deterministically*: every decision is derived with
+// splitmix64 from (plan seed, task index, attempt), so a faulty campaign
+// is exactly as reproducible as a healthy one -- identical for any worker
+// count, and replayable for debugging by re-running with the same seed.
+//
+// The execution engine consumes the plan per task attempt (hang / crash /
+// power-switch faults trigger bounded retry with exponential backoff, then
+// an `aborted_rig` outcome); the campaign journal consumes it per completed
+// record (log-corruption faults mangle the journal line the way a dying
+// UART does); the DRAM campaign runner consumes it per DIMM (thermocouple
+// mounting faults routed into the thermal testbed's existing hook).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace gb {
+
+/// What the rig does to one task attempt.
+enum class rig_fault : std::uint8_t {
+    none,                ///< the run executes and reports normally
+    hang_until_watchdog, ///< board wedges; watchdog fires, board reboots
+    board_crash,         ///< board dies mid-run; results of the run are lost
+    power_switch_failure ///< actuation fails; board never starts the run
+};
+
+[[nodiscard]] std::string_view to_string(rig_fault fault);
+
+struct fault_plan_config {
+    /// Root of every per-(task, attempt) fault decision.  Campaigns pass
+    /// their base seed so faulty runs reproduce with the campaign.
+    std::uint64_t seed = 0;
+
+    /// Per-attempt probability of each run fault; their sum must stay
+    /// within [0, 1].
+    double hang_rate = 0.0;
+    double crash_rate = 0.0;
+    double power_switch_rate = 0.0;
+
+    /// Per-completed-task probability that the record's raw-log line is
+    /// truncated/garbled in the journal (noticed only at parse time, like
+    /// on the real rig: the run itself is unaffected).
+    double log_corruption_rate = 0.0;
+
+    /// Per-DIMM probability of a thermocouple mounting fault, and the
+    /// sensor offset such a fault applies (routed into
+    /// thermal_testbed::inject_thermocouple_fault by the DRAM runner).
+    double thermocouple_fault_rate = 0.0;
+    celsius thermocouple_offset{-6.0};
+
+    /// Simulated rig recovery times, charged to
+    /// execution_stats::rig_downtime_s (no real sleeping).
+    double watchdog_timeout_s = 10.0; ///< hang detection latency
+    double reboot_s = 30.0;           ///< power-cycle + boot after hang/crash
+    double power_cycle_retry_s = 5.0; ///< re-actuating a stuck power switch
+
+    void validate() const;
+};
+
+class fault_plan {
+public:
+    explicit fault_plan(fault_plan_config config);
+
+    /// Fault injected into attempt `attempt` of task `task_index`.
+    /// Deterministic: depends only on (seed, task_index, attempt).
+    [[nodiscard]] rig_fault draw(std::uint64_t task_index,
+                                 int attempt) const;
+
+    /// Whether the completed task's journal line gets mangled.
+    [[nodiscard]] bool corrupts_log(std::uint64_t task_index) const;
+
+    /// Deterministically mangle a raw-log line the way the dying serial
+    /// link does: truncate into the first half of the line and smear
+    /// garbage over the tail.  The result never parses as a well-formed
+    /// record, so the tolerant parser skips it instead of resurrecting a
+    /// wrong one.
+    [[nodiscard]] std::string corrupt_line(std::uint64_t task_index,
+                                           std::string_view line) const;
+
+    /// Thermocouple mounting-fault offset for a DIMM; 0 C means healthy.
+    [[nodiscard]] celsius thermocouple_offset(int dimm) const;
+
+    /// Simulated seconds the rig loses recovering from one fault.
+    [[nodiscard]] double downtime_for(rig_fault fault) const;
+
+    [[nodiscard]] const fault_plan_config& config() const { return config_; }
+
+private:
+    fault_plan_config config_;
+};
+
+/// Convenience plan: `fault_rate` split evenly across the three run faults,
+/// with the same rate of journal-line corruption.
+[[nodiscard]] fault_plan make_uniform_fault_plan(std::uint64_t seed,
+                                                 double fault_rate);
+
+} // namespace gb

@@ -1,7 +1,11 @@
 #include "harness/framework.hpp"
 
 #include <cmath>
+#include <istream>
 
+#include "harness/fault_injection.hpp"
+#include "harness/journal.hpp"
+#include "harness/logfile.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 
@@ -70,8 +74,33 @@ std::vector<core_assignment> characterization_framework::make_assignments(
 
 campaign_result characterization_framework::run_campaign(
     const campaign_spec& spec, const kernel& program) {
+    return run_campaign_impl(spec, program, {}, nullptr);
+}
+
+campaign_result characterization_framework::run_campaign(
+    const campaign_spec& spec, const kernel& program,
+    const campaign_io& io) {
+    return run_campaign_impl(spec, program, io, nullptr);
+}
+
+campaign_result characterization_framework::resume_campaign(
+    const campaign_spec& spec, const kernel& program,
+    std::istream& journal_in, const campaign_io& io) {
+    const cpu_journal_replay replay = replay_cpu_journal(journal_in);
+    if (replay.skipped > 0) {
+        log_info(spec.benchmark, " resume: ", replay.completed.size(),
+                 " records restored, ", replay.skipped,
+                 " journal lines unrecoverable (their tasks re-run)");
+    }
+    return run_campaign_impl(spec, program, io, &replay.completed);
+}
+
+campaign_result characterization_framework::run_campaign_impl(
+    const campaign_spec& spec, const kernel& program, const campaign_io& io,
+    const std::map<std::size_t, run_record>* restored) {
     GB_EXPECTS(spec.repetitions >= 1);
     GB_EXPECTS(!spec.setups.empty());
+    GB_EXPECTS(io.retry_budget >= 1);
 
     // Profiles are warmed serially while the setups are enumerated, so the
     // engine tasks below only ever read shared state.
@@ -102,32 +131,71 @@ campaign_result characterization_framework::run_campaign(
     result.spec = spec;
     result.records.resize(total);
 
+    // Journal-resume bookkeeping: prefill restored slots; the engine skips
+    // fault injection for them and the task only reports the replayed
+    // outcome bucket.
+    std::vector<char> completed(total, 0);
+    if (restored != nullptr) {
+        for (const auto& [index, record] : *restored) {
+            if (index < total) {
+                result.records[index] = record;
+                completed[index] = 1;
+            }
+        }
+    }
+
     execution_options options;
     options.workers = spec.workers;
     options.base_seed = campaign_seed(seed_, spec.benchmark);
     options.campaign = spec.benchmark;
+    options.faults = io.faults;
+    options.retry_budget = io.retry_budget;
+    options.backoff_base_s = io.backoff_base_s;
+    if (restored != nullptr) {
+        options.already_complete = [&completed](std::size_t index) {
+            return completed[index] != 0;
+        };
+    }
     const execution_engine engine(options);
     result.stats = engine.run(total, [&](const task_context& ctx) {
+        run_record& record = result.records[ctx.index];
+        if (ctx.replayed) {
+            return static_cast<int>(record.outcome);
+        }
         const std::size_t setup_index = ctx.index / reps;
         const characterization_setup& setup = spec.setups[setup_index];
-        rng task_rng(ctx.seed);
-        const run_evaluation eval =
-            chip_.evaluate_run(setup_assignments[setup_index], setup.voltage,
-                               phase_seed, task_rng);
-
-        run_record& record = result.records[ctx.index];
         record.benchmark = spec.benchmark;
         record.voltage = setup.voltage;
         record.frequency = setup.frequency;
         record.cores = setup.cores;
         record.repetition = static_cast<int>(ctx.index % reps);
-        record.outcome = eval.outcome;
-        record.margin = eval.margin;
-        record.path = eval.path;
-        record.watchdog_reset = eval.outcome == run_outcome::crash ||
-                                eval.outcome == run_outcome::hang;
-        return static_cast<int>(eval.outcome);
+        if (ctx.aborted) {
+            // Rig retry budget exhausted: the board never reported a
+            // result for this cell.  The campaign records the gap (the
+            // rig's watchdog monitor did fire) and moves on.
+            record.outcome = run_outcome::aborted_rig;
+            record.margin = millivolts{0.0};
+            record.path = failure_path::logic;
+            record.watchdog_reset = true;
+        } else {
+            rng task_rng(ctx.seed);
+            const run_evaluation eval = chip_.evaluate_run(
+                setup_assignments[setup_index], setup.voltage, phase_seed,
+                task_rng);
+            record.outcome = eval.outcome;
+            record.margin = eval.margin;
+            record.path = eval.path;
+            record.watchdog_reset = eval.outcome == run_outcome::crash ||
+                                    eval.outcome == run_outcome::hang;
+        }
+        if (io.journal != nullptr) {
+            io.journal->append(ctx.index, to_log_line(record), io.faults);
+        }
+        return static_cast<int>(record.outcome);
     });
+    if (io.journal != nullptr) {
+        result.stats.corrupted_log_lines = io.journal->corrupted();
+    }
 
     // Watchdog accounting happens after the sweep, in record order, so the
     // count and the debug log sequence are scheduling-independent.

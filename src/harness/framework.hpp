@@ -18,6 +18,7 @@
 //     the traces reused across the campaign's thousands of evaluations.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,10 +35,22 @@
 
 namespace gb {
 
+class campaign_journal;
+class fault_plan;
+
 /// A multi-program assignment: which kernel runs on which core.
 struct program_assignment {
     int core = 0;
     const kernel* program = nullptr;
+};
+
+/// Rig I/O for a CPU campaign: optional deterministic fault injection and
+/// crash-safe journaling of completed run records (journal.hpp).
+struct campaign_io {
+    const fault_plan* faults = nullptr;
+    campaign_journal* journal = nullptr;
+    int retry_budget = 3;
+    double backoff_base_s = 0.0;
 };
 
 class characterization_framework {
@@ -49,6 +62,22 @@ public:
     /// serial nested-loop order regardless of thread count.
     [[nodiscard]] campaign_result run_campaign(const campaign_spec& spec,
                                                const kernel& program);
+    /// Same, with rig faults injected and/or records journaled.  A task
+    /// whose rig retry budget is exhausted records run_outcome::aborted_rig
+    /// (the campaign never throws for injected faults).
+    [[nodiscard]] campaign_result run_campaign(const campaign_spec& spec,
+                                               const kernel& program,
+                                               const campaign_io& io);
+
+    /// Resume a killed campaign from its journal: completed task indices
+    /// are restored from `journal_in` (corrupt lines skipped and re-run)
+    /// and only the remainder executes.  With the same framework seed and
+    /// spec, records and CSV are bitwise identical to the uninterrupted
+    /// campaign at any worker count.
+    [[nodiscard]] campaign_result resume_campaign(const campaign_spec& spec,
+                                                  const kernel& program,
+                                                  std::istream& journal_in,
+                                                  const campaign_io& io = {});
 
     /// One run of a heterogeneous assignment (e.g. the Fig 5 8-benchmark
     /// mix) at a setup; per-core frequency comes from `frequencies[pmd]`.
@@ -94,6 +123,11 @@ private:
     [[nodiscard]] std::vector<core_assignment> make_assignments(
         const std::vector<program_assignment>& programs,
         const std::array<megahertz, 4>& pmd_frequency);
+
+    [[nodiscard]] campaign_result run_campaign_impl(
+        const campaign_spec& spec, const kernel& program,
+        const campaign_io& io,
+        const std::map<std::size_t, run_record>* restored);
 
     const chip_model& chip_;
     std::uint64_t seed_;

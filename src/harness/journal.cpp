@@ -1,0 +1,121 @@
+#include "harness/journal.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "harness/fault_injection.hpp"
+#include "harness/logfile.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+
+namespace {
+
+constexpr std::string_view task_prefix = "task=";
+
+} // namespace
+
+campaign_journal::campaign_journal(const std::string& path)
+    : file_(path, std::ios::out | std::ios::app), sink_(&file_) {
+    GB_EXPECTS(file_.is_open());
+}
+
+campaign_journal::campaign_journal(std::ostream& sink) : sink_(&sink) {}
+
+void campaign_journal::append(std::size_t task_index, std::string_view line,
+                              const fault_plan* faults) {
+    std::string full;
+    full += task_prefix;
+    full += std::to_string(task_index);
+    full += ' ';
+    full += line;
+    const bool corrupt =
+        faults != nullptr && faults->corrupts_log(task_index);
+    if (corrupt) {
+        full = faults->corrupt_line(task_index, full);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    *sink_ << full << '\n';
+    sink_->flush(); // the journal's whole point: survive a kill -9
+    ++appended_;
+    if (corrupt) {
+        ++corrupted_;
+    }
+}
+
+std::uint64_t campaign_journal::appended() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_;
+}
+
+std::uint64_t campaign_journal::corrupted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corrupted_;
+}
+
+bool parse_journal_prefix(std::string_view line, std::size_t& task_index,
+                          std::string_view& payload) {
+    if (!line.starts_with(task_prefix)) {
+        return false;
+    }
+    const std::string_view rest = line.substr(task_prefix.size());
+    const std::size_t space = rest.find(' ');
+    if (space == std::string_view::npos || space == 0) {
+        return false;
+    }
+    const std::string_view index_token = rest.substr(0, space);
+    std::size_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(index_token.data(),
+                        index_token.data() + index_token.size(), parsed);
+    if (ec != std::errc{} ||
+        ptr != index_token.data() + index_token.size()) {
+        return false;
+    }
+    task_index = parsed;
+    payload = rest.substr(space + 1);
+    return true;
+}
+
+cpu_journal_replay replay_cpu_journal(std::istream& in) {
+    cpu_journal_replay replay;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::size_t index = 0;
+        std::string_view payload;
+        run_record record;
+        if (parse_journal_prefix(line, index, payload) &&
+            parse_log_line(payload, record)) {
+            replay.completed[index] = std::move(record);
+        } else {
+            ++replay.skipped;
+        }
+    }
+    return replay;
+}
+
+dram_journal_replay replay_dram_journal(std::istream& in) {
+    dram_journal_replay replay;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::size_t index = 0;
+        std::string_view payload;
+        dram_run_record record;
+        if (parse_journal_prefix(line, index, payload) &&
+            parse_log_line(payload, record)) {
+            replay.completed[index] = std::move(record);
+        } else {
+            ++replay.skipped;
+        }
+    }
+    return replay;
+}
+
+} // namespace gb

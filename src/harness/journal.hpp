@@ -1,0 +1,79 @@
+// Crash-safe, append-only campaign journal.
+//
+// The paper's rig streams raw per-run log lines off-board as they complete,
+// so "a crashed board or a killed campaign loses at most the in-flight
+// run".  This module is that property for our campaign runners: every
+// completed task's record is serialized in the logfile wire format behind a
+// `task=<index>` routing prefix, appended under a mutex and flushed
+// line-by-line.  A killed campaign leaves a journal whose replay (through
+// the tolerant logfile parsers -- corrupted or truncated lines are simply
+// skipped and their tasks re-run) tells the resume path exactly which task
+// indices are done; the engine re-runs only the remainder, and because
+// doubles round-trip exactly, the resumed records and CSV are bitwise
+// identical to an uninterrupted run at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "harness/campaign.hpp"
+#include "harness/dram_campaign.hpp"
+
+namespace gb {
+
+class fault_plan;
+
+/// Thread-safe append sink for one campaign's journal lines.
+class campaign_journal {
+public:
+    /// Append to a file (created if missing, existing lines kept -- the
+    /// resume path reads them first and keeps appending to the same file).
+    explicit campaign_journal(const std::string& path);
+    /// Append to a caller-owned stream (tests, off-board pipes).
+    explicit campaign_journal(std::ostream& sink);
+
+    /// Append `task=<index> <line>` and flush.  When a fault plan with a
+    /// log-corruption fault for this task is given, the written line is
+    /// deterministically mangled instead (the record stays intact in
+    /// memory; only the journal loses it, like a dying UART).
+    void append(std::size_t task_index, std::string_view line,
+                const fault_plan* faults = nullptr);
+
+    [[nodiscard]] std::uint64_t appended() const;
+    [[nodiscard]] std::uint64_t corrupted() const;
+
+private:
+    std::ofstream file_;
+    std::ostream* sink_;
+    mutable std::mutex mutex_;
+    std::uint64_t appended_ = 0;
+    std::uint64_t corrupted_ = 0;
+};
+
+/// Split a journal line into its task index and record payload.  Returns
+/// false for lines without a well-formed `task=<index> ` prefix.
+[[nodiscard]] bool parse_journal_prefix(std::string_view line,
+                                        std::size_t& task_index,
+                                        std::string_view& payload);
+
+/// Replay of a (possibly truncated, possibly corrupted) journal: the
+/// records recovered per task index, last write winning.  `skipped` counts
+/// lines that were not recoverable records.
+struct cpu_journal_replay {
+    std::map<std::size_t, run_record> completed;
+    std::size_t skipped = 0;
+};
+[[nodiscard]] cpu_journal_replay replay_cpu_journal(std::istream& in);
+
+struct dram_journal_replay {
+    std::map<std::size_t, dram_run_record> completed;
+    std::size_t skipped = 0;
+};
+[[nodiscard]] dram_journal_replay replay_dram_journal(std::istream& in);
+
+} // namespace gb

@@ -121,6 +121,16 @@ bool thermal_testbed::cross_check_alarm(int dimm) const {
     return alarm_[static_cast<std::size_t>(dimm)];
 }
 
+int thermal_testbed::alarm_count() const {
+    int count = 0;
+    for (int dimm = 0; dimm < dimm_count(); ++dimm) {
+        if (cross_check_alarm(dimm)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
 void thermal_testbed::inject_thermocouple_fault(int dimm, celsius offset) {
     GB_EXPECTS(dimm >= 0 && dimm < dimm_count());
     plants_[static_cast<std::size_t>(dimm)].set_thermocouple_fault(offset);

@@ -37,6 +37,8 @@ public:
     /// aggressively control the heating elements").
     void enable_spd_cross_check(celsius threshold);
     [[nodiscard]] bool cross_check_alarm(int dimm) const;
+    /// Number of DIMMs whose cross-check alarm is currently raised.
+    [[nodiscard]] int alarm_count() const;
 
     /// Inject a thermocouple mounting fault on one DIMM.
     void inject_thermocouple_fault(int dimm, celsius offset);

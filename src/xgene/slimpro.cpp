@@ -21,8 +21,9 @@ void slimpro::report_cpu_event(run_outcome outcome) {
     case run_outcome::silent_data_corruption:
     case run_outcome::crash:
     case run_outcome::hang:
-        // SDC is by definition invisible to the hardware; crashes and hangs
-        // are caught by the watchdog, not the error log.
+    case run_outcome::aborted_rig:
+        // SDC is by definition invisible to the hardware; crashes, hangs
+        // and rig aborts are caught by the watchdog, not the error log.
         break;
     }
 }

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "harness/framework.hpp"
+#include "util/rng.hpp"
 #include "workloads/cpu_profiles.hpp"
 
 namespace gb {
@@ -124,6 +127,149 @@ TEST(logfile_test, negative_margins_roundtrip) {
     run_record parsed;
     ASSERT_TRUE(parse_log_line(to_log_line(record), parsed));
     EXPECT_DOUBLE_EQ(parsed.margin.value, -27.25);
+}
+
+TEST(logfile_test, doubles_roundtrip_exactly) {
+    // The journal-resume contract needs exact round-trips, not 6-digit
+    // approximations: awkward values must survive the wire bit for bit.
+    for (const double value :
+         {-27.25, 1.0 / 3.0, 905.0000001, -0.0, 1e-17, 123456.789012345}) {
+        run_record record = sample_record();
+        record.margin = millivolts{value};
+        run_record parsed;
+        ASSERT_TRUE(parse_log_line(to_log_line(record), parsed));
+        EXPECT_EQ(parsed.margin.value, value);
+    }
+}
+
+// --- Adversarial-input properties: the tolerant parsers must never crash
+// --- and must never resurrect a truncated line as a (wrong) record.
+
+TEST(logfile_property_test, cpu_line_truncated_at_every_offset) {
+    for (const run_outcome outcome :
+         {run_outcome::ok, run_outcome::corrected_error,
+          run_outcome::silent_data_corruption, run_outcome::crash,
+          run_outcome::hang, run_outcome::aborted_rig}) {
+        run_record record = sample_record();
+        record.outcome = outcome;
+        record.watchdog_reset = outcome == run_outcome::crash;
+        const std::string line = to_log_line(record);
+        for (std::size_t cut = 0; cut < line.size(); ++cut) {
+            run_record parsed;
+            EXPECT_FALSE(parse_log_line(
+                std::string_view(line).substr(0, cut), parsed))
+                << "prefix of length " << cut << " parsed: "
+                << line.substr(0, cut);
+        }
+        run_record parsed;
+        EXPECT_TRUE(parse_log_line(line, parsed));
+    }
+}
+
+TEST(logfile_property_test, dram_line_truncated_at_every_offset) {
+    dram_run_record record;
+    record.temperature = celsius{60.0};
+    record.refresh_period = milliseconds{2283.0};
+    record.repetition = 3;
+    record.scan.failed_cells = 17;
+    record.scan.ce_words = 15;
+    record.scan.ue_words = 1;
+    record.scan.per_bank_failures = {1, 2, 3, 4, 5, 0, 1, 1};
+    record.regulation_deviation_c = 0.62;
+    for (const dram_run_outcome outcome :
+         {dram_run_outcome::clean, dram_run_outcome::contained,
+          dram_run_outcome::uncorrectable, dram_run_outcome::aborted_rig}) {
+        for (const data_pattern pattern : all_data_patterns()) {
+            record.outcome = outcome;
+            record.pattern = pattern;
+            const std::string line = to_log_line(record);
+            for (std::size_t cut = 0; cut < line.size(); ++cut) {
+                dram_run_record parsed;
+                EXPECT_FALSE(parse_log_line(
+                    std::string_view(line).substr(0, cut), parsed))
+                    << "prefix of length " << cut << " parsed: "
+                    << line.substr(0, cut);
+            }
+            dram_run_record parsed;
+            ASSERT_TRUE(parse_log_line(line, parsed));
+            EXPECT_EQ(parsed.outcome, outcome);
+            EXPECT_EQ(parsed.pattern, pattern);
+            EXPECT_EQ(parsed.scan.per_bank_failures,
+                      record.scan.per_bank_failures);
+        }
+    }
+}
+
+TEST(logfile_property_test, random_byte_flips_never_crash_the_parser) {
+    // A raw log whose lines are randomly shot at: parsing must survive
+    // arbitrary garbage, and every untouched line's record must come back
+    // intact, in order.
+    std::vector<run_record> originals;
+    for (int i = 0; i < 40; ++i) {
+        run_record record = sample_record();
+        record.repetition = i;
+        record.voltage = millivolts{980.0 - i};
+        record.margin = millivolts{i * 0.37 - 5.0};
+        originals.push_back(record);
+    }
+
+    rng noise(20180406);
+    std::vector<std::string> untouched;
+    std::ostringstream wire;
+    for (const run_record& record : originals) {
+        std::string line = to_log_line(record);
+        if (noise.bernoulli(0.5)) {
+            const int flips = 1 + static_cast<int>(noise.uniform_index(3));
+            for (int f = 0; f < flips; ++f) {
+                const std::size_t at = noise.uniform_index(line.size());
+                line[at] = static_cast<char>(
+                    line[at] ^
+                    static_cast<char>(1 + noise.uniform_index(255)));
+            }
+        } else {
+            untouched.push_back(line);
+        }
+        wire << line << '\n';
+    }
+
+    std::istringstream in(wire.str());
+    std::size_t skipped = 0;
+    const std::vector<run_record> recovered = parse_raw_log(in, &skipped);
+
+    // Every untouched line is recovered, in order (flipped lines may or
+    // may not survive -- either way they must not take the parser down).
+    std::size_t next = 0;
+    for (const run_record& record : recovered) {
+        if (next < untouched.size() &&
+            to_log_line(record) == untouched[next]) {
+            ++next;
+        }
+    }
+    EXPECT_EQ(next, untouched.size());
+}
+
+TEST(logfile_test, dram_raw_log_roundtrip_with_noise) {
+    dram_run_record record;
+    record.pattern = data_pattern::checkerboard;
+    record.temperature = celsius{55.0};
+    record.refresh_period = milliseconds{512.0};
+    record.outcome = dram_run_outcome::contained;
+    record.scan.failed_cells = 3;
+    record.scan.ce_words = 3;
+
+    std::ostringstream wire;
+    wire << "SPD init: 1 DIMM\n";
+    wire << to_log_line(record) << '\n';
+    wire << to_log_line(record).substr(0, 12) << '\n';
+
+    std::istringstream in(wire.str());
+    std::size_t skipped = 0;
+    const std::vector<dram_run_record> recovered =
+        parse_dram_raw_log(in, &skipped);
+    ASSERT_EQ(recovered.size(), 1u);
+    EXPECT_EQ(skipped, 2u);
+    EXPECT_EQ(recovered[0].outcome, dram_run_outcome::contained);
+    EXPECT_DOUBLE_EQ(recovered[0].refresh_period.value, 512.0);
 }
 
 } // namespace

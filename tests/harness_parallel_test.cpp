@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "harness/campaign.hpp"
 #include "harness/dram_campaign.hpp"
 #include "harness/framework.hpp"
+#include "util/log.hpp"
 #include "workloads/cpu_profiles.hpp"
 
 namespace gb {
@@ -102,6 +106,55 @@ TEST(execution_engine_test, resolve_worker_count_clamps) {
     EXPECT_EQ(resolve_worker_count(3), 3);
     EXPECT_EQ(resolve_worker_count(100000), 256);
     EXPECT_GE(resolve_worker_count(0), 1);
+}
+
+/// Sets GB_JOBS for one test and restores the previous state after.
+class gb_jobs_guard {
+public:
+    explicit gb_jobs_guard(const char* value) {
+        if (const char* previous = std::getenv("GB_JOBS")) {
+            previous_ = previous;
+        }
+        ::setenv("GB_JOBS", value, /*overwrite=*/1);
+    }
+    ~gb_jobs_guard() {
+        if (previous_.has_value()) {
+            ::setenv("GB_JOBS", previous_->c_str(), 1);
+        } else {
+            ::unsetenv("GB_JOBS");
+        }
+    }
+    gb_jobs_guard(const gb_jobs_guard&) = delete;
+    gb_jobs_guard& operator=(const gb_jobs_guard&) = delete;
+
+private:
+    std::optional<std::string> previous_;
+};
+
+TEST(execution_engine_test, gb_jobs_valid_value_is_used) {
+    const gb_jobs_guard env("5");
+    EXPECT_EQ(resolve_worker_count(0), 5);
+    // An explicit request still wins over the environment.
+    EXPECT_EQ(resolve_worker_count(2), 2);
+}
+
+TEST(execution_engine_test, gb_jobs_garbage_falls_back_with_warning) {
+    const int fallback = [] {
+        const gb_jobs_guard unset("1");
+        ::unsetenv("GB_JOBS");
+        return resolve_worker_count(0);
+    }();
+    for (const char* bad :
+         {"abc", "0", "-3", "12abc", "", " 4", "4 ", "999999999999999999"}) {
+        const gb_jobs_guard env(bad);
+        std::ostringstream captured;
+        logger::instance().set_sink(&captured);
+        EXPECT_EQ(resolve_worker_count(0), fallback) << "GB_JOBS=" << bad;
+        logger::instance().set_sink(nullptr);
+        EXPECT_NE(captured.str().find("ignoring GB_JOBS"),
+                  std::string::npos)
+            << "no warning for GB_JOBS=" << bad;
+    }
 }
 
 TEST(execution_engine_test, stats_merge_accumulates) {
