@@ -1,0 +1,255 @@
+// Ablation -- the operating-point supervisor's cost of staying safe.
+// Sweeps injected SDC rate x breaker trip threshold over the same workload
+// rotation and compares an unsupervised governor deployment against the
+// supervised one (sentinel epochs, circuit breakers, staged degradation,
+// watchdog replay).  The question the sweep answers: how much of the
+// unsupervised energy saving survives once the runtime actually defends
+// against silent corruption and error bursts -- and how much corruption the
+// unsupervised deployment silently commits to get its number.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/governor.hpp"
+#include "core/supervisor.hpp"
+#include "util/table.hpp"
+
+using namespace gb;
+
+namespace {
+
+struct deployment_outcome {
+    double mean_power_w = 0.0;  ///< all resilience overheads included
+    double saving = 0.0;        ///< vs always-nominal on the same schedule
+    std::uint64_t undetected_sdc = 0;
+    std::uint64_t detected_sdc = 0;
+    std::uint64_t breaker_trips = 0;
+    bool balanced = true;
+};
+
+struct rotation_epoch {
+    std::string name;
+    std::vector<core_assignment> assignments;
+    const execution_profile* profile = nullptr;
+    std::uint64_t seed = 0;
+    millivolts vmin{0.0};
+    int pmd = 0;
+};
+
+constexpr int epochs_per_run = 96;
+
+std::vector<rotation_epoch> make_schedule(
+    characterization_framework& framework) {
+    const chip_model& chip = framework.chip();
+    const std::vector<std::string> rotation{"mcf", "namd", "milc", "gcc"};
+    std::vector<rotation_epoch> schedule;
+    for (int i = 0; i < epochs_per_run; ++i) {
+        rotation_epoch epoch;
+        epoch.name = rotation[static_cast<std::size_t>(i) % rotation.size()];
+        epoch.profile = &framework.profile_of(
+            find_cpu_benchmark(epoch.name).loop, nominal_core_frequency);
+        for (int core = 0; core < cores_per_chip; ++core) {
+            epoch.assignments.push_back(
+                {core, epoch.profile, nominal_core_frequency});
+        }
+        epoch.seed = hash_label(epoch.name);
+        const vmin_analysis analysis =
+            chip.analyze(epoch.assignments, epoch.seed);
+        epoch.vmin = analysis.vmin;
+        epoch.pmd = analysis.critical_core / 2;
+        schedule.push_back(std::move(epoch));
+    }
+    return schedule;
+}
+
+double nominal_power(const chip_model& chip,
+                     const std::vector<rotation_epoch>& schedule) {
+    const cpu_power_model power;
+    double sum = 0.0;
+    for (const rotation_epoch& epoch : schedule) {
+        sum += power
+                   .pmd_domain_power(chip.config(), epoch.assignments,
+                                     nominal_pmd_voltage, celsius{50.0})
+                   .value;
+    }
+    return sum / static_cast<double>(schedule.size());
+}
+
+deployment_outcome run_unsupervised(
+    const chip_model& chip, const vmin_predictor& predictor,
+    const std::vector<rotation_epoch>& schedule,
+    const epoch_fault_plan& faults, double nominal_w) {
+    const cpu_power_model power;
+    voltage_governor governor(predictor);
+    rng r(8);
+    deployment_outcome outcome;
+    double sum = 0.0;
+    std::uint64_t index = 0;
+    for (const rotation_epoch& epoch : schedule) {
+        const millivolts v = governor.choose_voltage(*epoch.profile);
+        run_evaluation eval =
+            chip.evaluate_run(epoch.assignments, v, epoch.seed, r);
+        epoch_result result;
+        result.outcome = eval.outcome;
+        faults.apply(index, result);
+        // No sentinels: every silently corrupted epoch is committed.
+        outcome.undetected_sdc +=
+            result.outcome == run_outcome::silent_data_corruption ? 1 : 0;
+        governor.observe(result.outcome, epoch.vmin);
+        sum += power
+                   .pmd_domain_power(chip.config(), epoch.assignments, v,
+                                     celsius{50.0})
+                   .value;
+        ++index;
+    }
+    outcome.mean_power_w = sum / static_cast<double>(schedule.size());
+    outcome.saving = 1.0 - outcome.mean_power_w / nominal_w;
+    return outcome;
+}
+
+deployment_outcome run_supervised(
+    const chip_model& chip, const vmin_predictor& predictor,
+    const std::vector<rotation_epoch>& schedule,
+    const epoch_fault_plan& faults, double trip_score, double nominal_w) {
+    const cpu_power_model power;
+    voltage_governor governor(predictor);
+    supervisor_config config;
+    config.breaker.trip_score = trip_score;
+    operating_point_supervisor supervisor(config, &governor);
+    rng r(8);
+    deployment_outcome outcome;
+    double sum = 0.0;
+    std::uint64_t index = 0;
+    for (const rotation_epoch& epoch : schedule) {
+        const millivolts desired = governor.choose_voltage(*epoch.profile);
+        epoch_request request;
+        request.pmd = epoch.pmd;
+        request.workload_class = epoch.name;
+        request.desired_voltage = desired;
+        request.predicted_sdc =
+            chip.sdc_probability(epoch.assignments, desired, epoch.seed);
+        const auto execute = [&](const epoch_plan& plan) {
+            epoch_result result;
+            result.outcome =
+                chip.evaluate_run(epoch.assignments, plan.voltage,
+                                  epoch.seed, r)
+                    .outcome;
+            result.observed_requirement = epoch.vmin;
+            result.epoch_power_w =
+                power
+                    .pmd_domain_power(chip.config(), epoch.assignments,
+                                      plan.voltage, celsius{50.0})
+                    .value;
+            result.unsupervised_power_w =
+                power
+                    .pmd_domain_power(chip.config(), epoch.assignments,
+                                      desired, celsius{50.0})
+                    .value;
+            // Injected marginality lives at the exploited point; staged
+            // back-off escapes it.
+            if (plan.stage == 0) {
+                faults.apply(index, result);
+            }
+            return result;
+        };
+        const supervised_epoch run =
+            run_supervised_epoch(supervisor, request, execute);
+        governor.observe(run.result.outcome, epoch.vmin);
+        sum += run.result.epoch_power_w + run.lost_power_w +
+               (run.plan.sentinel
+                    ? config.sentinel_overhead * run.result.epoch_power_w
+                    : 0.0);
+        ++index;
+    }
+    const health_telemetry& health = supervisor.telemetry();
+    outcome.mean_power_w = sum / static_cast<double>(schedule.size());
+    outcome.saving = 1.0 - outcome.mean_power_w / nominal_w;
+    outcome.undetected_sdc = health.undetected_sdc;
+    outcome.detected_sdc = health.detected_sdc;
+    outcome.breaker_trips = health.breaker_trips;
+    outcome.balanced = health.balanced();
+    return outcome;
+}
+
+} // namespace
+
+int main() {
+    bench::banner(
+        "Ablation -- supervised vs unsupervised exploitation",
+        "the supervisor spends energy on sentinels, staged degradation and "
+        "quarantines; this sweep prices that defense across SDC rates and "
+        "breaker sensitivities");
+
+    chip_model chip(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(chip, 2018);
+    vmin_predictor predictor;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const execution_profile& profile =
+            framework.profile_of(b.loop, nominal_core_frequency);
+        std::vector<core_assignment> all;
+        for (int core = 0; core < cores_per_chip; ++core) {
+            all.push_back({core, &profile, nominal_core_frequency});
+        }
+        predictor.add_sample(profile,
+                             chip.analyze(all, hash_label(b.name)).vmin);
+    }
+    predictor.train();
+
+    const std::vector<rotation_epoch> schedule = make_schedule(framework);
+    const double nominal_w = nominal_power(chip, schedule);
+    const double default_trip = supervisor_config{}.breaker.trip_score;
+
+    const std::vector<double> sdc_rates{0.0, 0.01, 0.05, 0.10};
+    const std::vector<double> trip_scores{1.5, default_trip, 6.0};
+
+    text_table table({"SDC rate", "trip score", "unsup saving",
+                      "sup saving", "retained", "trips",
+                      "SDC missed (unsup)", "SDC missed (sup)",
+                      "SDC caught"});
+    bool defaults_retained = true;
+    bool all_balanced = true;
+    for (const double sdc_rate : sdc_rates) {
+        const epoch_fault_plan faults(epoch_fault_config{
+            /*seed=*/2018, sdc_rate, /*ce_burst_rate=*/0.02,
+            /*hang_rate=*/0.01, /*ce_burst_words=*/16});
+        const deployment_outcome unsup = run_unsupervised(
+            chip, predictor, schedule, faults, nominal_w);
+        for (const double trip : trip_scores) {
+            const deployment_outcome sup = run_supervised(
+                chip, predictor, schedule, faults, trip, nominal_w);
+            const double retained =
+                unsup.saving <= 0.0 ? 1.0 : sup.saving / unsup.saving;
+            all_balanced = all_balanced && sup.balanced;
+            if (trip == default_trip && retained < 0.9) {
+                defaults_retained = false;
+            }
+            table.add_row(
+                {format_percent(sdc_rate, 0), format_number(trip, 1),
+                 format_percent(unsup.saving, 1),
+                 format_percent(sup.saving, 1), format_percent(retained, 1),
+                 std::to_string(sup.breaker_trips),
+                 std::to_string(unsup.undetected_sdc),
+                 std::to_string(sup.undetected_sdc),
+                 std::to_string(sup.detected_sdc)});
+        }
+    }
+    table.render(std::cout);
+
+    bench::note("a hair-trigger breaker (1.5) trips on noise and pays for "
+                "it in degraded epochs; the default threshold keeps >=90% "
+                "of the unsupervised saving at every injected SDC rate, and "
+                "the staged back-off alone already commits fewer corrupted "
+                "epochs than the unsupervised run.  (Sentinel cadence "
+                "follows the chip model's predicted SDC region; catching "
+                "model-driven corruption is exercised by the supervised "
+                "autopilot and the unit tests.)");
+    if (!all_balanced) {
+        std::cerr << "FAIL: unaccounted epochs in a supervised run\n";
+        return 1;
+    }
+    if (!defaults_retained) {
+        std::cerr << "FAIL: default breaker config retains <90% of the "
+                     "unsupervised saving\n";
+        return 1;
+    }
+    return 0;
+}

@@ -5,20 +5,22 @@
 //
 //   $ ./dram_retention_explorer [temperature_c] [max_relaxation]
 //     defaults: 60 C, 35x
-#include <cstdlib>
 #include <iostream>
 
 #include "core/explorer.hpp"
 #include "dram/power.hpp"
 #include "thermal/testbed.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/dram_profiles.hpp"
 
 using namespace gb;
 
 int main(int argc, char** argv) {
-    const double target_c = argc > 1 ? std::atof(argv[1]) : 60.0;
-    const double max_relaxation = argc > 2 ? std::atof(argv[2]) : 35.0;
+    const double target_c =
+        double_arg(argc, argv, 1, 60.0, "temperature_c", 20.0, 90.0);
+    const double max_relaxation =
+        double_arg(argc, argv, 2, 35.0, "max_relaxation", 1.0, 64.0);
     const milliseconds max_period{64.0 * max_relaxation};
 
     memory_system memory(

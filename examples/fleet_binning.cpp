@@ -6,12 +6,12 @@
 //   $ ./fleet_binning [chips_per_corner]
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <vector>
 
 #include "chip/power.hpp"
+#include "util/cli.hpp"
 #include "ga/virus_search.hpp"
 #include "harness/framework.hpp"
 #include "util/table.hpp"
@@ -20,7 +20,8 @@
 using namespace gb;
 
 int main(int argc, char** argv) {
-    const int per_corner = argc > 1 ? std::atoi(argv[1]) : 15;
+    const int per_corner = static_cast<int>(
+        int_arg(argc, argv, 1, 15, "chips_per_corner", 1, 1000));
 
     // One virus for the whole fleet (crafted once per micro-architecture).
     const pipeline_model pipeline(nominal_core_frequency);

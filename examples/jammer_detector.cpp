@@ -1,14 +1,18 @@
 // End-to-end Jammer-detector deployment (the paper's Section IV.D
 // showcase): synthesize a contested spectrum, run the detector, verify QoS,
 // then execute the whole thing on the simulated server at both the nominal
-// and the revealed safe operating point and compare power.
+// and the revealed safe operating point and compare power -- and finally
+// keep it running at the safe point under the operating-point supervisor
+// through an injected fault burst, reporting savings net of the resilience
+// overhead.
 //
-//   $ ./jammer_detector [windows] [events]
-#include <cstdlib>
+//   $ ./jammer_detector [windows] [events] [epochs]
 #include <iostream>
 
 #include "core/savings.hpp"
+#include "core/supervisor.hpp"
 #include "harness/framework.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/cpu_profiles.hpp"
 #include "workloads/dram_profiles.hpp"
@@ -17,8 +21,12 @@
 using namespace gb;
 
 int main(int argc, char** argv) {
-    const int windows = argc > 1 ? std::atoi(argv[1]) : 600;
-    const int events = argc > 2 ? std::atoi(argv[2]) : 8;
+    const int windows =
+        static_cast<int>(int_arg(argc, argv, 1, 600, "windows", 1, 1000000));
+    const int events =
+        static_cast<int>(int_arg(argc, argv, 2, 8, "events", 0, 10000));
+    const int epochs =
+        static_cast<int>(int_arg(argc, argv, 3, 96, "epochs", 1, 100000));
 
     // --- The application itself: spectrum monitoring. ---
     const jammer_detector detector{jammer_config{}};
@@ -80,19 +88,93 @@ int main(int argc, char** argv) {
                    format_percent(savings.total.saving_fraction(), 1)});
     table.render(std::cout);
 
-    // Prove the safe point is safe: repeated execution, no disruption.
+    // --- Keep it running: the safe point under the supervisor. ---
+    // A deterministic fault burst (SDC, DRAM CE bursts, hangs at the
+    // exploited point) lands mid-run; the supervisor trips its breaker,
+    // degrades in stages, quarantines the point and recovers, with every
+    // epoch accounted and the resilience cost charged against the savings.
+    operating_point_supervisor supervisor;
+    const epoch_fault_plan faults(epoch_fault_config{
+        /*seed=*/41, /*sdc_rate=*/0.4, /*ce_burst_rate=*/0.6,
+        /*hang_rate=*/0.2, /*ce_burst_words=*/16});
+    const int burst_begin = epochs / 4;
+    const int burst_end = burst_begin + 8;
+
     rng run_rng(8);
     int disruptions = 0;
-    for (int i = 0; i < 50; ++i) {
-        disruptions += is_disruption(
-                           server.execute(snapshot,
-                                          static_cast<std::uint64_t>(i),
-                                          run_rng)
-                               .outcome)
-                           ? 1
-                           : 0;
+    double supervised_w = 0.0;
+    for (int i = 0; i < epochs; ++i) {
+        epoch_request request;
+        request.pmd = 0;
+        request.workload_class = "jammer";
+        request.desired_voltage = safe.pmd_voltage;
+        request.desired_refresh = safe.refresh_period;
+        request.predicted_sdc = server.cpu().sdc_probability(
+            snapshot.assignments, safe.pmd_voltage,
+            static_cast<std::uint64_t>(i));
+
+        const bool burst = i >= burst_begin && i < burst_end;
+        const auto execute = [&](const epoch_plan& plan) {
+            operating_point staged = safe;
+            staged.pmd_voltage = plan.voltage;
+            staged.refresh_period = plan.refresh;
+            server.apply(staged);
+            epoch_result result;
+            result.outcome =
+                server.execute(snapshot, static_cast<std::uint64_t>(i),
+                               run_rng)
+                    .outcome;
+            result.epoch_power_w =
+                server.read_sensors(snapshot).total_power().value;
+            result.unsupervised_power_w = savings.total.tuned.value;
+            if (burst && plan.stage == 0) {
+                faults.apply(static_cast<std::uint64_t>(i), result);
+            }
+            return result;
+        };
+        const supervised_epoch epoch =
+            run_supervised_epoch(supervisor, request, execute);
+        disruptions += is_disruption(epoch.result.outcome) ? 1 : 0;
+        supervised_w +=
+            epoch.result.epoch_power_w + epoch.lost_power_w +
+            (epoch.plan.sentinel
+                 ? supervisor.config().sentinel_overhead *
+                       epoch.result.epoch_power_w
+                 : 0.0);
     }
-    std::cout << "\ndisruptions across 50 runs at the safe point: "
-              << disruptions << '\n';
+    server.apply(safe);
+
+    const health_telemetry& health = supervisor.telemetry();
+    const double overhead_w_epochs = health.sentinel_overhead_w_epochs +
+                                     health.degradation_overhead_w_epochs;
+    const supervised_savings net = net_of_resilience(
+        domain_savings{savings.total.nominal,
+                       watts{(supervised_w - overhead_w_epochs) / epochs}},
+        watts{overhead_w_epochs / epochs});
+
+    std::cout << "\nsupervised deployment (" << epochs << " epochs): "
+              << disruptions << " disrupted, " << health.breaker_trips
+              << " breaker trips, " << health.watchdog_aborts
+              << " watchdog aborts, " << health.detected_sdc << "+"
+              << health.undetected_sdc << " SDC detected+missed\n"
+              << "dispositions: " << health.committed << " committed, "
+              << health.sentinel_epochs << " sentinel, " << health.replayed
+              << " replayed, " << health.aborted << " aborted, "
+              << health.quarantined_epochs << " quarantined\n"
+              << "net saving at the supervised safe point: "
+              << format_percent(net.net_saving_fraction(), 1)
+              << " (resilience overhead "
+              << format_number(net.resilience_overhead.value, 2)
+              << " W), final state " << to_string(supervisor.state())
+              << '\n';
+    if (!health.balanced()) {
+        std::cerr << "FAIL: " << health.epochs - health.accounted()
+                  << " unaccounted epochs\n";
+        return 1;
+    }
+    if (epochs >= 96 && health.breaker_trips == 0) {
+        std::cerr << "FAIL: the fault burst should trip >=1 breaker\n";
+        return 1;
+    }
     return 0;
 }

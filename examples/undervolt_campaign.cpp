@@ -25,6 +25,7 @@
 #include "harness/fault_injection.hpp"
 #include "harness/framework.hpp"
 #include "harness/journal.hpp"
+#include "util/cli.hpp"
 #include "workloads/cpu_profiles.hpp"
 
 using namespace gb;
@@ -63,11 +64,12 @@ int main(int argc, char** argv) {
         } else if (arg == "--resume" && i + 1 < argc) {
             resume_base = argv[++i];
         } else if (arg == "--faults" && i + 1 < argc) {
-            fault_rate = std::stod(argv[++i]);
-            if (fault_rate < 0.0 || fault_rate > 1.0) {
+            const auto parsed = parse_number(argv[++i]);
+            if (!parsed || *parsed < 0.0 || *parsed > 1.0) {
                 std::cerr << "--faults wants a rate in [0, 1]\n";
                 return 1;
             }
+            fault_rate = *parsed;
         } else {
             benchmarks.push_back(arg);
         }

@@ -3,19 +3,19 @@
 // three characterized chips (the Section III.C / Fig 6-7 methodology).
 //
 //   $ ./virus_lab [generations]
-#include <cstdlib>
 #include <iostream>
 
 #include "chip/chip_model.hpp"
 #include "em/em_probe.hpp"
 #include "ga/virus_search.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace gb;
 
 int main(int argc, char** argv) {
-    const auto generations =
-        static_cast<std::size_t>(argc > 1 ? std::atol(argv[1]) : 150);
+    const auto generations = static_cast<std::size_t>(
+        int_arg(argc, argv, 1, 150, "generations", 1, 100000));
 
     const pipeline_model pipeline(nominal_core_frequency);
     const pdn_parameters pdn = make_xgene2_pdn();

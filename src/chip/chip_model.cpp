@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numbers>
 
 #include "util/contracts.hpp"
 
 namespace gb {
+
+namespace {
+
+/// Marginal-region outcome masses.  `evaluate_run` samples these with one
+/// uniform draw (its literal thresholds are the cumulative sums below);
+/// `marginal_outcome_distribution` exposes the same masses analytically.
+/// A Monte-Carlo consistency test keeps the two in sync.
+constexpr double sram_sdc_mass = 0.15;
+constexpr double sram_ue_slope = 0.10;     ///< per unit depth
+constexpr double sram_hang_slope = 0.05;   ///< per unit depth
+constexpr double logic_crash_slope = 0.30; ///< per unit depth
+constexpr double logic_hang_slope = 0.15;  ///< per unit depth
+constexpr double logic_sdc_mass = 0.50;
+
+double normal_cdf(double x, double sigma) {
+    return 0.5 * std::erfc(-x / (sigma * std::numbers::sqrt2));
+}
+
+double normal_pdf_integral(double a, double b, double sigma) {
+    // \int_a^b n f(n) dn for n ~ N(0, sigma).
+    const double inv = 1.0 / (2.0 * sigma * sigma);
+    return sigma / std::sqrt(2.0 * std::numbers::pi) *
+           (std::exp(-a * a * inv) - std::exp(-b * b * inv));
+}
+
+} // namespace
 
 std::string_view to_string(failure_path path) {
     switch (path) {
@@ -189,6 +216,8 @@ run_evaluation chip_model::evaluate_run(
     // outcomes ramp up with depth until the hard-crash window.  Cache SRAM
     // failures are mostly caught by the cache ECC/parity (CE); logic-path
     // failures corrupt in-flight state (SDC) or lock up the pipeline.
+    // The literal thresholds are the cumulative masses of
+    // marginal_outcome_distribution(); keep the two in sync.
     const double depth = -eval.margin.value / crash_window.value; // (0, 1)
     const double u = r.uniform();
     if (analysis.path == failure_path::sram) {
@@ -213,6 +242,69 @@ run_evaluation chip_model::evaluate_run(
         }
     }
     return eval;
+}
+
+outcome_distribution chip_model::marginal_outcome_distribution(
+    failure_path path, double depth) {
+    GB_EXPECTS(depth >= 0.0 && depth <= 1.0);
+    outcome_distribution d;
+    if (path == failure_path::sram) {
+        d.p_sdc = sram_sdc_mass;
+        d.p_uncorrectable = sram_ue_slope * depth;
+        d.p_hang = sram_hang_slope * depth;
+        d.p_corrected =
+            1.0 - d.p_sdc - d.p_uncorrectable - d.p_hang;
+    } else {
+        d.p_crash = logic_crash_slope * depth;
+        d.p_hang = logic_hang_slope * depth;
+        d.p_sdc = logic_sdc_mass;
+        d.p_corrected = 1.0 - d.p_crash - d.p_hang - d.p_sdc;
+    }
+    return d;
+}
+
+outcome_distribution chip_model::outcome_probabilities(
+    std::span<const core_assignment> assignments, millivolts supply,
+    std::uint64_t phase_seed) const {
+    const vmin_analysis analysis = analyze(assignments, phase_seed);
+    // margin = m0 - noise with noise ~ N(0, sigma); the marginal region is
+    // noise in (m0, m0 + W).
+    const double m0 = supply.value - analysis.vmin.value;
+    const double sigma = run_noise_sigma_mv;
+    const double w = crash_window.value;
+
+    outcome_distribution d;
+    d.p_ok = normal_cdf(m0, sigma);
+    d.p_crash = 1.0 - normal_cdf(m0 + w, sigma);
+    const double p_marginal = std::max(
+        0.0, normal_cdf(m0 + w, sigma) - normal_cdf(m0, sigma));
+    if (p_marginal <= 0.0) {
+        return d;
+    }
+    // First moment of the depth over the marginal region:
+    //   E[depth 1{marginal}] = (E[n 1{m0<n<m0+w}] - m0 p_marginal) / w.
+    const double depth_mass =
+        (normal_pdf_integral(m0, m0 + w, sigma) - m0 * p_marginal) / w;
+    if (analysis.path == failure_path::sram) {
+        d.p_sdc = sram_sdc_mass * p_marginal;
+        d.p_uncorrectable = sram_ue_slope * depth_mass;
+        d.p_hang = sram_hang_slope * depth_mass;
+        d.p_corrected = p_marginal - d.p_sdc - d.p_uncorrectable - d.p_hang;
+    } else {
+        d.p_sdc = logic_sdc_mass * p_marginal;
+        d.p_hang = logic_hang_slope * depth_mass;
+        d.p_crash += logic_crash_slope * depth_mass;
+        d.p_corrected = p_marginal - d.p_sdc - d.p_hang -
+                        logic_crash_slope * depth_mass;
+    }
+    d.p_corrected = std::max(0.0, d.p_corrected);
+    return d;
+}
+
+double chip_model::sdc_probability(
+    std::span<const core_assignment> assignments, millivolts supply,
+    std::uint64_t phase_seed) const {
+    return outcome_probabilities(assignments, supply, phase_seed).p_sdc;
 }
 
 } // namespace gb

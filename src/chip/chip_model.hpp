@@ -74,6 +74,30 @@ struct run_evaluation {
     failure_path path = failure_path::logic;
 };
 
+/// Probability mass over run outcomes at one (deterministic) margin depth
+/// inside the marginal region between Vmin and the hard-crash window.  This
+/// is the chip's *SDC region* made explicit: silent corruption carries its
+/// own probability, distinct from the crash/hang paths, so an operating
+/// supervisor can budget sentinel (golden-checksum) epochs against it
+/// instead of discovering corruption only after the fact.
+struct outcome_distribution {
+    double p_ok = 0.0;
+    double p_corrected = 0.0;
+    double p_uncorrectable = 0.0;
+    double p_sdc = 0.0;
+    double p_crash = 0.0;
+    double p_hang = 0.0;
+
+    [[nodiscard]] double total() const {
+        return p_ok + p_corrected + p_uncorrectable + p_sdc + p_crash +
+               p_hang;
+    }
+    /// Probability the epoch's work is lost or silently wrong.
+    [[nodiscard]] double p_disruption() const {
+        return p_uncorrectable + p_sdc + p_crash + p_hang;
+    }
+};
+
 /// Core-local PDN loop: ~50 MHz first-order resonance, lightly damped,
 /// ~40 mOhm resonant impedance against one core's current.
 [[nodiscard]] pdn_parameters make_xgene2_pdn();
@@ -125,6 +149,27 @@ public:
     [[nodiscard]] run_evaluation evaluate_run(
         std::span<const core_assignment> assignments, millivolts supply,
         std::uint64_t phase_seed, rng& r) const;
+
+    /// Outcome probabilities at a fixed depth inside the marginal region
+    /// (depth in (0, 1): fraction of the crash window below Vmin).  The
+    /// same mass function `evaluate_run` samples from.
+    [[nodiscard]] static outcome_distribution marginal_outcome_distribution(
+        failure_path path, double depth);
+
+    /// Outcome probabilities of one run at a supply voltage, integrating
+    /// the per-run threshold noise in closed form.  Deterministic (no RNG):
+    /// the frequency of each `evaluate_run` outcome converges to these
+    /// values over repetitions.
+    [[nodiscard]] outcome_distribution outcome_probabilities(
+        std::span<const core_assignment> assignments, millivolts supply,
+        std::uint64_t phase_seed) const;
+
+    /// Probability that a run at this supply ends in silent data
+    /// corruption -- the signal the supervisor's sentinel scheduler
+    /// accumulates between golden-checksum epochs.
+    [[nodiscard]] double sdc_probability(
+        std::span<const core_assignment> assignments, millivolts supply,
+        std::uint64_t phase_seed) const;
 
     [[nodiscard]] const chip_config& config() const { return config_; }
     [[nodiscard]] const pdn_parameters& pdn() const { return local_pdn_; }

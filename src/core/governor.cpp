@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/log.hpp"
 
 namespace gb {
 
@@ -16,6 +17,21 @@ voltage_governor::voltage_governor(const vmin_predictor& predictor,
     GB_EXPECTS(config.initial_guard <= config.max_guard);
     GB_EXPECTS(config.target_failure_probability > 0.0 &&
                config.target_failure_probability < 1.0);
+    // Enforce the relax_step invariant (see governor_config): a step wider
+    // than the guard span oscillates rail-to-rail, a non-positive step
+    // never relaxes.  Clamp and warn instead of silently misbehaving.
+    const millivolts span = config_.max_guard - config_.min_guard;
+    if (config_.relax_step.value <= 0.0) {
+        const millivolts fixed{std::max(span.value / 64.0, 1.0e-3)};
+        log_warn("governor: relax_step ", config_.relax_step.value,
+                 " mV is not positive; clamping to ", fixed.value, " mV");
+        config_.relax_step = fixed;
+    } else if (config_.relax_step > span && span.value > 0.0) {
+        log_warn("governor: relax_step ", config_.relax_step.value,
+                 " mV exceeds the guard span ", span.value,
+                 " mV and would oscillate; clamping to the span");
+        config_.relax_step = span;
+    }
 }
 
 millivolts voltage_governor::choose_voltage(
@@ -39,6 +55,16 @@ void voltage_governor::observe(run_outcome outcome, millivolts requirement) {
     }
     guard_ = std::clamp(guard_, config_.min_guard, config_.max_guard);
 }
+
+void voltage_governor::force_backoff(millivolts extra,
+                                     millivolts requirement) {
+    GB_EXPECTS(extra.value >= 0.0);
+    history_.record(requirement);
+    guard_ = std::clamp(guard_ + extra, config_.min_guard,
+                        config_.max_guard);
+}
+
+void voltage_governor::reset_history() { history_.clear(); }
 
 governor_simulation simulate_governor(
     characterization_framework& framework, voltage_governor& governor,

@@ -36,6 +36,12 @@ struct governor_config {
     millivolts corrected_backoff{6.0};
     /// Removed per clean epoch (slow re-probe toward the margin; relaxing
     /// faster than this oscillates the guard into the failure zone).
+    /// Invariant: 0 < relax_step <= max_guard - min_guard.  A step larger
+    /// than the guard span would swing the guard rail-to-rail every epoch
+    /// (relax straight to min_guard, fail, back off to max_guard, repeat);
+    /// a zero or negative step would never relax at all.  Out-of-range
+    /// values are clamped into the invariant with a warning at
+    /// construction rather than silently oscillating.
     millivolts relax_step{0.5};
     /// Acceptable probability of an epoch requirement exceeding the chosen
     /// voltage (drives the droop-history floor).
@@ -56,6 +62,18 @@ public:
     /// Feedback from the completed epoch: its outcome and the requirement
     /// the telemetry inferred for it.
     void observe(run_outcome outcome, millivolts requirement);
+
+    /// Supervisor trip hook: a circuit breaker fired on this operating
+    /// point, so back the guard off by `extra` beyond the normal error
+    /// backoff and pin the elevated `requirement` into the droop history
+    /// (the probabilistic floor must remember the storm, not just the
+    /// per-epoch outcomes).
+    void force_backoff(millivolts extra, millivolts requirement);
+
+    /// Supervisor recovery hook: a quarantine lifted and the operating
+    /// point is being re-probed from scratch; the storm-era history would
+    /// otherwise pin the probabilistic floor at the tripped level forever.
+    void reset_history();
 
     [[nodiscard]] millivolts current_guard() const { return guard_; }
     [[nodiscard]] const droop_history& history() const { return history_; }

@@ -23,6 +23,11 @@ void droop_history::record(millivolts requirement) {
     }
 }
 
+void droop_history::clear() {
+    values_.clear();
+    next_ = 0;
+}
+
 millivolts droop_history::max_requirement() const {
     GB_EXPECTS(!values_.empty());
     return millivolts{*std::max_element(values_.begin(), values_.end())};

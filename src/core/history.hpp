@@ -26,6 +26,11 @@ public:
     /// Record one epoch's observed supply requirement.
     void record(millivolts requirement);
 
+    /// Forget everything (supervisor recovery hook: after a quarantine
+    /// lifts, the storm-era requirements would pin the probabilistic floor
+    /// at the tripped level; re-probing starts a fresh sample instead).
+    void clear();
+
     [[nodiscard]] std::size_t size() const { return values_.size(); }
     [[nodiscard]] bool empty() const { return values_.empty(); }
     [[nodiscard]] millivolts max_requirement() const;

@@ -28,6 +28,28 @@ milliseconds adaptive_refresh_policy::period_for(celsius temperature) const {
     return milliseconds{clamped};
 }
 
+milliseconds adaptive_refresh_policy::staged_toward_nominal(
+    milliseconds desired, int stage, int total_stages) {
+    GB_EXPECTS(total_stages >= 1);
+    GB_EXPECTS(stage >= 0 && stage <= total_stages);
+    GB_EXPECTS(desired.value >= nominal_refresh_period.value);
+    if (stage == 0) {
+        return desired;
+    }
+    if (stage == total_stages) {
+        return nominal_refresh_period;
+    }
+    // Geometric interpolation: the relaxation exponent shrinks linearly
+    // with the stage, so the period moves toward nominal in equal
+    // multiplicative steps (the exposure halves per stage for a 2^n
+    // relaxation, mirroring retention's halving law).
+    const double relaxation = desired.value / nominal_refresh_period.value;
+    const double share = 1.0 - static_cast<double>(stage) /
+                                   static_cast<double>(total_stages);
+    return milliseconds{nominal_refresh_period.value *
+                        std::pow(relaxation, share)};
+}
+
 milliseconds adaptive_refresh_policy::apply(memory_system& memory) const {
     celsius hottest = memory.dimm_temperature(0);
     for (int dimm = 1; dimm < memory.geometry().dimms; ++dimm) {

@@ -43,6 +43,15 @@ public:
     /// period accordingly; returns the chosen period.
     milliseconds apply(memory_system& memory) const;
 
+    /// Staged rollback toward the JEDEC nominal (supervisor degradation
+    /// hook): stage 0 keeps `desired`, each further stage halves the
+    /// relaxation geometrically, and the final stage is exactly nominal --
+    /// refresh backs off in bounded steps under an error burst instead of
+    /// snapping all-at-once.  Requires 0 <= stage <= total_stages,
+    /// total_stages >= 1, desired >= nominal.
+    [[nodiscard]] static milliseconds staged_toward_nominal(
+        milliseconds desired, int stage, int total_stages);
+
     [[nodiscard]] const refresh_policy_config& config() const {
         return config_;
     }

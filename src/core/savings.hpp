@@ -34,4 +34,27 @@ struct server_savings {
     xgene2_server& server, const workload_snapshot& snapshot,
     const operating_point& nominal, const operating_point& tuned);
 
+/// Savings net of resilience cost.  A supervised deployment spends energy
+/// on staying safe -- duplicated sentinel epochs, staged degradation after
+/// breaker trips, replayed aborted epochs -- and an honest power number
+/// charges that overhead against the tuned side (the supervisor's
+/// health_telemetry supplies it as mean watts over the run).
+struct supervised_savings {
+    domain_savings gross;            ///< nominal vs tuned, overhead excluded
+    watts resilience_overhead{0.0};  ///< mean extra watts spent staying safe
+
+    [[nodiscard]] double net_saving_fraction() const {
+        return gross.nominal.value <= 0.0
+                   ? 0.0
+                   : (gross.nominal.value - gross.tuned.value -
+                      resilience_overhead.value) /
+                         gross.nominal.value;
+    }
+};
+
+[[nodiscard]] inline supervised_savings net_of_resilience(
+    domain_savings gross, watts overhead) {
+    return supervised_savings{gross, overhead};
+}
+
 } // namespace gb

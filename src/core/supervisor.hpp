@@ -1,0 +1,256 @@
+// Operating-point supervisor: the recovery state machine that wraps the
+// exploitation stack (governor + adaptive refresh + placement) so reduced
+// guardbands survive contact with silent data corruption and
+// correctable-error storms.
+//
+// The paper's exploitation results assume every failure announces itself;
+// the literature says otherwise (SDC regions precede crashes as margins
+// shrink, and DRAM under relaxed refresh degrades gradually through CE
+// volume long before the first UE).  The supervisor closes that gap with
+// four mechanisms, all seed-deterministic:
+//
+//   * SDC sentinels: duplicated golden-checksum epochs, armed whenever the
+//     accumulated SDC probability predicted by the chip model's marginal
+//     region (chip_model::sdc_probability) exceeds a budget -- corruption
+//     is caught within a bounded number of epochs instead of never.
+//   * Circuit breakers: per-(PMD, workload-class) sliding windows of
+//     weighted CE/UE/SDC/disruption scores; a window crossing its trip
+//     threshold quarantines that operating point for a bounded TTL and
+//     forces voltage and refresh back toward nominal in staged steps.
+//   * Watchdog: a hung epoch is converted into an accounted aborted epoch
+//     and replayed once at the next degraded stage (run_supervised_epoch).
+//   * Staged recovery with hysteresis: demotion toward nominal is
+//     immediate but one stage at a time; promotion back toward the
+//     exploited point requires a clean streak per stage
+//     (nominal -> probing -> exploiting -> degraded -> quarantined).
+//
+// Every epoch ends in exactly one health_telemetry disposition, so the
+// energy cost of resilience (sentinel duplicates, degradation, replays) is
+// exported and reported savings can be made net of it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "chip/chip_model.hpp"
+#include "dram/memory_system.hpp"
+#include "harness/telemetry.hpp"
+#include "util/units.hpp"
+
+namespace gb {
+
+class voltage_governor;
+
+enum class supervisor_state : std::uint8_t {
+    nominal,    ///< at the manufacturer point, not yet descended
+    probing,    ///< initial staged descent toward the exploited point
+    exploiting, ///< at the reduced-guardband point
+    degraded,   ///< backed off one or more stages after trips/aborts
+    quarantined ///< this epoch's operating point is quarantined (at nominal)
+};
+
+[[nodiscard]] std::string_view to_string(supervisor_state state);
+
+/// One circuit breaker: a sliding window of weighted error scores per
+/// (PMD, workload-class) operating point.
+struct breaker_config {
+    std::size_t window = 24;        ///< epochs in the sliding window
+    double trip_score = 3.0;        ///< window sum that trips the breaker
+    double ce_weight = 0.25;        ///< corrected error (near miss)
+    double ue_weight = 1.5;         ///< uncorrectable error
+    double sdc_weight = 3.0;        ///< sentinel-detected silent corruption
+    double disruption_weight = 1.0; ///< crash / hang / aborted rig
+    double dram_burst_weight = 0.75; ///< CE-burst scan from the DIMMs
+    std::size_t quarantine_ttl = 16; ///< epochs a tripped point stays out
+};
+
+struct supervisor_config {
+    breaker_config breaker;
+    /// A sentinel epoch is armed once the accumulated predicted SDC
+    /// probability since the last sentinel reaches this budget...
+    double sentinel_sdc_budget = 0.04;
+    /// ...or after this many epochs regardless (bounds detection latency).
+    std::size_t max_sentinel_interval = 24;
+    /// Energy overhead of a sentinel epoch (the duplicate run plus the
+    /// checksum pass) as a fraction of the epoch's power.
+    double sentinel_overhead = 0.10;
+    /// Staged degradation ladder: stage 0 is the exploited point, stage
+    /// `degradation_stages` is exactly nominal.
+    int degradation_stages = 3;
+    /// Voltage added per degradation stage (clamped to nominal).
+    millivolts voltage_stage{20.0};
+    /// Hysteresis: clean epochs required to promote one stage back down
+    /// after a trip or abort.  The initial probing descent moves one stage
+    /// per clean epoch regardless -- caution is for recovery, not
+    /// commissioning.
+    std::size_t promote_after_clean = 3;
+    /// CE words in one DRAM scan that count as a burst for the breaker.
+    std::uint64_t dram_ce_burst_words = 8;
+    /// Extra guard fed to the governor when a breaker trips.
+    millivolts trip_backoff{10.0};
+};
+
+/// What the exploitation stack wants to run this epoch.
+struct epoch_request {
+    int pmd = 0; ///< critical PMD of the placement (breaker key)
+    std::string workload_class;        ///< breaker key
+    millivolts desired_voltage{0.0};   ///< governor's unsupervised choice
+    milliseconds desired_refresh{64.0}; ///< refresh policy's choice
+    double predicted_sdc = 0.0; ///< chip_model::sdc_probability at desired
+};
+
+/// What the supervisor allows: the staged operating point for one epoch.
+struct epoch_plan {
+    millivolts voltage{0.0};
+    milliseconds refresh{64.0};
+    bool sentinel = false; ///< run duplicated with a golden checksum
+    int stage = 0;         ///< 0 = exploited, degradation_stages = nominal
+    supervisor_state state = supervisor_state::nominal;
+};
+
+/// What actually happened (model ground truth plus telemetry the rig
+/// observes: ECC counters via SLIMpro, watchdog, machine checks).
+struct epoch_result {
+    run_outcome outcome = run_outcome::ok;
+    std::uint64_t dram_ce_words = 0;
+    std::uint64_t dram_ue_words = 0;
+    std::uint64_t dram_sdc_words = 0;
+    double epoch_power_w = 0.0;        ///< drawn at the planned point
+    double unsupervised_power_w = 0.0; ///< what the desired point would draw
+    /// Telemetry-inferred supply requirement (for the governor's history
+    /// when a trip pins it); <= 0 if unknown.
+    millivolts observed_requirement{0.0};
+};
+
+/// Deterministic injected epoch faults (SDC, DRAM CE bursts, hangs) for
+/// exercising the supervisor end-to-end.  Every decision derives from
+/// (seed, epoch index, fault kind), so runs reproduce bitwise at any
+/// worker count, like the harness's rig-level fault_plan.
+struct epoch_fault_config {
+    std::uint64_t seed = 0;
+    double sdc_rate = 0.0;
+    double ce_burst_rate = 0.0;
+    double hang_rate = 0.0;
+    std::uint64_t ce_burst_words = 16;
+};
+
+class epoch_fault_plan {
+public:
+    epoch_fault_plan() = default;
+    explicit epoch_fault_plan(epoch_fault_config config);
+
+    [[nodiscard]] bool inject_sdc(std::uint64_t epoch) const;
+    [[nodiscard]] bool inject_ce_burst(std::uint64_t epoch) const;
+    [[nodiscard]] bool inject_hang(std::uint64_t epoch) const;
+
+    /// Overlay this epoch's injected faults on a model-produced result.
+    void apply(std::uint64_t epoch, epoch_result& result) const;
+
+    [[nodiscard]] const epoch_fault_config& config() const {
+        return config_;
+    }
+
+private:
+    [[nodiscard]] double draw(std::uint64_t epoch, std::uint64_t salt) const;
+    epoch_fault_config config_;
+};
+
+class operating_point_supervisor {
+public:
+    /// `governor` is optional: when present, breaker trips feed its guard
+    /// (force_backoff) and a full quarantine lift resets its droop history
+    /// so the probabilistic floor re-learns the recovered regime.
+    explicit operating_point_supervisor(supervisor_config config = {},
+                                        voltage_governor* governor = nullptr);
+
+    /// The staged operating point for this epoch.  Pure: repeated calls
+    /// between observations return the same plan.
+    [[nodiscard]] epoch_plan plan(const epoch_request& request) const;
+
+    /// Feedback for a normally-completed epoch (no watchdog involvement).
+    /// Returns the accounted disposition.
+    epoch_disposition observe(const epoch_request& request,
+                              const epoch_plan& plan,
+                              const epoch_result& result);
+
+    /// The epoch's first attempt hung and the watchdog fired: demote one
+    /// stage and score the disruption.  Does not account an epoch; the
+    /// caller must replan, re-execute and call observe_replay.
+    void observe_watchdog_abort(const epoch_request& request,
+                                const epoch_plan& plan);
+
+    /// Feedback for the replay attempt after a watchdog abort.
+    /// `lost_power_w` is the power of the aborted first attempt, charged
+    /// to degradation overhead.  Accounts the epoch as replayed (or
+    /// aborted, if the replay hung as well).
+    epoch_disposition observe_replay(const epoch_request& request,
+                                     const epoch_plan& plan,
+                                     const epoch_result& result,
+                                     double lost_power_w);
+
+    [[nodiscard]] supervisor_state state() const;
+    [[nodiscard]] int stage() const { return stage_; }
+    [[nodiscard]] bool is_quarantined(int pmd,
+                                      std::string_view workload_class) const;
+    [[nodiscard]] std::size_t active_quarantines() const {
+        return quarantine_.size();
+    }
+    [[nodiscard]] const health_telemetry& telemetry() const {
+        return telemetry_;
+    }
+    [[nodiscard]] const supervisor_config& config() const { return config_; }
+
+private:
+    using breaker_key = std::pair<int, std::string>;
+    struct breaker_window {
+        std::deque<double> scores;
+        double sum = 0.0;
+    };
+
+    [[nodiscard]] breaker_key key_of(const epoch_request& request) const;
+    [[nodiscard]] millivolts staged_voltage(millivolts desired,
+                                            int stage) const;
+    void demote();
+    /// Push one epoch's score into the operating point's breaker window and
+    /// trip (quarantine + demote + governor backoff) if it crosses.
+    void score_breaker(const epoch_request& request, double score,
+                       millivolts observed);
+    /// Shared epoch bookkeeping: breaker scoring, hysteresis, quarantine
+    /// TTL tick, overhead accounting.
+    void settle_epoch(const epoch_request& request, const epoch_plan& plan,
+                      const epoch_result& result,
+                      epoch_disposition disposition);
+
+    supervisor_config config_;
+    voltage_governor* governor_;
+    health_telemetry telemetry_;
+    std::map<breaker_key, breaker_window> breakers_;
+    std::map<breaker_key, std::size_t> quarantine_; ///< remaining TTL
+    int stage_;
+    bool descending_ = true; ///< initial probing descent vs post-trip
+    std::size_t clean_streak_ = 0;
+    double sentinel_accum_ = 0.0;
+    std::size_t since_sentinel_ = 0;
+};
+
+/// One fully-supervised epoch: plan, execute, and convert a hang into an
+/// accounted aborted epoch via the watchdog with one replay at the next
+/// degraded stage.  `execute` runs the epoch at a plan and reports its
+/// result; it is called once, or twice after a watchdog abort.
+struct supervised_epoch {
+    epoch_plan plan;     ///< the plan whose result was committed
+    epoch_result result; ///< final attempt's result
+    epoch_disposition disposition = epoch_disposition::committed;
+    double lost_power_w = 0.0; ///< aborted first attempt, if any
+};
+
+[[nodiscard]] supervised_epoch run_supervised_epoch(
+    operating_point_supervisor& supervisor, const epoch_request& request,
+    const std::function<epoch_result(const epoch_plan&)>& execute);
+
+} // namespace gb

@@ -15,6 +15,11 @@ double scan_result::bit_error_rate() const {
                                    static_cast<double>(scanned_bits);
 }
 
+std::uint64_t scan_result::max_bank_failures() const {
+    return *std::max_element(per_bank_failures.begin(),
+                             per_bank_failures.end());
+}
+
 memory_system::memory_system(dram_geometry geometry, retention_model model,
                              std::uint64_t seed, study_limits limits)
     : geometry_(geometry), model_(model), limits_(limits),
@@ -137,22 +142,18 @@ void memory_system::apply_ecc(std::vector<const weak_cell*>& failures,
             stored = flip_codeword_bit(stored,
                                        codeword_bit_of(failures[k]->address));
         }
-        const decode_result decoded = codec.decode(stored);
-        switch (decoded.status) {
-        case decode_status::clean:
-            // Even number of flips cancelling out is impossible for distinct
-            // bits; treat defensively as SDC.
-            ++result.sdc_words;
+        switch (classify_decode(codec.decode(stored), golden)) {
+        case word_outcome::corrected:
+            ++result.ce_words;
             break;
-        case decode_status::corrected:
-            if (decoded.data == golden) {
-                ++result.ce_words;
-            } else {
-                ++result.sdc_words;
-            }
-            break;
-        case decode_status::uncorrectable:
+        case word_outcome::uncorrectable:
             ++result.ue_words;
+            break;
+        case word_outcome::clean:
+            // Distinct flipped bits cannot cancel back to the stored word;
+            // treat defensively as SDC.
+        case word_outcome::silent_corruption:
+            ++result.sdc_words;
             break;
         }
         i = j;

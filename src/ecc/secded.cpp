@@ -75,6 +75,23 @@ std::uint8_t secded72_64::column(int bit_position) const {
     return columns_[static_cast<std::size_t>(bit_position)];
 }
 
+word_outcome classify_decode(const decode_result& decoded,
+                             std::uint64_t golden) {
+    switch (decoded.status) {
+    case decode_status::clean:
+        // A zero syndrome with wrong data means the flips cancelled into
+        // another valid codeword: silent.
+        return decoded.data == golden ? word_outcome::clean
+                                      : word_outcome::silent_corruption;
+    case decode_status::corrected:
+        return decoded.data == golden ? word_outcome::corrected
+                                      : word_outcome::silent_corruption;
+    case decode_status::uncorrectable:
+        return word_outcome::uncorrectable;
+    }
+    return word_outcome::uncorrectable;
+}
+
 secded_word flip_codeword_bit(secded_word word, int bit_position) {
     GB_EXPECTS(bit_position >= 0 && bit_position < secded72_64::total_bits);
     if (bit_position < secded72_64::data_bits) {

@@ -39,6 +39,22 @@ struct decode_result {
     int corrected_bit = -1;  ///< 0..63 data bit, 64..71 check bit, -1 if none
 };
 
+/// Ground-truth classification of one decode against the golden data the
+/// word held.  The decoder alone cannot see silent corruption -- a 3+ bit
+/// flip aliasing onto a valid single-error syndrome "corrects" to the wrong
+/// word -- so the golden comparison is what separates the SDC signal from a
+/// genuine CE.  This is the per-word taxonomy the DRAM scan and the
+/// operating-point supervisor's error accounting share.
+enum class word_outcome : std::uint8_t {
+    clean,             ///< no error
+    corrected,         ///< CE: corrected to the golden data
+    uncorrectable,     ///< UE: detected, machine-check visible
+    silent_corruption, ///< SDC: decode succeeded but the data is wrong
+};
+
+[[nodiscard]] word_outcome classify_decode(const decode_result& decoded,
+                                           std::uint64_t golden);
+
 /// The (72,64) Hsiao codec.  Stateless apart from precomputed tables; obtain
 /// the process-wide instance via `instance()`.
 class secded72_64 {

@@ -1,0 +1,52 @@
+#include "harness/telemetry.hpp"
+
+namespace gb {
+
+std::string_view to_string(epoch_disposition disposition) {
+    switch (disposition) {
+    case epoch_disposition::committed: return "committed";
+    case epoch_disposition::sentinel: return "sentinel";
+    case epoch_disposition::replayed: return "replayed";
+    case epoch_disposition::aborted: return "aborted";
+    case epoch_disposition::quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+void health_telemetry::account(epoch_disposition disposition) {
+    ++epochs;
+    switch (disposition) {
+    case epoch_disposition::committed: ++committed; break;
+    case epoch_disposition::sentinel: ++sentinel_epochs; break;
+    case epoch_disposition::replayed: ++replayed; break;
+    case epoch_disposition::aborted: ++aborted; break;
+    case epoch_disposition::quarantined: ++quarantined_epochs; break;
+    }
+}
+
+double health_telemetry::mean_overhead_w() const {
+    return epochs == 0 ? 0.0
+                       : (sentinel_overhead_w_epochs +
+                          degradation_overhead_w_epochs) /
+                             static_cast<double>(epochs);
+}
+
+void health_telemetry::merge(const health_telemetry& other) {
+    epochs += other.epochs;
+    committed += other.committed;
+    sentinel_epochs += other.sentinel_epochs;
+    replayed += other.replayed;
+    aborted += other.aborted;
+    quarantined_epochs += other.quarantined_epochs;
+    detected_sdc += other.detected_sdc;
+    undetected_sdc += other.undetected_sdc;
+    dram_ce_bursts += other.dram_ce_bursts;
+    breaker_trips += other.breaker_trips;
+    watchdog_aborts += other.watchdog_aborts;
+    quarantine_occupancy += other.quarantine_occupancy;
+    degraded_epochs += other.degraded_epochs;
+    sentinel_overhead_w_epochs += other.sentinel_overhead_w_epochs;
+    degradation_overhead_w_epochs += other.degradation_overhead_w_epochs;
+}
+
+} // namespace gb

@@ -1,0 +1,73 @@
+// Structured health telemetry for supervised exploitation runs.
+//
+// The characterization side (campaigns) accounts every *run* via
+// execution_stats; the exploitation side needs the same discipline per
+// *epoch*: once a deployment undervolts and relaxes refresh, every epoch
+// must end in exactly one disposition -- committed, sentinel-checked,
+// replayed after a watchdog abort, aborted outright, or pinned at nominal
+// by a quarantine -- so that reported savings are net of resilience cost
+// and no lost work goes unaccounted.  `health_telemetry::balanced()` is
+// the invariant the supervisor maintains and the examples assert.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gb {
+
+/// How one supervised epoch ended.  Exactly one disposition per epoch.
+enum class epoch_disposition : std::uint8_t {
+    committed,  ///< ran at the supervised point, work kept
+    sentinel,   ///< committed with a duplicated golden-checksum run
+    replayed,   ///< watchdog abort, replayed and committed at a safer point
+    aborted,    ///< watchdog abort and the replay was lost too
+    quarantined ///< operating point quarantined; ran pinned at nominal
+};
+
+[[nodiscard]] std::string_view to_string(epoch_disposition disposition);
+
+/// Counters a supervised run exports.  Epoch counts are exact (the
+/// accounting invariant below); energy overheads are in mean-watts summed
+/// over epochs (divide by epochs for the per-epoch cost fed to savings).
+struct health_telemetry {
+    std::uint64_t epochs = 0; ///< logical epochs scheduled
+
+    // Dispositions (sum equals `epochs`).
+    std::uint64_t committed = 0;
+    std::uint64_t sentinel_epochs = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t quarantined_epochs = 0;
+
+    // Detection and recovery events.
+    std::uint64_t detected_sdc = 0;   ///< caught by a sentinel epoch
+    std::uint64_t undetected_sdc = 0; ///< ground truth: silent epochs missed
+    std::uint64_t dram_ce_bursts = 0; ///< CE-burst scans fed to breakers
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t watchdog_aborts = 0; ///< hangs converted to aborted epochs
+    /// Sum over epochs of concurrently quarantined operating points.
+    std::uint64_t quarantine_occupancy = 0;
+    std::uint64_t degraded_epochs = 0; ///< epochs run above the desired point
+
+    // Energy cost of resilience, to be charged against reported savings.
+    double sentinel_overhead_w_epochs = 0.0;    ///< duplicated compute
+    double degradation_overhead_w_epochs = 0.0; ///< staged back-off + replays
+
+    /// Record one epoch's disposition (increments `epochs` too).
+    void account(epoch_disposition disposition);
+
+    [[nodiscard]] std::uint64_t accounted() const {
+        return committed + sentinel_epochs + replayed + aborted +
+               quarantined_epochs;
+    }
+    /// The zero-unaccounted-epochs invariant.
+    [[nodiscard]] bool balanced() const { return accounted() == epochs; }
+
+    /// Mean resilience overhead per epoch in watts.
+    [[nodiscard]] double mean_overhead_w() const;
+
+    /// Accumulate another run's telemetry (multi-phase deployments).
+    void merge(const health_telemetry& other);
+};
+
+} // namespace gb

@@ -25,6 +25,16 @@ double perf_counters::memory_intensity() const {
                                    static_cast<double>(instructions);
 }
 
+double perf_counters::sdc_vulnerability() const {
+    if (instructions == 0) {
+        return 0.0;
+    }
+    const double data_path = static_cast<double>(int_ops + fp_ops + loads +
+                                                 stores);
+    return std::clamp(data_path / static_cast<double>(instructions), 0.0,
+                      1.0);
+}
+
 double execution_profile::average_current_a() const {
     if (current_trace.empty()) {
         return 0.0;

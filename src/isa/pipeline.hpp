@@ -35,6 +35,12 @@ struct perf_counters {
     [[nodiscard]] double ipc() const;
     [[nodiscard]] double fp_fraction() const;
     [[nodiscard]] double memory_intensity() const; ///< DRAM accesses per kilo-instruction
+    /// Architectural vulnerability to *silent* corruption: the fraction of
+    /// instructions whose corrupted result propagates into data (ALU ops,
+    /// loads, stores) rather than derailing control flow (branches), which
+    /// manifests as a crash or hang instead.  Drives the supervisor's
+    /// sentinel scheduling, distinctly from the crash paths.
+    [[nodiscard]] double sdc_vulnerability() const;
 };
 
 /// Fraction of cycles each CPU component was active, indexed by

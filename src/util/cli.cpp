@@ -1,0 +1,68 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gb {
+
+std::optional<long long> parse_integer(std::string_view text) {
+    long long parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::optional<double> parse_number(std::string_view text) {
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    if (ec != std::errc{} || ptr != text.data() + text.size() ||
+        !std::isfinite(parsed)) {
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+namespace {
+
+[[noreturn]] void bad_argument(std::string_view name, const char* value,
+                               double min, double max) {
+    std::fprintf(stderr,
+                 "error: invalid %.*s '%s' (want a number in [%g, %g])\n",
+                 static_cast<int>(name.size()), name.data(), value, min, max);
+    std::exit(2);
+}
+
+} // namespace
+
+long long int_arg(int argc, char** argv, int index, long long fallback,
+                  std::string_view name, long long min, long long max) {
+    if (index >= argc) {
+        return fallback;
+    }
+    const auto parsed = parse_integer(argv[index]);
+    if (!parsed || *parsed < min || *parsed > max) {
+        bad_argument(name, argv[index], static_cast<double>(min),
+                     static_cast<double>(max));
+    }
+    return *parsed;
+}
+
+double double_arg(int argc, char** argv, int index, double fallback,
+                  std::string_view name, double min, double max) {
+    if (index >= argc) {
+        return fallback;
+    }
+    const auto parsed = parse_number(argv[index]);
+    if (!parsed || *parsed < min || *parsed > max) {
+        bad_argument(name, argv[index], min, max);
+    }
+    return *parsed;
+}
+
+} // namespace gb

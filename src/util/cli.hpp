@@ -1,0 +1,36 @@
+// Checked command-line argument parsing for the examples and benches.
+//
+// The examples used to funnel argv through bare std::atoi/atof/atol, which
+// return 0 on garbage and silently truncate trailing junk -- so
+// `uniserver_autopilot 48x` ran zero phases without a word.  These helpers
+// parse with std::from_chars in the same full-consume-plus-range-check style
+// as the GB_JOBS environment parsing in the execution engine, and the
+// positional-argument wrappers exit with a diagnostic instead of running a
+// nonsense experiment.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace gb {
+
+/// Strict integer parse: the whole string must be a base-10 integer.
+/// Returns nullopt on empty input, trailing junk, or overflow.
+[[nodiscard]] std::optional<long long> parse_integer(std::string_view text);
+
+/// Strict floating-point parse: the whole string must be a finite number.
+[[nodiscard]] std::optional<double> parse_number(std::string_view text);
+
+/// Positional integer argument: argv[index] if present, else `fallback`.
+/// Exits with status 2 and a diagnostic naming `name` when the argument is
+/// present but not an integer in [min, max].
+[[nodiscard]] long long int_arg(int argc, char** argv, int index,
+                                long long fallback, std::string_view name,
+                                long long min, long long max);
+
+/// Positional floating-point argument, same contract as int_arg.
+[[nodiscard]] double double_arg(int argc, char** argv, int index,
+                                double fallback, std::string_view name,
+                                double min, double max);
+
+} // namespace gb

@@ -190,6 +190,68 @@ TEST_F(chip_model_test, disruption_classification) {
     EXPECT_TRUE(is_disruption(run_outcome::hang));
 }
 
+TEST_F(chip_model_test, marginal_outcome_distribution_is_a_pmf) {
+    for (const failure_path path :
+         {failure_path::logic, failure_path::sram}) {
+        for (const double depth : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+            const outcome_distribution d =
+                chip_model::marginal_outcome_distribution(path, depth);
+            EXPECT_NEAR(d.total(), 1.0, 1e-12);
+            EXPECT_GE(d.p_ok, 0.0);
+            EXPECT_GE(d.p_sdc, 0.0);
+            EXPECT_GE(d.p_crash, 0.0);
+            EXPECT_LE(d.p_disruption(), 1.0);
+        }
+    }
+    EXPECT_THROW((void)chip_model::marginal_outcome_distribution(
+                     failure_path::logic, -0.1),
+                 contract_violation);
+    EXPECT_THROW((void)chip_model::marginal_outcome_distribution(
+                     failure_path::logic, 1.1),
+                 contract_violation);
+}
+
+TEST_F(chip_model_test, outcome_probabilities_match_sampled_frequencies) {
+    const execution_profile profile =
+        profile_of(find_cpu_benchmark("bwaves").loop);
+    std::vector<core_assignment> one{{6, &profile, nominal_core_frequency}};
+    const vmin_analysis analysis = ttt_.analyze(one, 3);
+    const millivolts supply = analysis.vmin - millivolts{3.0};
+    const outcome_distribution d = ttt_.outcome_probabilities(one, supply, 3);
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+
+    rng r(17);
+    const int trials = 4000;
+    int ok = 0;
+    int disruptions = 0;
+    for (int i = 0; i < trials; ++i) {
+        const run_evaluation eval = ttt_.evaluate_run(one, supply, 3, r);
+        ok += eval.outcome == run_outcome::ok ? 1 : 0;
+        disruptions += is_disruption(eval.outcome) ? 1 : 0;
+    }
+    // Monte-Carlo frequencies converge on the closed-form mass function.
+    EXPECT_NEAR(static_cast<double>(ok) / trials, d.p_ok, 0.05);
+    EXPECT_NEAR(static_cast<double>(disruptions) / trials, d.p_disruption(),
+                0.05);
+}
+
+TEST_F(chip_model_test, sdc_probability_rises_as_supply_drops) {
+    const execution_profile profile =
+        profile_of(find_cpu_benchmark("mcf").loop);
+    std::vector<core_assignment> one{{2, &profile, nominal_core_frequency}};
+    const vmin_analysis analysis = ttt_.analyze(one, 5);
+    // Far above Vmin the SDC region is unreachable.
+    EXPECT_NEAR(ttt_.sdc_probability(one, nominal_pmd_voltage, 5), 0.0,
+                1e-6);
+    const double shallow =
+        ttt_.sdc_probability(one, analysis.vmin - millivolts{1.0}, 5);
+    const double deep =
+        ttt_.sdc_probability(one, analysis.vmin - millivolts{5.0}, 5);
+    EXPECT_GT(shallow, 0.0);
+    EXPECT_GT(deep, shallow);
+    EXPECT_LE(deep, 1.0);
+}
+
 TEST_F(chip_model_test, invalid_assignments_rejected) {
     const execution_profile profile =
         profile_of(find_cpu_benchmark("mcf").loop);

@@ -165,5 +165,55 @@ TEST_F(governor_test, config_validation) {
     EXPECT_THROW(voltage_governor(predictor_, bad2), contract_violation);
 }
 
+TEST_F(governor_test, relax_step_clamped_into_invariant) {
+    // A step wider than the whole guard span would swing the guard
+    // rail-to-rail every epoch; the constructor clamps it to the span.
+    governor_config wide;
+    wide.min_guard = millivolts{8.0};
+    wide.max_guard = millivolts{40.0};
+    wide.relax_step = millivolts{100.0};
+    voltage_governor clamped(predictor_, wide);
+    const millivolts before = clamped.current_guard();
+    clamped.observe(run_outcome::ok, millivolts{850.0});
+    EXPECT_GE(clamped.current_guard().value, wide.min_guard.value);
+    EXPECT_LE(before.value - clamped.current_guard().value,
+              wide.max_guard.value - wide.min_guard.value + 1e-9);
+
+    // A zero or negative step would never relax; it is clamped to a small
+    // positive value instead.
+    governor_config frozen;
+    frozen.initial_guard = millivolts{20.0};
+    frozen.relax_step = millivolts{0.0};
+    voltage_governor relaxes(predictor_, frozen);
+    const double guard_before = relaxes.current_guard().value;
+    relaxes.observe(run_outcome::ok, millivolts{850.0});
+    EXPECT_LT(relaxes.current_guard().value, guard_before);
+
+    governor_config negative;
+    negative.initial_guard = millivolts{20.0};
+    negative.relax_step = millivolts{-5.0};
+    voltage_governor still_relaxes(predictor_, negative);
+    still_relaxes.observe(run_outcome::ok, millivolts{850.0});
+    EXPECT_LT(still_relaxes.current_guard().value, 20.0);
+}
+
+TEST_F(governor_test, supervisor_hooks_backoff_and_reset) {
+    voltage_governor governor(predictor_);
+    const double guard_before = governor.current_guard().value;
+    governor.force_backoff(millivolts{10.0}, millivolts{955.0});
+    // The trip bumped the guard and pinned the storm requirement into the
+    // droop history.
+    EXPECT_GT(governor.current_guard().value, guard_before);
+    ASSERT_EQ(governor.history().size(), 1u);
+    EXPECT_DOUBLE_EQ(governor.history().max_requirement().value, 955.0);
+
+    governor.reset_history();
+    EXPECT_TRUE(governor.history().empty());
+
+    EXPECT_THROW(
+        governor.force_backoff(millivolts{-1.0}, millivolts{950.0}),
+        contract_violation);
+}
+
 } // namespace
 } // namespace gb

@@ -92,6 +92,49 @@ TEST(history_test, degenerate_history_steps_at_max) {
         history.voltage_for_failure_probability(1e-4).value, 905.0);
 }
 
+TEST(history_test, clear_forgets_storm_era_requirements) {
+    droop_history history(64);
+    for (int i = 0; i < 40; ++i) {
+        history.record(millivolts{960.0}); // storm-pinned requirements
+    }
+    EXPECT_DOUBLE_EQ(
+        history.voltage_for_failure_probability(1e-3).value, 960.0);
+
+    history.clear();
+    EXPECT_TRUE(history.empty());
+    EXPECT_EQ(history.size(), 0u);
+    // Cleared history behaves like a fresh one: quantiles are again a
+    // contract violation until new samples arrive ...
+    EXPECT_THROW((void)history.quantile(0.5), contract_violation);
+    // ... and new, calmer samples fully determine the floor.
+    for (int i = 0; i < 40; ++i) {
+        history.record(millivolts{905.0});
+    }
+    EXPECT_DOUBLE_EQ(
+        history.voltage_for_failure_probability(1e-3).value, 905.0);
+    EXPECT_DOUBLE_EQ(history.max_requirement().value, 905.0);
+}
+
+TEST(history_test, single_sample_inversion_is_degenerate_step) {
+    // One epoch of history: the empirical distribution is a point mass, and
+    // inversion must neither divide by a zero spread nor extrapolate a tail
+    // from nothing.
+    droop_history history(32);
+    history.record(millivolts{912.0});
+    EXPECT_DOUBLE_EQ(history.max_requirement().value, 912.0);
+    EXPECT_DOUBLE_EQ(history.quantile(0.0).value, 912.0);
+    EXPECT_DOUBLE_EQ(history.quantile(1.0).value, 912.0);
+    EXPECT_DOUBLE_EQ(history.exceedance_probability(millivolts{913.0}), 0.0);
+    EXPECT_DOUBLE_EQ(history.exceedance_probability(millivolts{911.0}), 1.0);
+    // Inversion collapses onto the only observation, however rare the
+    // target; the step happens *at* the max, so the conservative answer is
+    // the max itself rather than a divide-by-zero tail.
+    for (const double target : {0.5, 1e-2, 1e-6}) {
+        EXPECT_DOUBLE_EQ(
+            history.voltage_for_failure_probability(target).value, 912.0);
+    }
+}
+
 TEST(history_test, preconditions) {
     EXPECT_THROW(droop_history(4), contract_violation);
     droop_history history(32);

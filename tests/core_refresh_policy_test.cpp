@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/contracts.hpp"
 
 namespace gb {
@@ -83,6 +85,87 @@ TEST(refresh_policy_test, derating_reduces_exposure) {
     const std::uint64_t loose_failures =
         memory.run_dpbench(data_pattern::random_data, 1).failed_cells;
     EXPECT_LT(tight_failures, loose_failures);
+}
+
+TEST(refresh_policy_test, clamps_exactly_at_study_limit_boundary) {
+    // The paper's DRAM study stops at 62 C / 2283 ms; a memory system
+    // materialized for those limits must be drivable by the policy right at
+    // the boundary without tripping its contracts.
+    memory_system memory(single_dimm_geometry(), retention_model{}, 11,
+                         study_limits{celsius{62.0}, milliseconds{2283.0}});
+    memory.set_temperature(celsius{62.0});
+    const adaptive_refresh_policy policy;
+    const milliseconds chosen = policy.apply(memory);
+    // At 62 C (2 C past the anchor) the scaled-and-derated period stays
+    // strictly inside the characterized anchor.
+    EXPECT_NEAR(chosen.value, 2283.0 * std::exp2(-0.2) * 0.8, 1e-6);
+    EXPECT_LE(chosen.value, 2283.0);
+    EXPECT_GE(chosen.value, nominal_refresh_period.value);
+    EXPECT_DOUBLE_EQ(memory.refresh_period().value, chosen.value);
+
+    // The anchor period itself is the hard ceiling even for a freezing
+    // DIMM: apply() must never program past what was characterized.
+    memory.set_temperature(celsius{20.0});
+    EXPECT_DOUBLE_EQ(policy.apply(memory).value, 2283.0);
+}
+
+TEST(refresh_policy_test, staged_toward_nominal_endpoints_exact) {
+    const milliseconds desired{2283.0};
+    EXPECT_DOUBLE_EQ(
+        adaptive_refresh_policy::staged_toward_nominal(desired, 0, 3).value,
+        2283.0);
+    // The final stage is *exactly* nominal, not approximately.
+    EXPECT_DOUBLE_EQ(
+        adaptive_refresh_policy::staged_toward_nominal(desired, 3, 3).value,
+        nominal_refresh_period.value);
+    // Degenerate ladder: one stage means desired or nominal, nothing else.
+    EXPECT_DOUBLE_EQ(
+        adaptive_refresh_policy::staged_toward_nominal(desired, 0, 1).value,
+        2283.0);
+    EXPECT_DOUBLE_EQ(
+        adaptive_refresh_policy::staged_toward_nominal(desired, 1, 1).value,
+        64.0);
+    // Already-nominal desired: every stage is nominal.
+    EXPECT_DOUBLE_EQ(adaptive_refresh_policy::staged_toward_nominal(
+                         nominal_refresh_period, 1, 3)
+                         .value,
+                     64.0);
+}
+
+TEST(refresh_policy_test, staged_toward_nominal_geometric_steps) {
+    const milliseconds desired{64.0 * 8.0}; // 8x relaxation, 3 stages
+    const double s0 =
+        adaptive_refresh_policy::staged_toward_nominal(desired, 0, 3).value;
+    const double s1 =
+        adaptive_refresh_policy::staged_toward_nominal(desired, 1, 3).value;
+    const double s2 =
+        adaptive_refresh_policy::staged_toward_nominal(desired, 2, 3).value;
+    const double s3 =
+        adaptive_refresh_policy::staged_toward_nominal(desired, 3, 3).value;
+    // Monotone toward nominal in equal multiplicative steps (factor 2 for
+    // an 8x relaxation over 3 stages).
+    EXPECT_GT(s0, s1);
+    EXPECT_GT(s1, s2);
+    EXPECT_GT(s2, s3);
+    EXPECT_NEAR(s0 / s1, 2.0, 1e-9);
+    EXPECT_NEAR(s1 / s2, 2.0, 1e-9);
+    EXPECT_NEAR(s2 / s3, 2.0, 1e-9);
+}
+
+TEST(refresh_policy_test, staged_toward_nominal_preconditions) {
+    const milliseconds desired{2283.0};
+    EXPECT_THROW((void)adaptive_refresh_policy::staged_toward_nominal(
+                     desired, -1, 3),
+                 contract_violation);
+    EXPECT_THROW(
+        (void)adaptive_refresh_policy::staged_toward_nominal(desired, 4, 3),
+        contract_violation);
+    EXPECT_THROW(
+        (void)adaptive_refresh_policy::staged_toward_nominal(desired, 0, 0),
+        contract_violation);
+    EXPECT_THROW((void)adaptive_refresh_policy::staged_toward_nominal(
+                     milliseconds{32.0}, 0, 3),
+                 contract_violation);
 }
 
 TEST(refresh_policy_test, config_validation) {

@@ -1,0 +1,432 @@
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/governor.hpp"
+#include "core/predictor.hpp"
+#include "harness/framework.hpp"
+#include "util/contracts.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+/// A minimally trained predictor (the governor's constructor requires one;
+/// the supervisor tests only exercise its backoff/history hooks).
+vmin_predictor make_trained_predictor(chip_model& chip,
+                                      characterization_framework& framework) {
+    vmin_predictor predictor;
+    for (const cpu_benchmark& b : spec2006_suite()) {
+        const execution_profile& profile =
+            framework.profile_of(b.loop, nominal_core_frequency);
+        predictor.add_sample(profile,
+                             chip.analyze_single(profile, 0).vmin);
+    }
+    predictor.train();
+    return predictor;
+}
+
+epoch_request make_request(double predicted_sdc = 0.0) {
+    epoch_request request;
+    request.pmd = 1;
+    request.workload_class = "mix";
+    request.desired_voltage = millivolts{920.0};
+    request.desired_refresh = milliseconds{512.0};
+    request.predicted_sdc = predicted_sdc;
+    return request;
+}
+
+epoch_result result_with(run_outcome outcome) {
+    epoch_result result;
+    result.outcome = outcome;
+    result.epoch_power_w = 10.0;
+    result.unsupervised_power_w = 10.0;
+    return result;
+}
+
+/// Run one clean epoch through plan+observe; returns the plan it ran at.
+epoch_plan clean_epoch(operating_point_supervisor& supervisor,
+                       const epoch_request& request) {
+    const epoch_plan plan = supervisor.plan(request);
+    supervisor.observe(request, plan, result_with(run_outcome::ok));
+    return plan;
+}
+
+TEST(SupervisorTest, InitialDescentReachesExploiting) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request();
+    EXPECT_EQ(supervisor.state(), supervisor_state::nominal);
+    EXPECT_EQ(supervisor.stage(), supervisor.config().degradation_stages);
+
+    // First plan runs at exactly nominal voltage and refresh.
+    const epoch_plan first = supervisor.plan(request);
+    EXPECT_DOUBLE_EQ(first.voltage.value, nominal_pmd_voltage.value);
+    EXPECT_DOUBLE_EQ(first.refresh.value, nominal_refresh_period.value);
+    EXPECT_FALSE(first.sentinel);
+
+    // The probing descent moves one stage per clean epoch.
+    std::vector<supervisor_state> seen;
+    for (int i = 0; i < supervisor.config().degradation_stages; ++i) {
+        seen.push_back(clean_epoch(supervisor, request).state);
+    }
+    EXPECT_EQ(supervisor.state(), supervisor_state::exploiting);
+    EXPECT_EQ(seen.front(), supervisor_state::nominal);
+
+    // At stage 0 the plan honours the request exactly.
+    const epoch_plan exploited = supervisor.plan(request);
+    EXPECT_DOUBLE_EQ(exploited.voltage.value, 920.0);
+    EXPECT_DOUBLE_EQ(exploited.refresh.value, 512.0);
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
+TEST(SupervisorTest, StagedVoltageAndRefreshInterpolate) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request();
+    const int stages = supervisor.config().degradation_stages;
+    const double step = supervisor.config().voltage_stage.value;
+
+    double previous_v = nominal_pmd_voltage.value;
+    double previous_t = nominal_refresh_period.value;
+    for (int i = 0; i < stages; ++i) {
+        const epoch_plan plan = clean_epoch(supervisor, request);
+        if (i == 0) {
+            EXPECT_DOUBLE_EQ(plan.voltage.value, nominal_pmd_voltage.value);
+            continue;
+        }
+        // Each promotion moves the plan monotonically toward the request.
+        EXPECT_LT(plan.voltage.value, previous_v);
+        EXPECT_GT(plan.refresh.value, previous_t - 1e-9);
+        EXPECT_DOUBLE_EQ(plan.voltage.value,
+                         920.0 + (stages - i) * step);
+        previous_v = plan.voltage.value;
+        previous_t = plan.refresh.value;
+    }
+}
+
+TEST(SupervisorTest, SentinelArmedByBudgetAndLatencyBound) {
+    operating_point_supervisor supervisor;
+    epoch_request request = make_request();
+    // Descend to the exploited point first (no sentinels at nominal).
+    for (int i = 0; i < supervisor.config().degradation_stages; ++i) {
+        EXPECT_FALSE(clean_epoch(supervisor, request).sentinel);
+    }
+
+    // Budget path: accumulated predicted SDC crosses the budget.
+    request.predicted_sdc = supervisor.config().sentinel_sdc_budget / 2.0;
+    EXPECT_FALSE(clean_epoch(supervisor, request).sentinel);
+    EXPECT_TRUE(clean_epoch(supervisor, request).sentinel);
+    EXPECT_FALSE(supervisor.plan(request).sentinel); // budget reset
+
+    // Latency path: with negligible predicted SDC a sentinel still fires
+    // within max_sentinel_interval epochs.
+    request.predicted_sdc = 0.0;
+    std::size_t until_sentinel = 0;
+    for (std::size_t i = 0; i <= supervisor.config().max_sentinel_interval;
+         ++i) {
+        if (clean_epoch(supervisor, request).sentinel) {
+            until_sentinel = i + 1;
+            break;
+        }
+    }
+    EXPECT_GT(until_sentinel, 0u);
+    EXPECT_LE(until_sentinel, supervisor.config().max_sentinel_interval);
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
+TEST(SupervisorTest, SentinelDetectsSdcAndTrips) {
+    supervisor_config config;
+    config.breaker.sdc_weight = config.breaker.trip_score; // one strike
+    operating_point_supervisor supervisor(config);
+    epoch_request request = make_request();
+    for (int i = 0; i < config.degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+
+    // Undetected: silent corruption on a regular epoch is accounted as
+    // ground truth but produces no breaker score.
+    epoch_plan plan = supervisor.plan(request);
+    ASSERT_FALSE(plan.sentinel);
+    supervisor.observe(request, plan,
+                       result_with(run_outcome::silent_data_corruption));
+    EXPECT_EQ(supervisor.telemetry().undetected_sdc, 1u);
+    EXPECT_EQ(supervisor.telemetry().breaker_trips, 0u);
+
+    // Detected: the same corruption under a sentinel trips immediately.
+    request.predicted_sdc = config.sentinel_sdc_budget;
+    plan = supervisor.plan(request);
+    ASSERT_TRUE(plan.sentinel);
+    const epoch_disposition disposition = supervisor.observe(
+        request, plan, result_with(run_outcome::silent_data_corruption));
+    EXPECT_EQ(disposition, epoch_disposition::sentinel);
+    EXPECT_EQ(supervisor.telemetry().detected_sdc, 1u);
+    EXPECT_EQ(supervisor.telemetry().breaker_trips, 1u);
+    EXPECT_TRUE(supervisor.is_quarantined(request.pmd,
+                                          request.workload_class));
+    EXPECT_EQ(supervisor.state(), supervisor_state::degraded);
+}
+
+TEST(SupervisorTest, BreakerAccumulatesWeightedEvents) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request();
+    for (int i = 0; i < supervisor.config().degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+
+    // trip_score / ce_weight corrected errors trip the breaker; one fewer
+    // does not.
+    const auto needed = static_cast<int>(
+        supervisor.config().breaker.trip_score /
+        supervisor.config().breaker.ce_weight);
+    for (int i = 0; i < needed - 1; ++i) {
+        const epoch_plan plan = supervisor.plan(request);
+        supervisor.observe(request, plan,
+                           result_with(run_outcome::corrected_error));
+        EXPECT_EQ(supervisor.telemetry().breaker_trips, 0u);
+    }
+    const epoch_plan plan = supervisor.plan(request);
+    supervisor.observe(request, plan,
+                       result_with(run_outcome::corrected_error));
+    EXPECT_EQ(supervisor.telemetry().breaker_trips, 1u);
+
+    // A different operating point has its own (untripped) breaker.
+    epoch_request other = make_request();
+    other.pmd = 3;
+    EXPECT_FALSE(supervisor.is_quarantined(other.pmd, other.workload_class));
+}
+
+TEST(SupervisorTest, DramSignalsScoreTheBreaker) {
+    supervisor_config config;
+    config.breaker.dram_burst_weight = config.breaker.trip_score;
+    operating_point_supervisor supervisor(config);
+    const epoch_request request = make_request();
+    for (int i = 0; i < config.degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+    epoch_result result = result_with(run_outcome::ok);
+    result.dram_ce_words = config.dram_ce_burst_words;
+    supervisor.observe(request, supervisor.plan(request), result);
+    EXPECT_EQ(supervisor.telemetry().dram_ce_bursts, 1u);
+    EXPECT_EQ(supervisor.telemetry().breaker_trips, 1u);
+}
+
+TEST(SupervisorTest, QuarantineExpiresAndResetsGovernorHistory) {
+    chip_model chip(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(chip, 31);
+    const vmin_predictor predictor = make_trained_predictor(chip, framework);
+    voltage_governor governor(predictor);
+    supervisor_config config;
+    config.breaker.sdc_weight = config.breaker.trip_score;
+    config.breaker.quarantine_ttl = 4;
+    operating_point_supervisor supervisor(config, &governor);
+    epoch_request request = make_request();
+    for (int i = 0; i < config.degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+
+    // Trip via a sentinel-detected corruption.
+    request.predicted_sdc = config.sentinel_sdc_budget;
+    epoch_plan plan = supervisor.plan(request);
+    ASSERT_TRUE(plan.sentinel);
+    supervisor.observe(request, plan,
+                       result_with(run_outcome::silent_data_corruption));
+    ASSERT_TRUE(supervisor.is_quarantined(request.pmd,
+                                          request.workload_class));
+    // The trip pinned the storm requirement into the governor's history
+    // and backed its guard off.
+    EXPECT_EQ(governor.history().size(), 1u);
+    request.predicted_sdc = 0.0;
+
+    // While quarantined, this point's plan is pinned at nominal.
+    plan = supervisor.plan(request);
+    EXPECT_EQ(plan.state, supervisor_state::quarantined);
+    EXPECT_DOUBLE_EQ(plan.voltage.value, nominal_pmd_voltage.value);
+    EXPECT_DOUBLE_EQ(plan.refresh.value, nominal_refresh_period.value);
+
+    // The TTL is bounded: the quarantine lifts within ttl epochs, and the
+    // lift clears the governor's storm-era history.
+    int lifted_after = -1;
+    for (std::size_t i = 0; i < config.breaker.quarantine_ttl; ++i) {
+        clean_epoch(supervisor, request);
+        if (!supervisor.is_quarantined(request.pmd,
+                                       request.workload_class)) {
+            lifted_after = static_cast<int>(i) + 1;
+            break;
+        }
+    }
+    EXPECT_GT(lifted_after, 0);
+    EXPECT_EQ(supervisor.active_quarantines(), 0u);
+    EXPECT_TRUE(governor.history().empty());
+    EXPECT_GT(supervisor.telemetry().quarantined_epochs, 0u);
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
+TEST(SupervisorTest, RecoveryAfterTripPaysFullHysteresis) {
+    supervisor_config config;
+    config.breaker.sdc_weight = config.breaker.trip_score;
+    config.breaker.quarantine_ttl = 1;
+    operating_point_supervisor supervisor(config);
+    epoch_request request = make_request();
+    for (int i = 0; i < config.degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+    request.predicted_sdc = config.sentinel_sdc_budget;
+    const epoch_plan plan = supervisor.plan(request);
+    supervisor.observe(request, plan,
+                       result_with(run_outcome::silent_data_corruption));
+    request.predicted_sdc = 0.0;
+    ASSERT_EQ(supervisor.state(), supervisor_state::degraded);
+    const int tripped_stage = supervisor.stage();
+
+    // Post-trip, each promotion needs promote_after_clean clean epochs.
+    int epochs_to_recover = 0;
+    while (supervisor.state() != supervisor_state::exploiting &&
+           epochs_to_recover < 100) {
+        clean_epoch(supervisor, request);
+        ++epochs_to_recover;
+    }
+    EXPECT_EQ(supervisor.state(), supervisor_state::exploiting);
+    EXPECT_GE(epochs_to_recover,
+              tripped_stage *
+                  static_cast<int>(config.promote_after_clean));
+}
+
+TEST(SupervisorTest, WatchdogConvertsHangIntoReplayedEpoch) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request();
+    for (int i = 0; i < supervisor.config().degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+
+    // Hang at the exploited point, clean at any degraded stage.
+    int calls = 0;
+    const supervised_epoch epoch = run_supervised_epoch(
+        supervisor, request, [&](const epoch_plan& plan) {
+            ++calls;
+            epoch_result result = result_with(
+                plan.stage == 0 ? run_outcome::hang : run_outcome::ok);
+            result.epoch_power_w = 10.0 + plan.stage;
+            return result;
+        });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(epoch.disposition, epoch_disposition::replayed);
+    EXPECT_GT(epoch.plan.stage, 0);
+    EXPECT_DOUBLE_EQ(epoch.lost_power_w, 10.0);
+    EXPECT_EQ(supervisor.telemetry().watchdog_aborts, 1u);
+    EXPECT_EQ(supervisor.telemetry().replayed, 1u);
+    EXPECT_GE(supervisor.telemetry().degradation_overhead_w_epochs, 10.0);
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
+TEST(SupervisorTest, WatchdogDoubleHangIsAccountedAborted) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request();
+    const supervised_epoch epoch = run_supervised_epoch(
+        supervisor, request, [&](const epoch_plan&) {
+            return result_with(run_outcome::hang);
+        });
+    EXPECT_EQ(epoch.disposition, epoch_disposition::aborted);
+    EXPECT_EQ(supervisor.telemetry().aborted, 1u);
+    EXPECT_EQ(supervisor.telemetry().watchdog_aborts, 1u);
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
+TEST(SupervisorTest, EveryEpochAccountedAcrossMixedOutcomes) {
+    operating_point_supervisor supervisor;
+    const epoch_request request = make_request(0.01);
+    const epoch_fault_plan faults(epoch_fault_config{
+        /*seed=*/7, /*sdc_rate=*/0.2, /*ce_burst_rate=*/0.3,
+        /*hang_rate=*/0.15, /*ce_burst_words=*/16});
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        (void)run_supervised_epoch(
+            supervisor, request, [&](const epoch_plan& plan) {
+                epoch_result result = result_with(run_outcome::ok);
+                if (plan.stage == 0) {
+                    faults.apply(i, result);
+                }
+                return result;
+            });
+    }
+    const health_telemetry& health = supervisor.telemetry();
+    EXPECT_EQ(health.epochs, 200u);
+    EXPECT_TRUE(health.balanced());
+    EXPECT_EQ(health.accounted(), 200u);
+}
+
+TEST(SupervisorTest, ConfigContractsRejectNonsense) {
+    supervisor_config config;
+    config.degradation_stages = 0;
+    EXPECT_THROW(operating_point_supervisor{config}, contract_violation);
+    config = {};
+    config.breaker.trip_score = 0.0;
+    EXPECT_THROW(operating_point_supervisor{config}, contract_violation);
+    operating_point_supervisor supervisor;
+    epoch_request request = make_request();
+    request.predicted_sdc = 1.5;
+    EXPECT_THROW((void)supervisor.plan(request), contract_violation);
+}
+
+TEST(FaultPlanTest, DeterministicAndRateRespecting) {
+    const epoch_fault_config config{/*seed=*/42, /*sdc_rate=*/0.3,
+                                    /*ce_burst_rate=*/0.5,
+                                    /*hang_rate=*/0.1,
+                                    /*ce_burst_words=*/8};
+    const epoch_fault_plan a(config);
+    const epoch_fault_plan b(config);
+    int sdc = 0;
+    for (std::uint64_t e = 0; e < 1000; ++e) {
+        EXPECT_EQ(a.inject_sdc(e), b.inject_sdc(e));
+        EXPECT_EQ(a.inject_ce_burst(e), b.inject_ce_burst(e));
+        EXPECT_EQ(a.inject_hang(e), b.inject_hang(e));
+        sdc += a.inject_sdc(e) ? 1 : 0;
+    }
+    EXPECT_NEAR(sdc / 1000.0, 0.3, 0.05);
+
+    const epoch_fault_plan none(epoch_fault_config{/*seed=*/1, 0.0, 0.0,
+                                                   0.0, 8});
+    const epoch_fault_plan all(epoch_fault_config{/*seed=*/1, 1.0, 1.0,
+                                                  1.0, 8});
+    for (std::uint64_t e = 0; e < 64; ++e) {
+        EXPECT_FALSE(none.inject_sdc(e));
+        EXPECT_TRUE(all.inject_sdc(e));
+        EXPECT_TRUE(all.inject_hang(e));
+    }
+
+    epoch_result result;
+    result.outcome = run_outcome::ok;
+    all.apply(0, result);
+    EXPECT_EQ(result.outcome, run_outcome::hang); // hang dominates
+    EXPECT_EQ(result.dram_ce_words, 8u);
+
+    EXPECT_THROW(
+        epoch_fault_plan(epoch_fault_config{0, -0.1, 0.0, 0.0, 8}),
+        contract_violation);
+}
+
+TEST(TelemetryTest, AccountingAndMerge) {
+    health_telemetry a;
+    a.account(epoch_disposition::committed);
+    a.account(epoch_disposition::sentinel);
+    a.account(epoch_disposition::replayed);
+    a.account(epoch_disposition::aborted);
+    a.account(epoch_disposition::quarantined);
+    EXPECT_EQ(a.epochs, 5u);
+    EXPECT_TRUE(a.balanced());
+
+    health_telemetry b;
+    b.account(epoch_disposition::committed);
+    b.sentinel_overhead_w_epochs = 2.0;
+    b.degradation_overhead_w_epochs = 4.0;
+    EXPECT_DOUBLE_EQ(b.mean_overhead_w(), 6.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.epochs, 6u);
+    EXPECT_EQ(a.committed, 2u);
+    EXPECT_TRUE(a.balanced());
+    EXPECT_DOUBLE_EQ(a.sentinel_overhead_w_epochs, 2.0);
+
+    EXPECT_EQ(to_string(epoch_disposition::sentinel), "sentinel");
+    EXPECT_EQ(to_string(supervisor_state::quarantined), "quarantined");
+}
+
+} // namespace
+} // namespace gb

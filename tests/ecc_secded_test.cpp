@@ -134,6 +134,56 @@ TEST(secded_test, flip_codeword_bit_bounds) {
     EXPECT_THROW((void)flip_codeword_bit(word, 72), contract_violation);
 }
 
+TEST(secded_test, classify_decode_taxonomy) {
+    const secded72_64& codec = secded72_64::instance();
+    const std::uint64_t golden = 0x0123456789abcdefULL;
+    const secded_word word = codec.encode(golden);
+
+    // Clean word against its own golden data.
+    EXPECT_EQ(classify_decode(codec.decode(word), golden),
+              word_outcome::clean);
+
+    // Single flip: decoder corrects back to golden.
+    EXPECT_EQ(classify_decode(codec.decode(flip_codeword_bit(word, 13)),
+                              golden),
+              word_outcome::corrected);
+
+    // Double flip: detected uncorrectable, regardless of golden.
+    EXPECT_EQ(classify_decode(
+                  codec.decode(flip_codeword_bit(
+                      flip_codeword_bit(word, 3), 40)),
+                  golden),
+              word_outcome::uncorrectable);
+}
+
+TEST(secded_test, classify_decode_catches_aliased_triples_as_sdc) {
+    // Find a triple flip whose syndrome aliases onto a valid single-error
+    // correction: the decoder reports clean/corrected but the data is wrong.
+    // Only the golden comparison exposes it -- exactly the SDC signal the
+    // supervisor's sentinels exist to surface.
+    const secded72_64& codec = secded72_64::instance();
+    const std::uint64_t golden = 0xfeedfacecafebeefULL;
+    const secded_word word = codec.encode(golden);
+    bool found_sdc = false;
+    for (int a = 0; a < 16 && !found_sdc; ++a) {
+        for (int b = a + 1; b < 32 && !found_sdc; ++b) {
+            for (int c = b + 1; c < 72 && !found_sdc; ++c) {
+                const secded_word corrupted = flip_codeword_bit(
+                    flip_codeword_bit(flip_codeword_bit(word, a), b), c);
+                const decode_result decoded = codec.decode(corrupted);
+                const word_outcome outcome =
+                    classify_decode(decoded, golden);
+                if (decoded.status != decode_status::uncorrectable &&
+                    decoded.data != golden) {
+                    EXPECT_EQ(outcome, word_outcome::silent_corruption);
+                    found_sdc = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(found_sdc);
+}
+
 TEST(secded_test, flip_is_involution) {
     const secded72_64& codec = secded72_64::instance();
     const secded_word word = codec.encode(0xabcdef);

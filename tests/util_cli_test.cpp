@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gb {
+namespace {
+
+TEST(cli_test, parse_integer_accepts_full_consume_base10) {
+    EXPECT_EQ(parse_integer("0"), 0);
+    EXPECT_EQ(parse_integer("48"), 48);
+    EXPECT_EQ(parse_integer("-17"), -17);
+    EXPECT_EQ(parse_integer("9223372036854775807"),
+              9223372036854775807LL);
+}
+
+TEST(cli_test, parse_integer_rejects_garbage) {
+    // The whole point of replacing atoi: trailing junk, empty strings and
+    // overflow must be nullopt, not silently 0 or truncated.
+    EXPECT_EQ(parse_integer(""), std::nullopt);
+    EXPECT_EQ(parse_integer("48x"), std::nullopt);
+    EXPECT_EQ(parse_integer("4 8"), std::nullopt);
+    EXPECT_EQ(parse_integer(" 48"), std::nullopt);
+    EXPECT_EQ(parse_integer("x48"), std::nullopt);
+    EXPECT_EQ(parse_integer("4.8"), std::nullopt);
+    EXPECT_EQ(parse_integer("9223372036854775808"), std::nullopt);
+    EXPECT_EQ(parse_integer("--3"), std::nullopt);
+    EXPECT_EQ(parse_integer("+3"), std::nullopt); // from_chars: no '+'
+}
+
+TEST(cli_test, parse_number_accepts_finite_floats) {
+    EXPECT_DOUBLE_EQ(*parse_number("60"), 60.0);
+    EXPECT_DOUBLE_EQ(*parse_number("60.5"), 60.5);
+    EXPECT_DOUBLE_EQ(*parse_number("-0.25"), -0.25);
+    EXPECT_DOUBLE_EQ(*parse_number("1e3"), 1000.0);
+}
+
+TEST(cli_test, parse_number_rejects_garbage_and_non_finite) {
+    EXPECT_EQ(parse_number(""), std::nullopt);
+    EXPECT_EQ(parse_number("60.5C"), std::nullopt);
+    EXPECT_EQ(parse_number("temp"), std::nullopt);
+    EXPECT_EQ(parse_number(" 60"), std::nullopt);
+    EXPECT_EQ(parse_number("nan"), std::nullopt);
+    EXPECT_EQ(parse_number("inf"), std::nullopt);
+    EXPECT_EQ(parse_number("1e999"), std::nullopt);
+}
+
+TEST(cli_test, positional_args_fall_back_when_absent) {
+    char prog[] = "prog";
+    char* argv[] = {prog, nullptr};
+    EXPECT_EQ(int_arg(1, argv, 1, 48, "phases", 1, 100), 48);
+    EXPECT_DOUBLE_EQ(double_arg(1, argv, 1, 60.0, "temp", 20.0, 90.0), 60.0);
+}
+
+TEST(cli_test, positional_args_parse_when_present) {
+    char prog[] = "prog";
+    char phases[] = "24";
+    char temp[] = "55.5";
+    char* argv[] = {prog, phases, temp, nullptr};
+    EXPECT_EQ(int_arg(3, argv, 1, 48, "phases", 1, 100), 24);
+    EXPECT_DOUBLE_EQ(double_arg(3, argv, 2, 60.0, "temp", 20.0, 90.0),
+                     55.5);
+}
+
+using cli_death_test = ::testing::Test;
+
+TEST(cli_death_test, int_arg_exits_on_garbage) {
+    char prog[] = "prog";
+    char bad[] = "48x";
+    char* argv[] = {prog, bad, nullptr};
+    EXPECT_EXIT((void)int_arg(2, argv, 1, 48, "phases", 1, 100),
+                ::testing::ExitedWithCode(2), "invalid phases '48x'");
+}
+
+TEST(cli_death_test, int_arg_exits_out_of_range) {
+    char prog[] = "prog";
+    char huge[] = "1000000";
+    char* argv[] = {prog, huge, nullptr};
+    EXPECT_EXIT((void)int_arg(2, argv, 1, 48, "phases", 1, 100),
+                ::testing::ExitedWithCode(2), "invalid phases");
+}
+
+TEST(cli_death_test, double_arg_exits_on_garbage_and_range) {
+    char prog[] = "prog";
+    char bad[] = "60.5C";
+    char* argv[] = {prog, bad, nullptr};
+    EXPECT_EXIT((void)double_arg(2, argv, 1, 60.0, "temperature_c", 20.0,
+                                 90.0),
+                ::testing::ExitedWithCode(2), "invalid temperature_c");
+    char cold[] = "-40";
+    char* argv2[] = {prog, cold, nullptr};
+    EXPECT_EXIT((void)double_arg(2, argv2, 1, 60.0, "temperature_c", 20.0,
+                                 90.0),
+                ::testing::ExitedWithCode(2), "invalid temperature_c");
+}
+
+} // namespace
+} // namespace gb
