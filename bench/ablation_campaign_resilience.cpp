@@ -49,7 +49,14 @@ std::string campaign_csv(const campaign_result& result) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::metrics_reporter reporter(argc, argv);
+    metrics_registry& metrics = reporter.registry();
+    const counter_handle m_injected = metrics.counter("resilience.injected_faults");
+    const counter_handle m_retries = metrics.counter("resilience.retries");
+    const counter_handle m_aborted = metrics.counter("resilience.aborted_rig");
+    const counter_handle m_corrupt = metrics.counter("resilience.corrupted_log_lines");
+    const counter_handle m_replayed = metrics.counter("resilience.replayed_tasks");
     bench::banner(
         "Ablation -- campaign resilience to rig faults and kills",
         "the paper's rig survives hangs, board crashes and garbled serial "
@@ -74,6 +81,13 @@ int main() {
         const campaign_result result =
             framework.run_campaign(make_spec(/*workers=*/0), program, io);
         const execution_stats& s = result.stats;
+        metrics.add(bench::metrics_reporter::shard, m_injected,
+                    s.injected_faults());
+        metrics.add(bench::metrics_reporter::shard, m_retries, s.retries);
+        metrics.add(bench::metrics_reporter::shard, m_aborted,
+                    s.aborted_rig);
+        metrics.add(bench::metrics_reporter::shard, m_corrupt,
+                    s.corrupted_log_lines);
         sweep.add_row({format_number(rate, 2),
                        std::to_string(s.injected_faults()),
                        std::to_string(s.retries),
@@ -138,6 +152,8 @@ int main() {
                 make_spec(workers), program, journal_in);
             const bool identical = campaign_csv(resumed) == reference_csv;
             all_identical = all_identical && identical;
+            metrics.add(bench::metrics_reporter::shard, m_replayed,
+                        resumed.stats.replayed_tasks);
             resume.add_row(
                 {format_number(fraction * 100.0, 0) + "% of " +
                      std::to_string(total_lines) + " lines",
@@ -157,5 +173,6 @@ int main() {
     bench::note("a resumed campaign re-runs only the missing tail; its CSV "
                 "is byte-identical to the uninterrupted run at 1 and 8 "
                 "workers, so a kill costs only the in-flight runs.");
+    reporter.emit();
     return 0;
 }

@@ -172,7 +172,15 @@ deployment_outcome run_supervised(
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::metrics_reporter reporter(argc, argv);
+    metrics_registry& metrics = reporter.registry();
+    const counter_handle m_trips = metrics.counter("supervisor.breaker_trips");
+    const counter_handle m_caught = metrics.counter("supervisor.detected_sdc");
+    const counter_handle m_missed_sup =
+        metrics.counter("supervisor.undetected_sdc");
+    const counter_handle m_missed_unsup =
+        metrics.counter("unsupervised.undetected_sdc");
     bench::banner(
         "Ablation -- supervised vs unsupervised exploitation",
         "the supervisor spends energy on sentinels, staged degradation and "
@@ -213,9 +221,17 @@ int main() {
             /*hang_rate=*/0.01, /*ce_burst_words=*/16});
         const deployment_outcome unsup = run_unsupervised(
             chip, predictor, schedule, faults, nominal_w);
+        metrics.add(bench::metrics_reporter::shard, m_missed_unsup,
+                    unsup.undetected_sdc);
         for (const double trip : trip_scores) {
             const deployment_outcome sup = run_supervised(
                 chip, predictor, schedule, faults, trip, nominal_w);
+            metrics.add(bench::metrics_reporter::shard, m_trips,
+                        sup.breaker_trips);
+            metrics.add(bench::metrics_reporter::shard, m_caught,
+                        sup.detected_sdc);
+            metrics.add(bench::metrics_reporter::shard, m_missed_sup,
+                        sup.undetected_sdc);
             const double retained =
                 unsup.saving <= 0.0 ? 1.0 : sup.saving / unsup.saving;
             all_balanced = all_balanced && sup.balanced;
@@ -251,5 +267,6 @@ int main() {
                      "unsupervised saving\n";
         return 1;
     }
+    reporter.emit();
     return 0;
 }

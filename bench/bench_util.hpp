@@ -1,8 +1,15 @@
-// Shared formatting for the table/figure regeneration binaries.
+// Shared formatting for the table/figure regeneration binaries, plus
+// optional metrics emission (`--metrics <path>`) so ablation runs can be
+// scraped by dashboards without parsing their human-facing tables.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+
+#include "harness/trace/metrics.hpp"
+#include "util/cli.hpp"
 
 namespace gb::bench {
 
@@ -17,5 +24,37 @@ inline void banner(const std::string& experiment,
 inline void note(const std::string& text) {
     std::cout << "NOTE: " << text << '\n';
 }
+
+/// Optional `--metrics <path>` reporting for bench binaries: the flag is
+/// stripped from argv up front, counters are recorded into `registry()`
+/// during the (serial) run, and `emit()` writes the merged registry as
+/// flat JSON at the end when the flag was present.  Without the flag the
+/// registry still accumulates -- recording is cheap and keeps call sites
+/// unconditional.
+class metrics_reporter {
+public:
+    metrics_reporter(int& argc, char** argv)
+        : path_(take_flag_value(argc, argv, "--metrics")) {}
+
+    [[nodiscard]] metrics_registry& registry() { return registry_; }
+
+    /// Serial shard for all bench recording.
+    static constexpr std::size_t shard = 0;
+
+    /// Write the registry if --metrics was given; true when written.
+    bool emit() const {
+        if (!path_) {
+            return false;
+        }
+        std::ofstream out(*path_);
+        write_metrics_json(out, registry_);
+        std::cerr << "metrics written to " << *path_ << '\n';
+        return true;
+    }
+
+private:
+    std::optional<std::string> path_;
+    metrics_registry registry_{1}; // bench binaries record serially
+};
 
 } // namespace gb::bench

@@ -13,6 +13,8 @@
 #include "ga/virus_search.hpp"
 #include "harness/execution_engine.hpp"
 #include "harness/framework.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "isa/pipeline.hpp"
 #include "pdn/pdn.hpp"
 #include "util/rng.hpp"
@@ -179,6 +181,63 @@ void bm_engine_campaign(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 30);
 }
 BENCHMARK(bm_engine_campaign)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Observability overhead: the same two engine loops with the tracer and
+// metrics registry attached.  Compare against the untraced twins above --
+// the budget is <= 3% per-task overhead when enabled; building with
+// -DGB_TRACE=OFF compiles the instrumentation out entirely and these twins
+// must then match the untraced runs exactly (see docs/OBSERVABILITY.md for
+// measured numbers).
+void bm_engine_dispatch_traced(benchmark::State& state) {
+    tracer trace;
+    metrics_registry metrics;
+    execution_options options;
+    options.workers = static_cast<int>(state.range(0));
+    options.trace = &trace;
+    options.metrics = &metrics;
+    const execution_engine engine(options);
+    for (auto _ : state) {
+        trace.clear();
+        std::atomic<std::uint64_t> sink{0};
+        engine.run(1024, [&](const task_context& ctx) {
+            sink.fetch_add(ctx.seed, std::memory_order_relaxed);
+            return -1;
+        });
+        benchmark::DoNotOptimize(sink.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(bm_engine_dispatch_traced)->Arg(1)->Arg(8);
+
+void bm_engine_campaign_traced(benchmark::State& state) {
+    static chip_model ttt(make_ttt_chip(), make_xgene2_pdn());
+    static characterization_framework framework(ttt, 2018);
+    tracer trace;
+    metrics_registry metrics;
+    campaign_spec spec;
+    spec.benchmark = "milc";
+    spec.repetitions = 10;
+    spec.workers = static_cast<int>(state.range(0));
+    for (const double v : {980.0, 920.0, 880.0}) {
+        characterization_setup setup;
+        setup.voltage = millivolts{v};
+        setup.cores = {0, 1, 2, 3, 4, 5, 6, 7};
+        spec.setups.push_back(setup);
+    }
+    const kernel& loop = find_cpu_benchmark("milc").loop;
+    campaign_io io;
+    io.trace = &trace;
+    io.metrics = &metrics;
+    for (auto _ : state) {
+        trace.clear();
+        benchmark::DoNotOptimize(framework.run_campaign(spec, loop, io));
+    }
+    state.SetItemsProcessed(state.iterations() * 30);
+}
+BENCHMARK(bm_engine_campaign_traced)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -6,12 +6,16 @@
 // through an injected fault burst, reporting savings net of the resilience
 // overhead.
 //
-//   $ ./jammer_detector [windows] [events] [epochs]
+//   $ ./jammer_detector [windows] [events] [epochs] [--trace <path>]
+//                       [--metrics <path>]
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/savings.hpp"
 #include "core/supervisor.hpp"
 #include "harness/framework.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/cpu_profiles.hpp"
@@ -21,6 +25,10 @@
 using namespace gb;
 
 int main(int argc, char** argv) {
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
     const int windows =
         static_cast<int>(int_arg(argc, argv, 1, 600, "windows", 1, 1000000));
     const int events =
@@ -94,6 +102,10 @@ int main(int argc, char** argv) {
     // degrades in stages, quarantines the point and recovers, with every
     // epoch accounted and the resilience cost charged against the savings.
     operating_point_supervisor supervisor;
+    tracer trace;
+    metrics_registry metrics;
+    supervisor.set_trace(trace_path ? &trace : nullptr,
+                         metrics_path ? &metrics : nullptr);
     const epoch_fault_plan faults(epoch_fault_config{
         /*seed=*/41, /*sdc_rate=*/0.4, /*ce_burst_rate=*/0.6,
         /*hang_rate=*/0.2, /*ce_burst_words=*/16});
@@ -167,6 +179,18 @@ int main(int argc, char** argv) {
               << format_number(net.resilience_overhead.value, 2)
               << " W), final state " << to_string(supervisor.state())
               << '\n';
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        health.publish(metrics, 0, health.epochs);
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
     if (!health.balanced()) {
         std::cerr << "FAIL: " << health.epochs - health.accounted()
                   << " unaccounted epochs\n";

@@ -8,6 +8,9 @@
 //     --resume <path>   restore completed runs from a journal, run the rest
 //     --faults <rate>   inject rig faults (hangs/crashes/power-switch and
 //                       log corruption) at the given per-run rate
+//     --trace <path>    write a deterministic Chrome trace_event JSON of
+//                       the campaign (byte-identical at any GB_JOBS)
+//     --metrics <path>  write the merged metrics registry as flat JSON
 //
 // Emits the per-run CSV on stdout and a classification summary per voltage
 // on stderr, so `./undervolt_campaign TTT milc > runs.csv` captures the
@@ -25,6 +28,8 @@
 #include "harness/fault_injection.hpp"
 #include "harness/framework.hpp"
 #include "harness/journal.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
 #include "workloads/cpu_profiles.hpp"
 
@@ -51,6 +56,10 @@ int main(int argc, char** argv) {
     std::string journal_base;
     std::string resume_base;
     double fault_rate = 0.0;
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "TTT") {
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
                   << '\n';
     }
 
+    tracer trace;
+    metrics_registry metrics;
+    const bool observing = trace_path || metrics_path;
+
     for (const std::string& name : benchmarks) {
         const cpu_benchmark& benchmark = find_cpu_benchmark(name);
 
@@ -116,6 +129,10 @@ int main(int argc, char** argv) {
         campaign_io io;
         if (faults) {
             io.faults = &*faults;
+        }
+        if (observing) {
+            io.trace = trace_path ? &trace : nullptr;
+            io.metrics = metrics_path ? &metrics : nullptr;
         }
         std::unique_ptr<campaign_journal> journal;
         if (!journal_base.empty()) {
@@ -159,5 +176,16 @@ int main(int argc, char** argv) {
     }
     std::cerr << "total watchdog resets this session: "
               << framework.watchdog_resets() << '\n';
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
     return 0;
 }

@@ -16,8 +16,10 @@
 // supervisor tripping, quarantining, degrading in stages and recovering to
 // the exploiting state, with every epoch accounted.
 //
-//   $ ./uniserver_autopilot [phases]
+//   $ ./uniserver_autopilot [phases] [--trace <path>] [--metrics <path>]
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "core/governor.hpp"
 #include "core/placement.hpp"
@@ -25,6 +27,7 @@
 #include "core/savings.hpp"
 #include "core/supervisor.hpp"
 #include "dram/power.hpp"
+#include "harness/trace/trace.hpp"
 #include "thermal/testbed.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,6 +36,10 @@
 using namespace gb;
 
 int main(int argc, char** argv) {
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
     const int phases =
         static_cast<int>(int_arg(argc, argv, 1, 48, "phases", 1, 100000));
 
@@ -62,6 +69,10 @@ int main(int argc, char** argv) {
     predictor.train();
     voltage_governor governor(predictor);
     operating_point_supervisor supervisor(supervisor_config{}, &governor);
+    tracer trace;
+    metrics_registry metrics;
+    supervisor.set_trace(trace_path ? &trace : nullptr,
+                         metrics_path ? &metrics : nullptr);
     std::cout << "commissioned: predictor R^2 "
               << format_number(predictor.r_squared(), 2) << "\n\n";
 
@@ -251,6 +262,19 @@ int main(int argc, char** argv) {
     health_table.render(std::cout);
     std::cout << "\nsupervisor state: " << to_string(supervisor.state())
               << " (stage " << supervisor.stage() << ")\n";
+
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        health.publish(metrics, 0, health.epochs);
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
 
     if (!health.balanced()) {
         std::cerr << "FAIL: " << health.epochs - health.accounted()

@@ -5,6 +5,7 @@
 
 #include "core/governor.hpp"
 #include "core/refresh_policy.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -87,6 +88,53 @@ operating_point_supervisor::operating_point_supervisor(
     GB_EXPECTS(config.promote_after_clean >= 1);
 }
 
+void operating_point_supervisor::set_trace(tracer* trace,
+                                           metrics_registry* metrics) {
+    if constexpr (!trace_compiled_in) {
+        return;
+    }
+    trace_ = trace;
+    metrics_ = metrics;
+    trace_minor_ = 0;
+    if (trace_ != nullptr) {
+        trace_phase_ = trace_->allocate_phase();
+    }
+    if (metrics_ != nullptr) {
+        mh_.epochs = metrics_->counter("supervisor.epochs");
+        mh_.breaker_trips = metrics_->counter("supervisor.breaker_trips");
+        mh_.watchdog_aborts =
+            metrics_->counter("supervisor.watchdog_aborts");
+        mh_.detected_sdc = metrics_->counter("supervisor.detected_sdc");
+        mh_.quarantine_lifts =
+            metrics_->counter("supervisor.quarantine_lifts");
+        mh_.epoch_score_centi = metrics_->histogram(
+            "supervisor.epoch_score_centi", {0, 25, 100, 150, 300, 600});
+    }
+}
+
+void operating_point_supervisor::trace_event(
+    const char* name,
+    std::vector<std::pair<std::string, std::string>> args) {
+    if constexpr (!trace_compiled_in) {
+        return;
+    }
+    if (trace_ == nullptr) {
+        return;
+    }
+    trace_span event;
+    event.name = name;
+    event.category = "supervisor";
+    // The in-flight epoch's index: telemetry_.epochs only advances when the
+    // epoch settles, so pre-settle events (watchdog aborts, trips) land in
+    // the same slot as the epoch span that eventually commits.
+    event.at = trace_point{track_supervisor, trace_phase_, telemetry_.epochs,
+                           ++trace_minor_};
+    event.start_ticks = trace_minor_;
+    event.instant = true;
+    event.args = std::move(args);
+    trace_->record(0, std::move(event));
+}
+
 operating_point_supervisor::breaker_key
 operating_point_supervisor::key_of(const epoch_request& request) const {
     return breaker_key{request.pmd, request.workload_class};
@@ -147,6 +195,7 @@ void operating_point_supervisor::demote() {
     stage_ = std::min(stage_ + 1, config_.degradation_stages);
     descending_ = false;
     clean_streak_ = 0;
+    trace_event("demote", {{"stage", std::to_string(stage_)}});
 }
 
 void operating_point_supervisor::score_breaker(const epoch_request& request,
@@ -166,6 +215,17 @@ void operating_point_supervisor::score_breaker(const epoch_request& request,
     }
     ++telemetry_.breaker_trips;
     quarantine_[key] = bc.quarantine_ttl;
+    fresh_quarantine_.push_back(key);
+    if constexpr (trace_compiled_in) {
+        if (metrics_ != nullptr) {
+            metrics_->add(0, mh_.breaker_trips);
+        }
+    }
+    trace_event("breaker_trip",
+                {{"pmd", std::to_string(key.first)},
+                 {"class", key.second},
+                 {"window_score_centi",
+                  std::to_string(std::llround(breaker.sum * 100.0))}});
     breaker.scores.clear();
     breaker.sum = 0.0;
     demote();
@@ -197,6 +257,7 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
     // --- score the epoch's observable events ----------------------------
     const breaker_config& bc = config_.breaker;
     double score = 0.0;
+    bool sentinel_caught_sdc = false;
     switch (result.outcome) {
     case run_outcome::ok:
         break;
@@ -212,6 +273,12 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
         if (plan.sentinel) {
             score += bc.sdc_weight;
             ++telemetry_.detected_sdc;
+            sentinel_caught_sdc = true;
+            if constexpr (trace_compiled_in) {
+                if (metrics_ != nullptr) {
+                    metrics_->add(0, mh_.detected_sdc);
+                }
+            }
         } else {
             ++telemetry_.undetected_sdc;
         }
@@ -230,6 +297,12 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
         score += bc.ue_weight;
     }
 
+    if (plan.sentinel) {
+        trace_event("sentinel", {{"verdict", sentinel_caught_sdc
+                                                 ? "sdc_detected"
+                                                 : "clean"}});
+    }
+
     // --- slide the breaker window, trip if it crosses -------------------
     if (plan.state != supervisor_state::quarantined) {
         score_breaker(request, score, result.observed_requirement);
@@ -245,15 +318,32 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
         if (clean_streak_ >= promote_after && stage_ > 0) {
             --stage_;
             clean_streak_ = 0;
+            trace_event("promote", {{"stage", std::to_string(stage_)}});
         }
     } else {
         clean_streak_ = 0;
     }
 
     // --- quarantine TTL tick (one global epoch elapsed) -----------------
+    // Quarantines created while this epoch was in flight are exempt: their
+    // TTL counts *subsequent* epochs.  Without the exemption a ttl=1
+    // quarantine would expire in the very epoch whose trip created it --
+    // never pinning anything -- and the governor's reset_history() could
+    // fire in the same epoch force_backoff pinned the storm requirement.
     telemetry_.quarantine_occupancy += quarantine_.size();
     for (auto it = quarantine_.begin(); it != quarantine_.end();) {
-        if (--it->second == 0) {
+        const bool fresh =
+            std::find(fresh_quarantine_.begin(), fresh_quarantine_.end(),
+                      it->first) != fresh_quarantine_.end();
+        if (!fresh && --it->second == 0) {
+            trace_event("quarantine_lift",
+                        {{"pmd", std::to_string(it->first.first)},
+                         {"class", it->first.second}});
+            if constexpr (trace_compiled_in) {
+                if (metrics_ != nullptr) {
+                    metrics_->add(0, mh_.quarantine_lifts);
+                }
+            }
             it = quarantine_.erase(it);
             if (quarantine_.empty() && governor_ != nullptr) {
                 // Last quarantine lifted: drop the storm-era droop history so
@@ -264,6 +354,7 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
             ++it;
         }
     }
+    fresh_quarantine_.clear();
 
     // --- energy accounting of staying safe ------------------------------
     if (plan.stage > 0 &&
@@ -275,6 +366,36 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
         plan.state == supervisor_state::quarantined) {
         ++telemetry_.degraded_epochs;
     }
+
+    if constexpr (trace_compiled_in) {
+        if (metrics_ != nullptr) {
+            metrics_->add(0, mh_.epochs);
+            metrics_->observe(
+                0, mh_.epoch_score_centi,
+                static_cast<std::uint64_t>(std::llround(score * 100.0)));
+        }
+        if (trace_ != nullptr) {
+            // The epoch span, recorded before account() so its major is the
+            // same index the epoch's instant events used.
+            trace_span span;
+            span.name = "epoch";
+            span.category = "supervisor";
+            span.at = trace_point{track_supervisor, trace_phase_,
+                                  telemetry_.epochs, 0};
+            span.duration_ticks = 100;
+            span.args.emplace_back("disposition",
+                                   std::string(to_string(disposition)));
+            span.args.emplace_back("state",
+                                   std::string(to_string(plan.state)));
+            span.args.emplace_back("stage", std::to_string(plan.stage));
+            span.args.emplace_back(
+                "voltage_mv",
+                std::to_string(std::llround(plan.voltage.value)));
+            trace_->record(0, std::move(span));
+        }
+        trace_minor_ = 0;
+    }
+
     telemetry_.account(disposition);
 }
 
@@ -294,6 +415,14 @@ epoch_disposition operating_point_supervisor::observe(
 void operating_point_supervisor::observe_watchdog_abort(
     const epoch_request& request, const epoch_plan& plan) {
     ++telemetry_.watchdog_aborts;
+    if constexpr (trace_compiled_in) {
+        if (metrics_ != nullptr) {
+            metrics_->add(0, mh_.watchdog_aborts);
+        }
+    }
+    trace_event("watchdog_abort",
+                {{"stage", std::to_string(plan.stage)},
+                 {"class", request.workload_class}});
     // The hang is a disruption the breaker must see even though the epoch
     // itself settles later, with the replay's result.
     demote();

@@ -36,15 +36,18 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "chip/chip_model.hpp"
 #include "dram/memory_system.hpp"
 #include "harness/telemetry.hpp"
+#include "harness/trace/metrics.hpp"
 #include "util/units.hpp"
 
 namespace gb {
 
 class voltage_governor;
+class tracer;
 
 enum class supervisor_state : std::uint8_t {
     nominal,    ///< at the manufacturer point, not yet descended
@@ -205,6 +208,13 @@ public:
     }
     [[nodiscard]] const supervisor_config& config() const { return config_; }
 
+    /// Attach deterministic observability sinks (either may be null).  One
+    /// span per settled epoch lands on track_supervisor, with breaker
+    /// trips, demotions/promotions, sentinel verdicts, watchdog aborts and
+    /// quarantine lifts as instant events inside it.  The supervisor is
+    /// serial, so everything records into shard 0.
+    void set_trace(tracer* trace, metrics_registry* metrics);
+
 private:
     using breaker_key = std::pair<int, std::string>;
     struct breaker_window {
@@ -225,17 +235,41 @@ private:
     void settle_epoch(const epoch_request& request, const epoch_plan& plan,
                       const epoch_result& result,
                       epoch_disposition disposition);
+    /// Record an instant event inside the current epoch's span (no-op when
+    /// no tracer is attached).
+    void trace_event(const char* name,
+                     std::vector<std::pair<std::string, std::string>> args);
 
     supervisor_config config_;
     voltage_governor* governor_;
     health_telemetry telemetry_;
     std::map<breaker_key, breaker_window> breakers_;
     std::map<breaker_key, std::size_t> quarantine_; ///< remaining TTL
+    /// Quarantines created while the current epoch is in flight.  The
+    /// settle-time TTL tick skips these: a quarantine's TTL counts *later*
+    /// epochs, not the epoch whose trip created it (otherwise ttl=1 would
+    /// never pin anything and the governor's history could reset in the
+    /// same epoch the trip pinned it).
+    std::vector<breaker_key> fresh_quarantine_;
     int stage_;
     bool descending_ = true; ///< initial probing descent vs post-trip
     std::size_t clean_streak_ = 0;
     double sentinel_accum_ = 0.0;
     std::size_t since_sentinel_ = 0;
+
+    // Observability (see trace/trace.hpp); null when not attached.
+    tracer* trace_ = nullptr;
+    metrics_registry* metrics_ = nullptr;
+    std::uint32_t trace_phase_ = 0;
+    std::uint32_t trace_minor_ = 0; ///< event sequence within the epoch
+    struct {
+        counter_handle epochs;
+        counter_handle breaker_trips;
+        counter_handle watchdog_aborts;
+        counter_handle detected_sdc;
+        counter_handle quarantine_lifts;
+        histogram_handle epoch_score_centi;
+    } mh_;
 };
 
 /// One fully-supervised epoch: plan, execute, and convert a hang into an

@@ -132,6 +132,8 @@ dram_campaign_result run_dram_campaign_impl(
     options.faults = io.faults;
     options.retry_budget = io.retry_budget;
     options.backoff_base_s = io.backoff_base_s;
+    options.trace = io.trace;
+    options.metrics = io.metrics;
     if (restored != nullptr) {
         options.already_complete = [&completed](std::size_t index) {
             return completed[index] != 0;

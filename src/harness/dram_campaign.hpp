@@ -79,6 +79,8 @@ struct dram_campaign_result {
 
 class campaign_journal;
 class fault_plan;
+class tracer;
+class metrics_registry;
 
 /// Rig I/O for a DRAM campaign: optional deterministic fault injection
 /// (run faults into the engine, thermocouple faults into the testbed) and
@@ -88,6 +90,10 @@ struct dram_campaign_io {
     campaign_journal* journal = nullptr;
     int retry_budget = 3;
     double backoff_base_s = 0.0;
+    /// Deterministic observability sinks, forwarded to the execution
+    /// engine (trace/trace.hpp); null disables.
+    tracer* trace = nullptr;
+    metrics_registry* metrics = nullptr;
 };
 
 /// Run the campaign: the testbed soaks the DIMMs at each temperature

@@ -13,6 +13,8 @@
 #include <thread>
 
 #include "harness/fault_injection.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -24,6 +26,36 @@ namespace {
 /// Outcome buckets the histogram can hold; covers run_outcome (7) and
 /// dram_run_outcome (4) with room to spare.
 constexpr int max_buckets = 8;
+
+/// Virtual duration charged to every task attempt that reaches the task
+/// function.  Traces use virtual ticks, not wall time, so the rendered
+/// widths are a function of content (faults stretch a task by their
+/// simulated downtime in milliseconds), never of scheduling.
+constexpr std::uint64_t task_quantum_ticks = 100;
+
+/// Metric handles the engine registers once per run (serial point).
+struct engine_metric_handles {
+    counter_handle tasks_completed;
+    counter_handle retries;
+    counter_handle aborted_rig;
+    counter_handle watchdog_timeouts;
+    counter_handle board_crashes;
+    counter_handle power_switch_failures;
+    counter_handle replayed_tasks;
+    histogram_handle task_ticks;
+    histogram_handle queue_depth;
+    gauge_handle downtime_ms;
+};
+
+const char* fault_name(rig_fault fault) {
+    switch (fault) {
+    case rig_fault::hang_until_watchdog: return "hang_until_watchdog";
+    case rig_fault::board_crash: return "board_crash";
+    case rig_fault::power_switch_failure: return "power_switch_failure";
+    case rig_fault::none: break;
+    }
+    return "none";
+}
 
 } // namespace
 
@@ -158,6 +190,45 @@ execution_stats execution_engine::run(std::size_t task_count,
     std::atomic<std::uint64_t> n_replayed{0};
     std::atomic<std::uint64_t> downtime_us{0};
 
+    // Tracing/metrics: one phase per engine run (allocated here, a serial
+    // point) keys every event this run emits; worker w records into shard
+    // 1 + w so recording stays lock-free.  Nothing recorded may depend on
+    // the worker count -- the exported bytes are part of the determinism
+    // contract.
+    tracer* trace = nullptr;
+    metrics_registry* metrics = nullptr;
+    std::uint32_t phase = 0;
+    engine_metric_handles mh;
+    if constexpr (trace_compiled_in) {
+        trace = options_.trace;
+        metrics = options_.metrics;
+        if (trace != nullptr) {
+            GB_EXPECTS(trace->shard_count() >
+                       static_cast<std::size_t>(pool));
+            phase = trace->allocate_phase();
+        }
+        if (metrics != nullptr) {
+            GB_EXPECTS(metrics->shard_count() >
+                       static_cast<std::size_t>(pool));
+            mh.tasks_completed = metrics->counter("engine.tasks_completed");
+            mh.retries = metrics->counter("engine.retries");
+            mh.aborted_rig = metrics->counter("engine.aborted_rig");
+            mh.watchdog_timeouts =
+                metrics->counter("engine.watchdog_timeouts");
+            mh.board_crashes = metrics->counter("engine.board_crashes");
+            mh.power_switch_failures =
+                metrics->counter("engine.power_switch_failures");
+            mh.replayed_tasks = metrics->counter("engine.replayed_tasks");
+            mh.task_ticks = metrics->histogram(
+                "engine.task_ticks",
+                {task_quantum_ticks, 2 * task_quantum_ticks, 1000, 10000,
+                 100000, 1000000});
+            mh.queue_depth = metrics->histogram(
+                "engine.queue_depth", {1, 8, 64, 512, 4096, 32768});
+            mh.downtime_ms = metrics->gauge("engine.rig_downtime_ms");
+        }
+    }
+
     // Progress is logged when a worker crosses a decile of the task count;
     // the lines go through the (thread-safe) log layer at debug level so
     // default-level campaign output stays byte-identical across worker
@@ -176,10 +247,20 @@ execution_stats execution_engine::run(std::size_t task_count,
             ctx.index = first_index + i;
             ctx.seed = derive_task_seed(options_.base_seed, ctx.index);
             ctx.worker = worker;
+            // Shard 0 is reserved for serial code; worker w owns 1 + w.
+            const std::size_t shard = static_cast<std::size_t>(worker) + 1;
+            // Virtual task duration: the quantum plus any simulated rig
+            // downtime (in ms ticks) this task's faulted attempts cost.
+            std::uint64_t task_ticks = task_quantum_ticks;
             if (options_.already_complete &&
                 options_.already_complete(ctx.index)) {
                 ctx.replayed = true;
                 n_replayed.fetch_add(1, std::memory_order_relaxed);
+                if constexpr (trace_compiled_in) {
+                    if (metrics != nullptr) {
+                        metrics->add(shard, mh.replayed_tasks);
+                    }
+                }
             } else if (faults != nullptr) {
                 // The rig-fault path: draw per attempt, retry within the
                 // budget, give up into an aborted task.  Faulted attempts
@@ -204,12 +285,44 @@ execution_stats execution_engine::run(std::size_t task_count,
                         break;
                     case rig_fault::none: break;
                     }
-                    downtime_us.fetch_add(
+                    const std::uint64_t fault_us =
                         static_cast<std::uint64_t>(
-                            std::llround(faults->downtime_for(fault) * 1e6)),
-                        std::memory_order_relaxed);
+                            std::llround(faults->downtime_for(fault) * 1e6));
+                    downtime_us.fetch_add(fault_us,
+                                          std::memory_order_relaxed);
+                    if constexpr (trace_compiled_in) {
+                        task_ticks += fault_us / 1000;
+                        if (metrics != nullptr) {
+                            metrics->add(
+                                shard,
+                                fault == rig_fault::hang_until_watchdog
+                                    ? mh.watchdog_timeouts
+                                : fault == rig_fault::board_crash
+                                    ? mh.board_crashes
+                                    : mh.power_switch_failures);
+                        }
+                        if (trace != nullptr) {
+                            trace_span event;
+                            event.name = "rig_fault";
+                            event.category = "fault";
+                            event.at = trace_point{
+                                track_rig, phase, ctx.index,
+                                static_cast<std::uint32_t>(attempt) + 1};
+                            event.instant = true;
+                            event.args.emplace_back("kind",
+                                                    fault_name(fault));
+                            event.args.emplace_back(
+                                "attempt", std::to_string(attempt));
+                            trace->record(shard, std::move(event));
+                        }
+                    }
                     if (attempt + 1 < budget) {
                         n_retries.fetch_add(1, std::memory_order_relaxed);
+                        if constexpr (trace_compiled_in) {
+                            if (metrics != nullptr) {
+                                metrics->add(shard, mh.retries);
+                            }
+                        }
                         if (options_.backoff_base_s > 0.0) {
                             std::this_thread::sleep_for(
                                 std::chrono::duration<double>(
@@ -218,6 +331,11 @@ execution_stats execution_engine::run(std::size_t task_count,
                         }
                     } else {
                         n_aborted.fetch_add(1, std::memory_order_relaxed);
+                        if constexpr (trace_compiled_in) {
+                            if (metrics != nullptr) {
+                                metrics->add(shard, mh.aborted_rig);
+                            }
+                        }
                         log_debug("task ", ctx.index,
                                   ": retry budget exhausted (", budget,
                                   " attempts), recording aborted_rig");
@@ -226,8 +344,9 @@ execution_stats execution_engine::run(std::size_t task_count,
                 ctx.attempt = attempt;
                 ctx.aborted = attempt == budget;
             }
+            int bucket = -1;
             try {
-                const int bucket = task(ctx);
+                bucket = task(ctx);
                 if (bucket >= 0) {
                     GB_EXPECTS(bucket < max_buckets);
                     histogram[static_cast<std::size_t>(bucket)].fetch_add(
@@ -240,6 +359,35 @@ execution_stats execution_engine::run(std::size_t task_count,
                 }
                 cancelled.store(true, std::memory_order_relaxed);
                 break;
+            }
+            if constexpr (trace_compiled_in) {
+                if (metrics != nullptr) {
+                    metrics->add(shard, mh.tasks_completed);
+                    metrics->observe(shard, mh.task_ticks, task_ticks);
+                    metrics->observe(shard, mh.queue_depth, i);
+                }
+                if (trace != nullptr) {
+                    trace_span span;
+                    span.name = "task";
+                    span.category = "engine";
+                    span.at = trace_point{track_rig, phase, ctx.index, 0};
+                    span.duration_ticks = task_ticks;
+                    span.args.emplace_back("index",
+                                           std::to_string(ctx.index));
+                    span.args.emplace_back("bucket",
+                                           std::to_string(bucket));
+                    if (ctx.attempt > 0 || ctx.aborted) {
+                        span.args.emplace_back(
+                            "faulted_attempts", std::to_string(ctx.attempt));
+                    }
+                    if (ctx.aborted) {
+                        span.args.emplace_back("aborted", "true");
+                    }
+                    if (ctx.replayed) {
+                        span.args.emplace_back("replayed", "true");
+                    }
+                    trace->record(shard, std::move(span));
+                }
             }
             ++executed;
             const std::size_t completed =
@@ -289,6 +437,33 @@ execution_stats execution_engine::run(std::size_t task_count,
     stats.rig_downtime_s =
         static_cast<double>(downtime_us.load(std::memory_order_relaxed)) /
         1e6;
+
+    if constexpr (trace_compiled_in) {
+        const std::uint64_t downtime_ms =
+            downtime_us.load(std::memory_order_relaxed) / 1000;
+        if (trace != nullptr) {
+            // One campaign-control span covering the whole run.  Its width
+            // is the deterministic virtual total, never wall time, and it
+            // deliberately carries no worker-count information.
+            trace_span span;
+            span.name =
+                options_.campaign.empty() ? "engine.run" : options_.campaign;
+            span.category = "campaign";
+            span.at = trace_point{track_campaign, phase, first_index, 0};
+            span.duration_ticks =
+                task_count * task_quantum_ticks + downtime_ms;
+            span.args.emplace_back("tasks", std::to_string(task_count));
+            span.args.emplace_back("first_index",
+                                   std::to_string(first_index));
+            span.args.emplace_back("faults",
+                                   std::to_string(stats.injected_faults()));
+            trace->record(0, std::move(span));
+        }
+        if (metrics != nullptr) {
+            metrics->set(0, mh.downtime_ms, phase,
+                         static_cast<double>(downtime_ms));
+        }
+    }
 
     if (first_error) {
         std::rethrow_exception(first_error);

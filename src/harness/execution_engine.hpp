@@ -35,6 +35,8 @@
 namespace gb {
 
 class fault_plan;
+class tracer;
+class metrics_registry;
 
 struct execution_options {
     /// Worker threads; <= 0 means GB_JOBS env var, else
@@ -57,6 +59,14 @@ struct execution_options {
     /// re-issued with `task_context::replayed` set and no fault injection
     /// (their record was already recovered from the journal).
     std::function<bool(std::size_t)> already_complete;
+    /// Deterministic trace sink (null: no tracing).  Each run allocates one
+    /// phase, emits a campaign span on track_campaign and one task span per
+    /// task on track_rig; worker w records into shard 1 + w, so the tracer
+    /// needs at least workers + 1 shards (the default 257 always fits).
+    tracer* trace = nullptr;
+    /// Deterministic metrics sink (null: no metrics).  Same shard mapping
+    /// as `trace`.
+    metrics_registry* metrics = nullptr;
 };
 
 /// Everything a task may depend on.  Tasks must derive all randomness from

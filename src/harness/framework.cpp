@@ -151,6 +151,8 @@ campaign_result characterization_framework::run_campaign_impl(
     options.faults = io.faults;
     options.retry_budget = io.retry_budget;
     options.backoff_base_s = io.backoff_base_s;
+    options.trace = io.trace;
+    options.metrics = io.metrics;
     if (restored != nullptr) {
         options.already_complete = [&completed](std::size_t index) {
             return completed[index] != 0;

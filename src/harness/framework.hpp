@@ -51,6 +51,10 @@ struct campaign_io {
     campaign_journal* journal = nullptr;
     int retry_budget = 3;
     double backoff_base_s = 0.0;
+    /// Deterministic observability sinks, forwarded to the execution
+    /// engine (trace/trace.hpp); null disables.
+    tracer* trace = nullptr;
+    metrics_registry* metrics = nullptr;
 };
 
 class characterization_framework {

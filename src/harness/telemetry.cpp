@@ -1,5 +1,8 @@
 #include "harness/telemetry.hpp"
 
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
+
 namespace gb {
 
 std::string_view to_string(epoch_disposition disposition) {
@@ -47,6 +50,34 @@ void health_telemetry::merge(const health_telemetry& other) {
     degraded_epochs += other.degraded_epochs;
     sentinel_overhead_w_epochs += other.sentinel_overhead_w_epochs;
     degradation_overhead_w_epochs += other.degradation_overhead_w_epochs;
+}
+
+void health_telemetry::publish(metrics_registry& metrics, std::size_t shard,
+                               std::uint64_t order) const {
+    if constexpr (!trace_compiled_in) {
+        return;
+    }
+    const auto put = [&](const char* name, double value) {
+        metrics.set(shard, metrics.gauge(name), order, value);
+    };
+    put("health.epochs", static_cast<double>(epochs));
+    put("health.committed", static_cast<double>(committed));
+    put("health.sentinel_epochs", static_cast<double>(sentinel_epochs));
+    put("health.replayed", static_cast<double>(replayed));
+    put("health.aborted", static_cast<double>(aborted));
+    put("health.quarantined_epochs",
+        static_cast<double>(quarantined_epochs));
+    put("health.detected_sdc", static_cast<double>(detected_sdc));
+    put("health.undetected_sdc", static_cast<double>(undetected_sdc));
+    put("health.dram_ce_bursts", static_cast<double>(dram_ce_bursts));
+    put("health.breaker_trips", static_cast<double>(breaker_trips));
+    put("health.watchdog_aborts", static_cast<double>(watchdog_aborts));
+    put("health.quarantine_occupancy",
+        static_cast<double>(quarantine_occupancy));
+    put("health.degraded_epochs", static_cast<double>(degraded_epochs));
+    put("health.sentinel_overhead_w_epochs", sentinel_overhead_w_epochs);
+    put("health.degradation_overhead_w_epochs",
+        degradation_overhead_w_epochs);
 }
 
 } // namespace gb

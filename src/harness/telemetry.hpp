@@ -15,6 +15,8 @@
 
 namespace gb {
 
+class metrics_registry;
+
 /// How one supervised epoch ended.  Exactly one disposition per epoch.
 enum class epoch_disposition : std::uint8_t {
     committed,  ///< ran at the supervised point, work kept
@@ -68,6 +70,13 @@ struct health_telemetry {
 
     /// Accumulate another run's telemetry (multi-phase deployments).
     void merge(const health_telemetry& other);
+
+    /// Export every counter as an order-keyed `health.*` gauge (serial
+    /// call sites only; later `order` values win at merge, so publish with
+    /// the epoch index and the final state survives).  Compiled out with
+    /// the rest of the trace layer.
+    void publish(metrics_registry& metrics, std::size_t shard,
+                 std::uint64_t order) const;
 };
 
 } // namespace gb

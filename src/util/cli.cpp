@@ -65,4 +65,34 @@ double double_arg(int argc, char** argv, int index, double fallback,
     return *parsed;
 }
 
+std::optional<std::string> take_flag_value(int& argc, char** argv,
+                                           std::string_view name) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == name) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %.*s needs a value\n",
+                             static_cast<int>(name.size()), name.data());
+                std::exit(2);
+            }
+            std::string value(argv[i + 1]);
+            for (int j = i; j + 2 < argc; ++j) {
+                argv[j] = argv[j + 2];
+            }
+            argc -= 2;
+            return value;
+        }
+        if (arg.size() > name.size() + 1 &&
+            arg.substr(0, name.size()) == name && arg[name.size()] == '=') {
+            std::string value(arg.substr(name.size() + 1));
+            for (int j = i; j + 1 < argc; ++j) {
+                argv[j] = argv[j + 1];
+            }
+            argc -= 1;
+            return value;
+        }
+    }
+    return std::nullopt;
+}
+
 } // namespace gb

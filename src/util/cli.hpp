@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace gb {
@@ -32,5 +33,13 @@ namespace gb {
 [[nodiscard]] double double_arg(int argc, char** argv, int index,
                                 double fallback, std::string_view name,
                                 double min, double max);
+
+/// Find `--name value` (or `--name=value`) anywhere in argv, remove the
+/// consumed elements in place (decrementing argc) and return the value, so
+/// positional int_arg/double_arg indices keep working afterwards.  Exits
+/// with status 2 when the flag is present but its value is missing.
+/// Returns nullopt when the flag is absent.
+[[nodiscard]] std::optional<std::string> take_flag_value(
+    int& argc, char** argv, std::string_view name);
 
 } // namespace gb

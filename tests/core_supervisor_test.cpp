@@ -290,6 +290,59 @@ TEST(SupervisorTest, RecoveryAfterTripPaysFullHysteresis) {
                   static_cast<int>(config.promote_after_clean));
 }
 
+TEST(SupervisorTest, FreshQuarantineSurvivesTheEpochThatCreatedIt) {
+    // A ttl=1 quarantine created *mid-epoch* -- the watchdog abort trips
+    // the breaker before the epoch settles -- must still pin the *next*
+    // epoch.  The TTL counts subsequent epochs: if the settle-time tick of
+    // the same epoch aged it, a ttl=1 quarantine would expire in the very
+    // epoch whose trip created it and the governor's storm-era history
+    // would be reset in the same epoch force_backoff pinned it.
+    chip_model chip(make_ttt_chip(), make_xgene2_pdn());
+    characterization_framework framework(chip, 31);
+    const vmin_predictor predictor = make_trained_predictor(chip, framework);
+    voltage_governor governor(predictor);
+    supervisor_config config;
+    config.breaker.disruption_weight = config.breaker.trip_score; // 1 hang
+    config.breaker.quarantine_ttl = 1;
+    operating_point_supervisor supervisor(config, &governor);
+    const epoch_request request = make_request();
+    for (int i = 0; i < config.degradation_stages; ++i) {
+        clean_epoch(supervisor, request);
+    }
+    ASSERT_EQ(supervisor.state(), supervisor_state::exploiting);
+
+    // The epoch hangs at the exploited point; the watchdog abort trips the
+    // breaker mid-epoch and the pending replay runs pinned at nominal.
+    int calls = 0;
+    const supervised_epoch epoch = run_supervised_epoch(
+        supervisor, request, [&](const epoch_plan& plan) {
+            ++calls;
+            return result_with(plan.stage == 0 ? run_outcome::hang
+                                               : run_outcome::ok);
+        });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(epoch.disposition, epoch_disposition::replayed);
+    EXPECT_EQ(epoch.plan.state, supervisor_state::quarantined);
+    EXPECT_EQ(supervisor.telemetry().breaker_trips, 1u);
+
+    // The quarantine survives its creating epoch's settle...
+    EXPECT_TRUE(supervisor.is_quarantined(request.pmd,
+                                          request.workload_class));
+    // ...and so does the requirement the trip pinned into the governor.
+    EXPECT_EQ(governor.history().size(), 1u);
+
+    // The next epoch is the quarantine's one TTL epoch: it runs pinned at
+    // nominal, then the quarantine lifts and the history resets.
+    const epoch_plan pinned = clean_epoch(supervisor, request);
+    EXPECT_EQ(pinned.state, supervisor_state::quarantined);
+    EXPECT_DOUBLE_EQ(pinned.voltage.value, nominal_pmd_voltage.value);
+    EXPECT_FALSE(supervisor.is_quarantined(request.pmd,
+                                           request.workload_class));
+    EXPECT_EQ(supervisor.active_quarantines(), 0u);
+    EXPECT_TRUE(governor.history().empty());
+    EXPECT_TRUE(supervisor.telemetry().balanced());
+}
+
 TEST(SupervisorTest, WatchdogConvertsHangIntoReplayedEpoch) {
     operating_point_supervisor supervisor;
     const epoch_request request = make_request();

@@ -1,0 +1,60 @@
+# Cross-worker-count determinism check for the example-level observability
+# flags: run undervolt_campaign with --trace/--metrics at GB_JOBS=1/2/8 and
+# require every artifact (trace JSON, metrics JSON, run CSV) to be
+# byte-identical, then compare the trace against the checked-in golden.
+#
+# Regenerate the golden after a *deliberate* trace-format change by copying
+# the GB_JOBS=1 trace:
+#   cp <build>/tests/trace_determinism/trace_1.json \
+#      tests/golden/undervolt_milc_trace.json
+#
+# Driven from tests/CMakeLists.txt via
+#   cmake -DCAMPAIGN=... -DGOLDEN=... -DWORK_DIR=... -P trace_determinism.cmake
+foreach(var CAMPAIGN GOLDEN WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "trace_determinism.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(jobs 1 2 8)
+    set(ENV{GB_JOBS} ${jobs})
+    execute_process(
+        COMMAND ${CAMPAIGN} TTT milc
+                --trace ${WORK_DIR}/trace_${jobs}.json
+                --metrics ${WORK_DIR}/metrics_${jobs}.json
+        OUTPUT_FILE ${WORK_DIR}/runs_${jobs}.csv
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "undervolt_campaign failed at GB_JOBS=${jobs} (rc=${rc}):\n"
+            "${stderr_text}")
+    endif()
+endforeach()
+
+foreach(jobs 2 8)
+    foreach(artifact trace_${jobs}.json metrics_${jobs}.json runs_${jobs}.csv)
+        string(REGEX REPLACE "_${jobs}" "_1" reference ${artifact})
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORK_DIR}/${reference} ${WORK_DIR}/${artifact}
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "${artifact} differs from ${reference}: the campaign "
+                "leaked scheduling into an observability artifact")
+        endif()
+    endforeach()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/trace_1.json ${GOLDEN}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "trace drifted from the golden ${GOLDEN}; if the format change is "
+        "deliberate, copy ${WORK_DIR}/trace_1.json over it")
+endif()
