@@ -51,6 +51,8 @@ std::string campaign_csv(const campaign_result& result) {
 
 int main(int argc, char** argv) {
     bench::metrics_reporter reporter(argc, argv);
+    bench::baseline_reporter baseline(argc, argv,
+                                      "ablation_campaign_resilience");
     metrics_registry& metrics = reporter.registry();
     const counter_handle m_injected = metrics.counter("resilience.injected_faults");
     const counter_handle m_retries = metrics.counter("resilience.retries");
@@ -78,8 +80,13 @@ int main(int argc, char** argv) {
         campaign_io io;
         io.faults = &faults;
         io.journal = &journal;
-        const campaign_result result =
-            framework.run_campaign(make_spec(/*workers=*/0), program, io);
+        // One wall sample per fault rate: five repetitions of the same
+        // campaign shape give the baseline median.
+        campaign_result result;
+        baseline.time("faulted_campaign", [&] {
+            result = framework.run_campaign(make_spec(/*workers=*/0),
+                                            program, io);
+        });
         const execution_stats& s = result.stats;
         metrics.add(bench::metrics_reporter::shard, m_injected,
                     s.injected_faults());
@@ -148,8 +155,11 @@ int main(int argc, char** argv) {
                             make_xgene2_pdn());
             characterization_framework framework(chip, 2018);
             std::istringstream journal_in(truncated);
-            const campaign_result resumed = framework.resume_campaign(
-                make_spec(workers), program, journal_in);
+            campaign_result resumed;
+            baseline.time("resume_campaign", [&] {
+                resumed = framework.resume_campaign(make_spec(workers),
+                                                    program, journal_in);
+            });
             const bool identical = campaign_csv(resumed) == reference_csv;
             all_identical = all_identical && identical;
             metrics.add(bench::metrics_reporter::shard, m_replayed,
@@ -174,5 +184,7 @@ int main(int argc, char** argv) {
                 "is byte-identical to the uninterrupted run at 1 and 8 "
                 "workers, so a kill costs only the in-flight runs.");
     reporter.emit();
+    baseline.absorb(metrics.snapshot());
+    baseline.emit();
     return 0;
 }

@@ -174,6 +174,7 @@ deployment_outcome run_supervised(
 
 int main(int argc, char** argv) {
     bench::metrics_reporter reporter(argc, argv);
+    bench::baseline_reporter baseline(argc, argv, "ablation_supervisor");
     metrics_registry& metrics = reporter.registry();
     const counter_handle m_trips = metrics.counter("supervisor.breaker_trips");
     const counter_handle m_caught = metrics.counter("supervisor.detected_sdc");
@@ -219,13 +220,21 @@ int main(int argc, char** argv) {
         const epoch_fault_plan faults(epoch_fault_config{
             /*seed=*/2018, sdc_rate, /*ce_burst_rate=*/0.02,
             /*hang_rate=*/0.01, /*ce_burst_words=*/16});
-        const deployment_outcome unsup = run_unsupervised(
-            chip, predictor, schedule, faults, nominal_w);
+        // Wall samples for the baseline median: one unsupervised
+        // deployment per SDC rate, one supervised per (rate, trip) cell.
+        deployment_outcome unsup;
+        baseline.time("deploy_unsupervised", [&] {
+            unsup = run_unsupervised(chip, predictor, schedule, faults,
+                                     nominal_w);
+        });
         metrics.add(bench::metrics_reporter::shard, m_missed_unsup,
                     unsup.undetected_sdc);
         for (const double trip : trip_scores) {
-            const deployment_outcome sup = run_supervised(
-                chip, predictor, schedule, faults, trip, nominal_w);
+            deployment_outcome sup;
+            baseline.time("deploy_supervised", [&] {
+                sup = run_supervised(chip, predictor, schedule, faults,
+                                     trip, nominal_w);
+            });
             metrics.add(bench::metrics_reporter::shard, m_trips,
                         sup.breaker_trips);
             metrics.add(bench::metrics_reporter::shard, m_caught,
@@ -268,5 +277,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     reporter.emit();
+    baseline.absorb(metrics.snapshot());
+    baseline.emit();
     return 0;
 }

@@ -3,12 +3,21 @@
 // report weak-cell exposure, ECC containment and the resulting safe period
 // (the Section IV.C flow behind Table I and Fig 8).
 //
-//   $ ./dram_retention_explorer [temperature_c] [max_relaxation]
+//   $ ./dram_retention_explorer [temperature_c] [max_relaxation] [options]
 //     defaults: 60 C, 35x
+//     --trace <path>    write a deterministic Chrome trace_event JSON of
+//                       the refresh ladder (one task span per step)
+//     --metrics <path>  write the exploration counters/gauges as flat JSON
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "core/explorer.hpp"
 #include "dram/power.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "thermal/testbed.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -17,6 +26,10 @@
 using namespace gb;
 
 int main(int argc, char** argv) {
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
     const double target_c =
         double_arg(argc, argv, 1, 60.0, "temperature_c", 20.0, 90.0);
     const double max_relaxation =
@@ -46,14 +59,54 @@ int main(int argc, char** argv) {
     const refresh_exploration exploration =
         guardband_explorer::explore_refresh(memory, ladder);
 
+    // Observability: the ladder as one campaign span owning one task span
+    // per refresh step, ticks derived from content (failed cells), so the
+    // artifacts feed the same gbreport analyses as the engine's traces.
+    tracer trace;
+    metrics_registry metrics;
+    const std::uint32_t phase = trace.allocate_phase();
+    const counter_handle m_steps = metrics.counter("dram.steps");
+    const counter_handle m_cells = metrics.counter("dram.failed_cells");
+    const counter_handle m_uncontained =
+        metrics.counter("dram.uncontained_steps");
+    const gauge_handle m_safe = metrics.gauge("dram.max_safe_period_ms");
+    std::uint64_t ladder_ticks = 0;
+
     text_table table({"TREFP ms", "relaxation", "worst failed bits",
                       "ECC contains"});
+    std::uint64_t step_index = 0;
     for (const refresh_step& step : exploration.steps) {
         table.add_row({format_number(step.period.value, 0),
                        format_number(step.period.value / 64.0, 1) + "x",
                        std::to_string(step.worst_scan.failed_cells),
                        step.fully_corrected ? "yes" : "NO"});
+        trace_span span;
+        span.name = "task";
+        span.category = "engine";
+        span.at = trace_point{track_rig, phase, step_index, 0};
+        span.duration_ticks = 100 + step.worst_scan.failed_cells;
+        span.args.emplace_back("index", std::to_string(step_index));
+        trace.record(0, std::move(span));
+        ladder_ticks += 100 + step.worst_scan.failed_cells;
+        metrics.add(0, m_steps);
+        metrics.add(0, m_cells, step.worst_scan.failed_cells);
+        if (!step.fully_corrected) {
+            metrics.add(0, m_uncontained);
+        }
+        ++step_index;
     }
+    {
+        trace_span span;
+        span.name = "dram_retention";
+        span.category = "campaign";
+        span.at = trace_point{track_campaign, phase, 0, 0};
+        span.duration_ticks = ladder_ticks;
+        span.args.emplace_back("tasks", std::to_string(step_index));
+        span.args.emplace_back("first_index", "0");
+        span.args.emplace_back("faults", "0");
+        trace.record(0, std::move(span));
+    }
+    metrics.set(0, m_safe, /*order=*/0, exploration.max_safe_period.value);
     table.render(std::cout);
     std::cout << "\nmax safe refresh period: "
               << exploration.max_safe_period.value << " ms ("
@@ -70,6 +123,17 @@ int main(int argc, char** argv) {
                                         workload.bandwidth_gbps),
                                     1)
                   << '\n';
+    }
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
     }
     return 0;
 }

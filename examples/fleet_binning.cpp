@@ -3,23 +3,40 @@
 // the UniServer project targets: each server runs at its own revealed safe
 // point instead of the fleet-wide worst case).
 //
-//   $ ./fleet_binning [chips_per_corner]
+//   $ ./fleet_binning [chips_per_corner] [options]
+//     --trace <path>    deterministic Chrome trace (one task span per chip)
+//     --metrics <path>  binning counters/histogram as flat JSON
+//     --status <path>   live heartbeat while the fleet characterizes
+//                       (atomic writes; the final snapshot is deterministic)
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "chip/power.hpp"
 #include "util/cli.hpp"
 #include "ga/virus_search.hpp"
 #include "harness/framework.hpp"
+#include "harness/status.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/table.hpp"
 #include "workloads/cpu_profiles.hpp"
 
 using namespace gb;
 
 int main(int argc, char** argv) {
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> status_path =
+        take_flag_value(argc, argv, "--status");
     const int per_corner = static_cast<int>(
         int_arg(argc, argv, 1, 15, "chips_per_corner", 1, 1000));
 
@@ -42,9 +59,40 @@ int main(int argc, char** argv) {
     double fleet_binned_w = 0.0;
     const std::vector<cpu_benchmark> mix = fig5_mix();
 
+    // Observability: one campaign span owning a task span per chip; ticks
+    // derive from the chip's revealed requirement, never from wall time.
+    tracer trace;
+    metrics_registry metrics;
+    const std::uint32_t phase = trace.allocate_phase();
+    const counter_handle m_chips = metrics.counter("fleet.chips");
+    const histogram_handle m_bins = metrics.histogram(
+        "fleet.bin_mv", {880, 900, 920, 940, 960, 980});
+    const gauge_handle m_nominal = metrics.gauge("fleet.power_nominal_w");
+    const gauge_handle m_binned = metrics.gauge("fleet.power_binned_w");
+    const std::uint64_t fleet_size =
+        3 * static_cast<std::uint64_t>(per_corner);
+    const auto wall_start = std::chrono::steady_clock::now();
+    campaign_status heartbeat;
+    heartbeat.campaign = "fleet_binning";
+    heartbeat.tasks_total = fleet_size;
+    heartbeat.workers = 1;
+    std::uint64_t chip_index = 0;
+    std::uint64_t fleet_ticks = 0;
+
     for (const process_corner corner :
          {process_corner::ttt, process_corner::tff, process_corner::tss}) {
         for (int i = 0; i < per_corner; ++i) {
+            if (status_path) {
+                heartbeat.running = true;
+                heartbeat.tasks_done = chip_index;
+                heartbeat.worker_task = {
+                    static_cast<std::int64_t>(chip_index)};
+                heartbeat.wall_elapsed_s =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+                publish_status(*status_path, heartbeat);
+            }
             const chip_model chip(random_chip(corner, fleet_rng),
                                   make_xgene2_pdn());
             characterization_framework framework(
@@ -74,6 +122,23 @@ int main(int argc, char** argv) {
                 std::min(980.0, std::ceil(requirement / 10.0) * 10.0);
             ++bins[static_cast<int>(binned)];
 
+            const auto requirement_ticks =
+                static_cast<std::uint64_t>(std::llround(requirement));
+            trace_span span;
+            span.name = "task";
+            span.category = "engine";
+            span.at = trace_point{track_rig, phase, chip_index, 0};
+            span.duration_ticks = 100 + requirement_ticks;
+            span.args.emplace_back("index", std::to_string(chip_index));
+            span.args.emplace_back(
+                "bucket", std::to_string(static_cast<int>(corner)));
+            trace.record(0, std::move(span));
+            fleet_ticks += 100 + requirement_ticks;
+            metrics.add(0, m_chips);
+            metrics.observe(0, m_bins,
+                            static_cast<std::uint64_t>(binned));
+            ++chip_index;
+
             // Power at nominal vs at the bin voltage for the mix.
             fleet_nominal_w += power
                                    .pmd_domain_power(chip.config(),
@@ -88,6 +153,29 @@ int main(int argc, char** argv) {
                                                     celsius{50.0})
                                   .value;
         }
+    }
+
+    {
+        trace_span span;
+        span.name = "fleet_binning";
+        span.category = "campaign";
+        span.at = trace_point{track_campaign, phase, 0, 0};
+        span.duration_ticks = fleet_ticks;
+        span.args.emplace_back("tasks", std::to_string(chip_index));
+        span.args.emplace_back("first_index", "0");
+        span.args.emplace_back("faults", "0");
+        trace.record(0, std::move(span));
+    }
+    metrics.set(0, m_nominal, /*order=*/0, fleet_nominal_w);
+    metrics.set(0, m_binned, /*order=*/0, fleet_binned_w);
+    if (status_path) {
+        // Final snapshot: pure function of the fleet content, no `live`
+        // object -- the same contract the execution engine honours.
+        campaign_status final_status;
+        final_status.campaign = "fleet_binning";
+        final_status.tasks_total = fleet_size;
+        final_status.tasks_done = chip_index;
+        publish_status(*status_path, final_status);
     }
 
     std::cout << "fleet of " << 3 * per_corner
@@ -107,5 +195,16 @@ int main(int argc, char** argv) {
               << " W binned -- "
               << format_percent(1.0 - fleet_binned_w / fleet_nominal_w, 1)
               << " saved by per-chip operating points\n";
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
     return 0;
 }

@@ -11,6 +11,8 @@
 //     --trace <path>    write a deterministic Chrome trace_event JSON of
 //                       the campaign (byte-identical at any GB_JOBS)
 //     --metrics <path>  write the merged metrics registry as flat JSON
+//     --status <path>   publish a live heartbeat snapshot (atomic JSON;
+//                       the final snapshot is deterministic)
 //
 // Emits the per-run CSV on stdout and a classification summary per voltage
 // on stderr, so `./undervolt_campaign TTT milc > runs.csv` captures the
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--trace");
     const std::optional<std::string> metrics_path =
         take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> status_path =
+        take_flag_value(argc, argv, "--status");
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "TTT") {
@@ -133,6 +137,9 @@ int main(int argc, char** argv) {
         if (observing) {
             io.trace = trace_path ? &trace : nullptr;
             io.metrics = metrics_path ? &metrics : nullptr;
+        }
+        if (status_path) {
+            io.status_path = *status_path;
         }
         std::unique_ptr<campaign_journal> journal;
         if (!journal_base.empty()) {

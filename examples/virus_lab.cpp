@@ -2,18 +2,31 @@
 // inspect what it learned, and measure the margin it leaves on each of the
 // three characterized chips (the Section III.C / Fig 6-7 methodology).
 //
-//   $ ./virus_lab [generations]
+//   $ ./virus_lab [generations] [options]
+//     --trace <path>    deterministic Chrome trace (GA + per-chip margin
+//                       tasks under one campaign span)
+//     --metrics <path>  evolution counters/gauges as flat JSON
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "chip/chip_model.hpp"
 #include "em/em_probe.hpp"
 #include "ga/virus_search.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace gb;
 
 int main(int argc, char** argv) {
+    const std::optional<std::string> trace_path =
+        take_flag_value(argc, argv, "--trace");
+    const std::optional<std::string> metrics_path =
+        take_flag_value(argc, argv, "--metrics");
     const auto generations = static_cast<std::size_t>(
         int_arg(argc, argv, 1, 150, "generations", 1, 100000));
 
@@ -53,6 +66,27 @@ int main(int argc, char** argv) {
     }
     std::cout << ' ' << traits_of(last).name << 'x' << run << "\n\n";
 
+    // Observability: the GA plus each chip's margin analysis as task spans
+    // under one campaign span, ticks derived from content (generation
+    // count, revealed Vmin), never from wall time.
+    tracer trace;
+    metrics_registry metrics;
+    const std::uint32_t phase = trace.allocate_phase();
+    const counter_handle m_generations = metrics.counter("virus.generations");
+    const gauge_handle m_amplitude = metrics.gauge("virus.em_amplitude");
+    metrics.add(0, m_generations, generations);
+    metrics.set(0, m_amplitude, /*order=*/0, result.em_amplitude);
+    std::uint64_t lab_ticks = 100 + generations;
+    {
+        trace_span span;
+        span.name = "task";
+        span.category = "engine";
+        span.at = trace_point{track_rig, phase, 0, 0};
+        span.duration_ticks = 100 + generations;
+        span.args.emplace_back("index", "0");
+        trace.record(0, std::move(span));
+    }
+
     // Margins per chip, one virus instance per core.
     const execution_profile profile = pipeline.execute(result.virus, 8192);
     std::vector<core_assignment> all;
@@ -61,6 +95,7 @@ int main(int argc, char** argv) {
     }
     text_table table({"chip", "virus Vmin mV", "margin to nominal mV"});
     const std::uint64_t launch = hash_label("ga_didt_virus");
+    std::uint64_t task_index = 1;
     for (const chip_config& cfg :
          {make_ttt_chip(), make_tff_chip(), make_tss_chip()}) {
         const chip_model chip(cfg, make_xgene2_pdn());
@@ -69,7 +104,43 @@ int main(int argc, char** argv) {
                        format_number(
                            nominal_pmd_voltage.value - analysis.vmin.value,
                            0)});
+        const auto vmin_ticks =
+            static_cast<std::uint64_t>(std::llround(analysis.vmin.value));
+        trace_span span;
+        span.name = "task";
+        span.category = "engine";
+        span.at = trace_point{track_rig, phase, task_index, 0};
+        span.duration_ticks = 100 + vmin_ticks;
+        span.args.emplace_back("index", std::to_string(task_index));
+        trace.record(0, std::move(span));
+        lab_ticks += 100 + vmin_ticks;
+        const gauge_handle m_vmin =
+            metrics.gauge("virus.vmin_mv." + cfg.name);
+        metrics.set(0, m_vmin, /*order=*/0, analysis.vmin.value);
+        ++task_index;
     }
     table.render(std::cout);
+    {
+        trace_span span;
+        span.name = "virus_lab";
+        span.category = "campaign";
+        span.at = trace_point{track_campaign, phase, 0, 0};
+        span.duration_ticks = lab_ticks;
+        span.args.emplace_back("tasks", std::to_string(task_index));
+        span.args.emplace_back("first_index", "0");
+        span.args.emplace_back("faults", "0");
+        trace.record(0, std::move(span));
+    }
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+        std::cerr << "trace written to " << *trace_path << " ("
+                  << trace.size() << " events)\n";
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+        std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
     return 0;
 }

@@ -134,6 +134,7 @@ dram_campaign_result run_dram_campaign_impl(
     options.backoff_base_s = io.backoff_base_s;
     options.trace = io.trace;
     options.metrics = io.metrics;
+    options.status_path = io.status_path;
     if (restored != nullptr) {
         options.already_complete = [&completed](std::size_t index) {
             return completed[index] != 0;

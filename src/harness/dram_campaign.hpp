@@ -94,6 +94,9 @@ struct dram_campaign_io {
     /// engine (trace/trace.hpp); null disables.
     tracer* trace = nullptr;
     metrics_registry* metrics = nullptr;
+    /// Live-status heartbeat file, forwarded to the execution engine
+    /// (status.hpp); empty disables.
+    std::string status_path;
 };
 
 /// Run the campaign: the testbed soaks the DIMMs at each temperature

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "harness/fault_injection.hpp"
+#include "harness/status.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/contracts.hpp"
@@ -162,6 +163,11 @@ execution_stats execution_engine::run(std::size_t task_count,
     stats.outcome_histogram.assign(max_buckets, 0);
     if (task_count == 0) {
         stats.workers = 0;
+        if (!options_.status_path.empty()) {
+            campaign_status status;
+            status.campaign = options_.campaign;
+            publish_status(options_.status_path, status);
+        }
         return stats;
     }
     const int pool = static_cast<int>(std::min<std::size_t>(
@@ -189,6 +195,50 @@ execution_stats execution_engine::run(std::size_t task_count,
     std::atomic<std::uint64_t> n_switch{0};
     std::atomic<std::uint64_t> n_replayed{0};
     std::atomic<std::uint64_t> downtime_us{0};
+
+    // Live-status heartbeat: workers publish a snapshot when they cross a
+    // progress decile.  The publish itself is serialized by try_lock (a
+    // busy writer just skips -- the next decile republishes), and every
+    // field a live snapshot carries is either a racy-but-monotonic counter
+    // read or explicitly marked scheduling-dependent in the schema.
+    const bool heartbeat = !options_.status_path.empty();
+    std::vector<std::atomic<std::int64_t>> current_task(
+        heartbeat ? static_cast<std::size_t>(pool) : 0);
+    for (auto& slot : current_task) {
+        slot.store(-1, std::memory_order_relaxed);
+    }
+    std::mutex status_mutex;
+    const auto start = std::chrono::steady_clock::now();
+    const auto publish_live = [&] {
+        campaign_status status;
+        status.campaign = options_.campaign;
+        status.running = true;
+        status.tasks_total = task_count;
+        status.tasks_done = done.load(std::memory_order_relaxed);
+        status.retries = n_retries.load(std::memory_order_relaxed);
+        status.injected_faults =
+            n_hangs.load(std::memory_order_relaxed) +
+            n_crashes.load(std::memory_order_relaxed) +
+            n_switch.load(std::memory_order_relaxed);
+        status.aborted_rig = n_aborted.load(std::memory_order_relaxed);
+        status.replayed = n_replayed.load(std::memory_order_relaxed);
+        status.rig_downtime_ms =
+            downtime_us.load(std::memory_order_relaxed) / 1000;
+        status.workers = pool;
+        status.worker_task.reserve(current_task.size());
+        for (const auto& slot : current_task) {
+            status.worker_task.push_back(
+                slot.load(std::memory_order_relaxed));
+        }
+        status.wall_elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        publish_status(options_.status_path, status);
+    };
+    if (heartbeat) {
+        publish_live();
+    }
 
     // Tracing/metrics: one phase per engine run (allocated here, a serial
     // point) keys every event this run emits; worker w records into shard
@@ -247,6 +297,11 @@ execution_stats execution_engine::run(std::size_t task_count,
             ctx.index = first_index + i;
             ctx.seed = derive_task_seed(options_.base_seed, ctx.index);
             ctx.worker = worker;
+            if (heartbeat) {
+                current_task[static_cast<std::size_t>(worker)].store(
+                    static_cast<std::int64_t>(ctx.index),
+                    std::memory_order_relaxed);
+            }
             // Shard 0 is reserved for serial code; worker w owns 1 + w.
             const std::size_t shard = static_cast<std::size_t>(worker) + 1;
             // Virtual task duration: the quantum plus any simulated rig
@@ -392,6 +447,15 @@ execution_stats execution_engine::run(std::size_t task_count,
             ++executed;
             const std::size_t completed =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (heartbeat && completed % progress_stride == 0 &&
+                completed < task_count) {
+                // Skip when another worker is mid-publish: heartbeats are
+                // best-effort and the next decile refreshes the file.
+                if (status_mutex.try_lock()) {
+                    publish_live();
+                    status_mutex.unlock();
+                }
+            }
             if (!options_.campaign.empty() &&
                 completed % progress_stride == 0 && completed < task_count) {
                 std::string buckets;
@@ -404,10 +468,13 @@ execution_stats execution_engine::run(std::size_t task_count,
                           "/", task_count, " tasks, outcomes ", buckets);
             }
         }
+        if (heartbeat) {
+            current_task[static_cast<std::size_t>(worker)].store(
+                -1, std::memory_order_relaxed);
+        }
         stats.tasks_per_worker[static_cast<std::size_t>(worker)] = executed;
     };
 
-    const auto start = std::chrono::steady_clock::now();
     if (pool == 1) {
         worker_loop(0);
     } else {
@@ -463,6 +530,24 @@ execution_stats execution_engine::run(std::size_t task_count,
             metrics->set(0, mh.downtime_ms, phase,
                          static_cast<double>(downtime_ms));
         }
+    }
+
+    if (heartbeat) {
+        // Final snapshot: deterministic fields only, no `live` object.
+        // Every value below is keyed to campaign content, so the file is
+        // byte-identical at any worker count.
+        campaign_status status;
+        status.campaign = options_.campaign;
+        status.running = false;
+        status.tasks_total = task_count;
+        status.tasks_done = done.load(std::memory_order_relaxed);
+        status.retries = stats.retries;
+        status.injected_faults = stats.injected_faults();
+        status.aborted_rig = stats.aborted_rig;
+        status.replayed = stats.replayed_tasks;
+        status.rig_downtime_ms =
+            downtime_us.load(std::memory_order_relaxed) / 1000;
+        publish_status(options_.status_path, status);
     }
 
     if (first_error) {

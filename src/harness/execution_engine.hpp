@@ -67,6 +67,12 @@ struct execution_options {
     /// Deterministic metrics sink (null: no metrics).  Same shard mapping
     /// as `trace`.
     metrics_registry* metrics = nullptr;
+    /// Live-status heartbeat file (empty: disabled).  While the run is in
+    /// flight the engine atomically republishes a `running: true` snapshot
+    /// with per-worker state at every progress decile; on completion it
+    /// publishes a final `running: false` snapshot whose bytes are a pure
+    /// function of campaign content (status.hpp).
+    std::string status_path;
 };
 
 /// Everything a task may depend on.  Tasks must derive all randomness from

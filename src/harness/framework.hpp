@@ -55,6 +55,9 @@ struct campaign_io {
     /// engine (trace/trace.hpp); null disables.
     tracer* trace = nullptr;
     metrics_registry* metrics = nullptr;
+    /// Live-status heartbeat file, forwarded to the execution engine
+    /// (status.hpp); empty disables.
+    std::string status_path;
 };
 
 class characterization_framework {

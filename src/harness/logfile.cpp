@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 
@@ -69,7 +70,9 @@ bool parse_double(std::string_view token, double& value) {
     const char* begin = token.data();
     const char* end = begin + token.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
-    return ec == std::errc{} && ptr == end;
+    // from_chars accepts "inf"/"nan" spellings; a corrupted journal line
+    // must not smuggle a non-finite quantity into a record.
+    return ec == std::errc{} && ptr == end && std::isfinite(value);
 }
 
 bool parse_int(std::string_view token, int& value) {

@@ -1,0 +1,482 @@
+#include "harness/report/artifacts.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/logfile.hpp"
+#include "harness/report/json.hpp"
+
+namespace gb::report {
+
+namespace {
+
+/// Prefix a loader diagnostic so every error is one self-contained line.
+std::string tagged(std::string_view what, std::string_view detail) {
+    std::string out(what);
+    out += ": ";
+    out += detail;
+    return out;
+}
+
+} // namespace
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::string& error) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        error = tagged(path, "cannot open file");
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        error = tagged(path, "read failed");
+        return std::nullopt;
+    }
+    return std::move(buffer).str();
+}
+
+// --- trace --------------------------------------------------------------
+
+const std::string* trace_event::arg(std::string_view key) const {
+    for (const auto& [name, value] : args) {
+        if (name == key) {
+            return &value;
+        }
+    }
+    return nullptr;
+}
+
+std::optional<std::uint64_t> trace_event::arg_u64(
+    std::string_view key) const {
+    const std::string* text = arg(key);
+    if (text == nullptr) {
+        return std::nullopt;
+    }
+    std::uint64_t parsed = 0;
+    std::size_t digits = 0;
+    for (const char c : *text) {
+        if (c < '0' || c > '9' || digits > 19) {
+            return std::nullopt;
+        }
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+        ++digits;
+    }
+    if (digits == 0) {
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::vector<const trace_event*> trace_artifact::on_track(
+    std::uint32_t track) const {
+    std::vector<const trace_event*> out;
+    for (const trace_event& event : events) {
+        if (event.track == track) {
+            out.push_back(&event);
+        }
+    }
+    return out;
+}
+
+std::optional<trace_artifact> load_trace(std::string_view text,
+                                         std::string& error) {
+    json_parse_result parsed = parse_json(text);
+    if (!parsed.value) {
+        error = tagged("trace", parsed.error);
+        return std::nullopt;
+    }
+    const json_value& root = *parsed.value;
+    if (!root.is_object()) {
+        error = "trace: top level is not an object";
+        return std::nullopt;
+    }
+    const json_value* events = root.find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+        error = "trace: missing traceEvents array";
+        return std::nullopt;
+    }
+
+    trace_artifact artifact;
+    for (std::size_t i = 0; i < events->items.size(); ++i) {
+        const json_value& entry = events->items[i];
+        const std::string position =
+            "trace event " + std::to_string(i) + ": ";
+        if (!entry.is_object()) {
+            error = position + "not an object";
+            return std::nullopt;
+        }
+        const json_value* ph = entry.find("ph");
+        const auto ph_text =
+            ph != nullptr ? ph->as_string() : std::nullopt;
+        if (!ph_text) {
+            error = position + "missing ph";
+            return std::nullopt;
+        }
+        const json_value* tid = entry.find("tid");
+        const auto track = tid != nullptr ? tid->as_u64() : std::nullopt;
+        if (!track || *track > 0xffffffffULL) {
+            error = position + "missing or invalid tid";
+            return std::nullopt;
+        }
+        const json_value* name = entry.find("name");
+        const auto name_text =
+            name != nullptr ? name->as_string() : std::nullopt;
+        if (!name_text) {
+            error = position + "missing name";
+            return std::nullopt;
+        }
+
+        if (*ph_text == "M") {
+            // Track-name metadata; anything else ("process_name", ...)
+            // would be from a foreign producer -- reject rather than
+            // guess.
+            if (*name_text != "thread_name") {
+                error = position + "unsupported metadata record";
+                return std::nullopt;
+            }
+            const json_value* args = entry.find("args");
+            const json_value* label =
+                args != nullptr ? args->find("name") : nullptr;
+            const auto label_text =
+                label != nullptr ? label->as_string() : std::nullopt;
+            if (!label_text) {
+                error = position + "thread_name without args.name";
+                return std::nullopt;
+            }
+            artifact.track_names[static_cast<std::uint32_t>(*track)] =
+                std::string(*label_text);
+            continue;
+        }
+
+        trace_event event;
+        if (*ph_text == "X") {
+            event.ph = trace_event::phase::complete;
+        } else if (*ph_text == "i") {
+            event.ph = trace_event::phase::instant;
+        } else {
+            error = position + "unsupported event phase '" +
+                    std::string(*ph_text) + "'";
+            return std::nullopt;
+        }
+        event.track = static_cast<std::uint32_t>(*track);
+        event.name = std::string(*name_text);
+
+        const json_value* ts = entry.find("ts");
+        const auto ts_value = ts != nullptr ? ts->as_u64() : std::nullopt;
+        if (!ts_value) {
+            error = position + "missing or negative ts";
+            return std::nullopt;
+        }
+        event.ts = *ts_value;
+        if (event.ph == trace_event::phase::complete) {
+            const json_value* dur = entry.find("dur");
+            const auto dur_value =
+                dur != nullptr ? dur->as_u64() : std::nullopt;
+            if (!dur_value) {
+                error = position + "complete span without dur";
+                return std::nullopt;
+            }
+            event.dur = *dur_value;
+        }
+        if (const json_value* cat = entry.find("cat")) {
+            if (const auto cat_text = cat->as_string()) {
+                event.category = std::string(*cat_text);
+            }
+        }
+        if (const json_value* args = entry.find("args")) {
+            if (!args->is_object()) {
+                error = position + "args is not an object";
+                return std::nullopt;
+            }
+            for (const auto& [key, value] : args->members) {
+                const auto text_value = value.as_string();
+                if (!text_value) {
+                    error = position + "non-string arg '" + key + "'";
+                    return std::nullopt;
+                }
+                event.args.emplace_back(key, std::string(*text_value));
+            }
+        }
+        artifact.events.push_back(std::move(event));
+    }
+    return artifact;
+}
+
+std::optional<trace_artifact> load_trace_file(const std::string& path,
+                                              std::string& error) {
+    const auto text = read_file(path, error);
+    if (!text) {
+        return std::nullopt;
+    }
+    auto artifact = load_trace(*text, error);
+    if (!artifact) {
+        error = tagged(path, error);
+    }
+    return artifact;
+}
+
+// --- metrics ------------------------------------------------------------
+
+namespace {
+
+bool load_histogram(const json_value& value, histogram_snapshot& out,
+                    std::string& reason) {
+    if (!value.is_object()) {
+        reason = "histogram is not an object";
+        return false;
+    }
+    const json_value* bounds = value.find("bounds");
+    const json_value* counts = value.find("counts");
+    const json_value* count = value.find("count");
+    const json_value* sum = value.find("sum");
+    if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+        !counts->is_array() || count == nullptr || sum == nullptr) {
+        reason = "histogram missing bounds/counts/count/sum";
+        return false;
+    }
+    for (const json_value& bound : bounds->items) {
+        const auto parsed = bound.as_u64();
+        if (!parsed) {
+            reason = "non-integer histogram bound";
+            return false;
+        }
+        out.bounds.push_back(*parsed);
+    }
+    for (const json_value& bucket : counts->items) {
+        const auto parsed = bucket.as_u64();
+        if (!parsed) {
+            reason = "non-integer histogram bucket";
+            return false;
+        }
+        out.counts.push_back(*parsed);
+    }
+    if (out.counts.size() != out.bounds.size() + 1) {
+        reason = "histogram bucket count does not match bounds";
+        return false;
+    }
+    const auto count_value = count->as_u64();
+    const auto sum_value = sum->as_u64();
+    if (!count_value || !sum_value) {
+        reason = "non-integer histogram count/sum";
+        return false;
+    }
+    out.count = *count_value;
+    out.sum = *sum_value;
+    return true;
+}
+
+} // namespace
+
+std::optional<metrics_snapshot> load_metrics(std::string_view text,
+                                             std::string& error) {
+    json_parse_result parsed = parse_json(text);
+    if (!parsed.value) {
+        error = tagged("metrics", parsed.error);
+        return std::nullopt;
+    }
+    const json_value& root = *parsed.value;
+    if (!root.is_object()) {
+        error = "metrics: top level is not an object";
+        return std::nullopt;
+    }
+    const json_value* counters = root.find("counters");
+    const json_value* gauges = root.find("gauges");
+    const json_value* histograms = root.find("histograms");
+    if (counters == nullptr || !counters->is_object() || gauges == nullptr ||
+        !gauges->is_object() || histograms == nullptr ||
+        !histograms->is_object()) {
+        error = "metrics: missing counters/gauges/histograms sections";
+        return std::nullopt;
+    }
+
+    metrics_snapshot snapshot;
+    for (const auto& [name, value] : counters->members) {
+        const auto parsed_value = value.as_u64();
+        if (!parsed_value) {
+            error = "metrics: counter '" + name +
+                    "' is not a non-negative integer";
+            return std::nullopt;
+        }
+        snapshot.counters.emplace_back(name, *parsed_value);
+    }
+    for (const auto& [name, value] : gauges->members) {
+        const auto parsed_value = value.as_number();
+        if (!parsed_value) {
+            error = "metrics: gauge '" + name + "' is not a number";
+            return std::nullopt;
+        }
+        snapshot.gauges.emplace_back(name, *parsed_value);
+    }
+    for (const auto& [name, value] : histograms->members) {
+        histogram_snapshot histogram;
+        std::string reason;
+        if (!load_histogram(value, histogram, reason)) {
+            error = "metrics: histogram '" + name + "': " + reason;
+            return std::nullopt;
+        }
+        snapshot.histograms.emplace_back(name, std::move(histogram));
+    }
+    return snapshot;
+}
+
+std::optional<metrics_snapshot> load_metrics_file(const std::string& path,
+                                                  std::string& error) {
+    const auto text = read_file(path, error);
+    if (!text) {
+        return std::nullopt;
+    }
+    auto snapshot = load_metrics(*text, error);
+    if (!snapshot) {
+        error = tagged(path, error);
+    }
+    return snapshot;
+}
+
+// --- journal ------------------------------------------------------------
+
+std::optional<journal_artifact> load_journal_file(const std::string& path,
+                                                  std::string& error) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        error = tagged(path, "cannot open file");
+        return std::nullopt;
+    }
+    journal_artifact artifact;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        ++artifact.lines;
+        std::size_t index = 0;
+        std::string_view payload;
+        if (!parse_journal_prefix(line, index, payload)) {
+            ++artifact.skipped;
+            continue;
+        }
+        run_record cpu_record;
+        if (parse_log_line(payload, cpu_record)) {
+            artifact.cpu.completed[index] = std::move(cpu_record);
+            continue;
+        }
+        dram_run_record dram_record;
+        if (parse_log_line(payload, dram_record)) {
+            artifact.dram.completed[index] = std::move(dram_record);
+            continue;
+        }
+        ++artifact.skipped;
+    }
+    artifact.cpu.skipped = artifact.skipped;
+    artifact.dram.skipped = artifact.skipped;
+    if (artifact.records() == 0) {
+        error = tagged(path,
+                       artifact.lines == 0
+                           ? "journal is empty"
+                           : "no recoverable record in " +
+                                 std::to_string(artifact.lines) + " lines");
+        return std::nullopt;
+    }
+    return artifact;
+}
+
+// --- status -------------------------------------------------------------
+
+namespace {
+
+bool require_u64(const json_value& root, std::string_view key,
+                 std::uint64_t& out, std::string& error) {
+    const json_value* value = root.find(key);
+    const auto parsed = value != nullptr ? value->as_u64() : std::nullopt;
+    if (!parsed) {
+        error = "status: missing or invalid '" + std::string(key) + "'";
+        return false;
+    }
+    out = *parsed;
+    return true;
+}
+
+} // namespace
+
+std::optional<status_artifact> load_status(std::string_view text,
+                                           std::string& error) {
+    json_parse_result parsed = parse_json(text);
+    if (!parsed.value) {
+        error = tagged("status", parsed.error);
+        return std::nullopt;
+    }
+    const json_value& root = *parsed.value;
+    if (!root.is_object()) {
+        error = "status: top level is not an object";
+        return std::nullopt;
+    }
+    status_artifact status;
+    if (const json_value* campaign = root.find("campaign")) {
+        if (const auto name = campaign->as_string()) {
+            status.campaign = std::string(*name);
+        }
+    }
+    const json_value* running = root.find("running");
+    if (running == nullptr ||
+        running->type != json_value::kind::boolean) {
+        error = "status: missing or invalid 'running'";
+        return std::nullopt;
+    }
+    status.running = running->boolean;
+    if (!require_u64(root, "tasks_total", status.tasks_total, error) ||
+        !require_u64(root, "tasks_done", status.tasks_done, error) ||
+        !require_u64(root, "retries", status.retries, error) ||
+        !require_u64(root, "injected_faults", status.injected_faults,
+                     error) ||
+        !require_u64(root, "aborted_rig", status.aborted_rig, error) ||
+        !require_u64(root, "replayed", status.replayed, error) ||
+        !require_u64(root, "rig_downtime_ms", status.downtime_ms, error)) {
+        return std::nullopt;
+    }
+    if (const json_value* live = root.find("live")) {
+        if (!live->is_object()) {
+            error = "status: 'live' is not an object";
+            return std::nullopt;
+        }
+        if (const json_value* workers = live->find("workers")) {
+            if (const auto count = workers->as_i64()) {
+                status.workers = static_cast<int>(*count);
+            }
+        }
+        if (const json_value* tasks = live->find("worker_task")) {
+            if (!tasks->is_array()) {
+                error = "status: live.worker_task is not an array";
+                return std::nullopt;
+            }
+            for (const json_value& task : tasks->items) {
+                const auto index = task.as_i64();
+                if (!index) {
+                    error = "status: non-integer live.worker_task entry";
+                    return std::nullopt;
+                }
+                status.worker_task.push_back(*index);
+            }
+        }
+        if (const json_value* wall = live->find("wall_elapsed_s")) {
+            if (const auto seconds = wall->as_number()) {
+                status.wall_elapsed_s = *seconds;
+            }
+        }
+    }
+    return status;
+}
+
+std::optional<status_artifact> load_status_file(const std::string& path,
+                                                std::string& error) {
+    const auto text = read_file(path, error);
+    if (!text) {
+        return std::nullopt;
+    }
+    auto status = load_status(*text, error);
+    if (!status) {
+        error = tagged(path, error);
+    }
+    return status;
+}
+
+} // namespace gb::report

@@ -1,0 +1,123 @@
+// Typed in-memory models of the three observability artifact formats the
+// emit side produces -- Chrome trace_event JSON (trace/trace.cpp), flat
+// metrics JSON (trace/metrics.cpp) and the task journal (journal.cpp) --
+// plus the status-heartbeat snapshot (status.cpp).
+//
+// Every loader is total: it either returns a validated model or a one-line
+// diagnostic; corrupted, truncated or wrong-shape input (the rig-fault
+// injector mangles logs by design) can never crash the consumer.  Loaders
+// return std::nullopt and fill `error` -- the gbreport CLI turns that into
+// a non-zero exit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/journal.hpp"
+#include "harness/trace/metrics.hpp"
+
+namespace gb::report {
+
+// --- Chrome trace_event -------------------------------------------------
+
+/// One event recovered from a trace file.  `ts`/`dur` are the exporter's
+/// deterministic virtual timestamps (per-track layout, see trace.cpp);
+/// they are comparable within a track, not across tracks.
+struct trace_event {
+    enum class phase : std::uint8_t { complete, instant, metadata };
+    phase ph = phase::complete;
+    std::uint32_t track = 0;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::string name;
+    std::string category;
+    std::vector<std::pair<std::string, std::string>> args;
+
+    /// Arg lookup; null when absent.
+    [[nodiscard]] const std::string* arg(std::string_view key) const;
+    [[nodiscard]] std::optional<std::uint64_t> arg_u64(
+        std::string_view key) const;
+};
+
+struct trace_artifact {
+    /// Non-metadata events in file order (the exporter emits layout
+    /// order, so this is also deterministic submission order per track).
+    std::vector<trace_event> events;
+    /// Track id -> thread_name metadata.
+    std::map<std::uint32_t, std::string> track_names;
+
+    [[nodiscard]] std::vector<const trace_event*> on_track(
+        std::uint32_t track) const;
+};
+
+[[nodiscard]] std::optional<trace_artifact> load_trace(std::string_view text,
+                                                       std::string& error);
+[[nodiscard]] std::optional<trace_artifact> load_trace_file(
+    const std::string& path, std::string& error);
+
+// --- flat metrics JSON --------------------------------------------------
+
+/// Metrics artifacts parse straight back into the emit side's merged-view
+/// type, so analyses and tests compare snapshots, not strings.
+[[nodiscard]] std::optional<metrics_snapshot> load_metrics(
+    std::string_view text, std::string& error);
+[[nodiscard]] std::optional<metrics_snapshot> load_metrics_file(
+    const std::string& path, std::string& error);
+
+// --- task journal -------------------------------------------------------
+
+/// Replay of one journal file through the tolerant wire-format parsers.
+/// CPU (`run=`) and DRAM (`dram=`) records can in principle share a file;
+/// the model keeps both maps and the line accounting.
+struct journal_artifact {
+    cpu_journal_replay cpu;
+    dram_journal_replay dram;
+    std::size_t lines = 0;   ///< non-empty lines seen
+    std::size_t skipped = 0; ///< lines that were not recoverable records
+
+    [[nodiscard]] std::size_t records() const {
+        return cpu.completed.size() + dram.completed.size();
+    }
+};
+
+/// Fails (with a diagnostic) when the file is unreadable or contains no
+/// recoverable record at all -- a journal that is *pure* corruption is an
+/// error, partially corrupt ones just report their skipped count.
+[[nodiscard]] std::optional<journal_artifact> load_journal_file(
+    const std::string& path, std::string& error);
+
+// --- status heartbeat ---------------------------------------------------
+
+/// Parsed `--status` snapshot (status.hpp writes these atomically).
+struct status_artifact {
+    std::string campaign;
+    bool running = false;
+    std::uint64_t tasks_total = 0;
+    std::uint64_t tasks_done = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t injected_faults = 0;
+    std::uint64_t aborted_rig = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t downtime_ms = 0;
+    /// Live-only (scheduling-dependent) fields; empty/zero in the final
+    /// snapshot, which is a pure function of campaign content.
+    int workers = 0;
+    std::vector<std::int64_t> worker_task;
+    double wall_elapsed_s = 0.0;
+};
+
+[[nodiscard]] std::optional<status_artifact> load_status(
+    std::string_view text, std::string& error);
+[[nodiscard]] std::optional<status_artifact> load_status_file(
+    const std::string& path, std::string& error);
+
+/// Slurp a whole file; nullopt (with diagnostic) when unreadable.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path,
+                                                   std::string& error);
+
+} // namespace gb::report

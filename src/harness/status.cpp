@@ -1,0 +1,86 @@
+#include "harness/status.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <system_error>
+
+#include "harness/trace/trace.hpp"
+
+namespace gb {
+
+namespace {
+
+std::string format_seconds(double value) {
+    char buffer[64];
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (ec != std::errc{}) {
+        return "0";
+    }
+    return std::string(buffer, ptr);
+}
+
+} // namespace
+
+std::string write_status_json(const campaign_status& status) {
+    std::string out = "{\"campaign\":\"";
+    out += json_escape(status.campaign);
+    out += "\",\"running\":";
+    out += status.running ? "true" : "false";
+    const auto field = [&out](const char* name, std::uint64_t value) {
+        out += ",\"";
+        out += name;
+        out += "\":";
+        out += std::to_string(value);
+    };
+    field("tasks_total", status.tasks_total);
+    field("tasks_done", status.tasks_done);
+    field("retries", status.retries);
+    field("injected_faults", status.injected_faults);
+    field("aborted_rig", status.aborted_rig);
+    field("replayed", status.replayed);
+    field("rig_downtime_ms", status.rig_downtime_ms);
+    if (status.running) {
+        out += ",\"live\":{\"workers\":";
+        out += std::to_string(status.workers);
+        out += ",\"worker_task\":[";
+        for (std::size_t w = 0; w < status.worker_task.size(); ++w) {
+            if (w > 0) {
+                out += ',';
+            }
+            out += std::to_string(status.worker_task[w]);
+        }
+        out += "],\"wall_elapsed_s\":";
+        out += format_seconds(status.wall_elapsed_s);
+        out += "}";
+    }
+    out += "}\n";
+    return out;
+}
+
+bool publish_status(const std::string& path, const campaign_status& status) {
+    // Write-temp-then-rename: rename(2) is atomic on POSIX, so a reader
+    // polling `path` sees either the previous snapshot or this one, never
+    // a prefix.  One fixed temp name suffices -- a status file has exactly
+    // one writer (the engine publishes under a mutex).
+    const std::string temp = path + ".tmp";
+    const std::string body = write_status_json(status);
+    std::FILE* file = std::fopen(temp.c_str(), "wb");
+    if (file == nullptr) {
+        return false;
+    }
+    const bool written =
+        std::fwrite(body.data(), 1, body.size(), file) == body.size();
+    const bool closed = std::fclose(file) == 0;
+    if (!written || !closed) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace gb

@@ -1,0 +1,86 @@
+# Exit-code contract of the gbreport CLI, pinned without running a full
+# campaign: 0 = clean, 1 = diff found a regression or missing metric,
+# 2 = usage error or malformed artifact (one-line diagnostic, no crash).
+#
+# Driven from tests/CMakeLists.txt via
+#   cmake -DGBREPORT=... -DWORK_DIR=... -P gbreport_cli.cmake
+foreach(var GBREPORT WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "gbreport_cli.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# expect_exit(<code> <args...>): run gbreport, require the exact exit code.
+function(expect_exit expected)
+    execute_process(
+        COMMAND ${GBREPORT} ${ARGN}
+        OUTPUT_VARIABLE stdout_text
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL expected)
+        message(FATAL_ERROR
+            "gbreport ${ARGN} exited ${rc}, wanted ${expected}\n"
+            "stdout:\n${stdout_text}\nstderr:\n${stderr_text}")
+    endif()
+endfunction()
+
+set(baseline ${WORK_DIR}/baseline.json)
+file(WRITE ${baseline} [[{
+  "counters": {"content.hash": 4857721278376709091, "runs.total": 100},
+  "gauges": {"wall.run_ms": 100.0},
+  "histograms": {}
+}
+]])
+
+# Identical inputs: clean pass.
+expect_exit(0 diff ${baseline} ${baseline})
+
+# 2% wall regression: caught at default (exact) tolerance...
+set(slower ${WORK_DIR}/slower.json)
+file(WRITE ${slower} [[{
+  "counters": {"content.hash": 4857721278376709091, "runs.total": 100},
+  "gauges": {"wall.run_ms": 102.0},
+  "histograms": {}
+}
+]])
+expect_exit(1 diff ${baseline} ${slower})
+# ...tolerated with a wall.* override.
+expect_exit(0 diff ${baseline} ${slower} --tolerance wall.*=0.05)
+
+# A one-bit drift in a 64-bit content hash must register even though a
+# double compare would merge the two values -- and no tolerance rescues a
+# content change.
+set(hashbump ${WORK_DIR}/hashbump.json)
+file(WRITE ${hashbump} [[{
+  "counters": {"content.hash": 4857721278376709092, "runs.total": 100},
+  "gauges": {"wall.run_ms": 100.0},
+  "histograms": {}
+}
+]])
+expect_exit(1 diff ${baseline} ${hashbump})
+expect_exit(1 diff ${baseline} ${hashbump} --tolerance wall.*=0.05)
+
+# A metric missing from the candidate fails regardless of tolerance.
+set(shrunk ${WORK_DIR}/shrunk.json)
+file(WRITE ${shrunk} [[{
+  "counters": {"content.hash": 4857721278376709091, "runs.total": 100},
+  "gauges": {},
+  "histograms": {}
+}
+]])
+expect_exit(1 diff ${baseline} ${shrunk} --tolerance 100)
+
+# Malformed artifacts: diagnostic and exit 2, never a crash.
+set(truncated ${WORK_DIR}/truncated.json)
+file(WRITE ${truncated} "{\"counters\": {\"runs.total\": 10")
+expect_exit(2 diff ${baseline} ${truncated})
+expect_exit(2 summary --journal ${WORK_DIR}/no_such_journal.log)
+expect_exit(2 critical-path --trace ${truncated})
+expect_exit(2 status ${truncated})
+
+# Usage errors.
+expect_exit(2 frobnicate)
+expect_exit(2 diff ${baseline})
+expect_exit(2 diff ${baseline} ${slower} --tolerance wall.*=not_a_number)

@@ -1,0 +1,166 @@
+// Live-status heartbeat tests: the serialized schema, the determinism of
+// the final snapshot across worker counts, and the atomicity contract --
+// a reader polling the file must never observe a partially written
+// document, because every publish goes through write-temp-then-rename.
+#include "harness/status.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "harness/framework.hpp"
+#include "harness/report/artifacts.hpp"
+#include "workloads/cpu_profiles.hpp"
+
+namespace gb {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(StatusTest, SchemaRoundTrips) {
+    campaign_status status;
+    status.campaign = "milc";
+    status.running = true;
+    status.tasks_total = 150;
+    status.tasks_done = 42;
+    status.retries = 3;
+    status.injected_faults = 4;
+    status.aborted_rig = 1;
+    status.replayed = 2;
+    status.rig_downtime_ms = 110000;
+    status.workers = 2;
+    status.worker_task = {7, -1};
+    status.wall_elapsed_s = 1.5;
+
+    const std::string live = write_status_json(status);
+    std::string error;
+    const auto parsed = report::load_status(live, error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(parsed->running);
+    EXPECT_EQ(parsed->tasks_done, 42U);
+    EXPECT_EQ(parsed->workers, 2);
+    ASSERT_EQ(parsed->worker_task.size(), 2U);
+    EXPECT_EQ(parsed->worker_task[0], 7);
+    EXPECT_EQ(parsed->worker_task[1], -1);
+
+    // The final flavour omits the scheduling-dependent `live` object.
+    status.running = false;
+    const std::string final_snapshot = write_status_json(status);
+    EXPECT_EQ(final_snapshot.find("live"), std::string::npos);
+    EXPECT_EQ(final_snapshot.find("wall"), std::string::npos);
+    const auto parsed_final = report::load_status(final_snapshot, error);
+    ASSERT_TRUE(parsed_final.has_value()) << error;
+    EXPECT_EQ(parsed_final->workers, 0);
+    EXPECT_TRUE(parsed_final->worker_task.empty());
+}
+
+TEST(StatusTest, PublishIsAtomicAndLeavesNoTemp) {
+    const std::string path = temp_path("status_publish.json");
+    campaign_status status;
+    status.campaign = "atomic";
+    status.tasks_total = 1;
+    ASSERT_TRUE(publish_status(path, status));
+    EXPECT_EQ(slurp(path), write_status_json(status));
+    std::ifstream temp(path + ".tmp");
+    EXPECT_FALSE(temp.good());
+
+    // A failed publish (unwritable directory) must leave the previous
+    // snapshot intact.
+    EXPECT_FALSE(
+        publish_status(temp_path("no_such_dir/status.json"), status));
+    EXPECT_EQ(slurp(path), write_status_json(status));
+}
+
+TEST(StatusTest, ReaderNeverObservesPartialWrite) {
+    const std::string path = temp_path("status_atomicity.json");
+    campaign_status status;
+    status.campaign = "atomicity";
+    status.running = true;
+    status.tasks_total = 1000;
+    status.workers = 1;
+    status.worker_task = {0};
+    ASSERT_TRUE(publish_status(path, status));
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> reads{0};
+    std::atomic<int> bad{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::string text = slurp(path);
+            if (text.empty()) {
+                continue; // raced the open, not a partial document
+            }
+            std::string error;
+            if (!report::load_status(text, error)) {
+                bad.fetch_add(1, std::memory_order_relaxed);
+            }
+            reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        status.tasks_done = i;
+        status.worker_task = {static_cast<std::int64_t>(i)};
+        status.wall_elapsed_s = static_cast<double>(i) * 0.001;
+        ASSERT_TRUE(publish_status(path, status));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+    EXPECT_GT(reads.load(), 0);
+    EXPECT_EQ(bad.load(), 0) << "a reader saw a partially written snapshot";
+}
+
+TEST(StatusTest, FinalSnapshotIsWorkerCountInvariant) {
+    // The engine's final snapshot is a pure function of campaign content:
+    // running the same campaign at 1 and 4 workers must leave identical
+    // bytes behind.
+    const kernel& program = find_cpu_benchmark("milc").loop;
+    std::string bytes[2];
+    int slot = 0;
+    for (const int workers : {1, 4}) {
+        const std::string path =
+            temp_path("status_final_" + std::to_string(workers) + ".json");
+        chip_model chip(make_chip(process_corner::ttt), make_xgene2_pdn());
+        characterization_framework framework(chip, /*seed=*/2018);
+        campaign_spec spec;
+        spec.benchmark = "milc";
+        spec.repetitions = 3;
+        spec.workers = workers;
+        for (double v = 980.0; v >= 940.0; v -= 10.0) {
+            characterization_setup setup;
+            setup.voltage = millivolts{v};
+            setup.cores = {6};
+            spec.setups.push_back(setup);
+        }
+        campaign_io io;
+        io.status_path = path;
+        (void)framework.run_campaign(spec, program, io);
+        bytes[slot++] = slurp(path);
+    }
+    EXPECT_FALSE(bytes[0].empty());
+    EXPECT_EQ(bytes[0], bytes[1]);
+
+    // And it parses back as a finished snapshot covering every task.
+    std::string error;
+    const auto parsed = report::load_status(bytes[0], error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_FALSE(parsed->running);
+    EXPECT_EQ(parsed->tasks_total, 15U);
+    EXPECT_EQ(parsed->tasks_done, parsed->tasks_total);
+}
+
+} // namespace
+} // namespace gb

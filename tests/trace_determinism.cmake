@@ -1,7 +1,12 @@
 # Cross-worker-count determinism check for the example-level observability
-# flags: run undervolt_campaign with --trace/--metrics at GB_JOBS=1/2/8 and
-# require every artifact (trace JSON, metrics JSON, run CSV) to be
-# byte-identical, then compare the trace against the checked-in golden.
+# flags: run undervolt_campaign with --trace/--metrics/--journal/--status at
+# GB_JOBS=1/2/8 and require every deterministic artifact (trace JSON,
+# metrics JSON, run CSV, final status snapshot) to be byte-identical, then
+# compare the trace against the checked-in golden.  The journal's *line
+# order* is completion order by design (it is a crash log), so the journal
+# itself is not byte-compared; instead every gbreport analysis over the
+# artifacts -- summary, critical-path, utilization, timeline, status, diff
+# -- must render byte-identically across worker counts.
 #
 # Regenerate the golden after a *deliberate* trace-format change by copying
 # the GB_JOBS=1 trace:
@@ -9,8 +14,9 @@
 #      tests/golden/undervolt_milc_trace.json
 #
 # Driven from tests/CMakeLists.txt via
-#   cmake -DCAMPAIGN=... -DGOLDEN=... -DWORK_DIR=... -P trace_determinism.cmake
-foreach(var CAMPAIGN GOLDEN WORK_DIR)
+#   cmake -DCAMPAIGN=... -DGBREPORT=... -DGOLDEN=... -DWORK_DIR=...
+#         -P trace_determinism.cmake
+foreach(var CAMPAIGN GBREPORT GOLDEN WORK_DIR)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "trace_determinism.cmake needs -D${var}=...")
     endif()
@@ -20,10 +26,14 @@ file(MAKE_DIRECTORY ${WORK_DIR})
 
 foreach(jobs 1 2 8)
     set(ENV{GB_JOBS} ${jobs})
+    # The journal appends by design; start each run from a clean file.
+    file(REMOVE ${WORK_DIR}/journal_${jobs}.log)
     execute_process(
         COMMAND ${CAMPAIGN} TTT milc
                 --trace ${WORK_DIR}/trace_${jobs}.json
                 --metrics ${WORK_DIR}/metrics_${jobs}.json
+                --journal ${WORK_DIR}/journal_${jobs}.log
+                --status ${WORK_DIR}/status_${jobs}.json
         OUTPUT_FILE ${WORK_DIR}/runs_${jobs}.csv
         ERROR_VARIABLE stderr_text
         RESULT_VARIABLE rc)
@@ -34,8 +44,52 @@ foreach(jobs 1 2 8)
     endif()
 endforeach()
 
+# gbreport must run cleanly over each worker count's artifacts and render
+# the same bytes: the analyses are pure functions of deterministic inputs.
+foreach(jobs 1 2 8)
+    set(reports
+        "summary|summary|--journal|${WORK_DIR}/journal_${jobs}.log"
+        "critical-path|critical_path|--trace|${WORK_DIR}/trace_${jobs}.json"
+        "utilization|utilization|--trace|${WORK_DIR}/trace_${jobs}.json|--workers|8"
+        "timeline|timeline|--trace|${WORK_DIR}/trace_${jobs}.json|--metrics|${WORK_DIR}/metrics_${jobs}.json"
+        "status|status|${WORK_DIR}/status_${jobs}.json")
+    foreach(spec IN LISTS reports)
+        string(REPLACE "|" ";" spec "${spec}")
+        list(POP_FRONT spec subcommand slug)
+        execute_process(
+            COMMAND ${GBREPORT} ${subcommand} ${spec}
+            OUTPUT_FILE ${WORK_DIR}/report_${slug}_${jobs}.txt
+            ERROR_VARIABLE stderr_text
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "gbreport ${subcommand} failed on GB_JOBS=${jobs} artifacts "
+                "(rc=${rc}):\n${stderr_text}")
+        endif()
+    endforeach()
+    # diff against the single-worker metrics must find nothing.
+    execute_process(
+        COMMAND ${GBREPORT} diff ${WORK_DIR}/metrics_1.json
+                ${WORK_DIR}/metrics_${jobs}.json
+        OUTPUT_QUIET
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "gbreport diff flagged metrics_${jobs}.json against "
+            "metrics_1.json (rc=${rc}): worker count leaked into metrics\n"
+            "${stderr_text}")
+    endif()
+endforeach()
+
 foreach(jobs 2 8)
-    foreach(artifact trace_${jobs}.json metrics_${jobs}.json runs_${jobs}.csv)
+    set(artifacts
+        trace_${jobs}.json metrics_${jobs}.json runs_${jobs}.csv
+        status_${jobs}.json
+        report_summary_${jobs}.txt report_critical_path_${jobs}.txt
+        report_utilization_${jobs}.txt report_timeline_${jobs}.txt
+        report_status_${jobs}.txt)
+    foreach(artifact IN LISTS artifacts)
         string(REGEX REPLACE "_${jobs}" "_1" reference ${artifact})
         execute_process(
             COMMAND ${CMAKE_COMMAND} -E compare_files

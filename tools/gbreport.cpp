@@ -1,0 +1,263 @@
+// gbreport: analysis CLI over the observability artifacts the campaign
+// stack emits (--trace / --metrics / --journal / --status files).
+//
+//   gbreport summary --journal FILE          per-core Vmin / weak-cell rollup
+//   gbreport critical-path --trace FILE      heaviest campaign + tasks
+//   gbreport utilization --trace FILE        simulated worker utilization
+//   gbreport timeline --trace FILE           fault/supervisor event timeline
+//   gbreport status FILE                     render a heartbeat snapshot
+//   gbreport diff BASELINE CANDIDATE         metrics regression gate
+//
+// Every analysis is a pure function of the artifact bytes, which are
+// themselves byte-identical at any GB_JOBS -- so gbreport output is too.
+// Exit codes: 0 success, 1 diff regression, 2 usage error or malformed
+// artifact.  Malformed input always yields a one-line `gbreport:`
+// diagnostic on stderr, never a crash (the rig-fault injector corrupts
+// logs by design).
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/report/analysis.hpp"
+#include "harness/report/artifacts.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace gb;
+using namespace gb::report;
+
+constexpr int exit_ok = 0;
+constexpr int exit_regression = 1;
+constexpr int exit_usage = 2;
+
+int usage() {
+    std::cerr
+        << "usage: gbreport <command> [options]\n"
+        << "  summary --journal FILE            campaign rollup from a task "
+           "journal\n"
+        << "  critical-path --trace FILE [--top N]\n"
+        << "                                    heaviest campaign and tasks\n"
+        << "  utilization --trace FILE [--workers N]\n"
+        << "                                    simulated worker "
+           "utilization/imbalance\n"
+        << "  timeline --trace FILE [--metrics FILE]\n"
+        << "                                    fault/supervisor timeline\n"
+        << "  status FILE                       render a heartbeat snapshot\n"
+        << "  diff BASELINE CANDIDATE [--tolerance [NAME=]FRACTION]...\n"
+        << "                                    compare metrics artifacts; "
+           "exit 1 on regression\n";
+    return exit_usage;
+}
+
+int fail(const std::string& message) {
+    std::cerr << "gbreport: " << message << "\n";
+    return exit_usage;
+}
+
+std::optional<std::string> required_flag(int& argc, char** argv,
+                                         std::string_view flag) {
+    auto value = take_flag_value(argc, argv, flag);
+    if (!value) {
+        std::cerr << "gbreport: missing required " << flag << " FILE\n";
+    }
+    return value;
+}
+
+/// Trace-based commands share the load-and-model preamble.
+std::optional<trace_model> model_from(const std::string& path) {
+    std::string error;
+    auto artifact = load_trace_file(path, error);
+    if (!artifact) {
+        std::cerr << "gbreport: " << error << "\n";
+        return std::nullopt;
+    }
+    auto model = build_trace_model(std::move(*artifact), error);
+    if (!model) {
+        std::cerr << "gbreport: " << path << ": " << error << "\n";
+    }
+    return model;
+}
+
+int run_summary(int argc, char** argv) {
+    const auto journal_path = required_flag(argc, argv, "--journal");
+    if (!journal_path) {
+        return exit_usage;
+    }
+    std::string error;
+    const auto journal = load_journal_file(*journal_path, error);
+    if (!journal) {
+        return fail(error);
+    }
+    render_summary(std::cout, *journal);
+    return exit_ok;
+}
+
+int run_critical_path(int argc, char** argv) {
+    const auto trace_path = required_flag(argc, argv, "--trace");
+    if (!trace_path) {
+        return exit_usage;
+    }
+    long long top = 5;
+    if (const auto flag = take_flag_value(argc, argv, "--top")) {
+        const auto parsed = parse_integer(*flag);
+        if (!parsed || *parsed < 1) {
+            return fail("--top wants a positive integer");
+        }
+        top = *parsed;
+    }
+    const auto model = model_from(*trace_path);
+    if (!model) {
+        return exit_usage;
+    }
+    render_critical_path(std::cout, *model, static_cast<std::size_t>(top));
+    return exit_ok;
+}
+
+int run_utilization(int argc, char** argv) {
+    const auto trace_path = required_flag(argc, argv, "--trace");
+    if (!trace_path) {
+        return exit_usage;
+    }
+    long long workers = 8;
+    if (const auto flag = take_flag_value(argc, argv, "--workers")) {
+        const auto parsed = parse_integer(*flag);
+        if (!parsed || *parsed < 1 || *parsed > 256) {
+            return fail("--workers wants an integer in [1, 256]");
+        }
+        workers = *parsed;
+    }
+    const auto model = model_from(*trace_path);
+    if (!model) {
+        return exit_usage;
+    }
+    render_utilization(std::cout, simulate_utilization(
+                                      *model, static_cast<int>(workers)));
+    return exit_ok;
+}
+
+int run_timeline(int argc, char** argv) {
+    const auto trace_path = required_flag(argc, argv, "--trace");
+    if (!trace_path) {
+        return exit_usage;
+    }
+    const auto metrics_path = take_flag_value(argc, argv, "--metrics");
+    std::optional<metrics_snapshot> metrics;
+    if (metrics_path) {
+        std::string error;
+        metrics = load_metrics_file(*metrics_path, error);
+        if (!metrics) {
+            return fail(error);
+        }
+    }
+    const auto model = model_from(*trace_path);
+    if (!model) {
+        return exit_usage;
+    }
+    render_timeline(std::cout, *model, metrics ? &*metrics : nullptr);
+    return exit_ok;
+}
+
+int run_status(int argc, char** argv) {
+    if (argc < 3) {
+        return fail("status wants a snapshot FILE");
+    }
+    std::string error;
+    const auto status = load_status_file(argv[2], error);
+    if (!status) {
+        return fail(error);
+    }
+    std::cout << "campaign: "
+              << (status->campaign.empty() ? "(unnamed)" : status->campaign)
+              << (status->running ? " [running]" : " [finished]") << "\n"
+              << "tasks: " << status->tasks_done << "/"
+              << status->tasks_total << "\n"
+              << "rig faults: " << status->injected_faults << " ("
+              << status->retries << " retries, " << status->aborted_rig
+              << " aborted), " << status->replayed << " replayed, "
+              << status->downtime_ms << " ms simulated downtime\n";
+    if (status->running && !status->worker_task.empty()) {
+        std::cout << "workers (" << status->workers << "):";
+        for (const std::int64_t task : status->worker_task) {
+            if (task < 0) {
+                std::cout << " idle";
+            } else {
+                std::cout << " #" << task;
+            }
+        }
+        std::cout << "\nwall elapsed: " << status->wall_elapsed_s << " s\n";
+    }
+    return exit_ok;
+}
+
+int run_diff(int argc, char** argv) {
+    diff_options options;
+    // Repeated --tolerance flags: bare FRACTION sets the default,
+    // NAME=FRACTION (NAME may end in '*') adds an override.
+    while (auto spec = take_flag_value(argc, argv, "--tolerance")) {
+        const std::size_t equals = spec->rfind('=');
+        const std::string number =
+            equals == std::string::npos ? *spec : spec->substr(equals + 1);
+        const auto fraction = parse_number(number);
+        if (!fraction || *fraction < 0.0) {
+            return fail("--tolerance wants [NAME=]FRACTION with a "
+                        "non-negative fraction, got '" +
+                        *spec + "'");
+        }
+        if (equals == std::string::npos) {
+            options.default_tolerance = *fraction;
+        } else if (equals == 0) {
+            return fail("--tolerance override needs a metric name before "
+                        "'='");
+        } else {
+            options.overrides.emplace_back(spec->substr(0, equals),
+                                           *fraction);
+        }
+    }
+    if (argc < 4) {
+        return fail("diff wants BASELINE and CANDIDATE metrics files");
+    }
+    std::string error;
+    const auto baseline = load_metrics_file(argv[2], error);
+    if (!baseline) {
+        return fail(error);
+    }
+    const auto candidate = load_metrics_file(argv[3], error);
+    if (!candidate) {
+        return fail(error);
+    }
+    const diff_report report = diff_metrics(*baseline, *candidate, options);
+    render_diff(std::cout, report);
+    return report.failed() ? exit_regression : exit_ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string_view command = argv[1];
+    if (command == "summary") {
+        return run_summary(argc, argv);
+    }
+    if (command == "critical-path") {
+        return run_critical_path(argc, argv);
+    }
+    if (command == "utilization") {
+        return run_utilization(argc, argv);
+    }
+    if (command == "timeline") {
+        return run_timeline(argc, argv);
+    }
+    if (command == "status") {
+        return run_status(argc, argv);
+    }
+    if (command == "diff") {
+        return run_diff(argc, argv);
+    }
+    std::cerr << "gbreport: unknown command '" << command << "'\n";
+    return usage();
+}
