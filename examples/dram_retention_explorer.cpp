@@ -8,6 +8,9 @@
 //     --trace <path>    write a deterministic Chrome trace_event JSON of
 //                       the refresh ladder (one task span per step)
 //     --metrics <path>  write the exploration counters/gauges as flat JSON
+//     --status <path>   live heartbeat around the regulation/ladder phases;
+//                       the final snapshot is deterministic
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -16,6 +19,7 @@
 
 #include "core/explorer.hpp"
 #include "dram/power.hpp"
+#include "harness/status.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
 #include "thermal/testbed.hpp"
@@ -30,11 +34,34 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--trace");
     const std::optional<std::string> metrics_path =
         take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> status_path =
+        take_flag_value(argc, argv, "--status");
     const double target_c =
         double_arg(argc, argv, 1, 60.0, "temperature_c", 20.0, 90.0);
     const double max_relaxation =
         double_arg(argc, argv, 2, 35.0, "max_relaxation", 1.0, 64.0);
     const milliseconds max_period{64.0 * max_relaxation};
+
+    // Heartbeat: the refresh ladder's steps are the exploration's tasks.
+    const auto wall_start = std::chrono::steady_clock::now();
+    campaign_status heartbeat;
+    heartbeat.campaign = "dram_retention";
+    heartbeat.workers = 1;
+    const auto beat = [&](std::uint64_t total, std::uint64_t done) {
+        if (!status_path) {
+            return;
+        }
+        heartbeat.running = true;
+        heartbeat.tasks_total = total;
+        heartbeat.tasks_done = done;
+        heartbeat.worker_task = {static_cast<std::int64_t>(done)};
+        heartbeat.wall_elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                .count();
+        publish_status(*status_path, heartbeat);
+    };
+    beat(0, 0);
 
     memory_system memory(
         xgene2_memory_geometry(), retention_model{}, /*seed=*/2018,
@@ -56,6 +83,7 @@ int main(int argc, char** argv) {
         ladder.push_back(milliseconds{64.0 * factor});
     }
     ladder.push_back(max_period);
+    beat(ladder.size(), 0);
     const refresh_exploration exploration =
         guardband_explorer::explore_refresh(memory, ladder);
 
@@ -123,6 +151,15 @@ int main(int argc, char** argv) {
                                         workload.bandwidth_gbps),
                                     1)
                   << '\n';
+    }
+    if (status_path) {
+        // Final snapshot: pure function of the ladder's content, no `live`
+        // object.
+        campaign_status final_status;
+        final_status.campaign = "dram_retention";
+        final_status.tasks_total = step_index;
+        final_status.tasks_done = step_index;
+        publish_status(*status_path, final_status);
     }
     if (trace_path) {
         std::ofstream out(*trace_path);

@@ -3,28 +3,34 @@
 // the UniServer project targets: each server runs at its own revealed safe
 // point instead of the fleet-wide worst case).
 //
+// A thin client of the fleet service (fleet/service.hpp): the fleet is a
+// `fleet_spec` of explicit unique-silicon nodes (every chip its own
+// cohort variant), the per-chip methodology lives in the probe function,
+// and the service runs the campaign through the execution engine, fans
+// results out and keeps the deterministic observability artifacts.
+//
 //   $ ./fleet_binning [chips_per_corner] [options]
 //     --trace <path>    deterministic Chrome trace (one task span per chip)
 //     --metrics <path>  binning counters/histogram as flat JSON
-//     --status <path>   live heartbeat while the fleet characterizes
-//                       (atomic writes; the final snapshot is deterministic)
+//     --status <path>   live heartbeat while the fleet characterizes;
+//                       the final snapshot is the service's fleet state
+//                       (deterministic bytes, `gbreport status` renders it)
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "chip/power.hpp"
-#include "util/cli.hpp"
+#include "fleet/service.hpp"
 #include "ga/virus_search.hpp"
 #include "harness/framework.hpp"
-#include "harness/status.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workloads/cpu_profiles.hpp"
 
@@ -51,55 +57,44 @@ int main(int argc, char** argv) {
     const execution_profile virus_profile =
         pipeline.execute(virus.virus, 8192);
 
-    // Bin edges: 10 mV voltage classes.
-    std::map<int, int> bins;
+    // The fleet: chips drawn corner-major from one sequential RNG (the
+    // draw order is part of the fleet's identity), each its own cohort
+    // variant -- unique silicon shares no probes.
+    struct fleet_chip {
+        chip_config config;
+        std::uint64_t framework_seed = 0;
+    };
+    auto chips = std::make_shared<std::vector<fleet_chip>>();
     rng fleet_rng(2024);
-    const cpu_power_model power;
-    double fleet_nominal_w = 0.0;
-    double fleet_binned_w = 0.0;
-    const std::vector<cpu_benchmark> mix = fig5_mix();
-
-    // Observability: one campaign span owning a task span per chip; ticks
-    // derive from the chip's revealed requirement, never from wall time.
-    tracer trace;
-    metrics_registry metrics;
-    const std::uint32_t phase = trace.allocate_phase();
-    const counter_handle m_chips = metrics.counter("fleet.chips");
-    const histogram_handle m_bins = metrics.histogram(
-        "fleet.bin_mv", {880, 900, 920, 940, 960, 980});
-    const gauge_handle m_nominal = metrics.gauge("fleet.power_nominal_w");
-    const gauge_handle m_binned = metrics.gauge("fleet.power_binned_w");
-    const std::uint64_t fleet_size =
-        3 * static_cast<std::uint64_t>(per_corner);
-    const auto wall_start = std::chrono::steady_clock::now();
-    campaign_status heartbeat;
-    heartbeat.campaign = "fleet_binning";
-    heartbeat.tasks_total = fleet_size;
-    heartbeat.workers = 1;
-    std::uint64_t chip_index = 0;
-    std::uint64_t fleet_ticks = 0;
-
+    fleet::fleet_spec spec;
+    spec.node_jitter_mv = 0.0; // requirements are per-chip exact
     for (const process_corner corner :
          {process_corner::ttt, process_corner::tff, process_corner::tss}) {
         for (int i = 0; i < per_corner; ++i) {
-            if (status_path) {
-                heartbeat.running = true;
-                heartbeat.tasks_done = chip_index;
-                heartbeat.worker_task = {
-                    static_cast<std::int64_t>(chip_index)};
-                heartbeat.wall_elapsed_s =
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - wall_start)
-                        .count();
-                publish_status(*status_path, heartbeat);
-            }
-            const chip_model chip(random_chip(corner, fleet_rng),
-                                  make_xgene2_pdn());
-            characterization_framework framework(
-                chip, 500 + static_cast<std::uint64_t>(i));
+            chips->push_back(
+                fleet_chip{random_chip(corner, fleet_rng),
+                           500 + static_cast<std::uint64_t>(i)});
+            fleet::fleet_node node;
+            node.id = spec.explicit_nodes.size();
+            node.cohort.corner = corner;
+            node.cohort.variant =
+                static_cast<std::uint32_t>(node.id) + 1;
+            spec.explicit_nodes.push_back(node);
+        }
+    }
 
-            // The chip's class: worst of (mix requirement, virus
-            // requirement) plus a 10 mV deployment guard.
+    // The per-chip methodology, as a probe: worst of (mix requirement,
+    // virus requirement) plus a 10 mV deployment guard, and the PMD power
+    // at nominal vs at the revealed bin.
+    const std::vector<cpu_benchmark> mix = fig5_mix();
+    const fleet::probe_fn probe =
+        [chips, &virus_profile, &mix,
+         &spec](const fleet::probe_request& request) {
+            const fleet_chip& entry =
+                (*chips)[request.cohort.variant - 1];
+            const chip_model chip(entry.config, make_xgene2_pdn());
+            characterization_framework framework(chip,
+                                                 entry.framework_seed);
             std::vector<core_assignment> mix_assignments;
             std::vector<core_assignment> virus_assignments;
             for (int core = 0; core < cores_per_chip; ++core) {
@@ -112,83 +107,56 @@ int main(int argc, char** argv) {
                 virus_assignments.push_back(core_assignment{
                     core, &virus_profile, nominal_core_frequency});
             }
-            const double requirement =
+            fleet::probe_result result;
+            result.requirement_mv =
                 std::max(chip.analyze(mix_assignments, 42).vmin.value,
                          chip.analyze(virus_assignments,
                                       hash_label("ga_didt_virus"))
                              .vmin.value) +
                 10.0;
-            const double binned =
-                std::min(980.0, std::ceil(requirement / 10.0) * 10.0);
-            ++bins[static_cast<int>(binned)];
+            const cpu_power_model power;
+            result.power_nominal_w =
+                power
+                    .pmd_domain_power(chip.config(), mix_assignments,
+                                      nominal_pmd_voltage, celsius{50.0})
+                    .value;
+            result.power_point_w =
+                power
+                    .pmd_domain_power(
+                        chip.config(), mix_assignments,
+                        millivolts{fleet::bin_voltage_mv(
+                            spec, result.requirement_mv)},
+                        celsius{50.0})
+                    .value;
+            result.bucket = static_cast<int>(request.cohort.corner);
+            return result;
+        };
 
-            const auto requirement_ticks =
-                static_cast<std::uint64_t>(std::llround(requirement));
-            trace_span span;
-            span.name = "task";
-            span.category = "engine";
-            span.at = trace_point{track_rig, phase, chip_index, 0};
-            span.duration_ticks = 100 + requirement_ticks;
-            span.args.emplace_back("index", std::to_string(chip_index));
-            span.args.emplace_back(
-                "bucket", std::to_string(static_cast<int>(corner)));
-            trace.record(0, std::move(span));
-            fleet_ticks += 100 + requirement_ticks;
-            metrics.add(0, m_chips);
-            metrics.observe(0, m_bins,
-                            static_cast<std::uint64_t>(binned));
-            ++chip_index;
-
-            // Power at nominal vs at the bin voltage for the mix.
-            fleet_nominal_w += power
-                                   .pmd_domain_power(chip.config(),
-                                                     mix_assignments,
-                                                     nominal_pmd_voltage,
-                                                     celsius{50.0})
-                                   .value;
-            fleet_binned_w += power
-                                  .pmd_domain_power(chip.config(),
-                                                    mix_assignments,
-                                                    millivolts{binned},
-                                                    celsius{50.0})
-                                  .value;
-        }
-    }
-
-    {
-        trace_span span;
-        span.name = "fleet_binning";
-        span.category = "campaign";
-        span.at = trace_point{track_campaign, phase, 0, 0};
-        span.duration_ticks = fleet_ticks;
-        span.args.emplace_back("tasks", std::to_string(chip_index));
-        span.args.emplace_back("first_index", "0");
-        span.args.emplace_back("faults", "0");
-        trace.record(0, std::move(span));
-    }
-    metrics.set(0, m_nominal, /*order=*/0, fleet_nominal_w);
-    metrics.set(0, m_binned, /*order=*/0, fleet_binned_w);
+    tracer trace;
+    metrics_registry metrics;
+    fleet::fleet_service_config config;
+    config.campaign = "fleet_binning";
+    config.trace = &trace;
+    config.metrics = &metrics;
     if (status_path) {
-        // Final snapshot: pure function of the fleet content, no `live`
-        // object -- the same contract the execution engine honours.
-        campaign_status final_status;
-        final_status.campaign = "fleet_binning";
-        final_status.tasks_total = fleet_size;
-        final_status.tasks_done = chip_index;
-        publish_status(*status_path, final_status);
+        config.state_path = *status_path;
     }
+    fleet::fleet_service service(spec, config, probe);
+    service.run_campaign();
 
     std::cout << "fleet of " << 3 * per_corner
               << " chips, binned by revealed safe voltage (mix + virus + "
                  "10 mV guard):\n\n";
     text_table table({"voltage class mV", "chips", "share"});
     const double total = 3.0 * per_corner;
-    for (const auto& [voltage, count] : bins) {
+    for (const auto& [voltage, count] : service.bins()) {
         table.add_row({std::to_string(voltage), std::to_string(count),
                        format_percent(count / total, 0)});
     }
     table.render(std::cout);
 
+    const double fleet_nominal_w = service.power_nominal_w();
+    const double fleet_binned_w = service.power_binned_w();
     std::cout << "\nfleet PMD power: "
               << format_number(fleet_nominal_w, 0) << " W at nominal vs "
               << format_number(fleet_binned_w, 0)

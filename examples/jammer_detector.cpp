@@ -7,7 +7,8 @@
 // overhead.
 //
 //   $ ./jammer_detector [windows] [events] [epochs] [--trace <path>]
-//                       [--metrics <path>]
+//                       [--metrics <path>] [--status <path>]
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "core/savings.hpp"
 #include "core/supervisor.hpp"
 #include "harness/framework.hpp"
+#include "harness/status.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -29,6 +31,8 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--trace");
     const std::optional<std::string> metrics_path =
         take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> status_path =
+        take_flag_value(argc, argv, "--status");
     const int windows =
         static_cast<int>(int_arg(argc, argv, 1, 600, "windows", 1, 1000000));
     const int events =
@@ -115,7 +119,24 @@ int main(int argc, char** argv) {
     rng run_rng(8);
     int disruptions = 0;
     double supervised_w = 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
+    campaign_status heartbeat;
+    heartbeat.campaign = "jammer_detector";
+    heartbeat.tasks_total = static_cast<std::uint64_t>(epochs);
+    heartbeat.workers = 1;
     for (int i = 0; i < epochs; ++i) {
+        if (status_path) {
+            heartbeat.running = true;
+            heartbeat.tasks_done = static_cast<std::uint64_t>(i);
+            heartbeat.worker_task = {static_cast<std::int64_t>(i)};
+            heartbeat.replayed = supervisor.telemetry().replayed;
+            heartbeat.aborted_rig = supervisor.telemetry().aborted;
+            heartbeat.wall_elapsed_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            publish_status(*status_path, heartbeat);
+        }
         epoch_request request;
         request.pmd = 0;
         request.workload_class = "jammer";
@@ -157,6 +178,17 @@ int main(int argc, char** argv) {
     server.apply(safe);
 
     const health_telemetry& health = supervisor.telemetry();
+    if (status_path) {
+        // Final snapshot: a pure function of the supervised run's content
+        // (deterministic at any GB_JOBS), no `live` object.
+        campaign_status final_status;
+        final_status.campaign = "jammer_detector";
+        final_status.tasks_total = static_cast<std::uint64_t>(epochs);
+        final_status.tasks_done = health.epochs;
+        final_status.replayed = health.replayed;
+        final_status.aborted_rig = health.aborted;
+        publish_status(*status_path, final_status);
+    }
     const double overhead_w_epochs = health.sentinel_overhead_w_epochs +
                                      health.degradation_overhead_w_epochs;
     const supervised_savings net = net_of_resilience(

@@ -27,6 +27,7 @@
 #include "core/savings.hpp"
 #include "core/supervisor.hpp"
 #include "dram/power.hpp"
+#include "fleet/service.hpp"
 #include "harness/trace/trace.hpp"
 #include "thermal/testbed.hpp"
 #include "util/cli.hpp"
@@ -68,11 +69,21 @@ int main(int argc, char** argv) {
     }
     predictor.train();
     voltage_governor governor(predictor);
-    operating_point_supervisor supervisor(supervisor_config{}, &governor);
     tracer trace;
     metrics_registry metrics;
-    supervisor.set_trace(trace_path ? &trace : nullptr,
-                         metrics_path ? &metrics : nullptr);
+
+    // This server is a one-node fleet; the fleet service owns its
+    // per-cohort operating-point supervisor and runs the epochs.
+    fleet::fleet_spec node_spec;
+    node_spec.explicit_nodes.push_back(fleet::fleet_node{});
+    fleet::fleet_service_config service_config;
+    service_config.campaign = "uniserver_autopilot";
+    service_config.trace = trace_path ? &trace : nullptr;
+    service_config.metrics = metrics_path ? &metrics : nullptr;
+    fleet::fleet_service service(node_spec, service_config);
+    const fleet::cohort_key cohort = node_spec.explicit_nodes.front().cohort;
+    operating_point_supervisor& supervisor =
+        service.supervisor_for(cohort, supervisor_config{}, &governor);
     std::cout << "commissioned: predictor R^2 "
               << format_number(predictor.r_squared(), 2) << "\n\n";
 
@@ -183,7 +194,7 @@ int main(int argc, char** argv) {
         };
 
         const supervised_epoch epoch =
-            run_supervised_epoch(supervisor, request, execute);
+            service.run_epoch(cohort, request, execute);
         chosen_voltage.add(epoch.plan.voltage.value);
         governor.observe(epoch.result.outcome, analysis.vmin);
         disruptions += is_disruption(epoch.result.outcome) ? 1 : 0;

@@ -6,6 +6,9 @@
 //     --trace <path>    deterministic Chrome trace (GA + per-chip margin
 //                       tasks under one campaign span)
 //     --metrics <path>  evolution counters/gauges as flat JSON
+//     --status <path>   live heartbeat (GA, then one tick per chip margin);
+//                       the final snapshot is deterministic
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -15,6 +18,7 @@
 #include "chip/chip_model.hpp"
 #include "em/em_probe.hpp"
 #include "ga/virus_search.hpp"
+#include "harness/status.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
@@ -27,8 +31,32 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--trace");
     const std::optional<std::string> metrics_path =
         take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> status_path =
+        take_flag_value(argc, argv, "--status");
     const auto generations = static_cast<std::size_t>(
         int_arg(argc, argv, 1, 150, "generations", 1, 100000));
+
+    // Heartbeat: the GA plus the three chip-margin analyses are the lab's
+    // four tasks.
+    const auto wall_start = std::chrono::steady_clock::now();
+    campaign_status heartbeat;
+    heartbeat.campaign = "virus_lab";
+    heartbeat.tasks_total = 4;
+    heartbeat.workers = 1;
+    const auto beat = [&](std::uint64_t done) {
+        if (!status_path) {
+            return;
+        }
+        heartbeat.running = true;
+        heartbeat.tasks_done = done;
+        heartbeat.worker_task = {static_cast<std::int64_t>(done)};
+        heartbeat.wall_elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                .count();
+        publish_status(*status_path, heartbeat);
+    };
+    beat(0);
 
     const pipeline_model pipeline(nominal_core_frequency);
     const pdn_parameters pdn = make_xgene2_pdn();
@@ -98,6 +126,7 @@ int main(int argc, char** argv) {
     std::uint64_t task_index = 1;
     for (const chip_config& cfg :
          {make_ttt_chip(), make_tff_chip(), make_tss_chip()}) {
+        beat(task_index);
         const chip_model chip(cfg, make_xgene2_pdn());
         const vmin_analysis analysis = chip.analyze(all, launch);
         table.add_row({cfg.name, format_number(analysis.vmin.value, 0),
@@ -130,6 +159,15 @@ int main(int argc, char** argv) {
         span.args.emplace_back("first_index", "0");
         span.args.emplace_back("faults", "0");
         trace.record(0, std::move(span));
+    }
+    if (status_path) {
+        // Final snapshot: pure function of the lab's content, no `live`
+        // object.
+        campaign_status final_status;
+        final_status.campaign = "virus_lab";
+        final_status.tasks_total = 4;
+        final_status.tasks_done = task_index;
+        publish_status(*status_path, final_status);
     }
     if (trace_path) {
         std::ofstream out(*trace_path);

@@ -1,0 +1,100 @@
+// Fleet topology for datacenter-scale characterization campaigns.
+//
+// The paper characterizes three X-Gene2 chips; the UniServer deployment it
+// argues for only pays off across a whole fleet, where per-chip guardband
+// variation (and the probing cost of revealing it) is the dominant
+// concern.  This module models that population: a `fleet_spec` describes
+// 10^5..10^6 nodes, each node is derived O(1) from (spec seed, node id) --
+// no state, no draws crossing node boundaries, so any slice of the fleet
+// is reproducible in isolation -- and nodes group into *cohorts* keyed by
+//
+//     (chip process corner, workload class, operating point [, variant])
+//
+// Cohort members share a characterization probe: one probe executes per
+// cohort and its result fans out to every member, with a bounded
+// deterministic per-node jitter standing in for within-cohort chip spread.
+// The `variant` field opts a node *out* of sharing (unique-chip fleets
+// such as the fleet_binning example give every node its own variant).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "chip/corners.hpp"
+
+namespace gb::fleet {
+
+/// Probe-sharing key.  Nodes with equal keys are electrically and
+/// behaviourally interchangeable for characterization purposes: same
+/// canonical corner part, same workload class, same operating point.
+struct cohort_key {
+    process_corner corner = process_corner::ttt;
+    std::uint16_t workload_class = 0;
+    std::uint16_t operating_point = 0;
+    /// Per-node chip variant for unique-chip fleets; 0 means the cohort
+    /// shares the canonical corner part.  Distinct variants never share a
+    /// probe (each is its own silicon).
+    std::uint32_t variant = 0;
+
+    friend auto operator<=>(const cohort_key&,
+                            const cohort_key&) = default;
+};
+
+struct fleet_node {
+    std::uint64_t id = 0;
+    cohort_key cohort;
+    /// Per-node jitter stream root, derived from (spec seed, id).
+    std::uint64_t seed = 0;
+};
+
+/// Declarative description of a simulated fleet.  Node -> cohort
+/// assignment is a pure function of (seed, id); two specs with equal
+/// fields describe bitwise-equal fleets.
+struct fleet_spec {
+    std::uint64_t nodes = 0;
+    std::uint64_t seed = 2018;
+    /// Cohort axes: workload classes x operating points per corner.
+    int workload_classes = 3;
+    int operating_points = 4;
+    /// Deterministic within-cohort requirement spread per node, in mV
+    /// (uniform in [0, node_jitter_mv)); 0 pins every member to the
+    /// cohort probe's exact requirement.
+    double node_jitter_mv = 12.0;
+    /// Voltage-class binning of revealed requirements (the deployment
+    /// granularity): ceil to `bin_step_mv`, capped at `bin_cap_mv`.
+    double bin_step_mv = 10.0;
+    double bin_cap_mv = 980.0;
+    /// Explicit node list (unique-chip fleets).  When non-empty it
+    /// overrides generation: `nodes`/axes are ignored.
+    std::vector<fleet_node> explicit_nodes;
+
+    [[nodiscard]] std::uint64_t node_count() const {
+        return explicit_nodes.empty()
+                   ? nodes
+                   : static_cast<std::uint64_t>(explicit_nodes.size());
+    }
+};
+
+/// Node `id` of a generated fleet (O(1), stateless).  For specs with
+/// explicit nodes use the list instead.
+[[nodiscard]] fleet_node make_node(const fleet_spec& spec,
+                                   std::uint64_t id);
+
+/// The node's deterministic requirement jitter in [0, spec.node_jitter_mv).
+[[nodiscard]] double node_jitter_mv(const fleet_spec& spec,
+                                    const fleet_node& node);
+
+/// Voltage class of a revealed requirement under the spec's binning.
+[[nodiscard]] double bin_voltage_mv(const fleet_spec& spec,
+                                    double requirement_mv);
+
+/// Content address of one probe: FNV-1a over the cohort key fields and
+/// the campaign sweep offset -- the fleet-scale analogue of the profile
+/// cache's (kernel name, frequency) key in harness/framework.hpp.  Equal
+/// content ids mean "the same physical experiment"; the probe cache fans
+/// one execution out to every requester.
+[[nodiscard]] std::uint64_t probe_content(const cohort_key& key,
+                                          std::int64_t sweep_mv);
+
+} // namespace gb::fleet

@@ -1,0 +1,24 @@
+#include "fleet/probe_cache.hpp"
+
+namespace gb::fleet {
+
+const probe_result* probe_cache::lookup(std::uint64_t content) {
+    const auto it = entries_.find(content);
+    if (it == entries_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+}
+
+const probe_result* probe_cache::peek(std::uint64_t content) const {
+    const auto it = entries_.find(content);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void probe_cache::insert(std::uint64_t content, const probe_result& result) {
+    entries_[content] = result;
+}
+
+} // namespace gb::fleet

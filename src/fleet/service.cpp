@@ -1,0 +1,494 @@
+#include "fleet/service.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "harness/schedule.hpp"
+#include "harness/status.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace gb::fleet {
+
+namespace {
+
+/// Virtual cost of one probe for the shard planner; matches the engine's
+/// task quantum so `gbreport utilization` on a fleet trace reproduces the
+/// plan.
+constexpr std::uint64_t probe_cost_ticks = 100;
+
+std::string format_double(double value) {
+    char buffer[64];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    GB_ENSURES(ec == std::errc{});
+    return {buffer, end};
+}
+
+std::string format_hex(std::uint64_t value) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+bool corner_from_string(std::string_view text, process_corner& corner) {
+    if (text == to_string(process_corner::ttt)) {
+        corner = process_corner::ttt;
+    } else if (text == to_string(process_corner::tff)) {
+        corner = process_corner::tff;
+    } else if (text == to_string(process_corner::tss)) {
+        corner = process_corner::tss;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// `key=value` field accessor over a tokenized payload; false when the
+/// field is missing.
+bool field_value(const std::vector<std::string_view>& tokens,
+                 std::string_view key, std::string_view& value) {
+    for (const std::string_view token : tokens) {
+        if (token.size() > key.size() && token[key.size()] == '=' &&
+            token.substr(0, key.size()) == key) {
+            value = token.substr(key.size() + 1);
+            return true;
+        }
+    }
+    return false;
+}
+
+template <typename Integer>
+bool parse_integer(std::string_view text, Integer& out, int base = 10) {
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out, base);
+    return ec == std::errc{} && end == text.data() + text.size();
+}
+
+bool parse_real(std::string_view text, double& out) {
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc{} && end == text.data() + text.size();
+}
+
+/// Atomic file publish via sibling-temp + rename, the status.cpp
+/// discipline, for arbitrary snapshot bytes.
+bool publish_bytes(const std::string& path, const std::string& bytes) {
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return false;
+        }
+        out << bytes;
+        if (!out.flush()) {
+            return false;
+        }
+    }
+    return std::rename(temp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace
+
+bool parse_probe_line(std::string_view payload, cohort_key& key,
+                      std::int64_t& sweep_mv, std::uint64_t& content,
+                      probe_result& result) {
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        const std::size_t space = payload.find(' ', pos);
+        const std::size_t end =
+            space == std::string_view::npos ? payload.size() : space;
+        if (end > pos) {
+            tokens.push_back(payload.substr(pos, end - pos));
+        }
+        pos = end + 1;
+    }
+    if (tokens.empty() || tokens.front() != "probe") {
+        return false;
+    }
+    std::string_view value;
+    return field_value(tokens, "corner", value) &&
+           corner_from_string(value, key.corner) &&
+           field_value(tokens, "class", value) &&
+           parse_integer(value, key.workload_class) &&
+           field_value(tokens, "op", value) &&
+           parse_integer(value, key.operating_point) &&
+           field_value(tokens, "variant", value) &&
+           parse_integer(value, key.variant) &&
+           field_value(tokens, "sweep", value) &&
+           parse_integer(value, sweep_mv) &&
+           field_value(tokens, "content", value) &&
+           parse_integer(value, content, 16) &&
+           field_value(tokens, "req", value) &&
+           parse_real(value, result.requirement_mv) &&
+           field_value(tokens, "pnom", value) &&
+           parse_real(value, result.power_nominal_w) &&
+           field_value(tokens, "ppt", value) &&
+           parse_real(value, result.power_point_w) &&
+           field_value(tokens, "bucket", value) &&
+           parse_integer(value, result.bucket);
+}
+
+fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
+                             probe_fn probe)
+    : spec_(std::move(spec)),
+      config_(std::move(config)),
+      probe_(std::move(probe)) {
+    // Cohort census: one pass over the fleet, sorted-key cohort order
+    // ever after.  O(nodes) once; campaigns reuse it.
+    std::map<cohort_key, std::uint64_t> members;
+    const std::uint64_t nodes = spec_.node_count();
+    for (std::uint64_t id = 0; id < nodes; ++id) {
+        ++members[make_node(spec_, id).cohort];
+    }
+    cohorts_.reserve(members.size());
+    for (const auto& [key, count] : members) {
+        cohort_of_.emplace(key, cohorts_.size());
+        cohort_state state;
+        state.key = key;
+        state.members = count;
+        cohorts_.push_back(state);
+    }
+    if (!config_.journal_path.empty()) {
+        warm_cache_from_journal();
+        journal_ = std::make_unique<campaign_journal>(config_.journal_path);
+    }
+    if (config_.metrics != nullptr) {
+        mh_.registered = true;
+        mh_.nodes = config_.metrics->counter("fleet.chips");
+        mh_.probes_executed =
+            config_.metrics->counter("fleet.probes_executed");
+        mh_.cache_hits = config_.metrics->counter("fleet.cache_hits");
+        // Voltage-class bounds spanning the top of the binning range
+        // ({880..980} under the default 10 mV step / 980 mV cap).
+        std::vector<std::uint64_t> bounds;
+        const auto cap = static_cast<std::int64_t>(spec_.bin_cap_mv);
+        const auto step = static_cast<std::int64_t>(spec_.bin_step_mv);
+        for (int i = 5; i >= 0; --i) {
+            bounds.push_back(static_cast<std::uint64_t>(cap - 2 * step * i));
+        }
+        mh_.bin_mv =
+            config_.metrics->histogram("fleet.bin_mv", std::move(bounds));
+        mh_.power_nominal_w =
+            config_.metrics->gauge("fleet.power_nominal_w");
+        mh_.power_binned_w = config_.metrics->gauge("fleet.power_binned_w");
+    }
+}
+
+std::size_t fleet_service::cohort_index(const cohort_key& key) const {
+    const auto it = cohort_of_.find(key);
+    GB_EXPECTS(it != cohort_of_.end());
+    return it->second;
+}
+
+void fleet_service::warm_cache_from_journal() {
+    std::ifstream in(config_.journal_path);
+    if (!in) {
+        return; // first boot: nothing to restore
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (in.eof()) { // no trailing newline: a record mid-append
+            break;
+        }
+        if (line.empty()) {
+            continue;
+        }
+        std::size_t task_index = 0;
+        std::string_view payload;
+        if (!parse_journal_prefix(line, task_index, payload)) {
+            continue;
+        }
+        journal_serial_ = std::max(journal_serial_, task_index + 1);
+        cohort_key key;
+        std::int64_t sweep_mv = 0;
+        std::uint64_t content = 0;
+        probe_result result;
+        if (parse_probe_line(payload, key, sweep_mv, content, result)) {
+            cache_.insert(content, result);
+            ++restored_;
+        }
+    }
+}
+
+void fleet_service::append_probe_line(const cohort_key& key,
+                                      std::int64_t sweep_mv,
+                                      std::uint64_t content,
+                                      const probe_result& result) {
+    if (!journal_) {
+        return;
+    }
+    std::string line = "probe corner=";
+    line += to_string(key.corner);
+    line += " class=" + std::to_string(key.workload_class);
+    line += " op=" + std::to_string(key.operating_point);
+    line += " variant=" + std::to_string(key.variant);
+    line += " sweep=" + std::to_string(sweep_mv);
+    line += " content=" + format_hex(content);
+    line += " req=" + format_double(result.requirement_mv);
+    line += " pnom=" + format_double(result.power_nominal_w);
+    line += " ppt=" + format_double(result.power_point_w);
+    line += " bucket=" + std::to_string(result.bucket);
+    journal_->append(journal_serial_++, line);
+}
+
+void fleet_service::publish_live(std::uint64_t pending) const {
+    if (config_.state_path.empty()) {
+        return;
+    }
+    campaign_status live;
+    live.campaign = config_.campaign;
+    live.running = true;
+    live.tasks_total = pending;
+    live.tasks_done = 0;
+    live.retries = lifetime_stats_.retries;
+    live.injected_faults = lifetime_stats_.injected_faults();
+    live.aborted_rig = lifetime_stats_.aborted_rig;
+    live.replayed = cache_.hits();
+    live.rig_downtime_ms = static_cast<std::uint64_t>(
+        std::llround(lifetime_stats_.rig_downtime_s * 1000.0));
+    live.workers = resolve_worker_count(config_.workers);
+    live.worker_task.assign(static_cast<std::size_t>(live.workers), -1);
+    live.wall_elapsed_s = 0.0;
+    publish_status(config_.state_path, live);
+}
+
+campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
+    ++epoch_;
+    campaign_outcome outcome;
+
+    // 1. Cache consultation, serial, in sorted cohort order -- the hit
+    // and miss counters are exact.
+    struct pending_probe {
+        std::size_t cohort = 0;
+        std::uint64_t content = 0;
+    };
+    std::vector<pending_probe> pending;
+    for (std::size_t c = 0; c < cohorts_.size(); ++c) {
+        cohort_state& cohort = cohorts_[c];
+        ++cohort.probes;
+        const std::uint64_t content = probe_content(cohort.key, sweep_mv);
+        if (const probe_result* cached = cache_.lookup(content)) {
+            cohort.last = *cached;
+            cohort.probed = true;
+            ++outcome.cache_hits;
+        } else {
+            pending.push_back({c, content});
+        }
+    }
+    outcome.probes = cohorts_.size();
+    probes_requested_ += cohorts_.size();
+
+    // 2. Shard plan + engine runs.  Sharding only batches the engine
+    // submissions; each probe's seed comes from its content id, so the
+    // results -- and everything downstream -- are invariant under the
+    // shard count.
+    std::vector<probe_result> results(pending.size());
+    if (!pending.empty()) {
+        GB_EXPECTS(static_cast<bool>(probe_));
+        publish_live(pending.size());
+        const int shards = std::max(1, config_.shards);
+        const schedule_result plan = list_schedule(
+            std::vector<std::uint64_t>(pending.size(), probe_cost_ticks),
+            shards);
+        std::vector<std::vector<std::size_t>> batches(
+            static_cast<std::size_t>(plan.workers));
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+            batches[static_cast<std::size_t>(plan.assignment[j].worker)]
+                .push_back(j);
+        }
+        execution_options engine_options;
+        engine_options.workers = config_.workers;
+        engine_options.base_seed = spec_.seed;
+        engine_options.campaign = config_.campaign;
+        engine_options.trace = config_.trace;
+        engine_options.metrics = config_.metrics;
+        // No engine status_path: per-shard engine totals depend on the
+        // shard count, and the service's own snapshot must not.
+        const execution_engine engine(engine_options);
+        for (const std::vector<std::size_t>& batch : batches) {
+            if (batch.empty()) {
+                continue;
+            }
+            const std::size_t first = trace_index_base_;
+            const execution_stats stats = engine.run(
+                batch.size(),
+                [&](const task_context& context) {
+                    const std::size_t j = batch[context.index - first];
+                    const pending_probe& entry = pending[j];
+                    const cohort_state& cohort = cohorts_[entry.cohort];
+                    probe_request request;
+                    request.cohort = cohort.key;
+                    request.sweep_mv = sweep_mv;
+                    request.content = entry.content;
+                    request.seed =
+                        derive_task_seed(spec_.seed, entry.content);
+                    request.members = cohort.members;
+                    results[j] = probe_(request);
+                    return results[j].bucket;
+                },
+                first);
+            trace_index_base_ += batch.size();
+            outcome.stats.merge(stats);
+        }
+    }
+
+    // 3. Commit serially in sorted cohort order: cache inserts and the
+    // deterministic probe journal.
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+        const pending_probe& entry = pending[j];
+        cache_.insert(entry.content, results[j]);
+        cohort_state& cohort = cohorts_[entry.cohort];
+        cohort.last = results[j];
+        cohort.probed = true;
+        append_probe_line(cohort.key, sweep_mv, entry.content, results[j]);
+    }
+    outcome.executed = pending.size();
+    probes_executed_ += pending.size();
+    lifetime_stats_.merge(outcome.stats);
+
+    // 4. Fan cohort results out to the whole fleet in node-id order (a
+    // fixed floating-point accumulation order, like every other sum).
+    bins_.clear();
+    double nominal_w = 0.0;
+    double binned_w = 0.0;
+    const std::uint64_t nodes = spec_.node_count();
+    for (std::uint64_t id = 0; id < nodes; ++id) {
+        const fleet_node node = make_node(spec_, id);
+        const cohort_state& cohort = cohorts_[cohort_of_.at(node.cohort)];
+        GB_EXPECTS(cohort.probed);
+        const double requirement =
+            cohort.last.requirement_mv + node_jitter_mv(spec_, node);
+        const double bin = bin_voltage_mv(spec_, requirement);
+        ++bins_[std::llround(bin)];
+        nominal_w += cohort.last.power_nominal_w;
+        binned_w += cohort.last.power_point_w;
+        if (mh_.registered) {
+            config_.metrics->observe(
+                0, mh_.bin_mv,
+                static_cast<std::uint64_t>(std::llround(bin)));
+        }
+    }
+    power_nominal_w_ = nominal_w;
+    power_binned_w_ = binned_w;
+
+    if (mh_.registered) {
+        config_.metrics->add(0, mh_.nodes, nodes);
+        config_.metrics->add(0, mh_.probes_executed, outcome.executed);
+        config_.metrics->add(0, mh_.cache_hits, outcome.cache_hits);
+        config_.metrics->set(0, mh_.power_nominal_w, epoch_,
+                             power_nominal_w_);
+        config_.metrics->set(0, mh_.power_binned_w, epoch_,
+                             power_binned_w_);
+    }
+    publish_state();
+    return outcome;
+}
+
+std::string fleet_service::state_snapshot() const {
+    // The snapshot *is* a final `--status` document -- load_status
+    // ignores the extra "fleet" key -- so existing tooling (`gbreport
+    // status`) reads fleet state with no changes.
+    campaign_status status;
+    status.campaign = config_.campaign;
+    status.running = false;
+    status.tasks_total = probes_requested_;
+    status.tasks_done = probes_requested_;
+    status.retries = lifetime_stats_.retries;
+    status.injected_faults = lifetime_stats_.injected_faults();
+    status.aborted_rig = lifetime_stats_.aborted_rig;
+    status.replayed = cache_.hits();
+    status.rig_downtime_ms = static_cast<std::uint64_t>(
+        std::llround(lifetime_stats_.rig_downtime_s * 1000.0));
+    std::string line = write_status_json(status);
+    const std::size_t close = line.find_last_of('}');
+    GB_ENSURES(close != std::string::npos);
+    line.erase(close);
+
+    std::ostringstream fleet;
+    fleet << ",\"fleet\":{\"epoch\":" << epoch_
+          << ",\"nodes\":" << spec_.node_count()
+          << ",\"cohorts\":" << cohorts_.size()
+          << ",\"probes_executed\":" << probes_executed_
+          << ",\"cache_hits\":" << cache_.hits()
+          << ",\"cache_entries\":" << cache_.size()
+          << ",\"restored\":" << restored_
+          << ",\"power_nominal_w\":" << format_double(power_nominal_w_)
+          << ",\"power_binned_w\":" << format_double(power_binned_w_)
+          << ",\"supervised_cohorts\":" << supervised_.size()
+          << ",\"supervised_epochs\":" << supervised_epochs_;
+    fleet << ",\"bins\":[";
+    bool first = true;
+    for (const auto& [voltage, count] : bins_) {
+        fleet << (first ? "" : ",") << '[' << voltage << ',' << count
+              << ']';
+        first = false;
+    }
+    fleet << ']';
+    // Cohort detail is capped so variant-unique mega-fleets keep the
+    // endpoint small; `cohorts` above always carries the true count.
+    constexpr std::size_t max_detail = 64;
+    fleet << ",\"cohorts_top\":[";
+    const std::size_t detail = std::min(cohorts_.size(), max_detail);
+    for (std::size_t c = 0; c < detail; ++c) {
+        const cohort_state& cohort = cohorts_[c];
+        fleet << (c == 0 ? "" : ",") << "{\"corner\":\""
+              << to_string(cohort.key.corner) << "\",\"class\":"
+              << cohort.key.workload_class
+              << ",\"op\":" << cohort.key.operating_point
+              << ",\"variant\":" << cohort.key.variant
+              << ",\"members\":" << cohort.members
+              << ",\"probes\":" << cohort.probes << ",\"req_mv\":"
+              << format_double(cohort.probed ? cohort.last.requirement_mv
+                                             : 0.0)
+              << ",\"bucket\":" << (cohort.probed ? cohort.last.bucket : -1)
+              << '}';
+    }
+    fleet << "]}";
+    line += fleet.str();
+    line += "}\n";
+    return line;
+}
+
+bool fleet_service::publish_state() const {
+    if (config_.state_path.empty()) {
+        return false;
+    }
+    return publish_bytes(config_.state_path, state_snapshot());
+}
+
+operating_point_supervisor& fleet_service::supervisor_for(
+    const cohort_key& key, const supervisor_config& config,
+    voltage_governor* governor) {
+    auto it = supervised_.find(key);
+    if (it == supervised_.end()) {
+        supervised_cohort cohort;
+        cohort.supervisor =
+            std::make_unique<operating_point_supervisor>(config, governor);
+        cohort.supervisor->set_trace(config_.trace, config_.metrics);
+        it = supervised_.emplace(key, std::move(cohort)).first;
+    }
+    return *it->second.supervisor;
+}
+
+supervised_epoch fleet_service::run_epoch(
+    const cohort_key& key, const epoch_request& request,
+    const std::function<epoch_result(const epoch_plan&)>& execute) {
+    const auto it = supervised_.find(key);
+    GB_EXPECTS(it != supervised_.end());
+    supervised_epoch epoch =
+        run_supervised_epoch(*it->second.supervisor, request, execute);
+    ++it->second.epochs;
+    ++supervised_epochs_;
+    return epoch;
+}
+
+} // namespace gb::fleet

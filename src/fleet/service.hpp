@@ -1,0 +1,228 @@
+// Fleet characterization service: the long-lived campaign loop that
+// turns the one-shot runners into a queryable daemon.
+//
+// One `fleet_service` owns a fleet (fleet.hpp), a content-addressed
+// probe cache (probe_cache.hpp) and the observability sinks, and runs
+// characterization campaigns through the deterministic execution engine:
+//
+//   1. enumerate the fleet's cohorts in sorted key order and consult the
+//      cache -- identical probes execute once per service lifetime;
+//   2. plan the remaining probes onto `shards` batches with the shared
+//      list scheduler (harness/schedule.hpp -- the same scheduler
+//      `gbreport utilization` simulates), then run each batch through
+//      the execution engine with trace/metrics threaded through;
+//   3. append one journal line per executed probe *serially, in sorted
+//      cohort order* after the engine drains -- unlike the task journal's
+//      completion-order lines, the fleet journal is bitwise identical at
+//      any GB_JOBS and any shard count, and doubles round-trip exactly,
+//      so a restarted daemon warms its cache from the journal and
+//      re-executes nothing;
+//   4. fan the cohort results out to every node (deterministic per-node
+//      jitter, voltage-class binning, power accounting in node-id order)
+//      and publish the fleet state snapshot.
+//
+// The query API is a polled file endpoint: `state_snapshot()` renders
+// deterministic bytes -- the `--status` heartbeat schema (status.hpp)
+// extended with a `"fleet"` object, so `gbreport status` keeps working on
+// fleet snapshots unchanged -- and `publish_state()` writes them with the
+// same atomic temp+rename discipline.  Probe seeds derive from probe
+// *content*, never from engine task indices, which is what makes the
+// snapshot and journal invariant under re-sharding.
+//
+// The service also fronts the core exploitation stack: `supervisor_for`
+// keeps one operating-point supervisor per cohort and `run_epoch` drives
+// it, so clients (uniserver_autopilot) run supervised epochs against the
+// service instead of wiring supervisors by hand.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/supervisor.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/probe_cache.hpp"
+#include "harness/execution_engine.hpp"
+#include "harness/journal.hpp"
+
+namespace gb {
+class tracer;
+class metrics_registry;
+} // namespace gb
+
+namespace gb::fleet {
+
+/// One characterization probe request.  Everything a probe may depend on
+/// is in here, and `seed` derives from `content` alone -- not from the
+/// engine task index -- so a probe's result is invariant under
+/// re-sharding and re-ordering.
+struct probe_request {
+    cohort_key cohort;
+    std::int64_t sweep_mv = 0;  ///< campaign-wide supply offset probed
+    std::uint64_t content = 0;  ///< cache key (fleet.hpp probe_content)
+    std::uint64_t seed = 0;     ///< derive_task_seed(spec seed, content)
+    std::uint64_t members = 0;  ///< cohort population (observability only)
+};
+
+/// Executes one probe.  Called concurrently from engine workers: must be
+/// a pure function of the request (plus read-only shared state).
+using probe_fn = std::function<probe_result(const probe_request&)>;
+
+struct fleet_service_config {
+    /// Campaign name for status snapshots and trace spans.
+    std::string campaign = "fleet";
+    /// Cohort batches per campaign (>= 1).  Sharding is a batching and
+    /// observability choice; results are bitwise identical at any value.
+    int shards = 1;
+    /// Engine workers per shard run (<= 0: GB_JOBS, see execution_engine).
+    int workers = 0;
+    /// Probe-result journal (empty: disabled).  Appended serially in
+    /// sorted cohort order; an existing file warms the cache on
+    /// construction (daemon restart).
+    std::string journal_path;
+    /// Fleet state snapshot endpoint (empty: publish_state disabled).
+    std::string state_path;
+    /// Deterministic observability sinks (either may be null).
+    tracer* trace = nullptr;
+    metrics_registry* metrics = nullptr;
+};
+
+/// Aggregated view of one cohort the state snapshot exposes.
+struct cohort_state {
+    cohort_key key;
+    std::uint64_t members = 0; ///< nodes in this cohort
+    std::uint64_t probes = 0;  ///< campaigns that requested it (hits + runs)
+    bool probed = false;       ///< `last` holds a real result
+    probe_result last;
+};
+
+/// What one `run_campaign` call did.
+struct campaign_outcome {
+    std::uint64_t probes = 0;     ///< cohort probes requested (= cohorts)
+    std::uint64_t cache_hits = 0; ///< served from the cache
+    std::uint64_t executed = 0;   ///< ran through the engine
+    execution_stats stats;        ///< merged over the shard runs
+};
+
+class fleet_service {
+public:
+    /// Warms the cache from `config.journal_path` if the file exists.
+    /// `probe` runs cache-missing cohorts; it may be empty for a pure
+    /// query/replay service, but `run_campaign` then requires every
+    /// cohort to hit the cache.
+    fleet_service(fleet_spec spec, fleet_service_config config,
+                  probe_fn probe = {});
+
+    /// One characterization campaign over the whole fleet at a supply
+    /// offset of `sweep_mv` from each cohort's operating point.
+    campaign_outcome run_campaign(std::int64_t sweep_mv = 0);
+
+    // --- query API ------------------------------------------------------
+    /// Deterministic fleet-state bytes: a final `--status` snapshot
+    /// (status.hpp schema, parseable by `gbreport status`) extended with
+    /// a "fleet" object.  Bitwise identical at any GB_JOBS/shard count.
+    [[nodiscard]] std::string state_snapshot() const;
+    /// Atomically publish `state_snapshot()` to the configured state
+    /// path (temp + rename; false on I/O error or when unconfigured).
+    bool publish_state() const;
+
+    [[nodiscard]] const fleet_spec& spec() const { return spec_; }
+    [[nodiscard]] const probe_cache& cache() const { return cache_; }
+    [[nodiscard]] const std::vector<cohort_state>& cohorts() const {
+        return cohorts_;
+    }
+    /// Nodes per binned voltage class (mV), rebuilt each campaign.
+    [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const {
+        return bins_;
+    }
+    [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+    [[nodiscard]] std::uint64_t node_count() const {
+        return spec_.node_count();
+    }
+    /// Cache entries restored from the journal at construction.
+    [[nodiscard]] std::uint64_t restored() const { return restored_; }
+    [[nodiscard]] double power_nominal_w() const { return power_nominal_w_; }
+    [[nodiscard]] double power_binned_w() const { return power_binned_w_; }
+
+    // --- per-cohort supervision ----------------------------------------
+    /// The cohort's operating-point supervisor, created on first use
+    /// with `config`/`governor` (later calls return the existing one;
+    /// the reference stays valid for the service's lifetime).
+    operating_point_supervisor& supervisor_for(
+        const cohort_key& key, const supervisor_config& config = {},
+        voltage_governor* governor = nullptr);
+    /// One supervised epoch against the cohort's supervisor
+    /// (run_supervised_epoch); the supervisor must already exist.
+    supervised_epoch run_epoch(
+        const cohort_key& key, const epoch_request& request,
+        const std::function<epoch_result(const epoch_plan&)>& execute);
+    [[nodiscard]] std::uint64_t supervised_cohorts() const {
+        return supervised_.size();
+    }
+    [[nodiscard]] std::uint64_t supervised_epochs() const {
+        return supervised_epochs_;
+    }
+
+private:
+    struct supervised_cohort {
+        std::unique_ptr<operating_point_supervisor> supervisor;
+        std::uint64_t epochs = 0;
+    };
+
+    [[nodiscard]] std::size_t cohort_index(const cohort_key& key) const;
+    void warm_cache_from_journal();
+    void append_probe_line(const cohort_key& key, std::int64_t sweep_mv,
+                           std::uint64_t content,
+                           const probe_result& result);
+    /// Live (`running: true`) snapshot while a campaign's probes are in
+    /// flight; scheduling-dependent by nature, like engine heartbeats.
+    void publish_live(std::uint64_t pending) const;
+
+    fleet_spec spec_;
+    fleet_service_config config_;
+    probe_fn probe_;
+    probe_cache cache_;
+    std::uint64_t restored_ = 0;
+
+    /// Sorted by key; parallel index map for node fan-out.
+    std::vector<cohort_state> cohorts_;
+    std::map<cohort_key, std::size_t> cohort_of_;
+
+    std::unique_ptr<campaign_journal> journal_;
+    std::uint64_t journal_serial_ = 0; ///< next journal task index
+
+    std::uint64_t epoch_ = 0;
+    std::uint64_t probes_requested_ = 0; ///< lifetime cohort probes
+    std::uint64_t probes_executed_ = 0;  ///< lifetime engine-run probes
+    std::size_t trace_index_base_ = 0;   ///< unique task indices across runs
+    execution_stats lifetime_stats_;
+    std::map<std::int64_t, std::uint64_t> bins_;
+    double power_nominal_w_ = 0.0;
+    double power_binned_w_ = 0.0;
+
+    std::map<cohort_key, supervised_cohort> supervised_;
+    std::uint64_t supervised_epochs_ = 0;
+
+    struct {
+        bool registered = false;
+        counter_handle nodes;
+        counter_handle probes_executed;
+        counter_handle cache_hits;
+        histogram_handle bin_mv;
+        gauge_handle power_nominal_w;
+        gauge_handle power_binned_w;
+    } mh_;
+};
+
+/// Parse one fleet journal payload (the part after the `task=N ` prefix)
+/// back into its probe identity and result.  Exposed for tests and
+/// external tailers; tolerant -- returns false on anything malformed.
+[[nodiscard]] bool parse_probe_line(std::string_view payload,
+                                    cohort_key& key, std::int64_t& sweep_mv,
+                                    std::uint64_t& content,
+                                    probe_result& result);
+
+} // namespace gb::fleet

@@ -82,6 +82,14 @@ cpu_journal_replay replay_cpu_journal(std::istream& in) {
     cpu_journal_replay replay;
     std::string line;
     while (std::getline(in, line)) {
+        if (in.eof()) {
+            // The line had no trailing newline: a live writer may still be
+            // mid-append, so the bytes are a partial record, not
+            // corruption.  Never parse them (a prefix of a record can
+            // itself look like a record).
+            replay.truncated_tail = !line.empty();
+            break;
+        }
         if (line.empty()) {
             continue;
         }
@@ -102,6 +110,10 @@ dram_journal_replay replay_dram_journal(std::istream& in) {
     dram_journal_replay replay;
     std::string line;
     while (std::getline(in, line)) {
+        if (in.eof()) {
+            replay.truncated_tail = !line.empty();
+            break;
+        }
         if (line.empty()) {
             continue;
         }

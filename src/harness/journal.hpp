@@ -64,15 +64,24 @@ private:
 /// Replay of a (possibly truncated, possibly corrupted) journal: the
 /// records recovered per task index, last write winning.  `skipped` counts
 /// lines that were not recoverable records.
+///
+/// Live-tailed files: the writer appends whole lines ending in '\n', so a
+/// final line without a trailing newline is a record still being written
+/// (the fleet daemon ingests journals mid-append).  Such a tail is never
+/// parsed -- even if its bytes happen to form a valid record, more bytes
+/// may follow -- and is reported via `truncated_tail` instead of being
+/// counted as skipped corruption.
 struct cpu_journal_replay {
     std::map<std::size_t, run_record> completed;
     std::size_t skipped = 0;
+    bool truncated_tail = false;
 };
 [[nodiscard]] cpu_journal_replay replay_cpu_journal(std::istream& in);
 
 struct dram_journal_replay {
     std::map<std::size_t, dram_run_record> completed;
     std::size_t skipped = 0;
+    bool truncated_tail = false;
 };
 [[nodiscard]] dram_journal_replay replay_dram_journal(std::istream& in);
 

@@ -183,7 +183,11 @@ struct dram_group {
 
 void render_summary(std::ostream& out, const journal_artifact& journal) {
     out << "journal: " << journal.lines << " line(s), " << journal.records()
-        << " record(s), " << journal.skipped << " skipped\n";
+        << " record(s), " << journal.skipped << " skipped";
+    if (journal.truncated_tail) {
+        out << ", truncated tail (live)";
+    }
+    out << "\n";
     if (!journal.cpu.completed.empty()) {
         std::map<std::tuple<std::string, std::string, double>, cpu_group>
             groups;
@@ -401,33 +405,22 @@ double utilization_report::imbalance() const {
 
 utilization_report simulate_utilization(const trace_model& model,
                                         int workers) {
-    utilization_report report;
-    report.workers = std::max(1, workers);
-    report.loads.assign(static_cast<std::size_t>(report.workers), {});
-    // Campaigns run back to back (engine runs are sequential); within a
-    // campaign, tasks go to the earliest-finishing worker in index order,
-    // ties to the lowest worker id.  Virtual time only -- deterministic.
-    std::uint64_t epoch = 0;
+    // Campaigns run back to back (engine runs are sequential): a barrier
+    // separates them.  The placement policy itself is the shared list
+    // scheduler (harness/schedule.hpp).  Virtual time only --
+    // deterministic.
+    list_scheduler scheduler(workers);
     for (const campaign_node& campaign : model.campaigns) {
-        std::vector<std::uint64_t> finish(
-            static_cast<std::size_t>(report.workers), epoch);
         for (const task_node& task : campaign.tasks) {
-            std::size_t pick = 0;
-            for (std::size_t w = 1; w < finish.size(); ++w) {
-                if (finish[w] < finish[pick]) {
-                    pick = w;
-                }
-            }
-            finish[pick] += task.ticks;
-            report.loads[pick].busy_ticks += task.ticks;
-            ++report.loads[pick].tasks;
-            report.serial_ticks += task.ticks;
+            scheduler.assign(task.ticks);
         }
-        for (const std::uint64_t f : finish) {
-            epoch = std::max(epoch, f);
-        }
+        scheduler.barrier();
     }
-    report.makespan = epoch;
+    utilization_report report;
+    report.workers = scheduler.workers();
+    report.serial_ticks = scheduler.serial_ticks();
+    report.makespan = scheduler.makespan();
+    report.loads = scheduler.loads();
     return report;
 }
 

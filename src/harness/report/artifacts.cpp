@@ -345,6 +345,14 @@ std::optional<journal_artifact> load_journal_file(const std::string& path,
     journal_artifact artifact;
     std::string line;
     while (std::getline(in, line)) {
+        if (in.eof()) {
+            // No trailing newline: the journal is live and this line is
+            // still being appended.  Surface a clean truncated-tail
+            // indicator instead of mis-reporting the partial bytes as a
+            // skipped (corrupt) record.
+            artifact.truncated_tail = !line.empty();
+            break;
+        }
         if (line.empty()) {
             continue;
         }
@@ -370,11 +378,15 @@ std::optional<journal_artifact> load_journal_file(const std::string& path,
     artifact.cpu.skipped = artifact.skipped;
     artifact.dram.skipped = artifact.skipped;
     if (artifact.records() == 0) {
-        error = tagged(path,
-                       artifact.lines == 0
-                           ? "journal is empty"
-                           : "no recoverable record in " +
-                                 std::to_string(artifact.lines) + " lines");
+        error = tagged(
+            path,
+            artifact.truncated_tail
+                ? "journal holds only a truncated tail (still being "
+                  "written?)"
+            : artifact.lines == 0
+                ? "journal is empty"
+                : "no recoverable record in " +
+                      std::to_string(artifact.lines) + " lines");
         return std::nullopt;
     }
     return artifact;

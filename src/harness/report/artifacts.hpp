@@ -79,6 +79,11 @@ struct journal_artifact {
     dram_journal_replay dram;
     std::size_t lines = 0;   ///< non-empty lines seen
     std::size_t skipped = 0; ///< lines that were not recoverable records
+    /// The file ended mid-line (no trailing newline): it is being tailed
+    /// while the writer appends.  The partial tail is not a parse error
+    /// and is excluded from `lines`/`skipped`/records -- re-read later for
+    /// the completed record.
+    bool truncated_tail = false;
 
     [[nodiscard]] std::size_t records() const {
         return cpu.completed.size() + dram.completed.size();

@@ -279,6 +279,53 @@ TEST(journal_test, dram_resume_is_bitwise_identical_at_any_kill_point) {
     }
 }
 
+TEST(journal_test, partial_tail_is_reported_not_parsed) {
+    // Live tailing: the fleet daemon reads journals mid-append, so a final
+    // line without a trailing newline is a record still being written.  It
+    // must never be parsed -- even when its bytes already form a valid
+    // record, more bytes may follow -- and it is not skipped corruption.
+    const std::string complete =
+        "task=0 run=milc v=900 f=2400 cores=6 rep=0 outcome=OK margin=12 "
+        "path=logic wdt=0\n"
+        "task=1 run=milc v=890 f=2400 cores=6 rep=0 outcome=CRASH "
+        "margin=-2 path=logic wdt=1\n";
+    const std::string in_flight =
+        "task=2 run=milc v=880 f=2400 cores=6 rep=0 outcome=OK margin=2 "
+        "path=logic wdt=0";
+
+    {
+        std::istringstream in(complete + in_flight);
+        const cpu_journal_replay replay = replay_cpu_journal(in);
+        EXPECT_EQ(replay.completed.size(), 2u);
+        EXPECT_EQ(replay.skipped, 0u);
+        EXPECT_TRUE(replay.truncated_tail);
+        EXPECT_FALSE(replay.completed.contains(2));
+    }
+    {
+        // The writer finishes the line: re-reading recovers the record and
+        // the tail indicator clears.
+        std::istringstream in(complete + in_flight + "\n");
+        const cpu_journal_replay replay = replay_cpu_journal(in);
+        EXPECT_EQ(replay.completed.size(), 3u);
+        EXPECT_EQ(replay.skipped, 0u);
+        EXPECT_FALSE(replay.truncated_tail);
+    }
+    {
+        // A file ending exactly at a newline has no in-flight tail.
+        std::istringstream in(complete);
+        const cpu_journal_replay replay = replay_cpu_journal(in);
+        EXPECT_FALSE(replay.truncated_tail);
+    }
+    {
+        // DRAM replay honours the same contract.
+        std::istringstream in(std::string("task=0 dram"));
+        const dram_journal_replay replay = replay_dram_journal(in);
+        EXPECT_TRUE(replay.truncated_tail);
+        EXPECT_EQ(replay.completed.size(), 0u);
+        EXPECT_EQ(replay.skipped, 0u);
+    }
+}
+
 TEST(journal_test, file_backed_journal_survives_reopening) {
     const std::string path =
         ::testing::TempDir() + "gb_journal_test.journal";

@@ -224,6 +224,37 @@ TEST(ReportArtifacts, JournalLoaderToleratesPartialCorruption) {
     EXPECT_EQ(journal->skipped, 1U);
 }
 
+TEST(ReportArtifacts, JournalLoaderReportsAnInFlightTail) {
+    // A journal being tailed mid-append ends without a trailing newline.
+    // The partial line is not a record, not skipped corruption, and not
+    // counted in `lines` -- it is surfaced via `truncated_tail` so the
+    // reader knows to come back for the completed record.
+    const std::string good =
+        "task=1 run=milc v=980 f=2400 cores=6 rep=1 outcome=OK "
+        "margin=91.3 path=sram wdt=0\n";
+    const std::string tail =
+        "task=2 run=milc v=970 f=2400 cores=6 rep=2 outcome=OK "
+        "margin=81.3 path=sram wdt=0";
+    std::string error;
+    const std::string path = temp_file("report_tail.log", good + tail);
+    const auto journal = load_journal_file(path, error);
+    ASSERT_TRUE(journal.has_value()) << error;
+    EXPECT_TRUE(journal->truncated_tail);
+    EXPECT_EQ(journal->records(), 1U);
+    EXPECT_EQ(journal->lines, 1U);
+    EXPECT_EQ(journal->skipped, 0U);
+
+    // Once the writer finishes the line, a re-read recovers the record.
+    error.clear();
+    const std::string done_path =
+        temp_file("report_tail_done.log", good + tail + "\n");
+    const auto done = load_journal_file(done_path, error);
+    ASSERT_TRUE(done.has_value()) << error;
+    EXPECT_FALSE(done->truncated_tail);
+    EXPECT_EQ(done->records(), 2U);
+    EXPECT_EQ(done->lines, 2U);
+}
+
 TEST(ReportArtifacts, JournalRejectsNonFiniteNumbers) {
     // Regression test for the logfile parse layer: inf/nan smuggled into a
     // numeric field must not become a record.

@@ -1,0 +1,375 @@
+// fleet_service: the fleet characterization daemon and its query CLI.
+//
+//   fleet_service serve [options]       run campaigns, publish fleet state
+//     --nodes N        fleet size (default 100000)
+//     --seed S         fleet spec seed (default 2018)
+//     --classes C      workload classes (default 3)
+//     --ops P          operating points (default 4)
+//     --shards K       probe batches per campaign (default 4)
+//     --jobs W         engine workers (default: GB_JOBS)
+//     --epochs E       campaigns to run before idling (default 1)
+//     --state FILE     fleet-state snapshot endpoint (the query API)
+//     --journal FILE   probe-result journal (warm-cache on restart)
+//     --trace FILE     Chrome trace of the engine runs
+//     --metrics FILE   flat metrics JSON on shutdown
+//     --control FILE   poll FILE for daemon commands; without it, serve
+//                      exits after --epochs campaigns
+//     --poll-ms M      control poll interval (default 50)
+//
+//   fleet_service query --state FILE [--bins] [--cohorts]
+//                                       render a fleet-state snapshot
+//
+// The control file accepts one command per write, acknowledged by
+// truncation: `campaign <sweep_mv>` runs one more campaign, `publish`
+// republishes the snapshot, `shutdown` exits cleanly.
+//
+// Campaign e probes at a sweep offset of `-5 * (e mod 4)` mV, so a 4-epoch
+// cycle revisits identical probe content and the content-addressed cache
+// serves it without re-execution.  Every published snapshot is a pure
+// function of the campaign history: bitwise identical at any GB_JOBS or
+// shard count (`gbreport status FILE` renders it too).
+//
+// Exit codes: 0 success, 2 usage error or malformed input.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/probe.hpp"
+#include "fleet/service.hpp"
+#include "harness/report/json.hpp"
+#include "harness/trace/metrics.hpp"
+#include "harness/trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gb;
+using namespace gb::fleet;
+
+constexpr int exit_ok = 0;
+constexpr int exit_usage = 2;
+
+int usage() {
+    std::cerr << "usage: fleet_service <serve|query> [options]\n"
+              << "  serve --state FILE [--nodes N] [--seed S] [--classes C]"
+                 " [--ops P]\n"
+              << "        [--shards K] [--jobs W] [--epochs E]"
+                 " [--journal FILE]\n"
+              << "        [--trace FILE] [--metrics FILE] [--control FILE]"
+                 " [--poll-ms M]\n"
+              << "  query --state FILE [--bins] [--cohorts]\n";
+    return exit_usage;
+}
+
+int fail(const std::string& message) {
+    std::cerr << "fleet_service: " << message << "\n";
+    return exit_usage;
+}
+
+/// Boolean `--flag` (no value): consume and report presence.
+bool take_flag(int& argc, char** argv, std::string_view name) {
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i] == name) {
+            for (int j = i; j + 1 < argc; ++j) {
+                argv[j] = argv[j + 1];
+            }
+            --argc;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<long long> integer_flag(int& argc, char** argv,
+                                      std::string_view name,
+                                      long long fallback, long long min,
+                                      long long max) {
+    const auto text = take_flag_value(argc, argv, name);
+    if (!text) {
+        return fallback;
+    }
+    const auto value = parse_integer(*text);
+    if (!value || *value < min || *value > max) {
+        std::cerr << "fleet_service: " << name << " wants an integer in ["
+                  << min << ", " << max << "]\n";
+        return std::nullopt;
+    }
+    return *value;
+}
+
+/// One campaign; logs a deterministic one-line digest to stderr.
+void run_one(fleet_service& service, std::int64_t sweep_mv) {
+    const campaign_outcome outcome = service.run_campaign(sweep_mv);
+    std::cerr << "fleet_service: epoch " << service.epoch() << " sweep "
+              << sweep_mv << " mV: " << outcome.probes << " probes, "
+              << outcome.cache_hits << " cache hits, " << outcome.executed
+              << " executed\n";
+}
+
+int run_serve(int argc, char** argv) {
+    const auto state_path = take_flag_value(argc, argv, "--state");
+    const auto journal_path = take_flag_value(argc, argv, "--journal");
+    const auto trace_path = take_flag_value(argc, argv, "--trace");
+    const auto metrics_path = take_flag_value(argc, argv, "--metrics");
+    const auto control_path = take_flag_value(argc, argv, "--control");
+    const auto nodes =
+        integer_flag(argc, argv, "--nodes", 100000, 1, 10000000);
+    const auto seed = integer_flag(argc, argv, "--seed", 2018, 0,
+                                   std::numeric_limits<long long>::max());
+    const auto classes = integer_flag(argc, argv, "--classes", 3, 1, 64);
+    const auto ops = integer_flag(argc, argv, "--ops", 4, 1, 64);
+    const auto shards = integer_flag(argc, argv, "--shards", 4, 1, 4096);
+    const auto jobs = integer_flag(argc, argv, "--jobs", 0, 0, 256);
+    const auto epochs = integer_flag(argc, argv, "--epochs", 1, 0, 100000);
+    const auto poll_ms = integer_flag(argc, argv, "--poll-ms", 50, 1, 60000);
+    if (!nodes || !seed || !classes || !ops || !shards || !jobs ||
+        !epochs || !poll_ms) {
+        return exit_usage;
+    }
+    if (!state_path) {
+        return fail("serve requires --state FILE");
+    }
+
+    fleet_spec spec;
+    spec.nodes = static_cast<std::uint64_t>(*nodes);
+    spec.seed = static_cast<std::uint64_t>(*seed);
+    spec.workload_classes = static_cast<int>(*classes);
+    spec.operating_points = static_cast<int>(*ops);
+
+    tracer trace;
+    metrics_registry metrics;
+    fleet_service_config config;
+    config.campaign = "fleet";
+    config.shards = static_cast<int>(*shards);
+    config.workers = static_cast<int>(*jobs);
+    config.state_path = *state_path;
+    if (journal_path) {
+        config.journal_path = *journal_path;
+    }
+    config.trace = trace_path ? &trace : nullptr;
+    config.metrics = metrics_path ? &metrics : nullptr;
+
+    fleet_service service(spec, config, make_xgene2_probe(spec));
+    if (service.restored() > 0) {
+        std::cerr << "fleet_service: restored " << service.restored()
+                  << " probe results from " << *journal_path << "\n";
+    }
+
+    const auto sweep_of = [](std::uint64_t epoch) {
+        return -5 * static_cast<std::int64_t>(epoch % 4);
+    };
+    for (long long e = 0; e < *epochs; ++e) {
+        run_one(service, sweep_of(service.epoch()));
+    }
+    service.publish_state();
+
+    if (control_path) {
+        // Daemon loop: idle on the control file until `shutdown`.
+        bool running = true;
+        while (running) {
+            std::string command;
+            {
+                std::ifstream in(*control_path);
+                std::getline(in, command);
+            }
+            if (!command.empty()) {
+                // Acknowledge by truncating before acting, so a slow
+                // campaign is not re-issued on the next poll.
+                std::ofstream(*control_path, std::ios::trunc);
+                std::istringstream words(command);
+                std::string verb;
+                words >> verb;
+                if (verb == "shutdown") {
+                    running = false;
+                } else if (verb == "publish") {
+                    service.publish_state();
+                } else if (verb == "campaign") {
+                    long long sweep = 0;
+                    if (words >> sweep && sweep >= -500 && sweep <= 500) {
+                        run_one(service, sweep);
+                    } else {
+                        std::cerr << "fleet_service: ignoring malformed "
+                                     "control command: "
+                                  << command << "\n";
+                    }
+                } else {
+                    std::cerr
+                        << "fleet_service: ignoring unknown control "
+                           "command: "
+                        << command << "\n";
+                }
+            }
+            if (running) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(*poll_ms));
+            }
+        }
+        std::remove(control_path->c_str());
+    }
+
+    service.publish_state();
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        write_chrome_trace(out, trace);
+    }
+    if (metrics_path) {
+        std::ofstream out(*metrics_path);
+        write_metrics_json(out, metrics);
+    }
+    std::cerr << "fleet_service: shut down after " << service.epoch()
+              << " epochs, cache " << service.cache().size() << " entries ("
+              << service.cache().hits() << " hits)\n";
+    return exit_ok;
+}
+
+const report::json_value* member(const report::json_value& object,
+                                 std::string_view key) {
+    return object.find(key);
+}
+
+std::uint64_t u64_of(const report::json_value& object,
+                     std::string_view key) {
+    const report::json_value* value = member(object, key);
+    if (value == nullptr) {
+        return 0;
+    }
+    return value->as_u64().value_or(0);
+}
+
+int run_query(int argc, char** argv) {
+    const auto state_path = take_flag_value(argc, argv, "--state");
+    const bool show_bins = take_flag(argc, argv, "--bins");
+    const bool show_cohorts = take_flag(argc, argv, "--cohorts");
+    if (!state_path) {
+        return fail("query requires --state FILE");
+    }
+    std::ifstream in(*state_path, std::ios::binary);
+    if (!in) {
+        return fail("cannot read " + *state_path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const report::json_parse_result parsed = report::parse_json(buffer.str());
+    if (!parsed.value) {
+        return fail(*state_path + ": " + parsed.error);
+    }
+    const report::json_value& root = *parsed.value;
+    const report::json_value* fleet = member(root, "fleet");
+    if (fleet == nullptr || !fleet->is_object()) {
+        return fail(*state_path + ": not a fleet-state snapshot (no "
+                                  "\"fleet\" object)");
+    }
+
+    const report::json_value* campaign = member(root, "campaign");
+    std::cout << "fleet \""
+              << (campaign != nullptr
+                      ? std::string(campaign->as_string().value_or(""))
+                      : std::string())
+              << "\": epoch " << u64_of(*fleet, "epoch") << ", "
+              << u64_of(*fleet, "nodes") << " nodes in "
+              << u64_of(*fleet, "cohorts") << " cohorts\n";
+    std::cout << "probes: " << u64_of(root, "tasks_total") << " served, "
+              << u64_of(*fleet, "probes_executed") << " executed, "
+              << u64_of(*fleet, "cache_hits") << " cache hits ("
+              << u64_of(*fleet, "cache_entries") << " entries, "
+              << u64_of(*fleet, "restored") << " restored)\n";
+    const report::json_value* nominal =
+        member(*fleet, "power_nominal_w");
+    const report::json_value* binned = member(*fleet, "power_binned_w");
+    if (nominal != nullptr && binned != nullptr) {
+        const double nominal_w = nominal->as_number().value_or(0.0);
+        const double binned_w = binned->as_number().value_or(0.0);
+        std::cout << "power: " << format_number(nominal_w, 0)
+                  << " W nominal vs " << format_number(binned_w, 0)
+                  << " W at revealed points";
+        if (nominal_w > 0.0) {
+            std::cout << " ("
+                      << format_percent(1.0 - binned_w / nominal_w, 1)
+                      << " saved)";
+        }
+        std::cout << "\n";
+    }
+    if (u64_of(*fleet, "supervised_cohorts") > 0) {
+        std::cout << "supervision: " << u64_of(*fleet, "supervised_cohorts")
+                  << " cohorts, " << u64_of(*fleet, "supervised_epochs")
+                  << " supervised epochs\n";
+    }
+
+    if (show_bins) {
+        const report::json_value* bins = member(*fleet, "bins");
+        if (bins != nullptr && bins->is_array() && !bins->items.empty()) {
+            std::cout << "\n";
+            text_table table({"voltage class mV", "nodes"});
+            for (const report::json_value& entry : bins->items) {
+                if (!entry.is_array() || entry.items.size() != 2) {
+                    continue;
+                }
+                table.add_row(
+                    {std::to_string(entry.items[0].as_i64().value_or(0)),
+                     std::to_string(entry.items[1].as_u64().value_or(0))});
+            }
+            table.render(std::cout);
+        }
+    }
+    if (show_cohorts) {
+        const report::json_value* cohorts = member(*fleet, "cohorts_top");
+        if (cohorts != nullptr && cohorts->is_array() &&
+            !cohorts->items.empty()) {
+            std::cout << "\n";
+            text_table table(
+                {"corner", "class", "op", "members", "req mV"});
+            for (const report::json_value& entry : cohorts->items) {
+                if (!entry.is_object()) {
+                    continue;
+                }
+                const report::json_value* corner =
+                    member(entry, "corner");
+                const report::json_value* requirement =
+                    member(entry, "req_mv");
+                table.add_row(
+                    {corner != nullptr
+                         ? std::string(corner->as_string().value_or("?"))
+                         : "?",
+                     std::to_string(u64_of(entry, "class")),
+                     std::to_string(u64_of(entry, "op")),
+                     std::to_string(u64_of(entry, "members")),
+                     format_number(requirement != nullptr
+                                       ? requirement->as_number().value_or(
+                                             0.0)
+                                       : 0.0,
+                                   1)});
+            }
+            table.render(std::cout);
+        }
+    }
+    return exit_ok;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    // Shift the subcommand out so flag helpers see a flat argv.
+    for (int i = 1; i + 1 < argc; ++i) {
+        argv[i] = argv[i + 1];
+    }
+    --argc;
+    if (command == "serve") {
+        return run_serve(argc, argv);
+    }
+    if (command == "query") {
+        return run_query(argc, argv);
+    }
+    return usage();
+}
