@@ -15,6 +15,12 @@
 //     --status <path>   live heartbeat while the fleet characterizes;
 //                       the final snapshot is the service's fleet state
 //                       (deterministic bytes, `gbreport status` renders it)
+//     --fault-rate <r>  characterize through a hostile rig: uniform
+//                       per-attempt fault rate (docs/ROBUSTNESS.md);
+//                       chips whose probes never resolve are served
+//                       degraded at the nominal bin and summarized
+//     --replan <n>      backoff re-plan rounds before a chip degrades
+//                       (default 2, only meaningful with --fault-rate)
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -27,6 +33,7 @@
 #include "chip/power.hpp"
 #include "fleet/service.hpp"
 #include "ga/virus_search.hpp"
+#include "harness/fault_injection.hpp"
 #include "harness/framework.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
@@ -43,6 +50,32 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--metrics");
     const std::optional<std::string> status_path =
         take_flag_value(argc, argv, "--status");
+    const std::optional<std::string> fault_rate_text =
+        take_flag_value(argc, argv, "--fault-rate");
+    const std::optional<std::string> replan_text =
+        take_flag_value(argc, argv, "--replan");
+    double fault_rate = 0.0;
+    if (fault_rate_text) {
+        const std::optional<double> parsed = parse_number(*fault_rate_text);
+        if (!parsed || *parsed < 0.0 || *parsed > 0.9) {
+            std::cerr << "fleet_binning: --fault-rate must be a number in "
+                         "[0, 0.9], got '"
+                      << *fault_rate_text << "'\n";
+            return 2;
+        }
+        fault_rate = *parsed;
+    }
+    int replan_rounds = 2;
+    if (replan_text) {
+        const std::optional<long long> parsed = parse_integer(*replan_text);
+        if (!parsed || *parsed < 0 || *parsed > 16) {
+            std::cerr << "fleet_binning: --replan must be an integer in "
+                         "[0, 16], got '"
+                      << *replan_text << "'\n";
+            return 2;
+        }
+        replan_rounds = static_cast<int>(*parsed);
+    }
     const int per_corner = static_cast<int>(
         int_arg(argc, argv, 1, 15, "chips_per_corner", 1, 1000));
 
@@ -141,8 +174,14 @@ int main(int argc, char** argv) {
     if (status_path) {
         config.state_path = *status_path;
     }
+    std::optional<fault_plan> faults;
+    if (fault_rate > 0.0) {
+        faults = make_uniform_fault_plan(2024, fault_rate);
+        config.faults = &*faults;
+        config.replan_rounds = replan_rounds;
+    }
     fleet::fleet_service service(spec, config, probe);
-    service.run_campaign();
+    const fleet::campaign_outcome outcome = service.run_campaign();
 
     std::cout << "fleet of " << 3 * per_corner
               << " chips, binned by revealed safe voltage (mix + virus + "
@@ -163,6 +202,16 @@ int main(int argc, char** argv) {
               << " W binned -- "
               << format_percent(1.0 - fleet_binned_w / fleet_nominal_w, 1)
               << " saved by per-chip operating points\n";
+    // Only a hostile rig can quarantine chips; keep the healthy-rig
+    // output byte-identical by printing the summary only when asked for.
+    if (fault_rate_text) {
+        std::cout << "\ndegraded: " << outcome.degraded << " of "
+                  << outcome.probes
+                  << " chips quarantined at the nominal bin ("
+                  << outcome.replanned << " re-planned, "
+                  << format_number(outcome.stats.rig_downtime_s, 0)
+                  << " s simulated rig downtime)\n";
+    }
     if (trace_path) {
         std::ofstream out(*trace_path);
         write_chrome_trace(out, trace);

@@ -1,0 +1,81 @@
+// Control-file protocol for the fleet daemon: one command per write,
+// acknowledged by truncation.
+//
+// The wire is a plain file the daemon polls -- deliberately primitive, so
+// any shell or orchestration layer can drive the daemon -- but the
+// primitive wire has real failure modes the chaos harness (and a Scrooge
+// -style undervolted server) exposes:
+//
+//   * a client killed mid-write leaves *partial* command bytes (no
+//     terminating newline).  The daemon must not execute a prefix of a
+//     command, so completeness is explicit: a command is only actionable
+//     once its trailing '\n' is on disk;
+//   * partial bytes that never complete are *stale* -- the daemon rejects
+//     them (truncate + diagnostic) after a bounded number of unchanged
+//     polls instead of wedging the control channel forever;
+//   * the daemon dying between acting and truncating redelivers the
+//     command on restart (at-least-once).  Every verb is idempotent:
+//     `campaign` re-runs against the content-addressed cache, `publish`
+//     rewrites the same bytes, `shutdown` exits again;
+//   * the *client's* truncation ack can be lost (daemon killed first), so
+//     waiting for it must be bounded: `await_control_ack` polls with a
+//     deterministic exponential-backoff schedule and gives up instead of
+//     spinning forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gb::fleet {
+
+/// One poll of the control file.
+struct control_read {
+    enum class state : std::uint8_t {
+        empty,    ///< no pending command (missing or zero-length file)
+        partial,  ///< bytes present but no complete line yet
+        complete, ///< `command` holds the first complete line
+        oversized ///< garbage beyond any plausible command; reject it
+    };
+    state status = state::empty;
+    std::string command;      ///< first complete line, when complete
+    std::uint64_t bytes = 0;  ///< raw bytes seen (stale-detection key)
+};
+
+/// Commands longer than this are not commands; the daemon truncates them
+/// with a diagnostic instead of buffering unbounded garbage.
+inline constexpr std::uint64_t max_control_bytes = 4096;
+
+/// Read the control file's current state.  Never throws; unreadable files
+/// report `empty`.
+[[nodiscard]] control_read read_control(const std::string& path);
+
+/// Write `command` plus the terminating '\n' in one stream write.  False
+/// on I/O error.
+bool write_control(const std::string& path, std::string_view command);
+
+/// Acknowledge a command by truncating the file (the protocol's ack).
+bool ack_control(const std::string& path);
+
+/// Bounded ack-wait policy.  The total wait is the sum of the backoff
+/// schedule -- deterministic, so tests pin it exactly.
+struct ack_wait_config {
+    int retries = 8;          ///< polls after the initial one
+    int backoff_base_ms = 20; ///< delay before retry k: base * 2^k ...
+    int backoff_cap_ms = 2000; ///< ... capped here
+};
+
+/// Delay in ms before retry `attempt` (0-based): min(base * 2^attempt,
+/// cap).  Pure; the backoff-schedule determinism test pins it.
+[[nodiscard]] int ack_backoff_ms(const ack_wait_config& config,
+                                 int attempt);
+
+/// Poll until the daemon acks (file empty or removed) or the retry
+/// budget runs out.  `sleep_fn` receives each backoff delay -- the CLI
+/// passes a real sleep, tests pass a recorder.  True when acked.
+bool await_control_ack(const std::string& path,
+                       const ack_wait_config& config,
+                       const std::function<void(int delay_ms)>& sleep_fn);
+
+} // namespace gb::fleet

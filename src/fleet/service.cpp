@@ -4,10 +4,14 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <utility>
 
+#include "harness/chaos/chaos.hpp"
+#include "harness/fault_injection.hpp"
 #include "harness/schedule.hpp"
 #include "harness/status.hpp"
 #include "harness/trace/metrics.hpp"
@@ -79,27 +83,68 @@ bool parse_real(std::string_view text, double& out) {
 }
 
 /// Atomic file publish via sibling-temp + rename, the status.cpp
-/// discipline, for arbitrary snapshot bytes.
-bool publish_bytes(const std::string& path, const std::string& bytes) {
+/// discipline, for arbitrary snapshot bytes.  The two snapshot chaos
+/// seams live here: a torn temp write (the rename never happens, readers
+/// keep the previous snapshot) and a kill between the finished temp and
+/// the rename.
+bool publish_bytes(const std::string& path, const std::string& bytes,
+                   chaos_plan* chaos) {
     const std::string temp = path + ".tmp";
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
         if (!out) {
             return false;
         }
+        if (chaos != nullptr) {
+            if (const auto tear = chaos->on_snapshot_temp(bytes.size())) {
+                out << std::string_view(bytes).substr(
+                    0, static_cast<std::size_t>(tear->keep));
+                out.flush();
+                chaos->kill(tear->site);
+            }
+        }
         out << bytes;
         if (!out.flush()) {
             return false;
         }
     }
+    if (chaos != nullptr && chaos->on_snapshot_rename()) {
+        chaos->kill(chaos_site::snapshot_rename);
+    }
     return std::rename(temp.c_str(), path.c_str()) == 0;
+}
+
+/// Fault-draw key for re-plan round `round` of a probe: round 0 draws
+/// exactly where a single-round plan would, later rounds re-key so the
+/// retry sees fresh draws.  A pure function of content, never of engine
+/// task indices -- what keeps faulty campaigns shard-invariant and makes
+/// a probe's ledger a property of the probe itself.
+std::uint64_t replan_key(std::uint64_t content, int round) {
+    return round == 0 ? content
+                      : derive_task_seed(content,
+                                         static_cast<std::uint64_t>(round));
+}
+
+void fold_ledger(execution_stats& stats, const probe_ledger& ledger) {
+    stats.retries += ledger.retries;
+    stats.watchdog_timeouts += ledger.watchdog_timeouts;
+    stats.board_crashes += ledger.board_crashes;
+    stats.power_switch_failures += ledger.power_switch_failures;
+    stats.aborted_rig += ledger.exhausted_rounds;
+    stats.rig_downtime_s += ledger.downtime_s;
+}
+
+bool same_result(const probe_result& a, const probe_result& b) {
+    return a.requirement_mv == b.requirement_mv &&
+           a.power_nominal_w == b.power_nominal_w &&
+           a.power_point_w == b.power_point_w && a.bucket == b.bucket;
 }
 
 } // namespace
 
 bool parse_probe_line(std::string_view payload, cohort_key& key,
                       std::int64_t& sweep_mv, std::uint64_t& content,
-                      probe_result& result) {
+                      probe_result& result, probe_ledger& ledger) {
     std::vector<std::string_view> tokens;
     std::size_t pos = 0;
     while (pos < payload.size()) {
@@ -115,26 +160,53 @@ bool parse_probe_line(std::string_view payload, cohort_key& key,
         return false;
     }
     std::string_view value;
-    return field_value(tokens, "corner", value) &&
-           corner_from_string(value, key.corner) &&
-           field_value(tokens, "class", value) &&
-           parse_integer(value, key.workload_class) &&
-           field_value(tokens, "op", value) &&
-           parse_integer(value, key.operating_point) &&
-           field_value(tokens, "variant", value) &&
-           parse_integer(value, key.variant) &&
-           field_value(tokens, "sweep", value) &&
-           parse_integer(value, sweep_mv) &&
-           field_value(tokens, "content", value) &&
-           parse_integer(value, content, 16) &&
-           field_value(tokens, "req", value) &&
-           parse_real(value, result.requirement_mv) &&
-           field_value(tokens, "pnom", value) &&
-           parse_real(value, result.power_nominal_w) &&
-           field_value(tokens, "ppt", value) &&
-           parse_real(value, result.power_point_w) &&
-           field_value(tokens, "bucket", value) &&
-           parse_integer(value, result.bucket);
+    if (!(field_value(tokens, "corner", value) &&
+          corner_from_string(value, key.corner) &&
+          field_value(tokens, "class", value) &&
+          parse_integer(value, key.workload_class) &&
+          field_value(tokens, "op", value) &&
+          parse_integer(value, key.operating_point) &&
+          field_value(tokens, "variant", value) &&
+          parse_integer(value, key.variant) &&
+          field_value(tokens, "sweep", value) &&
+          parse_integer(value, sweep_mv) &&
+          field_value(tokens, "content", value) &&
+          parse_integer(value, content, 16) &&
+          field_value(tokens, "req", value) &&
+          parse_real(value, result.requirement_mv) &&
+          field_value(tokens, "pnom", value) &&
+          parse_real(value, result.power_nominal_w) &&
+          field_value(tokens, "ppt", value) &&
+          parse_real(value, result.power_point_w) &&
+          field_value(tokens, "bucket", value) &&
+          parse_integer(value, result.bucket))) {
+        return false;
+    }
+    // The ledger fields are optional on the wire (pre-ledger journals
+    // stay readable) but must parse when present.
+    ledger = {};
+    const auto optional_u64 = [&](std::string_view field,
+                                  std::uint64_t& out) {
+        std::string_view text;
+        return !field_value(tokens, field, text) ||
+               parse_integer(text, out);
+    };
+    std::string_view down_text;
+    return optional_u64("retries", ledger.retries) &&
+           optional_u64("wdt", ledger.watchdog_timeouts) &&
+           optional_u64("crash", ledger.board_crashes) &&
+           optional_u64("pwr", ledger.power_switch_failures) &&
+           optional_u64("xhst", ledger.exhausted_rounds) &&
+           (!field_value(tokens, "down", down_text) ||
+            parse_real(down_text, ledger.downtime_s));
+}
+
+bool parse_probe_line(std::string_view payload, cohort_key& key,
+                      std::int64_t& sweep_mv, std::uint64_t& content,
+                      probe_result& result) {
+    probe_ledger ledger;
+    return parse_probe_line(payload, key, sweep_mv, content, result,
+                            ledger);
 }
 
 fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
@@ -157,9 +229,18 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         state.members = count;
         cohorts_.push_back(state);
     }
+    if (!config_.state_path.empty()) {
+        // A crash between the snapshot temp write and its rename leaves a
+        // stale `.tmp` sibling; it is dead bytes, never to be renamed.
+        std::error_code ec;
+        std::filesystem::remove(config_.state_path + ".tmp", ec);
+    }
     if (!config_.journal_path.empty()) {
         warm_cache_from_journal();
         journal_ = std::make_unique<campaign_journal>(config_.journal_path);
+        if (config_.chaos != nullptr) {
+            journal_->set_chaos(config_.chaos);
+        }
     }
     if (config_.metrics != nullptr) {
         mh_.registered = true;
@@ -167,6 +248,12 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         mh_.probes_executed =
             config_.metrics->counter("fleet.probes_executed");
         mh_.cache_hits = config_.metrics->counter("fleet.cache_hits");
+        mh_.restored = config_.metrics->counter("fleet.restored");
+        mh_.healed_bytes = config_.metrics->counter("fleet.healed_bytes");
+        mh_.replan_rounds =
+            config_.metrics->counter("fleet.replan_rounds");
+        mh_.shard_watchdog_trips =
+            config_.metrics->counter("fleet.shard_watchdog_trips");
         // Voltage-class bounds spanning the top of the binning range
         // ({880..980} under the default 10 mV step / 980 mV cap).
         std::vector<std::uint64_t> bounds;
@@ -180,6 +267,14 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         mh_.power_nominal_w =
             config_.metrics->gauge("fleet.power_nominal_w");
         mh_.power_binned_w = config_.metrics->gauge("fleet.power_binned_w");
+        mh_.degraded_cohorts =
+            config_.metrics->gauge("fleet.degraded_cohorts");
+        if (restored_ > 0) {
+            config_.metrics->add(0, mh_.restored, restored_);
+        }
+        if (healed_bytes_ > 0) {
+            config_.metrics->add(0, mh_.healed_bytes, healed_bytes_);
+        }
     }
 }
 
@@ -189,40 +284,118 @@ std::size_t fleet_service::cohort_index(const cohort_key& key) const {
     return it->second;
 }
 
+std::uint64_t fleet_service::degraded_cohorts() const {
+    std::uint64_t count = 0;
+    for (const cohort_state& cohort : cohorts_) {
+        count += cohort.degraded ? 1 : 0;
+    }
+    return count;
+}
+
 void fleet_service::warm_cache_from_journal() {
-    std::ifstream in(config_.journal_path);
-    if (!in) {
+    std::ifstream in(config_.journal_path, std::ios::binary);
+    if (!in.is_open()) {
         return; // first boot: nothing to restore
     }
-    std::string line;
-    while (std::getline(in, line)) {
-        if (in.eof()) { // no trailing newline: a record mid-append
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    in.close();
+
+    const auto reject = [this](std::size_t lineno,
+                               const std::string& reason) {
+        throw fleet_journal_error("fleet journal " + config_.journal_path +
+                                  ":" + std::to_string(lineno) + ": " +
+                                  reason);
+    };
+
+    // The writer appends whole '\n'-terminated lines under a mutex and
+    // commits serially in sorted cohort order, so a healthy journal obeys
+    // invariants this loop enforces strictly: serials are 0,1,2,...;
+    // cohort keys strictly increase within each run of equal sweep; no
+    // content appears twice.  The ONLY damage this writer's own crash can
+    // cause is a torn final line with no trailing newline -- that tail is
+    // self-healed (truncated, counted in `healed_bytes_`); everything
+    // else is a foreign edit or a bug and raises `fleet_journal_error`
+    // rather than silently re-executing probes against bad state.
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    bool have_prev = false;
+    std::int64_t prev_sweep = 0;
+    cohort_key prev_key{};
+    std::map<std::uint64_t, probe_result> seen;
+    while (pos < bytes.size()) {
+        const std::size_t newline = bytes.find('\n', pos);
+        if (newline == std::string::npos) {
+            healed_bytes_ += bytes.size() - pos;
+            std::error_code ec;
+            std::filesystem::resize_file(config_.journal_path, pos, ec);
+            if (ec) {
+                reject(lineno + 1,
+                       "could not truncate torn tail: " + ec.message());
+            }
             break;
         }
-        if (line.empty()) {
-            continue;
+        const std::string_view line(bytes.data() + pos, newline - pos);
+        pos = newline + 1;
+        ++lineno;
+        if (config_.chaos != nullptr &&
+            config_.chaos->on_cache_warm_line()) {
+            config_.chaos->kill(chaos_site::cache_warm);
         }
         std::size_t task_index = 0;
         std::string_view payload;
         if (!parse_journal_prefix(line, task_index, payload)) {
-            continue;
+            reject(lineno, "not a journal record");
         }
-        journal_serial_ = std::max(journal_serial_, task_index + 1);
+        if (task_index != journal_serial_) {
+            reject(lineno, "task serial " + std::to_string(task_index) +
+                               " out of sequence (expected " +
+                               std::to_string(journal_serial_) + ")");
+        }
         cohort_key key;
         std::int64_t sweep_mv = 0;
         std::uint64_t content = 0;
         probe_result result;
-        if (parse_probe_line(payload, key, sweep_mv, content, result)) {
-            cache_.insert(content, result);
-            ++restored_;
+        probe_ledger ledger;
+        if (!parse_probe_line(payload, key, sweep_mv, content, result,
+                              ledger)) {
+            reject(lineno, "unparseable probe record");
         }
+        if (cohort_of_.find(key) == cohort_of_.end()) {
+            reject(lineno, "probe for a cohort outside this fleet");
+        }
+        const auto duplicate = seen.find(content);
+        if (duplicate != seen.end()) {
+            reject(lineno,
+                   same_result(duplicate->second, result)
+                       ? "duplicate entry for content " + format_hex(content)
+                       : "contradictory re-execution of content " +
+                             format_hex(content));
+        }
+        if (have_prev && sweep_mv == prev_sweep && !(prev_key < key)) {
+            reject(lineno, "cohort order regressed within sweep " +
+                               std::to_string(sweep_mv));
+        }
+        seen.emplace(content, result);
+        prev_sweep = sweep_mv;
+        prev_key = key;
+        have_prev = true;
+        ++journal_serial_;
+        cache_.insert(content, result);
+        // Restored ledgers fold in journal order -- the exact order the
+        // unfaulted run folds them at commit -- so the double-summed
+        // downtime converges bitwise across a crash/restart.
+        fold_ledger(ledger_stats_, ledger);
+        ++restored_;
     }
 }
 
 void fleet_service::append_probe_line(const cohort_key& key,
                                       std::int64_t sweep_mv,
                                       std::uint64_t content,
-                                      const probe_result& result) {
+                                      const probe_result& result,
+                                      const probe_ledger& ledger) {
     if (!journal_) {
         return;
     }
@@ -237,6 +410,12 @@ void fleet_service::append_probe_line(const cohort_key& key,
     line += " pnom=" + format_double(result.power_nominal_w);
     line += " ppt=" + format_double(result.power_point_w);
     line += " bucket=" + std::to_string(result.bucket);
+    line += " retries=" + std::to_string(ledger.retries);
+    line += " wdt=" + std::to_string(ledger.watchdog_timeouts);
+    line += " crash=" + std::to_string(ledger.board_crashes);
+    line += " pwr=" + std::to_string(ledger.power_switch_failures);
+    line += " xhst=" + std::to_string(ledger.exhausted_rounds);
+    line += " down=" + format_double(ledger.downtime_s);
     journal_->append(journal_serial_++, line);
 }
 
@@ -249,12 +428,12 @@ void fleet_service::publish_live(std::uint64_t pending) const {
     live.running = true;
     live.tasks_total = pending;
     live.tasks_done = 0;
-    live.retries = lifetime_stats_.retries;
-    live.injected_faults = lifetime_stats_.injected_faults();
-    live.aborted_rig = lifetime_stats_.aborted_rig;
-    live.replayed = cache_.hits();
+    live.retries = ledger_stats_.retries;
+    live.injected_faults = ledger_stats_.injected_faults();
+    live.aborted_rig = ledger_stats_.aborted_rig;
+    live.replayed = scheduled_hits_;
     live.rig_downtime_ms = static_cast<std::uint64_t>(
-        std::llround(lifetime_stats_.rig_downtime_s * 1000.0));
+        std::llround(ledger_stats_.rig_downtime_s * 1000.0));
     live.workers = resolve_worker_count(config_.workers);
     live.worker_task.assign(static_cast<std::size_t>(live.workers), -1);
     live.wall_elapsed_s = 0.0;
@@ -279,7 +458,17 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
         if (const probe_result* cached = cache_.lookup(content)) {
             cohort.last = *cached;
             cohort.probed = true;
+            cohort.degraded = false;
             ++outcome.cache_hits;
+            // A hit on a content already requested this lifetime is a
+            // *scheduled* hit -- the only hit notion identical before and
+            // after a crash/restart.  A hit on journal-restored content
+            // is lifetime-local and stays out of the snapshot counters.
+            if (requested_contents_.contains(content)) {
+                ++scheduled_hits_;
+            } else {
+                requested_contents_.insert(content);
+            }
         } else {
             pending.push_back({c, content});
         }
@@ -287,24 +476,20 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
     outcome.probes = cohorts_.size();
     probes_requested_ += cohorts_.size();
 
-    // 2. Shard plan + engine runs.  Sharding only batches the engine
-    // submissions; each probe's seed comes from its content id, so the
-    // results -- and everything downstream -- are invariant under the
-    // shard count.
+    // 2. Shard plan + engine runs, in bounded-retry rounds.  Sharding
+    // only batches the engine submissions; each probe's seed and fault
+    // draws come from its content id, so the results -- and everything
+    // downstream -- are invariant under the shard count.  A probe that
+    // exhausts its attempts in one round is deferred to the next with an
+    // exponential backoff charge; after the last round it degrades its
+    // cohort instead of failing the campaign.
     std::vector<probe_result> results(pending.size());
+    std::vector<probe_ledger> ledgers(pending.size());
+    std::vector<char> resolved(pending.size(), 0);
     if (!pending.empty()) {
         GB_EXPECTS(static_cast<bool>(probe_));
         publish_live(pending.size());
         const int shards = std::max(1, config_.shards);
-        const schedule_result plan = list_schedule(
-            std::vector<std::uint64_t>(pending.size(), probe_cost_ticks),
-            shards);
-        std::vector<std::vector<std::size_t>> batches(
-            static_cast<std::size_t>(plan.workers));
-        for (std::size_t j = 0; j < pending.size(); ++j) {
-            batches[static_cast<std::size_t>(plan.assignment[j].worker)]
-                .push_back(j);
-        }
         execution_options engine_options;
         engine_options.workers = config_.workers;
         engine_options.base_seed = spec_.seed;
@@ -312,51 +497,168 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
         engine_options.trace = config_.trace;
         engine_options.metrics = config_.metrics;
         // No engine status_path: per-shard engine totals depend on the
-        // shard count, and the service's own snapshot must not.
+        // shard count, and the service's own snapshot must not.  No
+        // engine fault plan either -- rig faults are simulated inside
+        // the task body, keyed by content, for the same reason.
         const execution_engine engine(engine_options);
-        for (const std::vector<std::size_t>& batch : batches) {
-            if (batch.empty()) {
-                continue;
+        const int attempts = std::max(1, config_.retry_budget + 1);
+        const int last_round = std::max(0, config_.replan_rounds);
+
+        std::vector<std::size_t> open(pending.size());
+        std::iota(open.begin(), open.end(), std::size_t{0});
+        for (int round = 0; round <= last_round && !open.empty(); ++round) {
+            if (round > 0) {
+                // Deferred probes sit out an exponentially growing
+                // backoff, charged into their journaled downtime (virtual
+                // seconds; no real sleeping).
+                const double backoff = replan_backoff_s(
+                    config_.replan_backoff_base_s, round);
+                for (const std::size_t j : open) {
+                    ledgers[j].downtime_s += backoff;
+                }
+                if (round == 1) {
+                    outcome.replanned = open.size();
+                }
+                if (mh_.registered) {
+                    config_.metrics->add(0, mh_.replan_rounds, 1);
+                }
             }
-            const std::size_t first = trace_index_base_;
-            const execution_stats stats = engine.run(
-                batch.size(),
-                [&](const task_context& context) {
-                    const std::size_t j = batch[context.index - first];
-                    const pending_probe& entry = pending[j];
-                    const cohort_state& cohort = cohorts_[entry.cohort];
-                    probe_request request;
-                    request.cohort = cohort.key;
-                    request.sweep_mv = sweep_mv;
-                    request.content = entry.content;
-                    request.seed =
-                        derive_task_seed(spec_.seed, entry.content);
-                    request.members = cohort.members;
-                    results[j] = probe_(request);
-                    return results[j].bucket;
-                },
-                first);
-            trace_index_base_ += batch.size();
-            outcome.stats.merge(stats);
+            const schedule_result plan = list_schedule(
+                std::vector<std::uint64_t>(open.size(), probe_cost_ticks),
+                shards);
+            std::vector<std::vector<std::size_t>> batches(
+                static_cast<std::size_t>(plan.workers));
+            for (std::size_t k = 0; k < open.size(); ++k) {
+                batches[static_cast<std::size_t>(
+                            plan.assignment[k].worker)]
+                    .push_back(open[k]);
+            }
+            for (const std::vector<std::size_t>& batch : batches) {
+                if (batch.empty()) {
+                    continue;
+                }
+                double downtime_before = 0.0;
+                for (const std::size_t j : batch) {
+                    downtime_before += ledgers[j].downtime_s;
+                }
+                const std::size_t first = trace_index_base_;
+                const execution_stats stats = engine.run(
+                    batch.size(),
+                    [&](const task_context& context) {
+                        const std::size_t j = batch[context.index - first];
+                        const pending_probe& entry = pending[j];
+                        const cohort_state& cohort = cohorts_[entry.cohort];
+                        probe_request request;
+                        request.cohort = cohort.key;
+                        request.sweep_mv = sweep_mv;
+                        request.content = entry.content;
+                        request.seed =
+                            derive_task_seed(spec_.seed, entry.content);
+                        request.members = cohort.members;
+                        probe_ledger& ledger = ledgers[j];
+                        for (int attempt = 0; attempt < attempts;
+                             ++attempt) {
+                            const rig_fault fault =
+                                config_.faults == nullptr
+                                    ? rig_fault::none
+                                    : config_.faults->draw(
+                                          replan_key(entry.content, round),
+                                          attempt);
+                            if (fault == rig_fault::none) {
+                                results[j] = probe_(request);
+                                resolved[j] = 1;
+                                return results[j].bucket;
+                            }
+                            switch (fault) {
+                            case rig_fault::hang_until_watchdog:
+                                ++ledger.watchdog_timeouts;
+                                break;
+                            case rig_fault::board_crash:
+                                ++ledger.board_crashes;
+                                break;
+                            case rig_fault::power_switch_failure:
+                                ++ledger.power_switch_failures;
+                                break;
+                            case rig_fault::none:
+                                break;
+                            }
+                            ledger.downtime_s +=
+                                config_.faults->downtime_for(fault);
+                            if (attempt + 1 < attempts) {
+                                ++ledger.retries;
+                            }
+                        }
+                        ++ledger.exhausted_rounds;
+                        return -1;
+                    },
+                    first);
+                trace_index_base_ += batch.size();
+                outcome.stats.merge(stats);
+                if (config_.shard_deadline_s > 0.0) {
+                    // Shard watchdog: virtual rig downtime this batch
+                    // accumulated beyond the deadline.  Observability
+                    // only -- batch composition depends on the shard
+                    // count, so this never reaches the snapshot.
+                    double downtime_after = 0.0;
+                    for (const std::size_t j : batch) {
+                        downtime_after += ledgers[j].downtime_s;
+                    }
+                    if (downtime_after - downtime_before >
+                        config_.shard_deadline_s) {
+                        ++shard_watchdog_trips_;
+                        if (mh_.registered) {
+                            config_.metrics->add(
+                                0, mh_.shard_watchdog_trips, 1);
+                        }
+                    }
+                }
+            }
+            std::vector<std::size_t> still_open;
+            for (const std::size_t j : open) {
+                if (resolved[j] == 0) {
+                    still_open.push_back(j);
+                }
+            }
+            open = std::move(still_open);
         }
     }
 
-    // 3. Commit serially in sorted cohort order: cache inserts and the
-    // deterministic probe journal.
+    // 3. Commit serially in sorted cohort order: cache inserts, the
+    // deterministic probe journal, and quarantine for probes that never
+    // resolved.  Degraded probes are not cached and not journaled, so
+    // the next request for the same content retries them; their ledgers
+    // stay out of the snapshot stats (which lifetime ran them would
+    // otherwise leak into the fold order) but reach the outcome.
+    std::uint64_t executed = 0;
     for (std::size_t j = 0; j < pending.size(); ++j) {
         const pending_probe& entry = pending[j];
-        cache_.insert(entry.content, results[j]);
         cohort_state& cohort = cohorts_[entry.cohort];
+        if (resolved[j] == 0) {
+            cohort.probed = false;
+            cohort.degraded = true;
+            ++outcome.degraded;
+            fold_ledger(outcome.stats, ledgers[j]);
+            continue;
+        }
+        cache_.insert(entry.content, results[j]);
+        requested_contents_.insert(entry.content);
         cohort.last = results[j];
         cohort.probed = true;
-        append_probe_line(cohort.key, sweep_mv, entry.content, results[j]);
+        cohort.degraded = false;
+        fold_ledger(ledger_stats_, ledgers[j]);
+        fold_ledger(outcome.stats, ledgers[j]);
+        append_probe_line(cohort.key, sweep_mv, entry.content, results[j],
+                          ledgers[j]);
+        ++executed;
     }
-    outcome.executed = pending.size();
-    probes_executed_ += pending.size();
-    lifetime_stats_.merge(outcome.stats);
+    outcome.executed = executed;
+    probes_executed_ += executed;
 
     // 4. Fan cohort results out to the whole fleet in node-id order (a
     // fixed floating-point accumulation order, like every other sum).
+    // Degraded cohorts serve the conservative answer: their nodes bin at
+    // the nominal cap -- no exploitation without characterization -- and
+    // contribute no measured power.
     bins_.clear();
     double nominal_w = 0.0;
     double binned_w = 0.0;
@@ -364,7 +666,16 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
     for (std::uint64_t id = 0; id < nodes; ++id) {
         const fleet_node node = make_node(spec_, id);
         const cohort_state& cohort = cohorts_[cohort_of_.at(node.cohort)];
-        GB_EXPECTS(cohort.probed);
+        GB_EXPECTS(cohort.probed || cohort.degraded);
+        if (cohort.degraded) {
+            const auto cap = static_cast<std::int64_t>(spec_.bin_cap_mv);
+            ++bins_[cap];
+            if (mh_.registered) {
+                config_.metrics->observe(0, mh_.bin_mv,
+                                         static_cast<std::uint64_t>(cap));
+            }
+            continue;
+        }
         const double requirement =
             cohort.last.requirement_mv + node_jitter_mv(spec_, node);
         const double bin = bin_voltage_mv(spec_, requirement);
@@ -388,6 +699,8 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
                              power_nominal_w_);
         config_.metrics->set(0, mh_.power_binned_w, epoch_,
                              power_binned_w_);
+        config_.metrics->set(0, mh_.degraded_cohorts, epoch_,
+                             static_cast<double>(degraded_cohorts()));
     }
     publish_state();
     return outcome;
@@ -396,18 +709,24 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
 std::string fleet_service::state_snapshot() const {
     // The snapshot *is* a final `--status` document -- load_status
     // ignores the extra "fleet" key -- so existing tooling (`gbreport
-    // status`) reads fleet state with no changes.
+    // status`) reads fleet state with no changes.  Every field is
+    // *content-pure*: a function of which probes the fleet's request
+    // stream resolved, never of which service lifetime executed them, so
+    // a crashed-and-recovered daemon's snapshot is bitwise identical to
+    // an unfaulted one's (the recovery_check invariant).  Lifetime-local
+    // facts -- journal restores, healed bytes, physical cache hits --
+    // live in the metrics registry and accessors instead.
     campaign_status status;
     status.campaign = config_.campaign;
     status.running = false;
     status.tasks_total = probes_requested_;
     status.tasks_done = probes_requested_;
-    status.retries = lifetime_stats_.retries;
-    status.injected_faults = lifetime_stats_.injected_faults();
-    status.aborted_rig = lifetime_stats_.aborted_rig;
-    status.replayed = cache_.hits();
+    status.retries = ledger_stats_.retries;
+    status.injected_faults = ledger_stats_.injected_faults();
+    status.aborted_rig = ledger_stats_.aborted_rig;
+    status.replayed = scheduled_hits_;
     status.rig_downtime_ms = static_cast<std::uint64_t>(
-        std::llround(lifetime_stats_.rig_downtime_s * 1000.0));
+        std::llround(ledger_stats_.rig_downtime_s * 1000.0));
     std::string line = write_status_json(status);
     const std::size_t close = line.find_last_of('}');
     GB_ENSURES(close != std::string::npos);
@@ -417,10 +736,9 @@ std::string fleet_service::state_snapshot() const {
     fleet << ",\"fleet\":{\"epoch\":" << epoch_
           << ",\"nodes\":" << spec_.node_count()
           << ",\"cohorts\":" << cohorts_.size()
-          << ",\"probes_executed\":" << probes_executed_
-          << ",\"cache_hits\":" << cache_.hits()
+          << ",\"probes_executed\":" << requested_contents_.size()
+          << ",\"cache_hits\":" << scheduled_hits_
           << ",\"cache_entries\":" << cache_.size()
-          << ",\"restored\":" << restored_
           << ",\"power_nominal_w\":" << format_double(power_nominal_w_)
           << ",\"power_binned_w\":" << format_double(power_binned_w_)
           << ",\"supervised_cohorts\":" << supervised_.size()
@@ -433,9 +751,35 @@ std::string fleet_service::state_snapshot() const {
         first = false;
     }
     fleet << ']';
+    // Quarantine roster: which cohorts are being served degraded (capped
+    // like cohorts_top; the counts always carry the truth).
+    std::uint64_t degraded_count = 0;
+    std::uint64_t degraded_nodes = 0;
+    for (const cohort_state& cohort : cohorts_) {
+        if (cohort.degraded) {
+            ++degraded_count;
+            degraded_nodes += cohort.members;
+        }
+    }
+    constexpr std::size_t max_detail = 64;
+    fleet << ",\"degraded\":{\"cohorts\":" << degraded_count
+          << ",\"nodes\":" << degraded_nodes << ",\"quarantined\":[";
+    std::size_t listed = 0;
+    for (const cohort_state& cohort : cohorts_) {
+        if (!cohort.degraded || listed == max_detail) {
+            continue;
+        }
+        fleet << (listed == 0 ? "" : ",") << "{\"corner\":\""
+              << to_string(cohort.key.corner)
+              << "\",\"class\":" << cohort.key.workload_class
+              << ",\"op\":" << cohort.key.operating_point
+              << ",\"variant\":" << cohort.key.variant
+              << ",\"members\":" << cohort.members << '}';
+        ++listed;
+    }
+    fleet << "]}";
     // Cohort detail is capped so variant-unique mega-fleets keep the
     // endpoint small; `cohorts` above always carries the true count.
-    constexpr std::size_t max_detail = 64;
     fleet << ",\"cohorts_top\":[";
     const std::size_t detail = std::min(cohorts_.size(), max_detail);
     for (std::size_t c = 0; c < detail; ++c) {
@@ -462,7 +806,8 @@ bool fleet_service::publish_state() const {
     if (config_.state_path.empty()) {
         return false;
     }
-    return publish_bytes(config_.state_path, state_snapshot());
+    return publish_bytes(config_.state_path, state_snapshot(),
+                         config_.chaos);
 }
 
 operating_point_supervisor& fleet_service::supervisor_for(

@@ -33,12 +33,30 @@
 // keeps one operating-point supervisor per cohort and `run_epoch` drives
 // it, so clients (uniserver_autopilot) run supervised epochs against the
 // service instead of wiring supervisors by hand.
+//
+// Failure is a first-class input (docs/ROBUSTNESS.md).  A rig-fault plan
+// makes probe attempts fail -- drawn per probe *content*, never per engine
+// task index, so faulty campaigns stay invariant under re-sharding -- with
+// bounded retry, then exponential-backoff re-plan rounds, and finally
+// quarantine: cohorts whose probes never resolve are served *degraded*
+// (binned at the nominal `bin_cap_mv` class, exposed in the snapshot's
+// "degraded" section) instead of failing the campaign.  A chaos plan
+// (harness/chaos) arms kill-points at every persistence seam; recovery is
+// verified by fleet/recovery.hpp, which restarts the service from the
+// post-crash bytes and asserts bitwise convergence with an unfaulted run.
+// The journal warm path is correspondingly strict: it self-heals a torn
+// tail (the only damage a crash of *this* writer can cause) and rejects
+// everything else -- mid-file garbage, serial gaps, cohort-order
+// violations, duplicate or contradictory entries -- with
+// `fleet_journal_error` diagnostics rather than silently re-executing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -71,6 +89,27 @@ struct probe_request {
 /// a pure function of the request (plus read-only shared state).
 using probe_fn = std::function<probe_result(const probe_request&)>;
 
+/// The fleet journal violated an invariant the writer guarantees --
+/// anything beyond a torn tail, which the warm path heals itself.  The
+/// message carries the path, line number and violated invariant.
+class fleet_journal_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// What the rig did to one probe before it resolved, journaled with the
+/// result so a restarted daemon's fault accounting converges bitwise with
+/// the unfaulted run's (fault draws are content-keyed, so the ledger is a
+/// property of the probe, not of which service lifetime executed it).
+struct probe_ledger {
+    std::uint64_t retries = 0;
+    std::uint64_t watchdog_timeouts = 0;
+    std::uint64_t board_crashes = 0;
+    std::uint64_t power_switch_failures = 0;
+    std::uint64_t exhausted_rounds = 0; ///< rounds that ran out of attempts
+    double downtime_s = 0.0; ///< rig recovery + re-plan backoff charges
+};
+
 struct fleet_service_config {
     /// Campaign name for status snapshots and trace spans.
     std::string campaign = "fleet";
@@ -88,6 +127,29 @@ struct fleet_service_config {
     /// Deterministic observability sinks (either may be null).
     tracer* trace = nullptr;
     metrics_registry* metrics = nullptr;
+    /// Rig-fault plan for probe attempts (null: healthy rig).  Draws are
+    /// keyed by probe content and re-plan round, never by engine task
+    /// index, so faulty results stay shard- and worker-invariant.
+    const fault_plan* faults = nullptr;
+    /// Retries per probe per round; a round spends `retry_budget + 1`
+    /// attempts before the probe is deferred to the next round.
+    int retry_budget = 3;
+    /// Re-plan rounds after the main round for exhausted probes, each
+    /// preceded by an exponential backoff charge (replan_backoff_s).
+    /// Probes still unresolved after the last round degrade their cohort.
+    int replan_rounds = 2;
+    /// Base of the re-plan backoff schedule, charged per probe per round
+    /// into its journaled downtime (virtual seconds, no real sleeping).
+    double replan_backoff_base_s = 5.0;
+    /// Virtual rig-downtime budget per shard batch; a batch whose probes
+    /// lose more than this trips the shard watchdog counter
+    /// (`fleet.shard_watchdog_trips` -- observability only: batch
+    /// composition depends on the shard count, so the snapshot never
+    /// includes it).  <= 0 disables.
+    double shard_deadline_s = 0.0;
+    /// Chaos kill-point plan armed at the journal, snapshot and warm
+    /// seams (null: no chaos).  See harness/chaos/chaos.hpp.
+    chaos_plan* chaos = nullptr;
 };
 
 /// Aggregated view of one cohort the state snapshot exposes.
@@ -96,6 +158,11 @@ struct cohort_state {
     std::uint64_t members = 0; ///< nodes in this cohort
     std::uint64_t probes = 0;  ///< campaigns that requested it (hits + runs)
     bool probed = false;       ///< `last` holds a real result
+    /// Probe never resolved within the retry/re-plan budget: the cohort
+    /// is quarantined and served at the nominal bin cap until a later
+    /// campaign resolves it.  Degraded results are never cached or
+    /// journaled, so the retry recurs deterministically.
+    bool degraded = false;
     probe_result last;
 };
 
@@ -104,7 +171,9 @@ struct campaign_outcome {
     std::uint64_t probes = 0;     ///< cohort probes requested (= cohorts)
     std::uint64_t cache_hits = 0; ///< served from the cache
     std::uint64_t executed = 0;   ///< ran through the engine
-    execution_stats stats;        ///< merged over the shard runs
+    std::uint64_t replanned = 0;  ///< probes that needed re-plan rounds
+    std::uint64_t degraded = 0;   ///< cohorts quarantined this campaign
+    execution_stats stats; ///< merged engine runs + simulated rig faults
 };
 
 class fleet_service {
@@ -144,6 +213,14 @@ public:
     }
     /// Cache entries restored from the journal at construction.
     [[nodiscard]] std::uint64_t restored() const { return restored_; }
+    /// Torn-tail journal bytes truncated by the warm path's self-heal.
+    [[nodiscard]] std::uint64_t healed_bytes() const { return healed_bytes_; }
+    /// Cohorts currently quarantined in degraded mode.
+    [[nodiscard]] std::uint64_t degraded_cohorts() const;
+    /// Shard batches whose virtual rig downtime blew the deadline.
+    [[nodiscard]] std::uint64_t shard_watchdog_trips() const {
+        return shard_watchdog_trips_;
+    }
     [[nodiscard]] double power_nominal_w() const { return power_nominal_w_; }
     [[nodiscard]] double power_binned_w() const { return power_binned_w_; }
 
@@ -175,8 +252,8 @@ private:
     [[nodiscard]] std::size_t cohort_index(const cohort_key& key) const;
     void warm_cache_from_journal();
     void append_probe_line(const cohort_key& key, std::int64_t sweep_mv,
-                           std::uint64_t content,
-                           const probe_result& result);
+                           std::uint64_t content, const probe_result& result,
+                           const probe_ledger& ledger);
     /// Live (`running: true`) snapshot while a campaign's probes are in
     /// flight; scheduling-dependent by nature, like engine heartbeats.
     void publish_live(std::uint64_t pending) const;
@@ -186,6 +263,7 @@ private:
     probe_fn probe_;
     probe_cache cache_;
     std::uint64_t restored_ = 0;
+    std::uint64_t healed_bytes_ = 0;
 
     /// Sorted by key; parallel index map for node fan-out.
     std::vector<cohort_state> cohorts_;
@@ -198,7 +276,18 @@ private:
     std::uint64_t probes_requested_ = 0; ///< lifetime cohort probes
     std::uint64_t probes_executed_ = 0;  ///< lifetime engine-run probes
     std::size_t trace_index_base_ = 0;   ///< unique task indices across runs
-    execution_stats lifetime_stats_;
+    /// Contents resolved for a request made *this lifetime* -- a repeat
+    /// request is a "scheduled hit", the only cache-hit notion that is
+    /// identical before and after a crash/restart (restoration hits are
+    /// lifetime-local and live in metrics only).
+    std::set<std::uint64_t> requested_contents_;
+    std::uint64_t scheduled_hits_ = 0;
+    /// Fault ledgers of every *resolved* probe, restored + this-life,
+    /// folded in journal order -- the crash-invariant stats the snapshot
+    /// reports.  Degraded probes' ledgers stay out (their fold order
+    /// would depend on which lifetime ran them).
+    execution_stats ledger_stats_;
+    std::uint64_t shard_watchdog_trips_ = 0;
     std::map<std::int64_t, std::uint64_t> bins_;
     double power_nominal_w_ = 0.0;
     double power_binned_w_ = 0.0;
@@ -211,9 +300,14 @@ private:
         counter_handle nodes;
         counter_handle probes_executed;
         counter_handle cache_hits;
+        counter_handle restored;
+        counter_handle healed_bytes;
+        counter_handle replan_rounds;
+        counter_handle shard_watchdog_trips;
         histogram_handle bin_mv;
         gauge_handle power_nominal_w;
         gauge_handle power_binned_w;
+        gauge_handle degraded_cohorts;
     } mh_;
 };
 
@@ -224,5 +318,14 @@ private:
                                     cohort_key& key, std::int64_t& sweep_mv,
                                     std::uint64_t& content,
                                     probe_result& result);
+
+/// As above, also recovering the probe's fault ledger.  The ledger fields
+/// (`retries= wdt= crash= pwr= xhst= down=`) are optional on the wire and
+/// default to a clean ledger, so pre-ledger journals stay readable.
+[[nodiscard]] bool parse_probe_line(std::string_view payload,
+                                    cohort_key& key, std::int64_t& sweep_mv,
+                                    std::uint64_t& content,
+                                    probe_result& result,
+                                    probe_ledger& ledger);
 
 } // namespace gb::fleet

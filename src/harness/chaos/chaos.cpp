@@ -1,0 +1,251 @@
+#include "harness/chaos/chaos.hpp"
+
+#include <charconv>
+#include <unistd.h>
+
+#include "harness/execution_engine.hpp"
+#include "util/contracts.hpp"
+
+namespace gb {
+
+namespace {
+
+// Domain separator for torn-length derivation, so chaos draws never alias
+// the rig-fault or task-seed streams built from the same campaign seed.
+constexpr std::uint64_t tear_domain = 0x746f726e2d777274ULL;
+
+constexpr std::size_t site_count = 5;
+
+std::size_t site_index(chaos_site site) {
+    return static_cast<std::size_t>(site);
+}
+
+} // namespace
+
+std::string_view to_string(chaos_site site) {
+    switch (site) {
+    case chaos_site::journal_append: return "journal_append";
+    case chaos_site::snapshot_temp: return "snapshot_temp";
+    case chaos_site::snapshot_rename: return "snapshot_rename";
+    case chaos_site::control_command: return "control_command";
+    case chaos_site::cache_warm: return "cache_warm";
+    }
+    return "?";
+}
+
+bool chaos_site_from_string(std::string_view text, chaos_site& site) {
+    for (std::size_t i = 0; i < site_count; ++i) {
+        const auto candidate = static_cast<chaos_site>(i);
+        if (text == to_string(candidate)) {
+            site = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+chaos_crash::chaos_crash(chaos_site site)
+    : std::runtime_error("chaos kill-point fired at " +
+                         std::string(to_string(site))),
+      site_(site) {}
+
+chaos_plan::chaos_plan(chaos_plan_config config)
+    : config_(std::move(config)),
+      fired_flags_(config_.triggers.size(), false) {
+    for (const chaos_trigger& trigger : config_.triggers) {
+        GB_EXPECTS(trigger.at >= 1);
+    }
+}
+
+std::uint64_t chaos_plan::derive_keep(std::uint64_t hit, std::uint64_t size,
+                                      std::uint64_t keep) const {
+    if (size == 0) {
+        return 0;
+    }
+    if (keep != chaos_trigger::keep_auto) {
+        return keep < size ? keep : size - 1;
+    }
+    // Strictly partial: somewhere in [0, size) so the payload's trailing
+    // newline (journal) or tail (snapshot temp) never reaches disk.
+    const std::uint64_t draw =
+        derive_task_seed(config_.seed ^ tear_domain, hit);
+    return draw % size;
+}
+
+std::optional<chaos_tear> chaos_plan::on_journal_append(std::uint64_t written,
+                                                        std::uint64_t size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_[site_index(chaos_site::journal_append)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (fired_flags_[t] ||
+            trigger.site != chaos_site::journal_append) {
+            continue;
+        }
+        // Fire on the append whose bytes carry the cumulative count past
+        // the trigger's byte threshold.
+        if (written >= trigger.at || written + size < trigger.at) {
+            continue;
+        }
+        fired_flags_[t] = true;
+        ++fired_count_;
+        return chaos_tear{chaos_site::journal_append,
+                          derive_keep(trigger.at, size, trigger.keep)};
+    }
+    return std::nullopt;
+}
+
+std::optional<chaos_tear> chaos_plan::on_snapshot_temp(std::uint64_t size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit =
+        ++hits_[site_index(chaos_site::snapshot_temp)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (fired_flags_[t] || trigger.site != chaos_site::snapshot_temp ||
+            hit != trigger.at) {
+            continue;
+        }
+        fired_flags_[t] = true;
+        ++fired_count_;
+        return chaos_tear{chaos_site::snapshot_temp,
+                          derive_keep(hit, size, trigger.keep)};
+    }
+    return std::nullopt;
+}
+
+bool chaos_plan::on_snapshot_rename() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit =
+        ++hits_[site_index(chaos_site::snapshot_rename)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (!fired_flags_[t] &&
+            trigger.site == chaos_site::snapshot_rename &&
+            hit == trigger.at) {
+            fired_flags_[t] = true;
+            ++fired_count_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool chaos_plan::on_control_command() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit =
+        ++hits_[site_index(chaos_site::control_command)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (!fired_flags_[t] &&
+            trigger.site == chaos_site::control_command &&
+            hit == trigger.at) {
+            fired_flags_[t] = true;
+            ++fired_count_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool chaos_plan::on_cache_warm_line() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit = ++hits_[site_index(chaos_site::cache_warm)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (!fired_flags_[t] && trigger.site == chaos_site::cache_warm &&
+            hit == trigger.at) {
+            fired_flags_[t] = true;
+            ++fired_count_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void chaos_plan::kill(chaos_site site) const {
+    if (config_.mode == chaos_plan_config::kill_mode::exit_process) {
+        // No unwinding, no flushes: the closest userspace gets to yanking
+        // the power cord mid-write.
+        ::_exit(config_.exit_code);
+    }
+    throw chaos_crash(site);
+}
+
+std::uint64_t chaos_plan::fired() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_count_;
+}
+
+bool parse_chaos_spec(std::string_view spec, chaos_plan_config& config,
+                      std::string& error) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end =
+            comma == std::string_view::npos ? spec.size() : comma;
+        const std::string_view token = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty()) {
+            if (comma == std::string_view::npos) {
+                break;
+            }
+            error = "empty chaos trigger in spec";
+            return false;
+        }
+        const std::size_t at_sep = token.find('@');
+        if (at_sep == std::string_view::npos || at_sep == 0) {
+            error = "chaos trigger '" + std::string(token) +
+                    "' wants site@at[/keep]";
+            return false;
+        }
+        chaos_trigger trigger;
+        if (!chaos_site_from_string(token.substr(0, at_sep),
+                                    trigger.site)) {
+            error = "unknown chaos site '" +
+                    std::string(token.substr(0, at_sep)) + "'";
+            return false;
+        }
+        std::string_view numbers = token.substr(at_sep + 1);
+        std::string_view keep_text;
+        const std::size_t slash = numbers.find('/');
+        if (slash != std::string_view::npos) {
+            keep_text = numbers.substr(slash + 1);
+            numbers = numbers.substr(0, slash);
+        }
+        const auto parse_u64 = [](std::string_view text,
+                                  std::uint64_t& out) {
+            const auto [ptr, ec] = std::from_chars(
+                text.data(), text.data() + text.size(), out);
+            return ec == std::errc{} &&
+                   ptr == text.data() + text.size();
+        };
+        if (!parse_u64(numbers, trigger.at) || trigger.at == 0) {
+            error = "chaos trigger '" + std::string(token) +
+                    "' wants a positive integer after '@'";
+            return false;
+        }
+        if (!keep_text.empty() &&
+            !parse_u64(keep_text, trigger.keep)) {
+            error = "chaos trigger '" + std::string(token) +
+                    "' wants an integer torn length after '/'";
+            return false;
+        }
+        config.triggers.push_back(trigger);
+        if (comma == std::string_view::npos) {
+            break;
+        }
+    }
+    return true;
+}
+
+double replan_backoff_s(double base_s, int round) {
+    GB_EXPECTS(base_s >= 0.0);
+    GB_EXPECTS(round >= 1);
+    double backoff = base_s;
+    for (int r = 1; r < round; ++r) {
+        backoff *= 2.0;
+    }
+    return backoff;
+}
+
+} // namespace gb

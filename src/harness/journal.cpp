@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "harness/chaos/chaos.hpp"
 #include "harness/fault_injection.hpp"
 #include "harness/logfile.hpp"
 #include "util/contracts.hpp"
@@ -23,6 +24,11 @@ campaign_journal::campaign_journal(const std::string& path)
 
 campaign_journal::campaign_journal(std::ostream& sink) : sink_(&sink) {}
 
+void campaign_journal::set_chaos(chaos_plan* chaos) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    chaos_ = chaos;
+}
+
 void campaign_journal::append(std::size_t task_index, std::string_view line,
                               const fault_plan* faults) {
     std::string full;
@@ -35,9 +41,24 @@ void campaign_journal::append(std::size_t task_index, std::string_view line,
     if (corrupt) {
         full = faults->corrupt_line(task_index, full);
     }
+    full += '\n';
     std::lock_guard<std::mutex> lock(mutex_);
-    *sink_ << full << '\n';
+    if (chaos_ != nullptr) {
+        if (const auto tear =
+                chaos_->on_journal_append(bytes_written_, full.size())) {
+            // Torn write: a prefix of the line reaches disk, the trailing
+            // newline never does, and the "process" dies mid-append.  The
+            // warm path detects the newline-less tail and self-heals by
+            // truncating it.
+            *sink_ << std::string_view(full).substr(
+                0, static_cast<std::size_t>(tear->keep));
+            sink_->flush();
+            chaos_->kill(tear->site);
+        }
+    }
+    *sink_ << full;
     sink_->flush(); // the journal's whole point: survive a kill -9
+    bytes_written_ += full.size();
     ++appended_;
     if (corrupt) {
         ++corrupted_;
@@ -52,6 +73,11 @@ std::uint64_t campaign_journal::appended() const {
 std::uint64_t campaign_journal::corrupted() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return corrupted_;
+}
+
+std::uint64_t campaign_journal::bytes_written() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_written_;
 }
 
 bool parse_journal_prefix(std::string_view line, std::size_t& task_index,

@@ -27,6 +27,7 @@
 namespace gb {
 
 class fault_plan;
+class chaos_plan;
 
 /// Thread-safe append sink for one campaign's journal lines.
 class campaign_journal {
@@ -37,6 +38,12 @@ public:
     /// Append to a caller-owned stream (tests, off-board pipes).
     explicit campaign_journal(std::ostream& sink);
 
+    /// Arm the journal-append kill-point (chaos.hpp): an append that
+    /// trips the plan's byte threshold writes only the torn prefix of
+    /// its line -- no trailing newline -- flushes, and dies.  Null
+    /// disarms.
+    void set_chaos(chaos_plan* chaos);
+
     /// Append `task=<index> <line>` and flush.  When a fault plan with a
     /// log-corruption fault for this task is given, the written line is
     /// deterministically mangled instead (the record stays intact in
@@ -46,13 +53,18 @@ public:
 
     [[nodiscard]] std::uint64_t appended() const;
     [[nodiscard]] std::uint64_t corrupted() const;
+    /// Cumulative payload bytes written through this journal object
+    /// (the chaos plan's `journal_append` thresholds count these).
+    [[nodiscard]] std::uint64_t bytes_written() const;
 
 private:
     std::ofstream file_;
     std::ostream* sink_;
+    chaos_plan* chaos_ = nullptr;
     mutable std::mutex mutex_;
     std::uint64_t appended_ = 0;
     std::uint64_t corrupted_ = 0;
+    std::uint64_t bytes_written_ = 0;
 };
 
 /// Split a journal line into its task index and record payload.  Returns

@@ -445,6 +445,25 @@ std::optional<status_artifact> load_status(std::string_view text,
         !require_u64(root, "rig_downtime_ms", status.downtime_ms, error)) {
         return std::nullopt;
     }
+    if (const json_value* fleet = root.find("fleet")) {
+        // Fleet snapshots extend the heartbeat schema; the degraded
+        // quarantine is the part consumers must see to not trust stale
+        // characterization (optional: plain heartbeats lack it).
+        if (fleet->is_object()) {
+            if (const json_value* degraded = fleet->find("degraded")) {
+                if (!degraded->is_object()) {
+                    error = "status: fleet.degraded is not an object";
+                    return std::nullopt;
+                }
+                if (const json_value* cohorts = degraded->find("cohorts")) {
+                    status.degraded_cohorts = cohorts->as_u64().value_or(0);
+                }
+                if (const json_value* nodes = degraded->find("nodes")) {
+                    status.degraded_nodes = nodes->as_u64().value_or(0);
+                }
+            }
+        }
+    }
     if (const json_value* live = root.find("live")) {
         if (!live->is_object()) {
             error = "status: 'live' is not an object";

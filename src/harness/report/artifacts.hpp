@@ -109,6 +109,11 @@ struct status_artifact {
     std::uint64_t aborted_rig = 0;
     std::uint64_t replayed = 0;
     std::uint64_t downtime_ms = 0;
+    /// Fleet snapshots only (service.hpp "fleet.degraded" section):
+    /// cohorts/nodes currently quarantined in degraded mode.  Zero for
+    /// plain campaign heartbeats.
+    std::uint64_t degraded_cohorts = 0;
+    std::uint64_t degraded_nodes = 0;
     /// Live-only (scheduling-dependent) fields; empty/zero in the final
     /// snapshot, which is a pure function of campaign content.
     int workers = 0;

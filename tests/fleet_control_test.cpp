@@ -1,0 +1,135 @@
+// Control-file protocol tests: completeness (a command exists only once
+// its trailing newline is on disk), stale/partial/oversized rejection
+// material, and the bounded, deterministic ack-wait schedule the query
+// CLI relies on to never spin on a dead daemon.
+#include "fleet/control.hpp"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gb::fleet {
+namespace {
+
+std::string temp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+TEST(FleetControlTest, MissingAndEmptyFilesReadAsEmpty) {
+    const std::string path = temp_path("control_missing");
+    std::remove(path.c_str());
+    EXPECT_EQ(read_control(path).status, control_read::state::empty);
+
+    write_raw(path, "");
+    const control_read empty = read_control(path);
+    EXPECT_EQ(empty.status, control_read::state::empty);
+    EXPECT_EQ(empty.bytes, 0U);
+}
+
+TEST(FleetControlTest, PartialBytesAreNeverACommand) {
+    const std::string path = temp_path("control_partial");
+    // A client killed mid-write: command bytes, no terminating newline.
+    write_raw(path, "campaign -1");
+    const control_read partial = read_control(path);
+    EXPECT_EQ(partial.status, control_read::state::partial);
+    EXPECT_EQ(partial.bytes, 11U);
+    EXPECT_TRUE(partial.command.empty());
+}
+
+TEST(FleetControlTest, CompleteCommandIsTheFirstLine) {
+    const std::string path = temp_path("control_complete");
+    write_raw(path, "campaign -10\n");
+    const control_read complete = read_control(path);
+    ASSERT_EQ(complete.status, control_read::state::complete);
+    EXPECT_EQ(complete.command, "campaign -10");
+    // Trailing garbage after the newline does not corrupt the command.
+    write_raw(path, "shutdown\ncampaign 3");
+    EXPECT_EQ(read_control(path).command, "shutdown");
+}
+
+TEST(FleetControlTest, OversizedBytesAreRejectedNotBuffered) {
+    const std::string path = temp_path("control_oversized");
+    write_raw(path, std::string(max_control_bytes + 1, 'x'));
+    EXPECT_EQ(read_control(path).status, control_read::state::oversized);
+}
+
+TEST(FleetControlTest, WriteControlFramesWithTheNewline) {
+    const std::string path = temp_path("control_write");
+    ASSERT_TRUE(write_control(path, "publish"));
+    const control_read read = read_control(path);
+    ASSERT_EQ(read.status, control_read::state::complete);
+    EXPECT_EQ(read.command, "publish");
+    EXPECT_EQ(read.bytes, 8U); // "publish\n"
+}
+
+TEST(FleetControlTest, AckTruncatesThePendingCommand) {
+    const std::string path = temp_path("control_ack");
+    ASSERT_TRUE(write_control(path, "publish"));
+    ASSERT_TRUE(ack_control(path));
+    EXPECT_EQ(read_control(path).status, control_read::state::empty);
+}
+
+TEST(FleetControlTest, BackoffScheduleIsDeterministic) {
+    // min(base * 2^attempt, cap) -- pinned so the retry budget's total
+    // wait is a known constant, not an accident of the implementation.
+    const ack_wait_config config; // 20 ms base, 2000 ms cap
+    const std::vector<int> expected = {20,  40,  80,   160, 320,
+                                       640, 1280, 2000, 2000};
+    for (std::size_t attempt = 0; attempt < expected.size(); ++attempt) {
+        EXPECT_EQ(ack_backoff_ms(config, static_cast<int>(attempt)),
+                  expected[attempt])
+            << "attempt " << attempt;
+    }
+    ack_wait_config zero;
+    zero.backoff_base_ms = 0;
+    EXPECT_EQ(ack_backoff_ms(zero, 5), 0);
+}
+
+TEST(FleetControlTest, AwaitAckReturnsImmediatelyWhenAcked) {
+    const std::string path = temp_path("control_await_fast");
+    write_raw(path, "");
+    int sleeps = 0;
+    EXPECT_TRUE(await_control_ack(path, {}, [&](int) { ++sleeps; }));
+    EXPECT_EQ(sleeps, 0);
+    // A daemon may also ack by removing the file entirely.
+    std::remove(path.c_str());
+    EXPECT_TRUE(await_control_ack(path, {}, [&](int) { ++sleeps; }));
+    EXPECT_EQ(sleeps, 0);
+}
+
+TEST(FleetControlTest, AwaitAckSeesALateAck) {
+    const std::string path = temp_path("control_await_late");
+    ASSERT_TRUE(write_control(path, "campaign -5"));
+    int calls = 0;
+    const bool acked = await_control_ack(path, {}, [&](int) {
+        if (++calls == 3) {
+            ack_control(path); // the "daemon" acks during the third wait
+        }
+    });
+    EXPECT_TRUE(acked);
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(FleetControlTest, AwaitAckGivesUpOnTheSchedule) {
+    const std::string path = temp_path("control_await_timeout");
+    ASSERT_TRUE(write_control(path, "campaign -5"));
+    ack_wait_config config;
+    config.retries = 4;
+    std::vector<int> delays;
+    const bool acked = await_control_ack(
+        path, config, [&](int delay_ms) { delays.push_back(delay_ms); });
+    EXPECT_FALSE(acked);
+    EXPECT_EQ(delays, (std::vector<int>{20, 40, 80, 160}));
+    // The unacked command is still there for a daemon that comes back.
+    EXPECT_EQ(read_control(path).status, control_read::state::complete);
+}
+
+} // namespace
+} // namespace gb::fleet

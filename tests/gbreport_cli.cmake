@@ -84,3 +84,52 @@ expect_exit(2 status ${truncated})
 expect_exit(2 frobnicate)
 expect_exit(2 diff ${baseline})
 expect_exit(2 diff ${baseline} ${slower} --tolerance wall.*=not_a_number)
+
+# expect_output(<regex> <args...>): run gbreport, require exit 0 and that
+# stdout matches the regex.
+function(expect_output pattern)
+    execute_process(
+        COMMAND ${GBREPORT} ${ARGN}
+        OUTPUT_VARIABLE stdout_text
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "gbreport ${ARGN} exited ${rc}, wanted 0\n"
+            "stdout:\n${stdout_text}\nstderr:\n${stderr_text}")
+    endif()
+    if(NOT stdout_text MATCHES "${pattern}")
+        message(FATAL_ERROR
+            "gbreport ${ARGN} stdout did not match '${pattern}'\n"
+            "stdout:\n${stdout_text}")
+    endif()
+endfunction()
+
+# A fleet snapshot carrying a degraded section renders the quarantine
+# line (the degraded-mode serving contract of docs/ROBUSTNESS.md)...
+set(degraded_status ${WORK_DIR}/degraded_status.json)
+# ([=[ bracket: the JSON's "bins":[[...]] would close a plain [[ early.)
+file(WRITE ${degraded_status} [=[{"campaign":"fleet","running":false,"tasks_total":72,"tasks_done":72,"retries":3,"injected_faults":5,"aborted_rig":2,"replayed":36,"rig_downtime_ms":120000,"fleet":{"epoch":2,"nodes":10000,"cohorts":36,"probes_executed":34,"cache_hits":36,"cache_entries":34,"power_nominal_w":100,"power_binned_w":90,"supervised_cohorts":0,"supervised_epochs":0,"bins":[[980,5000]],"degraded":{"cohorts":2,"nodes":5000,"quarantined":[{"corner":"TTT","class":0,"op":0,"variant":0,"members":2500}]},"cohorts_top":[]}}
+]=])
+expect_output("degraded: 2 cohorts \\(5000 nodes\\) quarantined"
+    status ${degraded_status})
+
+# ...a healthy fleet snapshot stays silent about degradation...
+set(healthy_status ${WORK_DIR}/healthy_status.json)
+file(WRITE ${healthy_status} [[{"campaign":"fleet","running":false,"tasks_total":36,"tasks_done":36,"retries":0,"injected_faults":0,"aborted_rig":0,"replayed":0,"rig_downtime_ms":0,"fleet":{"degraded":{"cohorts":0,"nodes":0,"quarantined":[]}}}
+]])
+execute_process(
+    COMMAND ${GBREPORT} status ${healthy_status}
+    OUTPUT_VARIABLE healthy_stdout
+    RESULT_VARIABLE healthy_rc)
+if(NOT healthy_rc EQUAL 0 OR healthy_stdout MATCHES "degraded")
+    message(FATAL_ERROR
+        "healthy snapshot rendered a degraded line (rc ${healthy_rc}):\n"
+        "${healthy_stdout}")
+endif()
+
+# ...and a malformed degraded section is a diagnostic, not a crash.
+set(bad_degraded ${WORK_DIR}/bad_degraded.json)
+file(WRITE ${bad_degraded} [[{"campaign":"fleet","running":false,"tasks_total":36,"tasks_done":36,"retries":0,"injected_faults":0,"aborted_rig":0,"replayed":0,"rig_downtime_ms":0,"fleet":{"degraded":42}}
+]])
+expect_exit(2 status ${bad_degraded})

@@ -15,13 +15,28 @@
 //     --control FILE   poll FILE for daemon commands; without it, serve
 //                      exits after --epochs campaigns
 //     --poll-ms M      control poll interval (default 50)
+//     --fault-rate R   uniform rig-fault rate for probe attempts
+//     --retry N        probe retry budget per round (default 3)
+//     --replan N       backoff re-plan rounds before quarantine (default 2)
+//     --chaos SPEC     arm chaos kill-points: comma-separated
+//                      site@at[/keep] (see docs/ROBUSTNESS.md); firing
+//                      _exit(--chaos-exit)s the daemon mid-write
+//     --chaos-exit C   chaos kill exit code (default 42)
 //
 //   fleet_service query --state FILE [--bins] [--cohorts]
 //                                       render a fleet-state snapshot
+//   fleet_service query --control FILE --command CMD [--state FILE ...]
+//                                       send a daemon command, await ack
+//     --ack-retries N  ack polls after the first (default 8)
+//     --ack-base-ms M  ack backoff base, doubling per poll (default 20)
 //
-// The control file accepts one command per write, acknowledged by
-// truncation: `campaign <sweep_mv>` runs one more campaign, `publish`
-// republishes the snapshot, `shutdown` exits cleanly.
+// The control file accepts one command per write: `campaign <sweep_mv>`
+// runs one more campaign, `publish` republishes the snapshot, `shutdown`
+// exits cleanly.  A command only exists once its trailing newline is on
+// disk (partial bytes are never executed, and are rejected as stale after
+// ~20 unchanged polls); the daemon acts *then* acknowledges by
+// truncation, so a crash in between redelivers the command on restart --
+// at-least-once, safe because every verb is idempotent.
 //
 // Campaign e probes at a sweep offset of `-5 * (e mod 4)` mV, so a 4-epoch
 // cycle revisits identical probe content and the content-addressed cache
@@ -29,7 +44,9 @@
 // function of the campaign history: bitwise identical at any GB_JOBS or
 // shard count (`gbreport status FILE` renders it too).
 //
-// Exit codes: 0 success, 2 usage error or malformed input.
+// Exit codes: 0 success, 1 ack timeout (query --command), 2 usage error
+// or malformed input; --chaos kills exit with --chaos-exit.
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -41,8 +58,11 @@
 #include <thread>
 #include <vector>
 
+#include "fleet/control.hpp"
 #include "fleet/probe.hpp"
 #include "fleet/service.hpp"
+#include "harness/chaos/chaos.hpp"
+#include "harness/fault_injection.hpp"
 #include "harness/report/json.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
@@ -55,7 +75,12 @@ using namespace gb;
 using namespace gb::fleet;
 
 constexpr int exit_ok = 0;
+constexpr int exit_ack_timeout = 1;
 constexpr int exit_usage = 2;
+
+/// Unchanged partial control bytes tolerated before they are rejected as
+/// a stale half-written command.
+constexpr int stale_poll_limit = 20;
 
 int usage() {
     std::cerr << "usage: fleet_service <serve|query> [options]\n"
@@ -65,7 +90,11 @@ int usage() {
                  " [--journal FILE]\n"
               << "        [--trace FILE] [--metrics FILE] [--control FILE]"
                  " [--poll-ms M]\n"
-              << "  query --state FILE [--bins] [--cohorts]\n";
+              << "        [--fault-rate R] [--retry N] [--replan N]\n"
+              << "        [--chaos SPEC] [--chaos-exit C]\n"
+              << "  query --state FILE [--bins] [--cohorts]\n"
+              << "  query --control FILE --command CMD [--ack-retries N]"
+                 " [--ack-base-ms M]\n";
     return exit_usage;
 }
 
@@ -105,13 +134,39 @@ std::optional<long long> integer_flag(int& argc, char** argv,
     return *value;
 }
 
+std::optional<double> real_flag(int& argc, char** argv,
+                                std::string_view name, double fallback,
+                                double min, double max) {
+    const auto text = take_flag_value(argc, argv, name);
+    if (!text) {
+        return fallback;
+    }
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(
+        text->data(), text->data() + text->size(), value);
+    if (ec != std::errc{} || end != text->data() + text->size() ||
+        value < min || value > max) {
+        std::cerr << "fleet_service: " << name << " wants a number in ["
+                  << min << ", " << max << "]\n";
+        return std::nullopt;
+    }
+    return value;
+}
+
 /// One campaign; logs a deterministic one-line digest to stderr.
 void run_one(fleet_service& service, std::int64_t sweep_mv) {
     const campaign_outcome outcome = service.run_campaign(sweep_mv);
     std::cerr << "fleet_service: epoch " << service.epoch() << " sweep "
               << sweep_mv << " mV: " << outcome.probes << " probes, "
               << outcome.cache_hits << " cache hits, " << outcome.executed
-              << " executed\n";
+              << " executed";
+    if (outcome.replanned > 0) {
+        std::cerr << ", " << outcome.replanned << " re-planned";
+    }
+    if (outcome.degraded > 0) {
+        std::cerr << ", " << outcome.degraded << " cohorts degraded";
+    }
+    std::cerr << "\n";
 }
 
 int run_serve(int argc, char** argv) {
@@ -130,8 +185,16 @@ int run_serve(int argc, char** argv) {
     const auto jobs = integer_flag(argc, argv, "--jobs", 0, 0, 256);
     const auto epochs = integer_flag(argc, argv, "--epochs", 1, 0, 100000);
     const auto poll_ms = integer_flag(argc, argv, "--poll-ms", 50, 1, 60000);
+    const auto fault_rate =
+        real_flag(argc, argv, "--fault-rate", 0.0, 0.0, 0.9);
+    const auto retry = integer_flag(argc, argv, "--retry", 3, 0, 64);
+    const auto replan = integer_flag(argc, argv, "--replan", 2, 0, 16);
+    const auto chaos_spec = take_flag_value(argc, argv, "--chaos");
+    const auto chaos_exit =
+        integer_flag(argc, argv, "--chaos-exit", 42, 1, 255);
     if (!nodes || !seed || !classes || !ops || !shards || !jobs ||
-        !epochs || !poll_ms) {
+        !epochs || !poll_ms || !fault_rate || !retry || !replan ||
+        !chaos_exit) {
         return exit_usage;
     }
     if (!state_path) {
@@ -143,6 +206,23 @@ int run_serve(int argc, char** argv) {
     spec.seed = static_cast<std::uint64_t>(*seed);
     spec.workload_classes = static_cast<int>(*classes);
     spec.operating_points = static_cast<int>(*ops);
+
+    std::optional<chaos_plan> chaos;
+    if (chaos_spec) {
+        chaos_plan_config chaos_config;
+        chaos_config.seed = spec.seed;
+        chaos_config.mode = chaos_plan_config::kill_mode::exit_process;
+        chaos_config.exit_code = static_cast<int>(*chaos_exit);
+        std::string error;
+        if (!parse_chaos_spec(*chaos_spec, chaos_config, error)) {
+            return fail(error);
+        }
+        chaos.emplace(std::move(chaos_config));
+    }
+    std::optional<fault_plan> faults;
+    if (*fault_rate > 0.0) {
+        faults = make_uniform_fault_plan(spec.seed, *fault_rate);
+    }
 
     tracer trace;
     metrics_registry metrics;
@@ -156,8 +236,25 @@ int run_serve(int argc, char** argv) {
     }
     config.trace = trace_path ? &trace : nullptr;
     config.metrics = metrics_path ? &metrics : nullptr;
+    config.faults = faults ? &*faults : nullptr;
+    config.retry_budget = static_cast<int>(*retry);
+    config.replan_rounds = static_cast<int>(*replan);
+    config.chaos = chaos ? &*chaos : nullptr;
 
-    fleet_service service(spec, config, make_xgene2_probe(spec));
+    // A journal that violates the writer's invariants is a hard error (a
+    // torn tail self-heals; anything else means foreign edits), reported
+    // as a diagnostic rather than a crash.
+    std::optional<fleet_service> service_holder;
+    try {
+        service_holder.emplace(spec, config, make_xgene2_probe(spec));
+    } catch (const fleet_journal_error& e) {
+        return fail(e.what());
+    }
+    fleet_service& service = *service_holder;
+    if (service.healed_bytes() > 0) {
+        std::cerr << "fleet_service: healed " << service.healed_bytes()
+                  << " torn journal bytes\n";
+    }
     if (service.restored() > 0) {
         std::cerr << "fleet_service: restored " << service.restored()
                   << " probe results from " << *journal_path << "\n";
@@ -172,19 +269,48 @@ int run_serve(int argc, char** argv) {
     service.publish_state();
 
     if (control_path) {
-        // Daemon loop: idle on the control file until `shutdown`.
+        // Daemon loop: idle on the control file until `shutdown`.  A
+        // command is only actionable once complete (trailing newline on
+        // disk); the daemon acts first and acknowledges by truncation
+        // *after*, so dying in between redelivers the command on restart
+        // -- at-least-once, safe because every verb is idempotent.
+        // Re-issue during a slow campaign is impossible: this loop is
+        // single-threaded, so the next poll happens after the act.
         bool running = true;
+        int stale_polls = 0;
+        std::uint64_t last_partial_bytes = 0;
         while (running) {
-            std::string command;
-            {
-                std::ifstream in(*control_path);
-                std::getline(in, command);
-            }
-            if (!command.empty()) {
-                // Acknowledge by truncating before acting, so a slow
-                // campaign is not re-issued on the next poll.
-                std::ofstream(*control_path, std::ios::trunc);
-                std::istringstream words(command);
+            const control_read pending = read_control(*control_path);
+            switch (pending.status) {
+            case control_read::state::empty:
+                stale_polls = 0;
+                break;
+            case control_read::state::oversized:
+                std::cerr << "fleet_service: rejecting oversized control "
+                             "bytes ("
+                          << pending.bytes << " bytes)\n";
+                ack_control(*control_path);
+                stale_polls = 0;
+                break;
+            case control_read::state::partial:
+                // Half-written command: a live client finishes it within
+                // a poll or two; one that died mid-write never does.
+                // Reject the stale bytes instead of wedging the channel.
+                if (pending.bytes == last_partial_bytes &&
+                    ++stale_polls >= stale_poll_limit) {
+                    std::cerr << "fleet_service: rejecting stale partial "
+                                 "control command ("
+                              << pending.bytes << " bytes, no newline)\n";
+                    ack_control(*control_path);
+                    stale_polls = 0;
+                } else if (pending.bytes != last_partial_bytes) {
+                    last_partial_bytes = pending.bytes;
+                    stale_polls = 0;
+                }
+                break;
+            case control_read::state::complete: {
+                stale_polls = 0;
+                std::istringstream words(pending.command);
                 std::string verb;
                 words >> verb;
                 if (verb == "shutdown") {
@@ -198,14 +324,22 @@ int run_serve(int argc, char** argv) {
                     } else {
                         std::cerr << "fleet_service: ignoring malformed "
                                      "control command: "
-                                  << command << "\n";
+                                  << pending.command << "\n";
                     }
                 } else {
                     std::cerr
                         << "fleet_service: ignoring unknown control "
                            "command: "
-                        << command << "\n";
+                        << pending.command << "\n";
                 }
+                if (chaos && chaos->on_control_command()) {
+                    // Acted but not yet acknowledged: the restart will
+                    // see the command again and redo it.
+                    chaos->kill(chaos_site::control_command);
+                }
+                ack_control(*control_path);
+                break;
+            }
             }
             if (running) {
                 std::this_thread::sleep_for(
@@ -248,8 +382,47 @@ int run_query(int argc, char** argv) {
     const auto state_path = take_flag_value(argc, argv, "--state");
     const bool show_bins = take_flag(argc, argv, "--bins");
     const bool show_cohorts = take_flag(argc, argv, "--cohorts");
+    const auto control_path = take_flag_value(argc, argv, "--control");
+    const auto command = take_flag_value(argc, argv, "--command");
+    const auto ack_retries =
+        integer_flag(argc, argv, "--ack-retries", 8, 0, 1000);
+    const auto ack_base_ms =
+        integer_flag(argc, argv, "--ack-base-ms", 20, 0, 60000);
+    if (!ack_retries || !ack_base_ms) {
+        return exit_usage;
+    }
+    if (command) {
+        if (!control_path) {
+            return fail("--command requires --control FILE");
+        }
+        // Send, then wait for the daemon's truncation ack with a bounded
+        // exponential-backoff schedule -- never spin forever on a daemon
+        // that died before acknowledging.
+        if (!write_control(*control_path, *command)) {
+            return fail("cannot write " + *control_path);
+        }
+        ack_wait_config ack;
+        ack.retries = static_cast<int>(*ack_retries);
+        ack.backoff_base_ms = static_cast<int>(*ack_base_ms);
+        const bool acked =
+            await_control_ack(*control_path, ack, [](int delay_ms) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+            });
+        if (!acked) {
+            std::cerr << "fleet_service: no ack for '" << *command
+                      << "' after " << *ack_retries
+                      << " retries; daemon down or wedged\n";
+            return exit_ack_timeout;
+        }
+        std::cerr << "fleet_service: command '" << *command
+                  << "' acknowledged\n";
+        if (!state_path) {
+            return exit_ok;
+        }
+    }
     if (!state_path) {
-        return fail("query requires --state FILE");
+        return fail("query requires --state FILE (or --command)");
     }
     std::ifstream in(*state_path, std::ios::binary);
     if (!in) {
@@ -279,8 +452,14 @@ int run_query(int argc, char** argv) {
     std::cout << "probes: " << u64_of(root, "tasks_total") << " served, "
               << u64_of(*fleet, "probes_executed") << " executed, "
               << u64_of(*fleet, "cache_hits") << " cache hits ("
-              << u64_of(*fleet, "cache_entries") << " entries, "
-              << u64_of(*fleet, "restored") << " restored)\n";
+              << u64_of(*fleet, "cache_entries") << " entries)\n";
+    const report::json_value* degraded = member(*fleet, "degraded");
+    if (degraded != nullptr && degraded->is_object() &&
+        u64_of(*degraded, "cohorts") > 0) {
+        std::cout << "DEGRADED: " << u64_of(*degraded, "cohorts")
+                  << " cohorts (" << u64_of(*degraded, "nodes")
+                  << " nodes) quarantined at the nominal bin cap\n";
+    }
     const report::json_value* nominal =
         member(*fleet, "power_nominal_w");
     const report::json_value* binned = member(*fleet, "power_binned_w");

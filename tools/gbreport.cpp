@@ -178,6 +178,11 @@ int run_status(int argc, char** argv) {
               << status->retries << " retries, " << status->aborted_rig
               << " aborted), " << status->replayed << " replayed, "
               << status->downtime_ms << " ms simulated downtime\n";
+    if (status->degraded_cohorts > 0) {
+        std::cout << "degraded: " << status->degraded_cohorts
+                  << " cohorts (" << status->degraded_nodes
+                  << " nodes) quarantined at the nominal bin cap\n";
+    }
     if (status->running && !status->worker_task.empty()) {
         std::cout << "workers (" << status->workers << "):";
         for (const std::int64_t task : status->worker_task) {
