@@ -21,6 +21,11 @@
 //                       degraded at the nominal bin and summarized
 //     --replan <n>      backoff re-plan rounds before a chip degrades
 //                       (default 2, only meaningful with --fault-rate)
+//     --sdc <spec>      arm silent-data-corruption triggers
+//                       (site@at[/param], see docs/ROBUSTNESS.md) and the
+//                       quorum/audit defenses against them
+//     --quorum <n>      replicas per probe (default: 3 with --sdc)
+//     --audit <k>       re-verify every k-th scheduled cache hit
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -75,6 +80,45 @@ int main(int argc, char** argv) {
             return 2;
         }
         replan_rounds = static_cast<int>(*parsed);
+    }
+    const std::optional<std::string> sdc_text =
+        take_flag_value(argc, argv, "--sdc");
+    const std::optional<std::string> quorum_text =
+        take_flag_value(argc, argv, "--quorum");
+    const std::optional<std::string> audit_text =
+        take_flag_value(argc, argv, "--audit");
+    std::optional<sdc_plan> sdc;
+    if (sdc_text) {
+        sdc_plan_config sdc_config;
+        sdc_config.seed = 2024;
+        std::string error;
+        if (!parse_sdc_spec(*sdc_text, sdc_config, error)) {
+            std::cerr << "fleet_binning: " << error << "\n";
+            return 2;
+        }
+        sdc.emplace(std::move(sdc_config));
+    }
+    int quorum = sdc ? 3 : 1;
+    if (quorum_text) {
+        const std::optional<long long> parsed = parse_integer(*quorum_text);
+        if (!parsed || *parsed < 1 || *parsed > 15) {
+            std::cerr << "fleet_binning: --quorum must be an integer in "
+                         "[1, 15], got '"
+                      << *quorum_text << "'\n";
+            return 2;
+        }
+        quorum = static_cast<int>(*parsed);
+    }
+    std::uint64_t audit_stride = (sdc || quorum > 1) ? 4 : 0;
+    if (audit_text) {
+        const std::optional<long long> parsed = parse_integer(*audit_text);
+        if (!parsed || *parsed < 0) {
+            std::cerr << "fleet_binning: --audit must be a non-negative "
+                         "integer, got '"
+                      << *audit_text << "'\n";
+            return 2;
+        }
+        audit_stride = static_cast<std::uint64_t>(*parsed);
     }
     const int per_corner = static_cast<int>(
         int_arg(argc, argv, 1, 15, "chips_per_corner", 1, 1000));
@@ -180,6 +224,9 @@ int main(int argc, char** argv) {
         config.faults = &*faults;
         config.replan_rounds = replan_rounds;
     }
+    config.integrity.quorum = quorum;
+    config.integrity.sdc = sdc ? &*sdc : nullptr;
+    config.integrity.audit_stride = audit_stride;
     fleet::fleet_service service(spec, config, probe);
     const fleet::campaign_outcome outcome = service.run_campaign();
 
@@ -211,6 +258,16 @@ int main(int argc, char** argv) {
                   << outcome.replanned << " re-planned, "
                   << format_number(outcome.stats.rig_downtime_s, 0)
                   << " s simulated rig downtime)\n";
+    }
+    // Same discipline for the Byzantine-rig summary: only an --sdc run
+    // can differ from the clean output, so only an --sdc run prints it.
+    if (sdc_text) {
+        std::cout << "\nintegrity: " << service.sdc_injected()
+                  << " corruptions injected, " << service.sdc_detected()
+                  << " detected (" << service.sdc_outvoted()
+                  << " outvoted by the quorum of " << quorum << ", "
+                  << service.audit_mismatches() << " audit-caught), "
+                  << service.sdc_escaped() << " escaped\n";
     }
     if (trace_path) {
         std::ofstream out(*trace_path);

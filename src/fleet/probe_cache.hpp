@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 namespace gb::fleet {
 
@@ -43,14 +44,40 @@ public:
     /// construction, so overwrite == insert).
     void insert(std::uint64_t content, const probe_result& result);
 
+    /// Insert with the rigs that vouched for the value (the configured
+    /// quorum's assigned rigs, sorted).  Provenance drives blacklist
+    /// repair: entries sourced only from blacklisted rigs re-execute.
+    void insert(std::uint64_t content, const probe_result& result,
+                std::vector<std::uint32_t> rigs);
+
+    /// The vouching rigs of an entry (empty when unknown / integrity off).
+    [[nodiscard]] const std::vector<std::uint32_t>* provenance(
+        std::uint64_t content) const;
+
+    /// Overwrite a poisoned entry with the arbitrated truth and its new
+    /// provenance.  Counts one repair.
+    void repair(std::uint64_t content, const probe_result& result,
+                std::vector<std::uint32_t> rigs);
+
+    /// Count one outvoted dissent observed at admission time.
+    void record_dissent() { ++dissents_; }
+
     [[nodiscard]] std::uint64_t hits() const { return hits_; }
     [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    [[nodiscard]] std::uint64_t dissents() const { return dissents_; }
+    [[nodiscard]] std::uint64_t repaired() const { return repaired_; }
     [[nodiscard]] std::uint64_t size() const { return entries_.size(); }
 
 private:
-    std::map<std::uint64_t, probe_result> entries_;
+    struct entry {
+        probe_result result;
+        std::vector<std::uint32_t> rigs; ///< sorted vouching rigs
+    };
+    std::map<std::uint64_t, entry> entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t dissents_ = 0;
+    std::uint64_t repaired_ = 0;
 };
 
 } // namespace gb::fleet

@@ -63,6 +63,7 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
         sc.replan_rounds = config.replan_rounds;
         sc.replan_backoff_base_s = config.replan_backoff_base_s;
         sc.chaos = chaos;
+        sc.integrity = config.integrity;
         return sc;
     };
     const auto run_schedule = [&config](fleet_service& service) {

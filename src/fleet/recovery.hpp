@@ -52,6 +52,13 @@ struct recovery_check_config {
     int retry_budget = 3;
     int replan_rounds = 2;
     double replan_backoff_base_s = 5.0;
+    /// Optional integrity defenses (quorum, audit sampler, SDC plan),
+    /// applied identically to both runs.  Note a shared `sdc` plan fires
+    /// its one-shot triggers in whichever run executes first -- callers
+    /// who want the golden run clean should arm SDC only via the chaos
+    /// incarnations' own service config, or compare against a separate
+    /// clean reference.
+    fleet_integrity_config integrity;
 };
 
 struct recovery_report {

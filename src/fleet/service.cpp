@@ -140,6 +140,91 @@ bool same_result(const probe_result& a, const probe_result& b) {
            a.power_point_w == b.power_point_w && a.bucket == b.bucket;
 }
 
+/// Fault-draw domain for replicas beyond the first, so redundant
+/// executions see independent rig faults without disturbing replica 0's
+/// draws (which must stay byte-identical to the quorum=1 schedule).
+constexpr std::uint64_t replica_fault_domain = 0x7265706c2d666c74ULL;
+
+/// What a Byzantine rig's silent corruption does to one probe result.
+/// The weak-cell sites land on the outcome bucket (the fleet probe's
+/// cell-count-like integer channel); the others on the named scalars.
+probe_result apply_sdc(const probe_result& clean,
+                       const sdc_corruption& corruption) {
+    probe_result result = clean;
+    switch (corruption.site) {
+    case sdc_site::vmin_flip:
+        result.requirement_mv = sdc_plan::corrupt_vmin(
+            result.requirement_mv, corruption.param);
+        break;
+    case sdc_site::weak_drop:
+    case sdc_site::weak_phantom:
+        result.bucket = static_cast<int>(sdc_plan::corrupt_weak_cells(
+            result.bucket, corruption.site, corruption.param));
+        break;
+    case sdc_site::power_scale:
+        result.power_point_w =
+            sdc_plan::corrupt_power(result.power_point_w, corruption.param);
+        break;
+    }
+    return result;
+}
+
+std::string format_probe_payload(const cohort_key& key,
+                                 std::int64_t sweep_mv,
+                                 std::uint64_t content,
+                                 const probe_result& result,
+                                 const probe_ledger& ledger) {
+    std::string line = "probe corner=";
+    line += to_string(key.corner);
+    line += " class=" + std::to_string(key.workload_class);
+    line += " op=" + std::to_string(key.operating_point);
+    line += " variant=" + std::to_string(key.variant);
+    line += " sweep=" + std::to_string(sweep_mv);
+    line += " content=" + format_hex(content);
+    line += " req=" + format_double(result.requirement_mv);
+    line += " pnom=" + format_double(result.power_nominal_w);
+    line += " ppt=" + format_double(result.power_point_w);
+    line += " bucket=" + std::to_string(result.bucket);
+    line += " retries=" + std::to_string(ledger.retries);
+    line += " wdt=" + std::to_string(ledger.watchdog_timeouts);
+    line += " crash=" + std::to_string(ledger.board_crashes);
+    line += " pwr=" + std::to_string(ledger.power_switch_failures);
+    line += " xhst=" + std::to_string(ledger.exhausted_rounds);
+    line += " down=" + format_double(ledger.downtime_s);
+    return line;
+}
+
+std::string format_rigs(const std::vector<std::uint32_t>& rigs) {
+    std::string text;
+    for (const std::uint32_t rig : rigs) {
+        if (!text.empty()) {
+            text += ':';
+        }
+        text += std::to_string(rig);
+    }
+    return text;
+}
+
+bool parse_rigs(std::string_view text, std::vector<std::uint32_t>& rigs) {
+    rigs.clear();
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t colon = text.find(':', pos);
+        const std::size_t end =
+            colon == std::string_view::npos ? text.size() : colon;
+        std::uint32_t rig = 0;
+        if (!parse_integer(text.substr(pos, end - pos), rig)) {
+            return false;
+        }
+        rigs.push_back(rig);
+        if (colon == std::string_view::npos) {
+            return true;
+        }
+        pos = colon + 1;
+    }
+    return false;
+}
+
 } // namespace
 
 bool parse_probe_line(std::string_view payload, cohort_key& key,
@@ -229,6 +314,21 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         state.members = count;
         cohorts_.push_back(state);
     }
+    cohort_last_content_.assign(cohorts_.size(), 0);
+    GB_EXPECTS(config_.integrity.quorum >= 1);
+    effective_rigs_ = config_.integrity.rigs != 0
+                          ? std::max<std::uint64_t>(
+                                config_.integrity.rigs,
+                                static_cast<std::uint64_t>(
+                                    config_.integrity.quorum))
+                          : std::max<std::uint64_t>(
+                                static_cast<std::uint64_t>(
+                                    config_.integrity.quorum),
+                                8);
+    rig_reputation_config reputation;
+    reputation.blacklist_threshold =
+        std::max<std::uint64_t>(1, config_.integrity.blacklist_threshold);
+    reputation_ = rig_reputation(reputation);
     if (!config_.state_path.empty()) {
         // A crash between the snapshot temp write and its rename leaves a
         // stale `.tmp` sibling; it is dead bytes, never to be renamed.
@@ -236,6 +336,10 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         std::filesystem::remove(config_.state_path + ".tmp", ec);
     }
     if (!config_.journal_path.empty()) {
+        // A crash between a repair rewrite's temp and its rename leaves a
+        // stale `.tmp` sibling -- dead bytes, never to be renamed.
+        std::error_code ec;
+        std::filesystem::remove(config_.journal_path + ".tmp", ec);
         warm_cache_from_journal();
         journal_ = std::make_unique<campaign_journal>(config_.journal_path);
         if (config_.chaos != nullptr) {
@@ -269,6 +373,31 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         mh_.power_binned_w = config_.metrics->gauge("fleet.power_binned_w");
         mh_.degraded_cohorts =
             config_.metrics->gauge("fleet.degraded_cohorts");
+        if (config_.integrity.enabled()) {
+            mh_.integrity = true;
+            mh_.sdc_injected =
+                config_.metrics->gauge("integrity.sdc_injected");
+            mh_.sdc_detected =
+                config_.metrics->gauge("integrity.sdc_detected");
+            mh_.sdc_outvoted =
+                config_.metrics->gauge("integrity.sdc_outvoted");
+            mh_.sdc_corrected =
+                config_.metrics->gauge("integrity.sdc_corrected");
+            mh_.sdc_escaped =
+                config_.metrics->gauge("integrity.sdc_escaped");
+            mh_.audits = config_.metrics->gauge("integrity.audits");
+            mh_.audit_mismatches =
+                config_.metrics->gauge("integrity.audit_mismatches");
+            mh_.dissents = config_.metrics->gauge("integrity.dissents");
+            mh_.blacklisted_rigs =
+                config_.metrics->gauge("integrity.blacklisted_rigs");
+            mh_.quorum_stalemates =
+                config_.metrics->gauge("integrity.quorum_stalemates");
+            mh_.repaired_entries =
+                config_.metrics->gauge("integrity.repaired_entries");
+            mh_.replica_executions =
+                config_.metrics->gauge("integrity.replica_executions");
+        }
         if (restored_ > 0) {
             config_.metrics->add(0, mh_.restored, restored_);
         }
@@ -353,6 +482,31 @@ void fleet_service::warm_cache_from_journal() {
                                " out of sequence (expected " +
                                std::to_string(journal_serial_) + ")");
         }
+        // With the integrity defenses on, every record must close with a
+        // ` chain=` link folding the previous record's chain value over
+        // this record's bytes -- an in-place edit anywhere breaks every
+        // later link, which a torn-tail heal can never excuse.  With them
+        // off the chain (and rigs provenance) is ignored like any unknown
+        // field, so defended journals stay readable by undefended
+        // services.
+        if (config_.integrity.enabled()) {
+            const std::size_t chain_at = payload.rfind(" chain=");
+            if (chain_at == std::string_view::npos) {
+                reject(lineno, "missing chain hash");
+            }
+            const std::string_view base = payload.substr(0, chain_at);
+            std::uint64_t recorded = 0;
+            if (!parse_integer(payload.substr(chain_at + 7), recorded,
+                               16)) {
+                reject(lineno, "unparseable chain hash");
+            }
+            const std::uint64_t expected = chain_next(chain_, base);
+            if (recorded != expected) {
+                reject(lineno, "chain hash mismatch (in-place corruption "
+                               "upstream or on this record)");
+            }
+            chain_ = expected;
+        }
         cohort_key key;
         std::int64_t sweep_mv = 0;
         std::uint64_t content = 0;
@@ -361,6 +515,27 @@ void fleet_service::warm_cache_from_journal() {
         if (!parse_probe_line(payload, key, sweep_mv, content, result,
                               ledger)) {
             reject(lineno, "unparseable probe record");
+        }
+        std::vector<std::uint32_t> rigs;
+        if (config_.integrity.enabled()) {
+            std::vector<std::string_view> tokens;
+            std::size_t token_pos = 0;
+            while (token_pos < payload.size()) {
+                const std::size_t space = payload.find(' ', token_pos);
+                const std::size_t token_end =
+                    space == std::string_view::npos ? payload.size()
+                                                    : space;
+                if (token_end > token_pos) {
+                    tokens.push_back(
+                        payload.substr(token_pos, token_end - token_pos));
+                }
+                token_pos = token_end + 1;
+            }
+            std::string_view rigs_text;
+            if (field_value(tokens, "rigs", rigs_text) &&
+                !parse_rigs(rigs_text, rigs)) {
+                reject(lineno, "unparseable rigs provenance");
+            }
         }
         if (cohort_of_.find(key) == cohort_of_.end()) {
             reject(lineno, "probe for a cohort outside this fleet");
@@ -382,7 +557,13 @@ void fleet_service::warm_cache_from_journal() {
         prev_key = key;
         have_prev = true;
         ++journal_serial_;
-        cache_.insert(content, result);
+        if (config_.integrity.enabled()) {
+            cache_.insert(content, result, rigs);
+            journal_entries_.push_back(
+                {key, sweep_mv, content, result, ledger, std::move(rigs)});
+        } else {
+            cache_.insert(content, result);
+        }
         // Restored ledgers fold in journal order -- the exact order the
         // unfaulted run folds them at commit -- so the double-summed
         // downtime converges bitwise across a crash/restart.
@@ -395,28 +576,266 @@ void fleet_service::append_probe_line(const cohort_key& key,
                                       std::int64_t sweep_mv,
                                       std::uint64_t content,
                                       const probe_result& result,
-                                      const probe_ledger& ledger) {
+                                      const probe_ledger& ledger,
+                                      const std::vector<std::uint32_t>*
+                                          rigs) {
     if (!journal_) {
         return;
     }
-    std::string line = "probe corner=";
-    line += to_string(key.corner);
-    line += " class=" + std::to_string(key.workload_class);
-    line += " op=" + std::to_string(key.operating_point);
-    line += " variant=" + std::to_string(key.variant);
-    line += " sweep=" + std::to_string(sweep_mv);
-    line += " content=" + format_hex(content);
-    line += " req=" + format_double(result.requirement_mv);
-    line += " pnom=" + format_double(result.power_nominal_w);
-    line += " ppt=" + format_double(result.power_point_w);
-    line += " bucket=" + std::to_string(result.bucket);
-    line += " retries=" + std::to_string(ledger.retries);
-    line += " wdt=" + std::to_string(ledger.watchdog_timeouts);
-    line += " crash=" + std::to_string(ledger.board_crashes);
-    line += " pwr=" + std::to_string(ledger.power_switch_failures);
-    line += " xhst=" + std::to_string(ledger.exhausted_rounds);
-    line += " down=" + format_double(ledger.downtime_s);
+    std::string line =
+        format_probe_payload(key, sweep_mv, content, result, ledger);
+    if (rigs != nullptr) {
+        // Defended wire: vouching rigs, then the chain link LAST so it
+        // covers everything before it (including the provenance).
+        line += " rigs=" + format_rigs(*rigs);
+        chain_ = chain_next(chain_, line);
+        line += " chain=" + format_chain(chain_);
+    }
     journal_->append(journal_serial_++, line);
+}
+
+std::uint64_t fleet_service::sdc_injected() const {
+    return config_.integrity.sdc != nullptr
+               ? config_.integrity.sdc->injected()
+               : 0;
+}
+
+std::uint64_t fleet_service::sdc_escaped() const {
+    const std::uint64_t injected = sdc_injected();
+    return injected > sdc_detected_ ? injected - sdc_detected_ : 0;
+}
+
+probe_request fleet_service::request_for(const cohort_key& key,
+                                         std::int64_t sweep_mv,
+                                         std::uint64_t content) const {
+    probe_request request;
+    request.cohort = key;
+    request.sweep_mv = sweep_mv;
+    request.content = content;
+    request.seed = derive_task_seed(spec_.seed, content);
+    request.members = cohorts_[cohort_index(key)].members;
+    return request;
+}
+
+probe_result fleet_service::execute_replica(const probe_request& request) {
+    // Serial re-execution for audits, arbitration and repair.  No rig
+    // faults here: the loud failure modes already ran their course when
+    // the probe first resolved, and a re-execution's value is what the
+    // defense needs -- only the silent corruption stream still applies.
+    probe_result value = probe_(request);
+    if (config_.integrity.sdc != nullptr) {
+        if (const auto decision = config_.integrity.sdc->on_execution()) {
+            value = apply_sdc(value, *decision);
+        }
+    }
+    ++replica_executions_;
+    return value;
+}
+
+void fleet_service::charge_dissent(
+    std::uint64_t rig, std::set<std::uint64_t>& newly_blacklisted) {
+    cache_.record_dissent();
+    if (reputation_.record_dissent(rig)) {
+        newly_blacklisted.insert(rig);
+    }
+}
+
+std::vector<std::uint32_t> fleet_service::assigned_rigs(
+    std::uint64_t content) const {
+    // The configured quorum's rig assignment, sorted and uniqued.  A pure
+    // function of the content (rig_for is round-free), so the journal's
+    // provenance field -- and through it the chain hash -- is bitwise
+    // identical whether the admission was unanimous, outvoted a dissenting
+    // rig, or was repaired after the fact.  Dissent itself is recorded in
+    // the reputation ledger and the integrity metrics, never in the
+    // journal bytes.
+    const int quorum = std::max(1, config_.integrity.quorum);
+    std::vector<std::uint32_t> rigs;
+    rigs.reserve(static_cast<std::size_t>(quorum));
+    for (int r = 0; r < quorum; ++r) {
+        rigs.push_back(static_cast<std::uint32_t>(
+            rig_for(spec_.seed, content, r, effective_rigs_)));
+    }
+    std::sort(rigs.begin(), rigs.end());
+    rigs.erase(std::unique(rigs.begin(), rigs.end()), rigs.end());
+    return rigs;
+}
+
+bool fleet_service::arbitrate(const probe_request& request, int replicas,
+                              probe_result& truth,
+                              std::vector<std::uint32_t>& rigs) {
+    GB_EXPECTS(replicas >= 1);
+    std::vector<probe_result> votes;
+    votes.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+        votes.push_back(execute_replica(request));
+    }
+    const quorum_tally tally =
+        vote(votes.size(), [&](std::size_t a, std::size_t b) {
+            return same_result(votes[a], votes[b]);
+        });
+    if (!tally.decided) {
+        ++quorum_stalemates_;
+        return false;
+    }
+    truth = votes[tally.winner];
+    // Provenance is the configured quorum's content-pure rig assignment
+    // (not the agreeing subset), so a repaired record carries exactly the
+    // rigs a never-corrupted run would have recorded -- the
+    // bitwise-convergence contract.
+    rigs = assigned_rigs(request.content);
+    return true;
+}
+
+void fleet_service::audit_scheduled_hits(
+    std::int64_t sweep_mv,
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& candidates,
+    std::set<std::uint64_t>& newly_blacklisted, bool& journal_dirty) {
+    const int quorum = std::max(1, config_.integrity.quorum);
+    for (const auto& [cohort_idx, content] : candidates) {
+        ++audits_;
+        const probe_result* cached = cache_.peek(content);
+        if (cached == nullptr) {
+            continue; // unreachable: an audited hit was just served
+        }
+        const cohort_state& cohort = cohorts_[cohort_idx];
+        const probe_request request =
+            request_for(cohort.key, sweep_mv, content);
+        const probe_result observed = execute_replica(request);
+        if (same_result(observed, *cached)) {
+            continue;
+        }
+        // The audit replica and the cache disagree; neither is trusted.
+        // Arbitrate with a fresh odd quorum on the standard assignment.
+        ++audit_mismatches_;
+        ++sdc_detected_;
+        probe_result truth;
+        std::vector<std::uint32_t> rigs;
+        const int arbiters = std::max(3, quorum | 1);
+        if (!arbitrate(request, arbiters, truth, rigs)) {
+            continue; // stalemate: leave the cache alone, counted above
+        }
+        if (!same_result(truth, *cached)) {
+            // The cache was poisoned: repair it, refresh the cohort, and
+            // charge every rig that vouched for the bad value.
+            ++sdc_corrected_;
+            std::vector<std::uint32_t> charged;
+            if (const auto* provenance = cache_.provenance(content)) {
+                charged = *provenance;
+            }
+            cache_.repair(content, truth, rigs);
+            if (cohort_last_content_[cohort_idx] == content) {
+                cohorts_[cohort_idx].last = truth;
+            }
+            for (const std::uint32_t rig : charged) {
+                charge_dissent(rig, newly_blacklisted);
+            }
+            for (journal_entry& entry : journal_entries_) {
+                if (entry.content == content) {
+                    entry.result = truth;
+                    entry.rigs = rigs;
+                    ++repaired_entries_;
+                    journal_dirty = true;
+                }
+            }
+        } else {
+            // The cache was right; the audit replica itself lied.
+            charge_dissent(rig_for(spec_.seed, content, quorum,
+                                   effective_rigs_),
+                           newly_blacklisted);
+        }
+    }
+}
+
+void fleet_service::repair_blacklisted_entries(
+    const std::set<std::uint64_t>& newly_blacklisted, bool& journal_dirty) {
+    if (newly_blacklisted.empty()) {
+        return;
+    }
+    const int quorum = std::max(1, config_.integrity.quorum);
+    for (journal_entry& entry : journal_entries_) {
+        if (entry.rigs.empty()) {
+            continue;
+        }
+        bool all_blacklisted = true;
+        for (const std::uint32_t rig : entry.rigs) {
+            if (!reputation_.blacklisted(rig)) {
+                all_blacklisted = false;
+                break;
+            }
+        }
+        if (!all_blacklisted) {
+            continue;
+        }
+        // Every voucher of this record is now blacklisted: nothing about
+        // it is trustworthy, so re-execute the full quorum and repair.
+        const probe_request request =
+            request_for(entry.key, entry.sweep_mv, entry.content);
+        probe_result truth;
+        std::vector<std::uint32_t> rigs;
+        if (!arbitrate(request, quorum, truth, rigs)) {
+            continue;
+        }
+        const bool value_changed = !same_result(truth, entry.result);
+        if (value_changed) {
+            ++sdc_detected_;
+            ++sdc_corrected_;
+        }
+        if (value_changed || rigs != entry.rigs) {
+            entry.result = truth;
+            entry.rigs = rigs;
+            ++repaired_entries_;
+            journal_dirty = true;
+            cache_.repair(entry.content, truth, rigs);
+            const std::size_t cohort_idx = cohort_index(entry.key);
+            if (cohort_last_content_[cohort_idx] == entry.content) {
+                cohorts_[cohort_idx].last = truth;
+            }
+        }
+    }
+}
+
+void fleet_service::rewrite_journal() {
+    if (!journal_) {
+        return;
+    }
+    // Rebuild every line with a recomputed chain, then swap atomically.
+    // Not a chaos seam: repair rewrites are driven by the deterministic
+    // audit/blacklist schedule, and the stale `.tmp` a crash could leave
+    // is removed at construction.  (The fresh campaign_journal restarts
+    // the chaos byte counter -- documented in docs/ROBUSTNESS.md.)
+    std::string bytes;
+    std::uint64_t chain = chain_basis;
+    std::size_t serial = 0;
+    for (const journal_entry& entry : journal_entries_) {
+        std::string line =
+            format_probe_payload(entry.key, entry.sweep_mv, entry.content,
+                                 entry.result, entry.ledger);
+        line += " rigs=" + format_rigs(entry.rigs);
+        chain = chain_next(chain, line);
+        line += " chain=" + format_chain(chain);
+        bytes += "task=" + std::to_string(serial++) + " " + line + "\n";
+    }
+    const std::string temp = config_.journal_path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return;
+        }
+        out << bytes;
+        if (!out.flush()) {
+            return;
+        }
+    }
+    if (std::rename(temp.c_str(), config_.journal_path.c_str()) != 0) {
+        return; // keep appending to the old (still-linked) journal
+    }
+    chain_ = chain;
+    journal_serial_ = serial;
+    journal_ = std::make_unique<campaign_journal>(config_.journal_path);
+    if (config_.chaos != nullptr) {
+        journal_->set_chaos(config_.chaos);
+    }
 }
 
 void fleet_service::publish_live(std::uint64_t pending) const {
@@ -451,6 +870,12 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
         std::uint64_t content = 0;
     };
     std::vector<pending_probe> pending;
+    // Audit sample of this campaign's scheduled hits: every
+    // `audit_stride`-th one gets re-verified after commit.  Keyed by the
+    // crash-invariant scheduled-hit count, so a restarted daemon audits
+    // the same hits a never-crashed one does.
+    std::vector<std::pair<std::size_t, std::uint64_t>> audit_candidates;
+    const bool integrity_on = config_.integrity.enabled();
     for (std::size_t c = 0; c < cohorts_.size(); ++c) {
         cohort_state& cohort = cohorts_[c];
         ++cohort.probes;
@@ -459,6 +884,7 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
             cohort.last = *cached;
             cohort.probed = true;
             cohort.degraded = false;
+            cohort_last_content_[c] = content;
             ++outcome.cache_hits;
             // A hit on a content already requested this lifetime is a
             // *scheduled* hit -- the only hit notion identical before and
@@ -466,6 +892,10 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
             // is lifetime-local and stays out of the snapshot counters.
             if (requested_contents_.contains(content)) {
                 ++scheduled_hits_;
+                if (integrity_on && config_.integrity.audit_stride > 0 &&
+                    scheduled_hits_ % config_.integrity.audit_stride == 0) {
+                    audit_candidates.emplace_back(c, content);
+                }
             } else {
                 requested_contents_.insert(content);
             }
@@ -483,9 +913,24 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
     // exhausts its attempts in one round is deferred to the next with an
     // exponential backoff charge; after the last round it degrades its
     // cohort instead of failing the campaign.
+    const int quorum = std::max(1, config_.integrity.quorum);
     std::vector<probe_result> results(pending.size());
+    std::vector<std::vector<probe_result>> replicas(pending.size());
     std::vector<probe_ledger> ledgers(pending.size());
     std::vector<char> resolved(pending.size(), 0);
+    // Corruption decisions are drawn HERE, serially in pending (sorted
+    // cohort) order, one opportunity per (probe, replica) -- never inside
+    // engine workers -- so a corrupted campaign stays bitwise invariant
+    // under GB_JOBS and the shard count.  A decision persists across
+    // re-plan rounds: the Byzantine rig corrupts the replica whenever it
+    // finally resolves.
+    std::vector<std::optional<sdc_corruption>> poison;
+    if (config_.integrity.sdc != nullptr && !pending.empty()) {
+        poison.resize(pending.size() * static_cast<std::size_t>(quorum));
+        for (auto& decision : poison) {
+            decision = config_.integrity.sdc->on_execution();
+        }
+    }
     if (!pending.empty()) {
         GB_EXPECTS(static_cast<bool>(probe_));
         publish_live(pending.size());
@@ -556,40 +1001,81 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
                             derive_task_seed(spec_.seed, entry.content);
                         request.members = cohort.members;
                         probe_ledger& ledger = ledgers[j];
-                        for (int attempt = 0; attempt < attempts;
-                             ++attempt) {
-                            const rig_fault fault =
-                                config_.faults == nullptr
-                                    ? rig_fault::none
-                                    : config_.faults->draw(
-                                          replan_key(entry.content, round),
-                                          attempt);
-                            if (fault == rig_fault::none) {
-                                results[j] = probe_(request);
-                                resolved[j] = 1;
-                                return results[j].bucket;
+                        // Replica 0's fault draws are keyed exactly as a
+                        // quorum=1 plan's, so the defense-off schedule is
+                        // byte-identical; redundant replicas re-key into
+                        // their own fault streams.  A probe resolves only
+                        // when EVERY replica does -- one exhausted rig
+                        // defers the whole vote to the next round.
+                        replicas[j].assign(
+                            static_cast<std::size_t>(quorum), {});
+                        int bucket = -1;
+                        for (int r = 0; r < quorum; ++r) {
+                            const std::uint64_t round_key =
+                                replan_key(entry.content, round);
+                            const std::uint64_t fault_key =
+                                r == 0 ? round_key
+                                       : derive_task_seed(
+                                             round_key,
+                                             replica_fault_domain +
+                                                 static_cast<std::uint64_t>(
+                                                     r));
+                            bool replica_done = false;
+                            for (int attempt = 0; attempt < attempts;
+                                 ++attempt) {
+                                const rig_fault fault =
+                                    config_.faults == nullptr
+                                        ? rig_fault::none
+                                        : config_.faults->draw(fault_key,
+                                                               attempt);
+                                if (fault == rig_fault::none) {
+                                    probe_result value = probe_(request);
+                                    if (!poison.empty()) {
+                                        const auto& decision =
+                                            poison[j * static_cast<
+                                                           std::size_t>(
+                                                           quorum) +
+                                                   static_cast<std::size_t>(
+                                                       r)];
+                                        if (decision) {
+                                            value = apply_sdc(value,
+                                                              *decision);
+                                        }
+                                    }
+                                    replicas[j][static_cast<std::size_t>(
+                                        r)] = value;
+                                    if (r == 0) {
+                                        bucket = value.bucket;
+                                    }
+                                    replica_done = true;
+                                    break;
+                                }
+                                switch (fault) {
+                                case rig_fault::hang_until_watchdog:
+                                    ++ledger.watchdog_timeouts;
+                                    break;
+                                case rig_fault::board_crash:
+                                    ++ledger.board_crashes;
+                                    break;
+                                case rig_fault::power_switch_failure:
+                                    ++ledger.power_switch_failures;
+                                    break;
+                                case rig_fault::none:
+                                    break;
+                                }
+                                ledger.downtime_s +=
+                                    config_.faults->downtime_for(fault);
+                                if (attempt + 1 < attempts) {
+                                    ++ledger.retries;
+                                }
                             }
-                            switch (fault) {
-                            case rig_fault::hang_until_watchdog:
-                                ++ledger.watchdog_timeouts;
-                                break;
-                            case rig_fault::board_crash:
-                                ++ledger.board_crashes;
-                                break;
-                            case rig_fault::power_switch_failure:
-                                ++ledger.power_switch_failures;
-                                break;
-                            case rig_fault::none:
-                                break;
-                            }
-                            ledger.downtime_s +=
-                                config_.faults->downtime_for(fault);
-                            if (attempt + 1 < attempts) {
-                                ++ledger.retries;
+                            if (!replica_done) {
+                                ++ledger.exhausted_rounds;
+                                return -1;
                             }
                         }
-                        ++ledger.exhausted_rounds;
-                        return -1;
+                        resolved[j] = 1;
+                        return bucket;
                     },
                     first);
                 trace_index_base_ += batch.size();
@@ -630,6 +1116,8 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
     // stay out of the snapshot stats (which lifetime ran them would
     // otherwise leak into the fold order) but reach the outcome.
     std::uint64_t executed = 0;
+    std::set<std::uint64_t> newly_blacklisted;
+    bool journal_dirty = false;
     for (std::size_t j = 0; j < pending.size(); ++j) {
         const pending_probe& entry = pending[j];
         cohort_state& cohort = cohorts_[entry.cohort];
@@ -640,19 +1128,78 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
             fold_ledger(outcome.stats, ledgers[j]);
             continue;
         }
-        cache_.insert(entry.content, results[j]);
+        std::vector<std::uint32_t> provenance_rigs;
+        if (integrity_on) {
+            // Majority-of-N admission.  Replica r executed on the
+            // content-pure rig `rig_for(seed, content, r)`; the winning
+            // value is admitted with the assigned quorum's rigs as
+            // provenance, dissenters are charged in the reputation
+            // ledger, and a stalemate (possible only for even quorums or
+            // multi-rig corruption) degrades the cohort conservatively --
+            // with no majority, nobody can be blamed and nothing can be
+            // admitted.
+            const std::vector<probe_result>& votes = replicas[j];
+            const quorum_tally tally =
+                vote(votes.size(), [&](std::size_t a, std::size_t b) {
+                    return same_result(votes[a], votes[b]);
+                });
+            replica_executions_ += votes.size();
+            if (!tally.decided) {
+                ++quorum_stalemates_;
+                ++sdc_detected_;
+                cohort.probed = false;
+                cohort.degraded = true;
+                ++outcome.degraded;
+                fold_ledger(outcome.stats, ledgers[j]);
+                continue;
+            }
+            for (const std::size_t d : tally.dissenters) {
+                ++sdc_outvoted_;
+                ++sdc_detected_;
+                charge_dissent(rig_for(spec_.seed, entry.content,
+                                       static_cast<int>(d),
+                                       effective_rigs_),
+                               newly_blacklisted);
+            }
+            provenance_rigs = assigned_rigs(entry.content);
+            results[j] = votes[tally.winner];
+            cache_.insert(entry.content, results[j], provenance_rigs);
+        } else {
+            results[j] = replicas[j].front();
+            cache_.insert(entry.content, results[j]);
+        }
         requested_contents_.insert(entry.content);
         cohort.last = results[j];
         cohort.probed = true;
         cohort.degraded = false;
+        cohort_last_content_[entry.cohort] = entry.content;
         fold_ledger(ledger_stats_, ledgers[j]);
         fold_ledger(outcome.stats, ledgers[j]);
         append_probe_line(cohort.key, sweep_mv, entry.content, results[j],
-                          ledgers[j]);
+                          ledgers[j],
+                          integrity_on ? &provenance_rigs : nullptr);
+        if (integrity_on && journal_) {
+            journal_entries_.push_back({cohort.key, sweep_mv, entry.content,
+                                        results[j], ledgers[j],
+                                        provenance_rigs});
+        }
         ++executed;
     }
     outcome.executed = executed;
     probes_executed_ += executed;
+
+    // 3b. Integrity sweeps, still serial: re-verify the audit sample of
+    // this campaign's scheduled hits, then re-execute whatever a freshly
+    // blacklisted rig sole-sourced.  Both run before the node fan-out so
+    // a repaired value reaches this campaign's bins and snapshot.
+    if (integrity_on) {
+        audit_scheduled_hits(sweep_mv, audit_candidates, newly_blacklisted,
+                             journal_dirty);
+        repair_blacklisted_entries(newly_blacklisted, journal_dirty);
+        if (journal_dirty) {
+            rewrite_journal();
+        }
+    }
 
     // 4. Fan cohort results out to the whole fleet in node-id order (a
     // fixed floating-point accumulation order, like every other sum).
@@ -701,6 +1248,25 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
                              power_binned_w_);
         config_.metrics->set(0, mh_.degraded_cohorts, epoch_,
                              static_cast<double>(degraded_cohorts()));
+        if (mh_.integrity) {
+            const auto set = [&](const gauge_handle& handle,
+                                 std::uint64_t value) {
+                config_.metrics->set(0, handle, epoch_,
+                                     static_cast<double>(value));
+            };
+            set(mh_.sdc_injected, sdc_injected());
+            set(mh_.sdc_detected, sdc_detected_);
+            set(mh_.sdc_outvoted, sdc_outvoted_);
+            set(mh_.sdc_corrected, sdc_corrected_);
+            set(mh_.sdc_escaped, sdc_escaped());
+            set(mh_.audits, audits_);
+            set(mh_.audit_mismatches, audit_mismatches_);
+            set(mh_.dissents, reputation_.dissents());
+            set(mh_.blacklisted_rigs, reputation_.blacklisted_count());
+            set(mh_.quorum_stalemates, quorum_stalemates_);
+            set(mh_.repaired_entries, repaired_entries_);
+            set(mh_.replica_executions, replica_executions_);
+        }
     }
     publish_state();
     return outcome;

@@ -64,11 +64,13 @@
 #include "fleet/fleet.hpp"
 #include "fleet/probe_cache.hpp"
 #include "harness/execution_engine.hpp"
+#include "harness/integrity/integrity.hpp"
 #include "harness/journal.hpp"
 
 namespace gb {
 class tracer;
 class metrics_registry;
+class sdc_plan;
 } // namespace gb
 
 namespace gb::fleet {
@@ -108,6 +110,35 @@ struct probe_ledger {
     std::uint64_t power_switch_failures = 0;
     std::uint64_t exhausted_rounds = 0; ///< rounds that ran out of attempts
     double downtime_s = 0.0; ///< rig recovery + re-plan backoff charges
+};
+
+/// The SDC defense knobs (docs/ROBUSTNESS.md "Silent data corruption").
+/// Defaults leave every defense off, and a disabled config is guaranteed
+/// to keep the service's stdout, journal and snapshot bytes unchanged.
+struct fleet_integrity_config {
+    /// Replicas per distinct probe, executed on disjoint simulated rigs;
+    /// the majority value is admitted (N = 2f + 1 corrects f corrupt
+    /// rigs).  1 = no redundancy (single-sourced admission).
+    int quorum = 1;
+    /// Simulated rig pool size; 0 derives max(quorum, 8).  Values below
+    /// the quorum are raised to it (disjoint assignment needs one rig per
+    /// replica).
+    std::uint64_t rigs = 0;
+    /// Seeded silent-corruption plan (null: honest rigs).  Decisions are
+    /// drawn at serial points only, so corrupted campaigns stay bitwise
+    /// shard- and worker-invariant.
+    sdc_plan* sdc = nullptr;
+    /// Re-verify every `audit_stride`-th scheduled cache hit against a
+    /// fresh execution (0: no auditing).  Keyed by the crash-invariant
+    /// scheduled-hit count, so audit schedules converge across restarts.
+    std::uint64_t audit_stride = 0;
+    /// Outvoted dissents before a rig is blacklisted and its sole-sourced
+    /// journal entries re-executed.
+    std::uint64_t blacklist_threshold = 2;
+
+    [[nodiscard]] bool enabled() const {
+        return quorum > 1 || sdc != nullptr || audit_stride > 0;
+    }
 };
 
 struct fleet_service_config {
@@ -150,6 +181,11 @@ struct fleet_service_config {
     /// Chaos kill-point plan armed at the journal, snapshot and warm
     /// seams (null: no chaos).  See harness/chaos/chaos.hpp.
     chaos_plan* chaos = nullptr;
+    /// SDC attack + defense configuration.  With the defenses on, journal
+    /// records additionally carry ` rigs=` provenance and a running
+    /// ` chain=` hash (verified on warm); with them off (the default) the
+    /// wire format and every published byte are unchanged.
+    fleet_integrity_config integrity;
 };
 
 /// Aggregated view of one cohort the state snapshot exposes.
@@ -224,6 +260,45 @@ public:
     [[nodiscard]] double power_nominal_w() const { return power_nominal_w_; }
     [[nodiscard]] double power_binned_w() const { return power_binned_w_; }
 
+    // --- SDC integrity accounting (lifetime-local; metrics `integrity.*`
+    // mirror these, the content-pure snapshot never includes them) -------
+    /// Corruptions the armed sdc_plan has handed out.
+    [[nodiscard]] std::uint64_t sdc_injected() const;
+    /// Corruptions caught (outvoted dissents + stalemates + audit
+    /// mismatches + blacklist-repair discoveries).
+    [[nodiscard]] std::uint64_t sdc_detected() const { return sdc_detected_; }
+    /// Dissenting replicas outvoted at admission time.
+    [[nodiscard]] std::uint64_t sdc_outvoted() const { return sdc_outvoted_; }
+    /// Poisoned cache/journal entries overwritten with arbitrated truth.
+    [[nodiscard]] std::uint64_t sdc_corrected() const {
+        return sdc_corrected_;
+    }
+    /// Injected corruptions no defense has caught (yet).
+    [[nodiscard]] std::uint64_t sdc_escaped() const;
+    /// Cache hits re-verified by the audit sampler.
+    [[nodiscard]] std::uint64_t audits() const { return audits_; }
+    [[nodiscard]] std::uint64_t audit_mismatches() const {
+        return audit_mismatches_;
+    }
+    /// Votes with no strict majority (cohort degrades conservatively).
+    [[nodiscard]] std::uint64_t quorum_stalemates() const {
+        return quorum_stalemates_;
+    }
+    /// Journal entries rewritten by audit or blacklist repair.
+    [[nodiscard]] std::uint64_t repaired_entries() const {
+        return repaired_entries_;
+    }
+    /// Probe executions spent on redundancy (replicas, audits, repairs).
+    [[nodiscard]] std::uint64_t replica_executions() const {
+        return replica_executions_;
+    }
+    /// Per-rig dissent ledger (blacklist state, dissent totals).
+    [[nodiscard]] const rig_reputation& reputation() const {
+        return reputation_;
+    }
+    /// Simulated rig pool the quorum spreads over.
+    [[nodiscard]] std::uint64_t rig_count() const { return effective_rigs_; }
+
     // --- per-cohort supervision ----------------------------------------
     /// The cohort's operating-point supervisor, created on first use
     /// with `config`/`governor` (later calls return the existing one;
@@ -249,11 +324,55 @@ private:
         std::uint64_t epochs = 0;
     };
 
+    /// One retained journal record, kept in memory (warm + append) only
+    /// when the integrity defenses are on, so repair can rewrite the
+    /// journal with a recomputed chain.
+    struct journal_entry {
+        cohort_key key;
+        std::int64_t sweep_mv = 0;
+        std::uint64_t content = 0;
+        probe_result result;
+        probe_ledger ledger;
+        std::vector<std::uint32_t> rigs;
+    };
+
     [[nodiscard]] std::size_t cohort_index(const cohort_key& key) const;
     void warm_cache_from_journal();
     void append_probe_line(const cohort_key& key, std::int64_t sweep_mv,
                            std::uint64_t content, const probe_result& result,
-                           const probe_ledger& ledger);
+                           const probe_ledger& ledger,
+                           const std::vector<std::uint32_t>* rigs);
+    /// Execute one replica serially (audit / arbitration / repair),
+    /// drawing one SDC opportunity.
+    [[nodiscard]] probe_result execute_replica(const probe_request& request);
+    [[nodiscard]] probe_request request_for(const cohort_key& key,
+                                            std::int64_t sweep_mv,
+                                            std::uint64_t content) const;
+    /// Arbitrate `content` with a fresh quorum on the standard rig
+    /// assignment; returns false on a stalemate.  `truth` and the
+    /// provenance (the configured quorum's assigned rigs, so repaired
+    /// bytes converge with a never-corrupted run's) come back through
+    /// the out-params.
+    [[nodiscard]] bool arbitrate(const probe_request& request, int replicas,
+                                 probe_result& truth,
+                                 std::vector<std::uint32_t>& rigs);
+    /// The configured quorum's content-pure rig assignment (sorted,
+    /// uniqued) -- the provenance every admission and repair records.
+    [[nodiscard]] std::vector<std::uint32_t> assigned_rigs(
+        std::uint64_t content) const;
+    void audit_scheduled_hits(
+        std::int64_t sweep_mv,
+        const std::vector<std::pair<std::size_t, std::uint64_t>>& candidates,
+        std::set<std::uint64_t>& newly_blacklisted, bool& journal_dirty);
+    void repair_blacklisted_entries(
+        const std::set<std::uint64_t>& newly_blacklisted,
+        bool& journal_dirty);
+    /// Rewrite the whole journal from `journal_entries_` with a
+    /// recomputed hash chain (temp + rename; no chaos seams -- repair is
+    /// not a persistence seam the recovery checker arms).
+    void rewrite_journal();
+    void charge_dissent(std::uint64_t rig,
+                        std::set<std::uint64_t>& newly_blacklisted);
     /// Live (`running: true`) snapshot while a campaign's probes are in
     /// flight; scheduling-dependent by nature, like engine heartbeats.
     void publish_live(std::uint64_t pending) const;
@@ -288,6 +407,23 @@ private:
     /// would depend on which lifetime ran them).
     execution_stats ledger_stats_;
     std::uint64_t shard_watchdog_trips_ = 0;
+
+    /// SDC defense state (all folded at serial points).
+    std::uint64_t effective_rigs_ = 1;
+    rig_reputation reputation_;
+    std::uint64_t chain_ = chain_basis; ///< running journal chain hash
+    std::vector<journal_entry> journal_entries_; ///< integrity on only
+    /// Content of each cohort's most recent resolved probe, so repair can
+    /// refresh `cohorts_[i].last` when its backing entry is rewritten.
+    std::vector<std::uint64_t> cohort_last_content_;
+    std::uint64_t sdc_detected_ = 0;
+    std::uint64_t sdc_outvoted_ = 0;
+    std::uint64_t sdc_corrected_ = 0;
+    std::uint64_t audits_ = 0;
+    std::uint64_t audit_mismatches_ = 0;
+    std::uint64_t quorum_stalemates_ = 0;
+    std::uint64_t repaired_entries_ = 0;
+    std::uint64_t replica_executions_ = 0;
     std::map<std::int64_t, std::uint64_t> bins_;
     double power_nominal_w_ = 0.0;
     double power_binned_w_ = 0.0;
@@ -308,6 +444,21 @@ private:
         gauge_handle power_nominal_w;
         gauge_handle power_binned_w;
         gauge_handle degraded_cohorts;
+        /// `integrity.*` gauges, registered only when the defenses are on
+        /// (default metrics bytes stay unchanged).
+        bool integrity = false;
+        gauge_handle sdc_injected;
+        gauge_handle sdc_detected;
+        gauge_handle sdc_outvoted;
+        gauge_handle sdc_corrected;
+        gauge_handle sdc_escaped;
+        gauge_handle audits;
+        gauge_handle audit_mismatches;
+        gauge_handle dissents;
+        gauge_handle blacklisted_rigs;
+        gauge_handle quorum_stalemates;
+        gauge_handle repaired_entries;
+        gauge_handle replica_executions;
     } mh_;
 };
 

@@ -189,7 +189,8 @@ bool parse_chaos_spec(std::string_view spec, chaos_plan_config& config,
             if (comma == std::string_view::npos) {
                 break;
             }
-            error = "empty chaos trigger in spec";
+            error = "empty chaos trigger in spec '" + std::string(spec) +
+                    "'";
             return false;
         }
         const std::size_t at_sep = token.find('@');
@@ -201,7 +202,8 @@ bool parse_chaos_spec(std::string_view spec, chaos_plan_config& config,
         chaos_trigger trigger;
         if (!chaos_site_from_string(token.substr(0, at_sep),
                                     trigger.site)) {
-            error = "unknown chaos site '" +
+            error = "chaos trigger '" + std::string(token) +
+                    "': unknown chaos site '" +
                     std::string(token.substr(0, at_sep)) + "'";
             return false;
         }

@@ -1,5 +1,9 @@
 #include "harness/fault_injection.hpp"
 
+#include <bit>
+#include <charconv>
+#include <cmath>
+
 #include "harness/execution_engine.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -14,6 +18,9 @@ namespace {
 constexpr std::uint64_t run_fault_domain = 0x7269672d66617574ULL;
 constexpr std::uint64_t log_fault_domain = 0x6c6f672d66617574ULL;
 constexpr std::uint64_t sensor_fault_domain = 0x7463702d66617574ULL;
+constexpr std::uint64_t sdc_domain = 0x7364632d66617574ULL;
+
+constexpr std::size_t sdc_site_count = 4;
 
 } // namespace
 
@@ -123,6 +130,145 @@ fault_plan make_uniform_fault_plan(std::uint64_t seed, double fault_rate) {
     config.power_switch_rate = fault_rate / 3.0;
     config.log_corruption_rate = fault_rate;
     return fault_plan(config);
+}
+
+// --- silent data corruption ------------------------------------------------
+
+std::string_view to_string(sdc_site site) {
+    switch (site) {
+    case sdc_site::vmin_flip: return "vmin_flip";
+    case sdc_site::weak_drop: return "weak_drop";
+    case sdc_site::weak_phantom: return "weak_phantom";
+    case sdc_site::power_scale: return "power_scale";
+    }
+    return "?";
+}
+
+bool sdc_site_from_string(std::string_view text, sdc_site& site) {
+    for (std::size_t i = 0; i < sdc_site_count; ++i) {
+        const auto candidate = static_cast<sdc_site>(i);
+        if (text == to_string(candidate)) {
+            site = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+sdc_plan::sdc_plan(sdc_plan_config config)
+    : config_(std::move(config)),
+      fired_flags_(config_.triggers.size(), false) {
+    for (const sdc_trigger& trigger : config_.triggers) {
+        GB_EXPECTS(trigger.at >= 1);
+    }
+}
+
+std::optional<sdc_corruption> sdc_plan::on_execution() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit = ++opportunities_;
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const sdc_trigger& trigger = config_.triggers[t];
+        if (fired_flags_[t] || hit != trigger.at) {
+            continue;
+        }
+        fired_flags_[t] = true;
+        ++injected_;
+        std::uint64_t param = trigger.param;
+        if (param == sdc_trigger::param_auto) {
+            param = derive_task_seed(config_.seed ^ sdc_domain, hit);
+        }
+        return sdc_corruption{trigger.site, param};
+    }
+    return std::nullopt;
+}
+
+std::uint64_t sdc_plan::injected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injected_;
+}
+
+double sdc_plan::corrupt_vmin(double value_mv, std::uint64_t param) {
+    GB_EXPECTS(std::isfinite(value_mv));
+    // Binary64 layout: bits [0, 52) are the mantissa.  Flipping one of
+    // them always produces a different, still-finite double.
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value_mv);
+    return std::bit_cast<double>(bits ^ (1ULL << (param % 52)));
+}
+
+long long sdc_plan::corrupt_weak_cells(long long count, sdc_site site,
+                                       std::uint64_t param) {
+    const long long delta = 1 + static_cast<long long>(param % 3);
+    return site == sdc_site::weak_drop ? count - delta : count + delta;
+}
+
+double sdc_plan::corrupt_power(double watts, std::uint64_t param) {
+    GB_EXPECTS(std::isfinite(watts));
+    const std::uint64_t permille = 1 + param % 100;
+    const double factor =
+        (param % 2 == 0) ? (1000.0 + static_cast<double>(permille)) / 1000.0
+                         : (1000.0 - static_cast<double>(permille)) / 1000.0;
+    return watts * factor;
+}
+
+bool parse_sdc_spec(std::string_view spec, sdc_plan_config& config,
+                    std::string& error) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end =
+            comma == std::string_view::npos ? spec.size() : comma;
+        const std::string_view token = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty()) {
+            if (comma == std::string_view::npos) {
+                break;
+            }
+            error = "empty sdc trigger in spec '" + std::string(spec) + "'";
+            return false;
+        }
+        const std::size_t at_sep = token.find('@');
+        if (at_sep == std::string_view::npos || at_sep == 0) {
+            error = "sdc trigger '" + std::string(token) +
+                    "' wants site@at[/param]";
+            return false;
+        }
+        sdc_trigger trigger;
+        if (!sdc_site_from_string(token.substr(0, at_sep), trigger.site)) {
+            error = "sdc trigger '" + std::string(token) +
+                    "': unknown sdc site '" +
+                    std::string(token.substr(0, at_sep)) + "'";
+            return false;
+        }
+        std::string_view numbers = token.substr(at_sep + 1);
+        std::string_view param_text;
+        const std::size_t slash = numbers.find('/');
+        if (slash != std::string_view::npos) {
+            param_text = numbers.substr(slash + 1);
+            numbers = numbers.substr(0, slash);
+        }
+        const auto parse_u64 = [](std::string_view text,
+                                  std::uint64_t& out) {
+            const auto [ptr, ec] = std::from_chars(
+                text.data(), text.data() + text.size(), out);
+            return ec == std::errc{} && ptr == text.data() + text.size();
+        };
+        if (!parse_u64(numbers, trigger.at) || trigger.at == 0) {
+            error = "sdc trigger '" + std::string(token) +
+                    "' wants a positive integer after '@'";
+            return false;
+        }
+        if (!param_text.empty() &&
+            !parse_u64(param_text, trigger.param)) {
+            error = "sdc trigger '" + std::string(token) +
+                    "' wants an integer parameter after '/'";
+            return false;
+        }
+        config.triggers.push_back(trigger);
+        if (comma == std::string_view::npos) {
+            break;
+        }
+    }
+    return true;
 }
 
 } // namespace gb

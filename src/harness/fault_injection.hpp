@@ -18,8 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -102,5 +105,105 @@ private:
 /// with the same rate of journal-line corruption.
 [[nodiscard]] fault_plan make_uniform_fault_plan(std::uint64_t seed,
                                                  double fault_rate);
+
+// ---------------------------------------------------------------------------
+// Silent data corruption (SDC)
+//
+// The rig faults above are *loud*: a hang trips the watchdog, a crash
+// loses the run, a mangled journal line fails to parse.  The paper's
+// scarier failure mode is silent -- a rig operating below Vmin or past
+// tREFP returns a plausible-but-wrong measurement with no fault signal at
+// all (the Scrooge-Attack observation).  An `sdc_plan` injects exactly
+// that: a one-shot corruption of a completed probe's *values*, drawn with
+// the same (seed, site, hit) purity as fault_plan/chaos_plan so an SDC
+// campaign reproduces bitwise at any worker or shard count.  The defense
+// lives in harness/integrity + fleet/service (quorum voting, chain-hashed
+// journal, audit sampling); this type only supplies the attack.
+
+/// What a Byzantine rig silently falsifies in one probe result.
+enum class sdc_site : std::uint8_t {
+    vmin_flip,    ///< one mantissa bit of the Vmin requirement flipped
+    weak_drop,    ///< weak/erroneous cell count under-reported
+    weak_phantom, ///< weak/erroneous cell count over-reported
+    power_scale,  ///< power reading scaled by a few permille
+};
+
+[[nodiscard]] std::string_view to_string(sdc_site site);
+[[nodiscard]] bool sdc_site_from_string(std::string_view text,
+                                        sdc_site& site);
+
+/// One armed corruption.  Each trigger fires at most once per plan, on the
+/// `at`-th execution opportunity (1-based, counted across all sites).
+struct sdc_trigger {
+    sdc_site site = sdc_site::vmin_flip;
+    std::uint64_t at = 1;
+    /// Site-specific corruption parameter (bit index, cell delta, permille
+    /// scale).  `param_auto` derives one from the plan seed and hit.
+    static constexpr std::uint64_t param_auto = ~0ULL;
+    std::uint64_t param = param_auto;
+};
+
+struct sdc_plan_config {
+    /// Root of the deterministic parameter derivation.
+    std::uint64_t seed = 0;
+    std::vector<sdc_trigger> triggers;
+};
+
+/// A corruption decision: falsify the value at `site` with `param`.
+struct sdc_corruption {
+    sdc_site site = sdc_site::vmin_flip;
+    std::uint64_t param = 0;
+};
+
+class sdc_plan {
+public:
+    explicit sdc_plan(sdc_plan_config config);
+
+    /// One execution opportunity (a replica run, an audit re-probe, a
+    /// repair re-execution).  Engaged when an armed trigger's `at` equals
+    /// this opportunity's 1-based index; consumed triggers never re-fire.
+    /// Thread-safe, but deterministic callers draw at serial points only.
+    [[nodiscard]] std::optional<sdc_corruption> on_execution();
+
+    /// Corruptions handed out so far.
+    [[nodiscard]] std::uint64_t injected() const;
+
+    [[nodiscard]] const sdc_plan_config& config() const { return config_; }
+
+    // Pure scalar appliers, usable by any result type without this header
+    // knowing the fleet's probe_result.  Each is guaranteed to *change*
+    // the value (an SDC that corrupts into the truth is no test) and to
+    // keep it finite.
+
+    /// Flip mantissa bit `param % 52` of a finite double (IEEE-754 binary64:
+    /// mantissa flips never touch the exponent or sign, so the value stays
+    /// finite and changes by a bounded relative amount).
+    [[nodiscard]] static double corrupt_vmin(double value_mv,
+                                             std::uint64_t param);
+    /// Drop (weak_drop) or invent (weak_phantom) `1 + param % 3` cells.
+    /// No clamping: under-reporting an empty count goes negative rather
+    /// than silently corrupting into the truth.
+    [[nodiscard]] static long long corrupt_weak_cells(long long count,
+                                                      sdc_site site,
+                                                      std::uint64_t param);
+    /// Scale a power reading by `(1000 ± (1 + param % 100)) / 1000` --
+    /// a few permille, the size of a miscalibrated shunt.
+    [[nodiscard]] static double corrupt_power(double watts,
+                                              std::uint64_t param);
+
+private:
+    sdc_plan_config config_;
+    mutable std::mutex mutex_;
+    std::vector<bool> fired_flags_;
+    std::uint64_t opportunities_ = 0;
+    std::uint64_t injected_ = 0;
+};
+
+/// Parse a CLI SDC spec: comma-separated `site@at[/param]` triggers, e.g.
+/// `vmin_flip@5,power_scale@12/37`.  Same grammar and diagnostics contract
+/// as parse_chaos_spec: false with the offending token quoted in `error`.
+[[nodiscard]] bool parse_sdc_spec(std::string_view spec,
+                                  sdc_plan_config& config,
+                                  std::string& error);
 
 } // namespace gb

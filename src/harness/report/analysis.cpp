@@ -695,4 +695,58 @@ void render_diff(std::ostream& out, const diff_report& report) {
         << " missing, " << report.added << " added\n";
 }
 
+// --- sdc audit ----------------------------------------------------------
+
+audit_report build_audit_report(const metrics_snapshot& metrics) {
+    audit_report report;
+    for (const auto& [name, value] : metrics.gauges) {
+        if (std::string_view(name).substr(0, 10) == "integrity.") {
+            report.present = true;
+            break;
+        }
+    }
+    if (!report.present) {
+        return report;
+    }
+    // The emit side writes these gauges from 64-bit counters small enough
+    // to round-trip a double exactly.
+    const auto count = [&metrics](std::string_view name) {
+        const double value = metrics.gauge_value(name);
+        return value <= 0.0 ? 0ULL
+                            : static_cast<std::uint64_t>(value + 0.5);
+    };
+    report.injected = count("integrity.sdc_injected");
+    report.detected = count("integrity.sdc_detected");
+    report.outvoted = count("integrity.sdc_outvoted");
+    report.audit_caught = count("integrity.audit_mismatches");
+    report.stalemates = count("integrity.quorum_stalemates");
+    report.corrected = count("integrity.sdc_corrected");
+    report.escaped = count("integrity.sdc_escaped");
+    report.audits = count("integrity.audits");
+    report.dissents = count("integrity.dissents");
+    report.blacklisted_rigs = count("integrity.blacklisted_rigs");
+    report.repaired_entries = count("integrity.repaired_entries");
+    report.replica_executions = count("integrity.replica_executions");
+    return report;
+}
+
+void render_audit(std::ostream& out, const audit_report& report) {
+    out << "sdc audit: " << report.injected << " injected, "
+        << report.detected << " detected (" << report.outvoted
+        << " outvoted, " << report.audit_caught << " audit-caught, "
+        << report.stalemates << " stalemates), " << report.corrected
+        << " corrected, " << report.escaped << " escaped\n"
+        << "defense: " << report.replica_executions
+        << " replica executions, " << report.audits << " audits, "
+        << report.dissents << " dissents, " << report.blacklisted_rigs
+        << " blacklisted rigs, " << report.repaired_entries
+        << " repaired entries\n";
+    if (report.escaped > 0) {
+        out << "VERDICT: ESCAPED -- " << report.escaped
+            << " corruption(s) reached the served snapshot\n";
+    } else {
+        out << "verdict: clean -- every injected corruption was caught\n";
+    }
+}
+
 } // namespace gb::report

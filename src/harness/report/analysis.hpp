@@ -183,4 +183,35 @@ void render_diff(std::ostream& out, const diff_report& report);
 [[nodiscard]] double tolerance_for(const diff_options& options,
                                    std::string_view name);
 
+// --- sdc audit ----------------------------------------------------------
+
+/// Rollup of the integrity subsystem's `integrity.*` gauges: how many
+/// silent corruptions were injected, how each was caught (quorum outvote,
+/// audit re-probe, even-quorum stalemate), how many were corrected in
+/// place, and -- the number the CI gate cares about -- how many escaped
+/// into the served snapshot.
+struct audit_report {
+    /// False when the metrics artifact carries no `integrity.*` gauges at
+    /// all (the defenses were off; there is nothing to audit).
+    bool present = false;
+    std::uint64_t injected = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t outvoted = 0;
+    std::uint64_t audit_caught = 0; ///< integrity.audit_mismatches
+    std::uint64_t stalemates = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t escaped = 0;
+    std::uint64_t audits = 0;
+    std::uint64_t dissents = 0;
+    std::uint64_t blacklisted_rigs = 0;
+    std::uint64_t repaired_entries = 0;
+    std::uint64_t replica_executions = 0;
+
+    [[nodiscard]] bool clean() const { return escaped == 0; }
+};
+
+[[nodiscard]] audit_report build_audit_report(
+    const metrics_snapshot& metrics);
+void render_audit(std::ostream& out, const audit_report& report);
+
 } // namespace gb::report

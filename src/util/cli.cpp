@@ -67,7 +67,10 @@ double double_arg(int argc, char** argv, int index, double fallback,
 
 std::optional<std::string> take_flag_value(int& argc, char** argv,
                                            std::string_view name) {
-    for (int i = 1; i < argc; ++i) {
+    std::optional<std::string> value;
+    int occurrences = 0;
+    int i = 1;
+    while (i < argc) {
         const std::string_view arg(argv[i]);
         if (arg == name) {
             if (i + 1 >= argc) {
@@ -75,24 +78,33 @@ std::optional<std::string> take_flag_value(int& argc, char** argv,
                              static_cast<int>(name.size()), name.data());
                 std::exit(2);
             }
-            std::string value(argv[i + 1]);
+            value = argv[i + 1];
+            ++occurrences;
             for (int j = i; j + 2 < argc; ++j) {
                 argv[j] = argv[j + 2];
             }
             argc -= 2;
-            return value;
+            continue; // argv[i] is now the next unseen argument
         }
-        if (arg.size() > name.size() + 1 &&
+        if (arg.size() > name.size() &&
             arg.substr(0, name.size()) == name && arg[name.size()] == '=') {
-            std::string value(arg.substr(name.size() + 1));
+            value = arg.substr(name.size() + 1);
+            ++occurrences;
             for (int j = i; j + 1 < argc; ++j) {
                 argv[j] = argv[j + 1];
             }
             argc -= 1;
-            return value;
+            continue;
         }
+        ++i;
     }
-    return std::nullopt;
+    if (occurrences > 1) {
+        std::fprintf(stderr,
+                     "warning: %.*s given %d times, using last value '%s'\n",
+                     static_cast<int>(name.size()), name.data(), occurrences,
+                     value->c_str());
+    }
+    return value;
 }
 
 } // namespace gb

@@ -36,8 +36,10 @@ namespace gb {
 
 /// Find `--name value` (or `--name=value`) anywhere in argv, remove the
 /// consumed elements in place (decrementing argc) and return the value, so
-/// positional int_arg/double_arg indices keep working afterwards.  Exits
-/// with status 2 when the flag is present but its value is missing.
+/// positional int_arg/double_arg indices keep working afterwards.  Every
+/// occurrence is consumed; duplicates resolve last-wins with a one-line
+/// stderr warning (a silently ignored repeat once hid a typoed override).
+/// Exits with status 2 when the flag is present but its value is missing.
 /// Returns nullopt when the flag is absent.
 [[nodiscard]] std::optional<std::string> take_flag_value(
     int& argc, char** argv, std::string_view name);

@@ -133,3 +133,40 @@ set(bad_degraded ${WORK_DIR}/bad_degraded.json)
 file(WRITE ${bad_degraded} [[{"campaign":"fleet","running":false,"tasks_total":36,"tasks_done":36,"retries":0,"injected_faults":0,"aborted_rig":0,"replayed":0,"rig_downtime_ms":0,"fleet":{"degraded":42}}
 ]])
 expect_exit(2 status ${bad_degraded})
+
+# --- gbreport audit: the SDC integrity verdict ---------------------------
+# 0 = every injected corruption was caught, 1 = at least one escaped,
+# 2 = the metrics carry no integrity.* gauges (defenses were off).
+set(audit_clean ${WORK_DIR}/audit_clean.json)
+file(WRITE ${audit_clean} [[{
+  "counters": {},
+  "gauges": {"integrity.sdc_injected": 3.0, "integrity.sdc_detected": 3.0,
+             "integrity.sdc_outvoted": 2.0, "integrity.audit_mismatches": 1.0,
+             "integrity.quorum_stalemates": 0.0, "integrity.sdc_corrected": 1.0,
+             "integrity.sdc_escaped": 0.0, "integrity.audits": 36.0,
+             "integrity.dissents": 2.0, "integrity.blacklisted_rigs": 1.0,
+             "integrity.repaired_entries": 2.0,
+             "integrity.replica_executions": 108.0},
+  "histograms": {}
+}
+]])
+expect_output("sdc audit: 3 injected, 3 detected .2 outvoted, 1 audit-caught, 0 stalemates., 1 corrected, 0 escaped"
+    audit --metrics ${audit_clean})
+expect_output("verdict: clean -- every injected corruption was caught"
+    audit --metrics ${audit_clean})
+
+set(audit_escaped ${WORK_DIR}/audit_escaped.json)
+file(WRITE ${audit_escaped} [[{
+  "counters": {},
+  "gauges": {"integrity.sdc_injected": 2.0, "integrity.sdc_detected": 1.0,
+             "integrity.sdc_escaped": 1.0},
+  "histograms": {}
+}
+]])
+expect_exit(1 audit --metrics ${audit_escaped})
+
+# Undefended metrics (no integrity.* gauges) are a usage-level error: there
+# is nothing to audit, and silence must not read as a clean verdict.
+expect_exit(2 audit --metrics ${baseline})
+expect_exit(2 audit --metrics ${truncated})
+expect_exit(2 audit)

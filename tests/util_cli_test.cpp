@@ -61,7 +61,81 @@ TEST(cli_test, positional_args_parse_when_present) {
                      55.5);
 }
 
+TEST(cli_test, take_flag_value_consumes_space_and_equals_forms) {
+    char prog[] = "prog";
+    char flag[] = "--trace";
+    char value[] = "out.json";
+    char eq[] = "--metrics=m.json";
+    char positional[] = "6";
+    char* argv[] = {prog, flag, value, eq, positional, nullptr};
+    int argc = 5;
+    EXPECT_EQ(take_flag_value(argc, argv, "--trace"), "out.json");
+    EXPECT_EQ(take_flag_value(argc, argv, "--metrics"), "m.json");
+    // Both forms consumed; the positional survives in place.
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "6");
+    EXPECT_EQ(take_flag_value(argc, argv, "--absent"), std::nullopt);
+}
+
+TEST(cli_test, take_flag_value_equals_form_allows_empty_value) {
+    char prog[] = "prog";
+    char eq[] = "--journal=";
+    char* argv[] = {prog, eq, nullptr};
+    int argc = 2;
+    EXPECT_EQ(take_flag_value(argc, argv, "--journal"), "");
+    EXPECT_EQ(argc, 1);
+}
+
+TEST(cli_test, take_flag_value_does_not_match_prefix_flags) {
+    char prog[] = "prog";
+    char longer[] = "--tracefile";
+    char value[] = "x";
+    char* argv[] = {prog, longer, value, nullptr};
+    int argc = 3;
+    EXPECT_EQ(take_flag_value(argc, argv, "--trace"), std::nullopt);
+    EXPECT_EQ(argc, 3);
+}
+
+TEST(cli_test, take_flag_value_duplicate_last_wins_and_warns) {
+    char prog[] = "prog";
+    char flag1[] = "--seed";
+    char first[] = "1";
+    char eq[] = "--seed=2";
+    char flag2[] = "--seed";
+    char last[] = "3";
+    char* argv[] = {prog, flag1, first, eq, flag2, last, nullptr};
+    int argc = 6;
+    ::testing::internal::CaptureStderr();
+    const auto value = take_flag_value(argc, argv, "--seed");
+    const std::string warning =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(value, "3");
+    EXPECT_EQ(argc, 1); // every occurrence consumed, any form
+    EXPECT_NE(warning.find("--seed given 3 times"), std::string::npos);
+    EXPECT_NE(warning.find("using last value '3'"), std::string::npos);
+}
+
+TEST(cli_test, take_flag_value_single_occurrence_stays_silent) {
+    char prog[] = "prog";
+    char flag[] = "--seed";
+    char value[] = "7";
+    char* argv[] = {prog, flag, value, nullptr};
+    int argc = 3;
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(take_flag_value(argc, argv, "--seed"), "7");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 using cli_death_test = ::testing::Test;
+
+TEST(cli_death_test, take_flag_value_exits_on_missing_value) {
+    char prog[] = "prog";
+    char flag[] = "--trace";
+    char* argv[] = {prog, flag, nullptr};
+    int argc = 2;
+    EXPECT_EXIT((void)take_flag_value(argc, argv, "--trace"),
+                ::testing::ExitedWithCode(2), "--trace needs a value");
+}
 
 TEST(cli_death_test, int_arg_exits_on_garbage) {
     char prog[] = "prog";

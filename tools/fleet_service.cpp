@@ -22,6 +22,16 @@
 //                      site@at[/keep] (see docs/ROBUSTNESS.md); firing
 //                      _exit(--chaos-exit)s the daemon mid-write
 //     --chaos-exit C   chaos kill exit code (default 42)
+//     --sdc SPEC       arm silent-data-corruption triggers: comma-
+//                      separated site@at[/param] (vmin_flip, weak_drop,
+//                      weak_phantom, power_scale); auto-enables the
+//                      quorum defense
+//     --quorum N       replicas per probe, majority admitted to the
+//                      cache (default: 3 with --sdc, 1 without)
+//     --rigs N         Byzantine rig pool size (default: auto)
+//     --audit K        re-verify every K-th scheduled cache hit
+//                      (default: 4 when defenses are on, 0 otherwise)
+//     --blacklist N    dissents before a rig is quarantined (default 2)
 //
 //   fleet_service query --state FILE [--bins] [--cohorts]
 //                                       render a fleet-state snapshot
@@ -92,6 +102,8 @@ int usage() {
                  " [--poll-ms M]\n"
               << "        [--fault-rate R] [--retry N] [--replan N]\n"
               << "        [--chaos SPEC] [--chaos-exit C]\n"
+              << "        [--sdc SPEC] [--quorum N] [--rigs N] [--audit K]"
+                 " [--blacklist N]\n"
               << "  query --state FILE [--bins] [--cohorts]\n"
               << "  query --control FILE --command CMD [--ack-retries N]"
                  " [--ack-base-ms M]\n";
@@ -192,9 +204,17 @@ int run_serve(int argc, char** argv) {
     const auto chaos_spec = take_flag_value(argc, argv, "--chaos");
     const auto chaos_exit =
         integer_flag(argc, argv, "--chaos-exit", 42, 1, 255);
+    const auto sdc_spec = take_flag_value(argc, argv, "--sdc");
+    // 0 means "auto": quorum 3 once an SDC attack is armed, 1 otherwise
+    // (a lone replica per probe is the byte-identical legacy pipeline).
+    const auto quorum = integer_flag(argc, argv, "--quorum", 0, 0, 15);
+    const auto rigs = integer_flag(argc, argv, "--rigs", 0, 0, 4096);
+    const auto audit = integer_flag(argc, argv, "--audit", -1, -1, 1000000);
+    const auto blacklist =
+        integer_flag(argc, argv, "--blacklist", 2, 1, 1000);
     if (!nodes || !seed || !classes || !ops || !shards || !jobs ||
         !epochs || !poll_ms || !fault_rate || !retry || !replan ||
-        !chaos_exit) {
+        !chaos_exit || !quorum || !rigs || !audit || !blacklist) {
         return exit_usage;
     }
     if (!state_path) {
@@ -223,6 +243,22 @@ int run_serve(int argc, char** argv) {
     if (*fault_rate > 0.0) {
         faults = make_uniform_fault_plan(spec.seed, *fault_rate);
     }
+    std::optional<sdc_plan> sdc;
+    if (sdc_spec) {
+        sdc_plan_config sdc_config;
+        sdc_config.seed = spec.seed;
+        std::string error;
+        if (!parse_sdc_spec(*sdc_spec, sdc_config, error)) {
+            return fail(error);
+        }
+        sdc.emplace(std::move(sdc_config));
+    }
+    const int effective_quorum =
+        *quorum != 0 ? static_cast<int>(*quorum) : (sdc ? 3 : 1);
+    const bool defended = effective_quorum > 1 || sdc.has_value();
+    const std::uint64_t audit_stride =
+        *audit >= 0 ? static_cast<std::uint64_t>(*audit)
+                    : (defended ? 4 : 0);
 
     tracer trace;
     metrics_registry metrics;
@@ -240,6 +276,12 @@ int run_serve(int argc, char** argv) {
     config.retry_budget = static_cast<int>(*retry);
     config.replan_rounds = static_cast<int>(*replan);
     config.chaos = chaos ? &*chaos : nullptr;
+    config.integrity.quorum = effective_quorum;
+    config.integrity.rigs = static_cast<std::uint64_t>(*rigs);
+    config.integrity.sdc = sdc ? &*sdc : nullptr;
+    config.integrity.audit_stride = audit_stride;
+    config.integrity.blacklist_threshold =
+        static_cast<std::uint64_t>(*blacklist);
 
     // A journal that violates the writer's invariants is a hard error (a
     // torn tail self-heals; anything else means foreign edits), reported
@@ -357,6 +399,15 @@ int run_serve(int argc, char** argv) {
     if (metrics_path) {
         std::ofstream out(*metrics_path);
         write_metrics_json(out, metrics);
+    }
+    if (defended || audit_stride > 0) {
+        std::cerr << "fleet_service: integrity: " << service.sdc_injected()
+                  << " injected, " << service.sdc_detected()
+                  << " detected, " << service.sdc_corrected()
+                  << " corrected, " << service.sdc_escaped()
+                  << " escaped (" << service.audits() << " audits, "
+                  << service.reputation().blacklisted_count()
+                  << " blacklisted rigs)\n";
     }
     std::cerr << "fleet_service: shut down after " << service.epoch()
               << " epochs, cache " << service.cache().size() << " entries ("

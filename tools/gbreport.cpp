@@ -6,6 +6,7 @@
 //   gbreport utilization --trace FILE        simulated worker utilization
 //   gbreport timeline --trace FILE           fault/supervisor event timeline
 //   gbreport status FILE                     render a heartbeat snapshot
+//   gbreport audit --metrics FILE            SDC detection/escape rollup
 //   gbreport diff BASELINE CANDIDATE         metrics regression gate
 //
 // Every analysis is a pure function of the artifact bytes, which are
@@ -46,6 +47,8 @@ int usage() {
         << "  timeline --trace FILE [--metrics FILE]\n"
         << "                                    fault/supervisor timeline\n"
         << "  status FILE                       render a heartbeat snapshot\n"
+        << "  audit --metrics FILE              SDC detection rollup; exit 1 "
+           "when corruptions escaped\n"
         << "  diff BASELINE CANDIDATE [--tolerance [NAME=]FRACTION]...\n"
         << "                                    compare metrics artifacts; "
            "exit 1 on regression\n";
@@ -197,6 +200,26 @@ int run_status(int argc, char** argv) {
     return exit_ok;
 }
 
+int run_audit(int argc, char** argv) {
+    const auto metrics_path = required_flag(argc, argv, "--metrics");
+    if (!metrics_path) {
+        return exit_usage;
+    }
+    std::string error;
+    const auto metrics = load_metrics_file(*metrics_path, error);
+    if (!metrics) {
+        return fail(error);
+    }
+    const audit_report report = build_audit_report(*metrics);
+    if (!report.present) {
+        return fail(*metrics_path +
+                    ": no integrity.* gauges (integrity defenses were off "
+                    "for this run; nothing to audit)");
+    }
+    render_audit(std::cout, report);
+    return report.clean() ? exit_ok : exit_regression;
+}
+
 int run_diff(int argc, char** argv) {
     diff_options options;
     // Repeated --tolerance flags: bare FRACTION sets the default,
@@ -259,6 +282,9 @@ int main(int argc, char** argv) {
     }
     if (command == "status") {
         return run_status(argc, argv);
+    }
+    if (command == "audit") {
+        return run_audit(argc, argv);
     }
     if (command == "diff") {
         return run_diff(argc, argv);
