@@ -17,6 +17,7 @@
 
 #include "harness/trace/metrics.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 
 namespace gb::bench {
 
@@ -141,13 +142,12 @@ public:
             snapshot.counters.emplace_back(name, value);
         }
         std::sort(snapshot.counters.begin(), snapshot.counters.end());
-        for (auto& [label, values] : samples_) {
-            std::sort(values.begin(), values.end());
-            const std::size_t n = values.size();
-            const double median =
-                n % 2 == 1 ? values[n / 2]
-                           : (values[n / 2 - 1] + values[n / 2]) / 2.0;
-            snapshot.gauges.emplace_back("wall." + label + "_ms", median);
+        for (const auto& [label, values] : samples_) {
+            // gb::median pins the midpoint form for both parities (the
+            // inline even-count expression previously lived here, where the
+            // n == 0 corner would have underflowed `n / 2 - 1`).
+            snapshot.gauges.emplace_back("wall." + label + "_ms",
+                                         median(values));
         }
         const std::string path = *dir_ + "/BENCH_" + name_ + ".json";
         std::ofstream out(path);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "util/contracts.hpp"
 
@@ -104,6 +105,47 @@ std::vector<double> chip_model::combined_trace(
     rng phase_rng(phase_seed);
     for (const core_assignment& a : assignments) {
         const std::vector<double>& trace = a.profile->current_trace;
+        const std::size_t n = trace.size();
+        // Wrapped-cursor accumulation: same additions in the same order as
+        // the reference's (k + offset) % n indexing, without the per-cycle
+        // division.
+        std::size_t j = phase_rng.uniform_index(n);
+        for (std::size_t k = 0; k < length; ++k) {
+            total[k] += trace[j];
+            if (++j == n) {
+                j = 0;
+            }
+        }
+    }
+    const int idle_cores =
+        cores_per_chip - static_cast<int>(assignments.size());
+    const double idle_a =
+        static_cast<double>(idle_cores) * core_baseline_current_a;
+    for (double& i : total) {
+        i += idle_a;
+    }
+    return total;
+}
+
+std::vector<double> chip_model::combined_trace_reference(
+    std::span<const core_assignment> assignments,
+    std::uint64_t phase_seed) const {
+    GB_EXPECTS(!assignments.empty());
+    GB_EXPECTS(assignments.size() <=
+               static_cast<std::size_t>(cores_per_chip));
+
+    std::size_t length = 8192;
+    for (const core_assignment& a : assignments) {
+        GB_EXPECTS(a.profile != nullptr);
+        GB_EXPECTS(!a.profile->current_trace.empty());
+        GB_EXPECTS(a.core >= 0 && a.core < cores_per_chip);
+        length = std::max(length, a.profile->current_trace.size());
+    }
+
+    std::vector<double> total(length, 0.0);
+    rng phase_rng(phase_seed);
+    for (const core_assignment& a : assignments) {
+        const std::vector<double>& trace = a.profile->current_trace;
         const std::size_t offset = phase_rng.uniform_index(trace.size());
         for (std::size_t k = 0; k < length; ++k) {
             total[k] += trace[(k + offset) % trace.size()];
@@ -128,13 +170,30 @@ std::vector<vmin_analysis> chip_model::core_requirements(
     const pdn_model local(local_pdn_, nominal_pmd_voltage,
                           nominal_core_frequency);
 
+    // Memoize the local droop per distinct profile: a homogeneous 8-core
+    // assignment (the common campaign shape) convolves each trace once
+    // instead of once per core.  Same input, same pure function -- the
+    // memoized value is the one the per-core call would produce.
+    std::vector<std::pair<const execution_profile*, millivolts>> local_droops;
+    local_droops.reserve(assignments.size());
+    const auto local_droop_of = [&](const execution_profile* profile) {
+        for (const auto& [known, droop] : local_droops) {
+            if (known == profile) {
+                return droop;
+            }
+        }
+        const millivolts droop = local.worst_droop(profile->current_trace);
+        local_droops.emplace_back(profile, droop);
+        return droop;
+    };
+
     std::vector<vmin_analysis> requirements;
     requirements.reserve(assignments.size());
     for (const core_assignment& a : assignments) {
         GB_EXPECTS(a.frequency <= nominal_core_frequency);
         // Local contribution: this core's own current through its loop.
         const millivolts droop =
-            local.worst_droop(a.profile->current_trace) + global_droop;
+            local_droop_of(a.profile) + global_droop;
         const millivolts droop_eff = config_.response.effective(droop);
         const double freq_relief_mv =
             config_.vf_slope_mv_per_mhz *
@@ -195,7 +254,11 @@ vmin_analysis chip_model::analyze_single(const execution_profile& profile,
 run_evaluation chip_model::evaluate_run(
     std::span<const core_assignment> assignments, millivolts supply,
     std::uint64_t phase_seed, rng& r) const {
-    const vmin_analysis analysis = analyze(assignments, phase_seed);
+    return evaluate_at(analyze(assignments, phase_seed), supply, r);
+}
+
+run_evaluation chip_model::evaluate_at(const vmin_analysis& analysis,
+                                       millivolts supply, rng& r) const {
     const millivolts noisy_vmin{analysis.vmin.value +
                                 r.normal(0.0, run_noise_sigma_mv)};
     run_evaluation eval;
@@ -266,7 +329,11 @@ outcome_distribution chip_model::marginal_outcome_distribution(
 outcome_distribution chip_model::outcome_probabilities(
     std::span<const core_assignment> assignments, millivolts supply,
     std::uint64_t phase_seed) const {
-    const vmin_analysis analysis = analyze(assignments, phase_seed);
+    return outcome_probabilities_at(analyze(assignments, phase_seed), supply);
+}
+
+outcome_distribution chip_model::outcome_probabilities_at(
+    const vmin_analysis& analysis, millivolts supply) const {
     // margin = m0 - noise with noise ~ N(0, sigma); the marginal region is
     // noise in (m0, m0 + W).
     const double m0 = supply.value - analysis.vmin.value;

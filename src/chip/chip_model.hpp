@@ -138,8 +138,18 @@ public:
         megahertz frequency = nominal_core_frequency) const;
 
     /// Aggregate per-cycle current of all 8 cores (active ones tiled with
-    /// phase offsets, idle ones at baseline).
+    /// phase offsets, idle ones at baseline).  The accumulation loop walks
+    /// each core's trace with a wrapped cursor instead of a per-cycle
+    /// modulo; addition order matches combined_trace_reference exactly, so
+    /// the two are bitwise-identical (held by kernel_equivalence_test).
     [[nodiscard]] std::vector<double> combined_trace(
+        std::span<const core_assignment> assignments,
+        std::uint64_t phase_seed) const;
+
+    /// Retained reference implementation of combined_trace (per-cycle modulo
+    /// indexing, the pre-optimization code path).  Differential-testing twin
+    /// only.
+    [[nodiscard]] std::vector<double> combined_trace_reference(
         std::span<const core_assignment> assignments,
         std::uint64_t phase_seed) const;
 
@@ -149,6 +159,18 @@ public:
     [[nodiscard]] run_evaluation evaluate_run(
         std::span<const core_assignment> assignments, millivolts supply,
         std::uint64_t phase_seed, rng& r) const;
+
+    /// Outcome of one run at `supply` against a precomputed analysis.  The
+    /// analysis is a pure function of (assignments, phase_seed) and is
+    /// independent of the supply voltage, so a Vmin search evaluates its
+    /// whole candidate ladder -- every (V, repetition) cell of a bisection
+    /// or descent step -- against one shared trace/droop pass instead of
+    /// re-convolving the PDN per cell.  `evaluate_run` is exactly
+    /// `evaluate_at(analyze(assignments, phase_seed), supply, r)`; the RNG
+    /// draw sequence is identical, so batched and unbatched evaluation are
+    /// bitwise-equal (held by kernel_equivalence_test).
+    [[nodiscard]] run_evaluation evaluate_at(const vmin_analysis& analysis,
+                                             millivolts supply, rng& r) const;
 
     /// Outcome probabilities at a fixed depth inside the marginal region
     /// (depth in (0, 1): fraction of the crash window below Vmin).  The
@@ -163,6 +185,12 @@ public:
     [[nodiscard]] outcome_distribution outcome_probabilities(
         std::span<const core_assignment> assignments, millivolts supply,
         std::uint64_t phase_seed) const;
+
+    /// Same closed-form integration against a precomputed analysis, for
+    /// callers sweeping many supplies over one workload (supervisor sentinel
+    /// budgeting, operating-point grids).
+    [[nodiscard]] outcome_distribution outcome_probabilities_at(
+        const vmin_analysis& analysis, millivolts supply) const;
 
     /// Probability that a run at this supply ends in silent data
     /// corruption -- the signal the supervisor's sentinel scheduler

@@ -163,7 +163,15 @@ void memory_system::apply_ecc(std::vector<const weak_cell*>& failures,
 double memory_system::scan_retention_seconds(const weak_cell& cell,
                                              celsius t, double aggression,
                                              std::uint64_t scan_seed) const {
-    double retention = cell.retention_seconds(model_, t, aggression);
+    return scan_retention_seconds_scaled(cell, model_.temperature_factor(t),
+                                         aggression, scan_seed);
+}
+
+double memory_system::scan_retention_seconds_scaled(
+    const weak_cell& cell, double temperature_factor, double aggression,
+    std::uint64_t scan_seed) const {
+    double retention =
+        cell.retention_seconds_scaled(temperature_factor, aggression);
     if (cell.vrt) {
         // Per-scan state draw: the cell is weak with vrt_weak_probability,
         // strong otherwise.
@@ -186,6 +194,49 @@ scan_result memory_system::run_dpbench(data_pattern pattern,
 scan_result memory_system::run_dpbench(data_pattern pattern,
                                        std::uint64_t pattern_seed,
                                        milliseconds refresh_period) const {
+    GB_EXPECTS(refresh_period.value > 0.0);
+    GB_EXPECTS(refresh_period <= limits_.max_refresh_period);
+    scan_result result;
+    result.scanned_bits = geometry_.data_bytes() * 8;
+
+    const double refresh_s = refresh_period.seconds();
+    std::vector<const weak_cell*> failures;
+    for (int dimm = 0; dimm < geometry_.dimms; ++dimm) {
+        // The temperature factor (an exp2) is constant across the DIMM:
+        // compute it once per DIMM instead of once per cell.
+        const double tf = model_.temperature_factor(
+            dimm_temperature_[static_cast<std::size_t>(dimm)]);
+        for (int rank = 0; rank < geometry_.ranks_per_dimm; ++rank) {
+            for (int chip = 0; chip < geometry_.chips_per_rank(); ++chip) {
+                for (int bank = 0; bank < geometry_.banks_per_chip; ++bank) {
+                    for (const weak_cell& cell :
+                         bank_cells(dimm, rank, chip, bank)) {
+                        const pattern_stress stress =
+                            stress_of(pattern, cell, pattern_seed);
+                        if (!stress.vulnerable) {
+                            continue;
+                        }
+                        if (scan_retention_seconds_scaled(cell, tf,
+                                                          stress.aggression,
+                                                          pattern_seed) <
+                            refresh_s) {
+                            failures.push_back(&cell);
+                            ++result.per_bank_failures[static_cast<
+                                std::size_t>(bank)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result.failed_cells = failures.size();
+    apply_ecc(failures, pattern_seed, result);
+    return result;
+}
+
+scan_result memory_system::run_dpbench_reference(
+    data_pattern pattern, std::uint64_t pattern_seed,
+    milliseconds refresh_period) const {
     GB_EXPECTS(refresh_period.value > 0.0);
     GB_EXPECTS(refresh_period <= limits_.max_refresh_period);
     scan_result result;
@@ -233,9 +284,11 @@ scan_result memory_system::run_access_profile(const access_profile& app,
         static_cast<double>(geometry_.data_bytes() * 8) *
         app.footprint_fraction);
 
+    const double refresh_s = refresh_.seconds();
     std::vector<const weak_cell*> failures;
     for (int dimm = 0; dimm < geometry_.dimms; ++dimm) {
-        const celsius t = dimm_temperature_[static_cast<std::size_t>(dimm)];
+        const double tf = model_.temperature_factor(
+            dimm_temperature_[static_cast<std::size_t>(dimm)]);
         for (int rank = 0; rank < geometry_.ranks_per_dimm; ++rank) {
             for (int chip = 0; chip < geometry_.chips_per_rank(); ++chip) {
                 for (int bank = 0; bank < geometry_.banks_per_chip; ++bank) {
@@ -266,10 +319,10 @@ scan_result memory_system::run_access_profile(const access_profile& app,
                         if (!stress.vulnerable) {
                             continue;
                         }
-                        if (scan_retention_seconds(cell, t,
-                                                   stress.aggression,
-                                                   seed) <
-                            refresh_.seconds()) {
+                        if (scan_retention_seconds_scaled(cell, tf,
+                                                          stress.aggression,
+                                                          seed) <
+                            refresh_s) {
                             failures.push_back(&cell);
                             ++result.per_bank_failures[static_cast<
                                 std::size_t>(bank)];
@@ -287,9 +340,11 @@ scan_result memory_system::run_access_profile(const access_profile& app,
 std::vector<std::uint64_t> memory_system::failing_cell_keys(
     data_pattern pattern, std::uint64_t pattern_seed,
     std::uint64_t vrt_seed) const {
+    const double refresh_s = refresh_.seconds();
     std::vector<std::uint64_t> keys;
     for (int dimm = 0; dimm < geometry_.dimms; ++dimm) {
-        const celsius t = dimm_temperature_[static_cast<std::size_t>(dimm)];
+        const double tf = model_.temperature_factor(
+            dimm_temperature_[static_cast<std::size_t>(dimm)]);
         for (int rank = 0; rank < geometry_.ranks_per_dimm; ++rank) {
             for (int chip = 0; chip < geometry_.chips_per_rank(); ++chip) {
                 for (int bank = 0; bank < geometry_.banks_per_chip; ++bank) {
@@ -300,10 +355,10 @@ std::vector<std::uint64_t> memory_system::failing_cell_keys(
                         if (!stress.vulnerable) {
                             continue;
                         }
-                        if (scan_retention_seconds(cell, t,
-                                                   stress.aggression,
-                                                   vrt_seed) <
-                            refresh_.seconds()) {
+                        if (scan_retention_seconds_scaled(cell, tf,
+                                                          stress.aggression,
+                                                          vrt_seed) <
+                            refresh_s) {
                             keys.push_back(cell_key(cell.address));
                         }
                     }
@@ -316,13 +371,15 @@ std::vector<std::uint64_t> memory_system::failing_cell_keys(
 
 std::uint64_t memory_system::weak_cell_count(int dimm, int rank, int chip,
                                              int bank) const {
-    const celsius t = dimm_temperature_[static_cast<std::size_t>(dimm)];
+    const double tf = model_.temperature_factor(
+        dimm_temperature_[static_cast<std::size_t>(dimm)]);
+    const double refresh_s = refresh_.seconds();
     std::uint64_t count = 0;
     for (const weak_cell& cell : bank_cells(dimm, rank, chip, bank)) {
         // Worst pattern of the suite: full aggression on every cell (the
         // random DPBench eventually exposes each cell's worst combination;
         // unique locations are the union over the suite).
-        if (cell.retention_seconds(model_, t, 1.0) < refresh_.seconds()) {
+        if (cell.retention_seconds_scaled(tf, 1.0) < refresh_s) {
             ++count;
         }
     }

@@ -94,9 +94,21 @@ public:
     /// parallel campaign engine uses: concurrent tasks sweep different
     /// periods against one shared memory_system without mutating it.  The
     /// period must be within the study limits.
+    ///
+    /// The scan hoists the per-DIMM temperature factor (an exp2) out of the
+    /// per-cell loop; the per-cell arithmetic is otherwise unchanged, so
+    /// results are bitwise-identical to run_dpbench_reference (held by
+    /// kernel_equivalence_test).
     [[nodiscard]] scan_result run_dpbench(data_pattern pattern,
                                           std::uint64_t pattern_seed,
                                           milliseconds refresh_period) const;
+
+    /// Retained reference implementation of the explicit-period run_dpbench
+    /// (per-cell temperature_factor recomputation, the pre-optimization code
+    /// path).  Differential-testing twin only.
+    [[nodiscard]] scan_result run_dpbench_reference(
+        data_pattern pattern, std::uint64_t pattern_seed,
+        milliseconds refresh_period) const;
 
     /// Keys (cell_key) of the cells that fail a DPBench scan: the raw
     /// material of retention profiling (dram/profiling.hpp) and scrub
@@ -136,6 +148,11 @@ private:
     [[nodiscard]] double scan_retention_seconds(const weak_cell& cell,
                                                 celsius t, double aggression,
                                                 std::uint64_t scan_seed) const;
+    /// Same with the DIMM's temperature factor precomputed by the caller;
+    /// the hot-loop form used by the scans.
+    [[nodiscard]] double scan_retention_seconds_scaled(
+        const weak_cell& cell, double temperature_factor, double aggression,
+        std::uint64_t scan_seed) const;
     /// Apply ECC to a set of failed cells, accumulating into `result`.
     void apply_ecc(std::vector<const weak_cell*>& failures,
                    std::uint64_t data_seed, scan_result& result) const;

@@ -31,9 +31,13 @@ double retention_model::expected_weak_cells(
 
 double weak_cell::retention_seconds(const retention_model& model, celsius t,
                                     double aggression) const {
+    return retention_seconds_scaled(model.temperature_factor(t), aggression);
+}
+
+double weak_cell::retention_seconds_scaled(double temperature_factor,
+                                           double aggression) const {
     GB_EXPECTS(aggression >= 0.0 && aggression <= 1.0);
-    return static_cast<double>(retention_at_reference_s) *
-           model.temperature_factor(t) *
+    return static_cast<double>(retention_at_reference_s) * temperature_factor *
            (1.0 - static_cast<double>(dpd_strength) * aggression);
 }
 

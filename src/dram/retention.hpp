@@ -83,6 +83,14 @@ struct weak_cell {
     [[nodiscard]] double retention_seconds(const retention_model& model,
                                            celsius t,
                                            double aggression) const;
+
+    /// Same computation with the temperature factor precomputed by the
+    /// caller (`model.temperature_factor(t)`).  The factor is constant per
+    /// DIMM in a scan, so hoisting it removes an exp2 per cell; the
+    /// multiplication order matches retention_seconds exactly, keeping the
+    /// result bitwise-identical (held by kernel_equivalence_test).
+    [[nodiscard]] double retention_seconds_scaled(double temperature_factor,
+                                                  double aggression) const;
 };
 
 /// Per-bank-index systematic density factors, normalized from the 60 C row

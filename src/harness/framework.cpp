@@ -127,6 +127,16 @@ campaign_result characterization_framework::run_campaign_impl(
     const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
     const std::size_t total = spec.setups.size() * reps;
 
+    // The Vmin analysis is a pure function of (assignments, phase_seed) and
+    // independent of the supply, so each setup's trace/droop pass runs once
+    // here instead of once per (voltage, repetition) task.  evaluate_at
+    // draws the same RNG sequence as evaluate_run, so records are identical.
+    std::vector<vmin_analysis> setup_analyses;
+    setup_analyses.reserve(setup_assignments.size());
+    for (const std::vector<core_assignment>& assignments : setup_assignments) {
+        setup_analyses.push_back(chip_.analyze(assignments, phase_seed));
+    }
+
     campaign_result result;
     result.spec = spec;
     result.records.resize(total);
@@ -182,9 +192,8 @@ campaign_result characterization_framework::run_campaign_impl(
             record.watchdog_reset = true;
         } else {
             rng task_rng(ctx.seed);
-            const run_evaluation eval = chip_.evaluate_run(
-                setup_assignments[setup_index], setup.voltage, phase_seed,
-                task_rng);
+            const run_evaluation eval = chip_.evaluate_at(
+                setup_analyses[setup_index], setup.voltage, task_rng);
             record.outcome = eval.outcome;
             record.margin = eval.margin;
             record.path = eval.path;
@@ -267,6 +276,9 @@ millivolts characterization_framework::find_vmin(
     const execution_engine engine(options);
 
     const std::uint64_t phase_seed = hash_label(program.name);
+    // One trace/droop pass serves the entire ladder: the analysis does not
+    // depend on the candidate supply, only the per-run noise draw does.
+    const vmin_analysis analysis = chip_.analyze(assignments, phase_seed);
     const std::size_t reps = static_cast<std::size_t>(repetitions);
     // Fixed speculation depth: the chunk size must not depend on the worker
     // count or the set of evaluated cells (and thus the result and the
@@ -290,8 +302,8 @@ millivolts characterization_framework::find_vmin(
                 const std::size_t local = ctx.index - chunk_start * reps;
                 const millivolts v = ladder[ctx.index / reps];
                 rng task_rng(ctx.seed);
-                const run_evaluation eval = chip_.evaluate_run(
-                    assignments, v, phase_seed, task_rng);
+                const run_evaluation eval =
+                    chip_.evaluate_at(analysis, v, task_rng);
                 outcomes[local] = eval.outcome;
                 return static_cast<int>(eval.outcome);
             },

@@ -56,6 +56,15 @@ double percentile(std::span<const double> values, double q) {
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double median(std::span<const double> values) {
+    GB_EXPECTS(!values.empty());
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+}
+
 double mean(std::span<const double> values) {
     GB_EXPECTS(!values.empty());
     double sum = 0.0;

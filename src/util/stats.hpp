@@ -34,6 +34,14 @@ private:
 /// Percentile with linear interpolation; q in [0, 1].  Copies and sorts.
 [[nodiscard]] double percentile(std::span<const double> values, double q);
 
+/// Midpoint median of a non-empty sample: the middle element for odd counts,
+/// the mean `(a + b) / 2` of the two middle elements for even counts.
+/// Copies and sorts.  This exact form (not percentile(values, 0.5), which
+/// rounds `a * (1-f) + b * f` differently in the last ulp) is what the perf
+/// baselines publish as `wall.*` gauges, so it is pinned here and unit-tested
+/// for both parities.
+[[nodiscard]] double median(std::span<const double> values);
+
 /// Arithmetic mean of a non-empty span.
 [[nodiscard]] double mean(std::span<const double> values);
 

@@ -1,0 +1,100 @@
+# Golden perf-artifact check for the fig4_vmin_spec bench: run the binary at
+# GB_JOBS=1/2/8 and require
+#   * the rendered stdout table to be byte-identical across worker counts and
+#     to the checked-in golden (tests/golden/fig4_vmin_spec_stdout.txt),
+#   * the emitted BENCH_fig4_vmin_spec.json baselines to agree byte-for-byte
+#     across worker counts once the wall.* gauges (genuinely run-dependent)
+#     are stripped,
+#   * `gbreport diff` against the checked-in baseline
+#     (bench/baselines/BENCH_fig4_vmin_spec.json) to pass with the wall
+#     tolerance opened wide, so every counter -- including content.hash --
+#     is compared exactly.
+#
+# This is the campaign-level equivalence contract of the hot-path kernel
+# rewrites: whatever the optimized PDN/pipeline/evaluation paths do
+# internally, the measured Vmin content must not move by a single bit.
+#
+# Regenerate the goldens after a *deliberate* content change:
+#   <build>/bench/fig4_vmin_spec --baseline bench/baselines \
+#       > tests/golden/fig4_vmin_spec_stdout.txt
+#
+# Driven from tests/CMakeLists.txt via
+#   cmake -DFIG4=... -DGBREPORT=... -DGOLDEN_STDOUT=... -DGOLDEN_BASELINE=...
+#         -DWORK_DIR=... -P fig4_golden.cmake
+foreach(var FIG4 GBREPORT GOLDEN_STDOUT GOLDEN_BASELINE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "fig4_golden.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# Strip the run-dependent wall.* gauge lines so the remaining bytes are the
+# deterministic content (counters, including content.hash).
+function(strip_gauges input output)
+    file(READ ${input} text)
+    string(REGEX REPLACE "[ \t]*\"wall\\.[^\n]*\n" "" text "${text}")
+    file(WRITE ${output} "${text}")
+endfunction()
+
+foreach(jobs 1 2 8)
+    set(ENV{GB_JOBS} ${jobs})
+    file(MAKE_DIRECTORY ${WORK_DIR}/baseline_${jobs})
+    execute_process(
+        COMMAND ${FIG4} --baseline ${WORK_DIR}/baseline_${jobs}
+        OUTPUT_FILE ${WORK_DIR}/stdout_${jobs}.txt
+        ERROR_VARIABLE stderr_text
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "fig4_vmin_spec failed at GB_JOBS=${jobs} (rc=${rc}):\n"
+            "${stderr_text}")
+    endif()
+    strip_gauges(${WORK_DIR}/baseline_${jobs}/BENCH_fig4_vmin_spec.json
+                 ${WORK_DIR}/content_${jobs}.json)
+endforeach()
+
+foreach(jobs 2 8)
+    foreach(pair "stdout_${jobs}.txt|stdout_1.txt"
+                 "content_${jobs}.json|content_1.json")
+        string(REPLACE "|" ";" pair "${pair}")
+        list(GET pair 0 candidate)
+        list(GET pair 1 reference)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${WORK_DIR}/${reference} ${WORK_DIR}/${candidate}
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                "${candidate} differs from ${reference}: the worker count "
+                "leaked into the fig4 perf artifact")
+        endif()
+    endforeach()
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/stdout_1.txt ${GOLDEN_STDOUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "fig4 stdout drifted from the golden ${GOLDEN_STDOUT}; if the "
+        "content change is deliberate, copy ${WORK_DIR}/stdout_1.txt over it")
+endif()
+
+# Counter-exact diff against the checked-in baseline: the wall tolerance is
+# opened wide (machine speed is not under test here; the ratcheted wall gate
+# lives in CI), so only content regressions can fail.
+execute_process(
+    COMMAND ${GBREPORT} diff ${GOLDEN_BASELINE}
+            ${WORK_DIR}/baseline_1/BENCH_fig4_vmin_spec.json
+            --tolerance wall.*=1000000
+    OUTPUT_VARIABLE diff_text
+    ERROR_VARIABLE diff_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "gbreport diff flagged the fig4 baseline against the checked-in "
+        "golden (rc=${rc}): a counter (content.hash?) moved\n"
+        "${diff_text}${diff_err}")
+endif()

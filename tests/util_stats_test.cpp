@@ -55,6 +55,36 @@ TEST(percentile_test, empty_throws) {
     EXPECT_THROW((void)percentile(v, 0.5), contract_violation);
 }
 
+TEST(median_test, odd_count_is_middle_element) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{9.0, 1.0, 5.0}), 5.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0, 4.0, 3.0, 2.0, 1.0}),
+                     3.0);
+}
+
+TEST(median_test, even_count_is_midpoint_of_middle_pair) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 2.5);
+    // Unsorted input with duplicates: the two middle elements of the sorted
+    // order are 3 and 5.
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0, 3.0, 1.0, 3.0, 9.0, 5.0}),
+                     4.0);
+}
+
+TEST(median_test, matches_wall_gauge_estimator_on_samples) {
+    // The baseline reporter publishes exactly this midpoint form for its
+    // wall.* gauges; pin the arithmetic on a realistic sample set.
+    const std::vector<double> odd{814.3, 811.9, 816.0};
+    EXPECT_DOUBLE_EQ(median(odd), 814.3);
+    const std::vector<double> even{814.3, 811.9, 816.0, 812.2};
+    EXPECT_DOUBLE_EQ(median(even), (812.2 + 814.3) / 2.0);
+}
+
+TEST(median_test, empty_throws) {
+    const std::vector<double> v;
+    EXPECT_THROW((void)median(v), contract_violation);
+}
+
 TEST(mean_stddev_test, simple) {
     const std::vector<double> v{1.0, 3.0};
     EXPECT_DOUBLE_EQ(mean(v), 2.0);
