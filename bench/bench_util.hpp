@@ -74,9 +74,10 @@ private:
 ///   * counters -- exact content metrics, including `content.hash`, an
 ///     FNV-1a hash over everything fold()ed (any drift is a correctness
 ///     regression, gated at zero tolerance);
-///   * gauges   -- `wall.<label>_ms` medians over the repetitions passed
-///     to sample()/time() (gated with a generous `wall.*` tolerance, so
-///     only order-of-magnitude slowdowns trip the gate).
+///   * gauges   -- `wall.<label>_ms` medians and `wall.<label>_p95_ms`
+///     tails over the repetitions passed to sample()/time() (gated with a
+///     generous `wall.*` tolerance, so only order-of-magnitude slowdowns
+///     trip the gate).
 class baseline_reporter {
 public:
     baseline_reporter(int& argc, char** argv, std::string name)
@@ -145,9 +146,12 @@ public:
         for (const auto& [label, values] : samples_) {
             // gb::median pins the midpoint form for both parities (the
             // inline even-count expression previously lived here, where the
-            // n == 0 corner would have underflowed `n / 2 - 1`).
+            // n == 0 corner would have underflowed `n / 2 - 1`); the p95
+            // tail gauge rides the same `wall.*` diff tolerance.
             snapshot.gauges.emplace_back("wall." + label + "_ms",
                                          median(values));
+            snapshot.gauges.emplace_back("wall." + label + "_p95_ms",
+                                         p95(values));
         }
         const std::string path = *dir_ + "/BENCH_" + name_ + ".json";
         std::ofstream out(path);

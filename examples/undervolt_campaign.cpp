@@ -11,6 +11,9 @@
 //     --trace <path>    write a deterministic Chrome trace_event JSON of
 //                       the campaign (byte-identical at any GB_JOBS)
 //     --metrics <path>  write the merged metrics registry as flat JSON
+//     --timeline <path> write the deterministic progress time-series as
+//                       timeline.json (`gbreport timeline <path>` renders
+//                       it; byte-identical at any GB_JOBS)
 //     --status <path>   publish a live heartbeat snapshot (atomic JSON;
 //                       the final snapshot is deterministic)
 //
@@ -30,6 +33,7 @@
 #include "harness/fault_injection.hpp"
 #include "harness/framework.hpp"
 #include "harness/journal.hpp"
+#include "harness/timeseries/timeseries.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/cli.hpp"
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
         take_flag_value(argc, argv, "--trace");
     const std::optional<std::string> metrics_path =
         take_flag_value(argc, argv, "--metrics");
+    const std::optional<std::string> timeline_path =
+        take_flag_value(argc, argv, "--timeline");
     const std::optional<std::string> status_path =
         take_flag_value(argc, argv, "--status");
     for (int i = 1; i < argc; ++i) {
@@ -112,6 +118,7 @@ int main(int argc, char** argv) {
 
     tracer trace;
     metrics_registry metrics;
+    timeline_recorder timeline;
     const bool observing = trace_path || metrics_path;
 
     for (const std::string& name : benchmarks) {
@@ -137,6 +144,9 @@ int main(int argc, char** argv) {
         if (observing) {
             io.trace = trace_path ? &trace : nullptr;
             io.metrics = metrics_path ? &metrics : nullptr;
+        }
+        if (timeline_path) {
+            io.timeline = &timeline;
         }
         if (status_path) {
             io.status_path = *status_path;
@@ -193,6 +203,13 @@ int main(int argc, char** argv) {
         std::ofstream out(*metrics_path);
         write_metrics_json(out, metrics);
         std::cerr << "metrics written to " << *metrics_path << '\n';
+    }
+    if (timeline_path) {
+        std::ofstream out(*timeline_path);
+        write_timeline_json(out, timeline);
+        std::cerr << "timeline written to " << *timeline_path << " ("
+                  << timeline.series_count() << " series, "
+                  << timeline.sample_count() << " samples)\n";
     }
     return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "core/governor.hpp"
 #include "core/refresh_policy.hpp"
+#include "harness/timeseries/timeseries.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
@@ -397,6 +398,21 @@ void operating_point_supervisor::settle_epoch(const epoch_request& request,
     }
 
     telemetry_.account(disposition);
+
+    if (timeline_ != nullptr) {
+        // One virtual tick per settled epoch; the appended values are all
+        // settled-state counters, so the series are a pure function of the
+        // epoch sequence.
+        const std::uint64_t tick = timeline_->advance();
+        timeline_->append("supervisor.stage", tick,
+                          static_cast<double>(stage_));
+        timeline_->append("supervisor.quarantines", tick,
+                          static_cast<double>(quarantine_.size()));
+        timeline_->append("supervisor.breaker_trips", tick,
+                          static_cast<double>(telemetry_.breaker_trips));
+        timeline_->append("supervisor.detected_sdc", tick,
+                          static_cast<double>(telemetry_.detected_sdc));
+    }
 }
 
 epoch_disposition operating_point_supervisor::observe(

@@ -48,6 +48,7 @@ namespace gb {
 
 class voltage_governor;
 class tracer;
+class timeline_recorder;
 
 enum class supervisor_state : std::uint8_t {
     nominal,    ///< at the manufacturer point, not yet descended
@@ -215,6 +216,13 @@ public:
     /// serial, so everything records into shard 0.
     void set_trace(tracer* trace, metrics_registry* metrics);
 
+    /// Attach a deterministic time-series sink (may be null to detach).
+    /// Every settled epoch appends one sample per health series
+    /// (`supervisor.stage`, `supervisor.quarantines`,
+    /// `supervisor.breaker_trips`, `supervisor.detected_sdc`) at a fresh
+    /// virtual tick; the supervisor is serial, so appends never race.
+    void set_timeline(timeline_recorder* timeline) { timeline_ = timeline; }
+
 private:
     using breaker_key = std::pair<int, std::string>;
     struct breaker_window {
@@ -260,6 +268,7 @@ private:
     // Observability (see trace/trace.hpp); null when not attached.
     tracer* trace_ = nullptr;
     metrics_registry* metrics_ = nullptr;
+    timeline_recorder* timeline_ = nullptr;
     std::uint32_t trace_phase_ = 0;
     std::uint32_t trace_minor_ = 0; ///< event sequence within the epoch
     struct {

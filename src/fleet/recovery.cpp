@@ -40,10 +40,13 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
 
     const std::string golden_journal = config.work_dir + "/golden.journal";
     const std::string golden_state = config.work_dir + "/golden.state";
+    const std::string golden_timeline = config.work_dir + "/golden.timeline";
     const std::string chaos_journal = config.work_dir + "/chaos.journal";
     const std::string chaos_state = config.work_dir + "/chaos.state";
+    const std::string chaos_timeline = config.work_dir + "/chaos.timeline";
     for (const std::string& stale :
-         {golden_journal, golden_state, chaos_journal, chaos_state}) {
+         {golden_journal, golden_state, golden_timeline, chaos_journal,
+          chaos_state, chaos_timeline}) {
         std::error_code ec;
         std::filesystem::remove(stale, ec);
         std::filesystem::remove(stale + ".tmp", ec);
@@ -51,6 +54,8 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
 
     const auto service_config = [&config](const std::string& journal,
                                           const std::string& state,
+                                          const std::string& timeline_path,
+                                          timeline_recorder* timeline,
                                           chaos_plan* chaos) {
         fleet_service_config sc;
         sc.campaign = "recovery-check";
@@ -64,6 +69,12 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
         sc.replan_backoff_base_s = config.replan_backoff_base_s;
         sc.chaos = chaos;
         sc.integrity = config.integrity;
+        sc.aging_mv_per_epoch = config.aging_mv_per_epoch;
+        if (timeline != nullptr) {
+            sc.timeline = timeline;
+            sc.alerts = config.alerts;
+            sc.timeline_path = timeline_path;
+        }
         return sc;
     };
     const auto run_schedule = [&config](fleet_service& service) {
@@ -77,10 +88,13 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
 
     // Golden run: the bytes every chaos incarnation must converge to.
     {
-        fleet_service golden(config.spec,
-                             service_config(golden_journal, golden_state,
-                                            nullptr),
-                             config.probe);
+        timeline_recorder golden_recorder;
+        fleet_service golden(
+            config.spec,
+            service_config(golden_journal, golden_state, golden_timeline,
+                           config.timeline ? &golden_recorder : nullptr,
+                           nullptr),
+            config.probe);
         run_schedule(golden);
     }
 
@@ -104,9 +118,15 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
         }
         ++report.lives;
         try {
+            // A fresh recorder + alert engine per life: in-memory
+            // observability dies with the process, only the journal's
+            // observatory records survive and re-warm it.
+            timeline_recorder life_recorder;
             fleet_service incarnation(
                 config.spec,
-                service_config(chaos_journal, chaos_state, &chaos),
+                service_config(chaos_journal, chaos_state, chaos_timeline,
+                               config.timeline ? &life_recorder : nullptr,
+                               &chaos),
                 config.probe);
             // The warm (and any torn-tail heal) happened in the
             // constructor, so record it before the campaigns can crash --
@@ -128,6 +148,14 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
     const std::string golden_state_bytes = slurp(golden_state);
     const std::string chaos_state_bytes = slurp(chaos_state);
     report.snapshot_match = golden_state_bytes == chaos_state_bytes;
+    std::string golden_timeline_bytes;
+    std::string chaos_timeline_bytes;
+    if (config.timeline) {
+        golden_timeline_bytes = slurp(golden_timeline);
+        chaos_timeline_bytes = slurp(chaos_timeline);
+        report.timeline_match =
+            golden_timeline_bytes == chaos_timeline_bytes;
+    }
     if (!report.journal_match) {
         report.failure =
             "journal diverged at byte " +
@@ -144,6 +172,14 @@ recovery_report run_recovery_check(const recovery_check_config& config) {
             " (golden " + std::to_string(golden_state_bytes.size()) +
             " bytes, chaos " + std::to_string(chaos_state_bytes.size()) +
             ")";
+    } else if (!report.timeline_match) {
+        report.failure =
+            "timeline diverged at byte " +
+            std::to_string(first_divergence(golden_timeline_bytes,
+                                            chaos_timeline_bytes)) +
+            " (golden " + std::to_string(golden_timeline_bytes.size()) +
+            " bytes, chaos " +
+            std::to_string(chaos_timeline_bytes.size()) + ")";
     }
     return report;
 }

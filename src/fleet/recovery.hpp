@@ -59,6 +59,16 @@ struct recovery_check_config {
     /// incarnations' own service config, or compare against a separate
     /// clean reference.
     fleet_integrity_config integrity;
+    /// Observatory under test: when true each run gets its *own fresh*
+    /// timeline recorder + alert engine per incarnation (in-memory
+    /// observability dies with the process; only the journal survives),
+    /// a `golden.timeline`/`chaos.timeline` artifact, and the report
+    /// additionally asserts bitwise timeline convergence.
+    bool timeline = false;
+    /// Alert rules for both runs (timeline only).
+    std::vector<alert_rule> alerts;
+    /// Synthetic Vmin aging drift per epoch for both runs.
+    double aging_mv_per_epoch = 0.0;
 };
 
 struct recovery_report {
@@ -70,9 +80,13 @@ struct recovery_report {
     std::uint64_t degraded = 0;     ///< degraded cohorts, final snapshot
     bool journal_match = false;     ///< chaos journal == golden journal
     bool snapshot_match = false;    ///< chaos snapshot == golden snapshot
+    /// chaos timeline.json == golden timeline.json (true when the
+    /// observatory is off: nothing to diverge).
+    bool timeline_match = true;
     std::string failure;            ///< first divergence; empty if none
     [[nodiscard]] bool converged() const {
-        return journal_match && snapshot_match && failure.empty();
+        return journal_match && snapshot_match && timeline_match &&
+               failure.empty();
     }
 };
 

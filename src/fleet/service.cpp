@@ -205,6 +205,21 @@ std::string format_rigs(const std::vector<std::uint32_t>& rigs) {
     return text;
 }
 
+std::vector<std::string_view> tokenize(std::string_view payload) {
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        const std::size_t space = payload.find(' ', pos);
+        const std::size_t end =
+            space == std::string_view::npos ? payload.size() : space;
+        if (end > pos) {
+            tokens.push_back(payload.substr(pos, end - pos));
+        }
+        pos = end + 1;
+    }
+    return tokens;
+}
+
 bool parse_rigs(std::string_view text, std::vector<std::uint32_t>& rigs) {
     rigs.clear();
     std::size_t pos = 0;
@@ -334,6 +349,16 @@ fleet_service::fleet_service(fleet_spec spec, fleet_service_config config,
         // stale `.tmp` sibling; it is dead bytes, never to be renamed.
         std::error_code ec;
         std::filesystem::remove(config_.state_path + ".tmp", ec);
+    }
+    if (config_.timeline != nullptr) {
+        // The engine exists even rule-free so the timeline artifact's
+        // alert section stays stable; it must exist before the journal
+        // warm so replayed `alert` records restore its firing state.
+        alerts_ = std::make_unique<alert_engine>(config_.alerts);
+    }
+    if (!config_.timeline_path.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(config_.timeline_path + ".tmp", ec);
     }
     if (!config_.journal_path.empty()) {
         // A crash between a repair rewrite's temp and its rename leaves a
@@ -482,12 +507,102 @@ void fleet_service::warm_cache_from_journal() {
                                " out of sequence (expected " +
                                std::to_string(journal_serial_) + ")");
         }
-        // With the integrity defenses on, every record must close with a
-        // ` chain=` link folding the previous record's chain value over
-        // this record's bytes -- an in-place edit anywhere breaks every
-        // later link, which a torn-tail heal can never excuse.  With them
-        // off the chain (and rigs provenance) is ignored like any unknown
-        // field, so defended journals stay readable by undefended
+        // Observatory records (`tline` samples, `alert` transitions and
+        // the `tseal` closing an epoch's block) consume journal serials
+        // like probe records but carry no chain link and never fold into
+        // the probe chain.  They are parsed strictly, tracked per epoch
+        // (so a restarted daemon appends only the missing suffix of a
+        // partial block) and replayed into the configured recorder and
+        // alert engine.
+        const std::size_t first_space = payload.find(' ');
+        const std::string_view kind = payload.substr(
+            0, first_space == std::string_view::npos ? payload.size()
+                                                     : first_space);
+        if (kind == "tline" || kind == "alert" || kind == "tseal") {
+            const std::vector<std::string_view> tokens = tokenize(payload);
+            std::string_view value;
+            std::uint64_t record_epoch = 0;
+            if (!field_value(tokens, "epoch", value) ||
+                !parse_integer(value, record_epoch)) {
+                reject(lineno, "unparseable observatory record");
+            }
+            if (sealed_epochs_.contains(record_epoch)) {
+                reject(lineno, "observatory record after its epoch seal");
+            }
+            if (kind == "tline") {
+                std::string_view series;
+                std::uint64_t tick = 0;
+                double sample = 0.0;
+                if (!field_value(tokens, "series", series) ||
+                    series.empty() || !field_value(tokens, "tick", value) ||
+                    !parse_integer(value, tick) ||
+                    !field_value(tokens, "value", value) ||
+                    !parse_real(value, sample)) {
+                    reject(lineno, "unparseable timeline record");
+                }
+                ++warm_tline_counts_[record_epoch];
+                warm_epoch_ticks_[record_epoch] = tick;
+                if (config_.timeline != nullptr) {
+                    config_.timeline->append(series, tick, sample);
+                }
+            } else if (kind == "alert") {
+                alert_event event;
+                std::string_view rule;
+                std::string_view series;
+                std::string_view state;
+                if (!field_value(tokens, "rule", rule) || rule.empty() ||
+                    !field_value(tokens, "series", series) ||
+                    series.empty() ||
+                    !field_value(tokens, "state", state) ||
+                    (state != "firing" && state != "resolved") ||
+                    !field_value(tokens, "tick", value) ||
+                    !parse_integer(value, event.tick) ||
+                    !field_value(tokens, "value", value) ||
+                    !parse_real(value, event.value)) {
+                    reject(lineno, "unparseable alert record");
+                }
+                event.rule = std::string(rule);
+                event.series = std::string(series);
+                event.firing = state == "firing";
+                ++warm_alert_counts_[record_epoch];
+                if (config_.timeline != nullptr) {
+                    config_.timeline->observe_tick(event.tick);
+                }
+                if (alerts_ != nullptr) {
+                    alerts_->replay(event);
+                }
+            } else {
+                std::uint64_t sealed_samples = 0;
+                std::uint64_t sealed_events = 0;
+                if (!field_value(tokens, "samples", value) ||
+                    !parse_integer(value, sealed_samples) ||
+                    !field_value(tokens, "events", value) ||
+                    !parse_integer(value, sealed_events)) {
+                    reject(lineno, "unparseable epoch seal");
+                }
+                if (sealed_samples != warm_tline_counts_[record_epoch] ||
+                    sealed_events != warm_alert_counts_[record_epoch]) {
+                    reject(lineno,
+                           "epoch seal counts disagree with the records "
+                           "before it");
+                }
+                sealed_epochs_.insert(record_epoch);
+            }
+            ++journal_serial_;
+            // The block separates campaigns; the cohort-order invariant
+            // restarts with the next probe run.
+            have_prev = false;
+            if (config_.integrity.enabled()) {
+                record_layout_.push_back({false, std::string(payload)});
+            }
+            continue;
+        }
+        // With the integrity defenses on, every probe record must close
+        // with a ` chain=` link folding the previous record's chain value
+        // over this record's bytes -- an in-place edit anywhere breaks
+        // every later link, which a torn-tail heal can never excuse.  With
+        // them off the chain (and rigs provenance) is ignored like any
+        // unknown field, so defended journals stay readable by undefended
         // services.
         if (config_.integrity.enabled()) {
             const std::size_t chain_at = payload.rfind(" chain=");
@@ -518,19 +633,7 @@ void fleet_service::warm_cache_from_journal() {
         }
         std::vector<std::uint32_t> rigs;
         if (config_.integrity.enabled()) {
-            std::vector<std::string_view> tokens;
-            std::size_t token_pos = 0;
-            while (token_pos < payload.size()) {
-                const std::size_t space = payload.find(' ', token_pos);
-                const std::size_t token_end =
-                    space == std::string_view::npos ? payload.size()
-                                                    : space;
-                if (token_end > token_pos) {
-                    tokens.push_back(
-                        payload.substr(token_pos, token_end - token_pos));
-                }
-                token_pos = token_end + 1;
-            }
+            const std::vector<std::string_view> tokens = tokenize(payload);
             std::string_view rigs_text;
             if (field_value(tokens, "rigs", rigs_text) &&
                 !parse_rigs(rigs_text, rigs)) {
@@ -561,6 +664,7 @@ void fleet_service::warm_cache_from_journal() {
             cache_.insert(content, result, rigs);
             journal_entries_.push_back(
                 {key, sweep_mv, content, result, ledger, std::move(rigs)});
+            record_layout_.push_back({true, {}});
         } else {
             cache_.insert(content, result);
         }
@@ -592,6 +696,36 @@ void fleet_service::append_probe_line(const cohort_key& key,
         line += " chain=" + format_chain(chain_);
     }
     journal_->append(journal_serial_++, line);
+    if (config_.integrity.enabled()) {
+        record_layout_.push_back({true, {}});
+    }
+}
+
+void fleet_service::append_observatory_line(const std::string& payload) {
+    if (!journal_) {
+        return; // memory-only observatory: nothing to replay on restart
+    }
+    if (config_.chaos != nullptr) {
+        // The observatory's own kill-point: tear the in-flight record the
+        // way the journal seam tears probe lines -- a prefix of the full
+        // `task=N <payload>\n` line reaches disk, the newline never does,
+        // and the next warm self-heals the tail.
+        const std::string full = "task=" + std::to_string(journal_serial_) +
+                                 " " + payload + "\n";
+        if (const auto tear =
+                config_.chaos->on_timeline_append(full.size())) {
+            std::ofstream out(config_.journal_path,
+                              std::ios::binary | std::ios::app);
+            out << std::string_view(full).substr(
+                0, static_cast<std::size_t>(tear->keep));
+            out.flush();
+            config_.chaos->kill(tear->site);
+        }
+    }
+    journal_->append(journal_serial_++, payload);
+    if (config_.integrity.enabled()) {
+        record_layout_.push_back({false, payload});
+    }
 }
 
 std::uint64_t fleet_service::sdc_injected() const {
@@ -807,15 +941,26 @@ void fleet_service::rewrite_journal() {
     std::string bytes;
     std::uint64_t chain = chain_basis;
     std::size_t serial = 0;
-    for (const journal_entry& entry : journal_entries_) {
-        std::string line =
-            format_probe_payload(entry.key, entry.sweep_mv, entry.content,
-                                 entry.result, entry.ledger);
-        line += " rigs=" + format_rigs(entry.rigs);
-        chain = chain_next(chain, line);
-        line += " chain=" + format_chain(chain);
+    std::size_t probe_cursor = 0;
+    for (const journal_record_ref& ref : record_layout_) {
+        std::string line;
+        if (ref.probe) {
+            // Probe records are re-rendered from the (possibly repaired)
+            // retained entries with a recomputed chain; observatory
+            // records ride along verbatim, outside the chain.
+            const journal_entry& entry = journal_entries_[probe_cursor++];
+            line = format_probe_payload(entry.key, entry.sweep_mv,
+                                        entry.content, entry.result,
+                                        entry.ledger);
+            line += " rigs=" + format_rigs(entry.rigs);
+            chain = chain_next(chain, line);
+            line += " chain=" + format_chain(chain);
+        } else {
+            line = ref.payload;
+        }
         bytes += "task=" + std::to_string(serial++) + " " + line + "\n";
     }
+    GB_ENSURES(probe_cursor == journal_entries_.size());
     const std::string temp = config_.journal_path + ".tmp";
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
@@ -1223,8 +1368,16 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
             }
             continue;
         }
-        const double requirement =
-            cohort.last.requirement_mv + node_jitter_mv(spec_, node);
+        // Synthetic aging widens the *served* requirement only -- the
+        // cached/journaled characterization stays drift-free, so the
+        // timeline's drift-slope rules watch the same signal the binning
+        // serves.  (Guarded so the default 0 keeps bins bit-identical.)
+        double served_mv = cohort.last.requirement_mv;
+        if (config_.aging_mv_per_epoch != 0.0) {
+            served_mv += config_.aging_mv_per_epoch *
+                         static_cast<double>(epoch_ - 1);
+        }
+        const double requirement = served_mv + node_jitter_mv(spec_, node);
         const double bin = bin_voltage_mv(spec_, requirement);
         ++bins_[std::llround(bin)];
         nominal_w += cohort.last.power_nominal_w;
@@ -1268,8 +1421,99 @@ campaign_outcome fleet_service::run_campaign(std::int64_t sweep_mv) {
             set(mh_.replica_executions, replica_executions_);
         }
     }
+    if (config_.timeline != nullptr) {
+        observe_epoch();
+    }
     publish_state();
     return outcome;
+}
+
+std::vector<std::pair<std::string, double>>
+fleet_service::observatory_samples() const {
+    // The epoch's fixed-order sample list.  Every value here already
+    // appears in (or derives from) the content-pure state snapshot, so
+    // the block is crash-invariant by construction; per-batch engine
+    // observables (shard watchdog trips, physical cache hits) must stay
+    // out for the same reason they stay out of the snapshot.
+    std::vector<std::pair<std::string, double>> samples;
+    samples.reserve(cohorts_.size() + 4);
+    for (const cohort_state& cohort : cohorts_) {
+        if (!cohort.probed) {
+            continue;
+        }
+        double vmin = cohort.last.requirement_mv;
+        if (config_.aging_mv_per_epoch != 0.0) {
+            vmin += config_.aging_mv_per_epoch *
+                    static_cast<double>(epoch_ - 1);
+        }
+        std::string series = "vmin.";
+        series += to_string(cohort.key.corner);
+        series += '.' + std::to_string(cohort.key.workload_class);
+        series += '.' + std::to_string(cohort.key.operating_point);
+        series += '.' + std::to_string(cohort.key.variant);
+        samples.emplace_back(std::move(series), vmin);
+    }
+    samples.emplace_back("fleet.cache_hit_rate",
+                         probes_requested_ > 0
+                             ? static_cast<double>(scheduled_hits_) /
+                                   static_cast<double>(probes_requested_)
+                             : 0.0);
+    samples.emplace_back("fleet.degraded_cohorts",
+                         static_cast<double>(degraded_cohorts()));
+    samples.emplace_back("fleet.power_binned_w", power_binned_w_);
+    samples.emplace_back("fleet.power_nominal_w", power_nominal_w_);
+    return samples;
+}
+
+void fleet_service::observe_epoch() {
+    timeline_recorder& timeline = *config_.timeline;
+    if (sealed_epochs_.contains(epoch_)) {
+        // A previous lifetime journaled and sealed this epoch's whole
+        // block; the warm replay already restored it.
+        publish_timeline();
+        return;
+    }
+    const auto samples = observatory_samples();
+    const auto partial = warm_tline_counts_.find(epoch_);
+    const std::uint64_t already =
+        partial != warm_tline_counts_.end() ? partial->second : 0;
+    // A partial block's samples are already in the recorder (warm replay)
+    // at the tick the crashed lifetime drew; resume at that tick so the
+    // suffix -- and everything downstream -- lands on the same bytes.
+    const std::uint64_t tick = already > 0 ? warm_epoch_ticks_.at(epoch_)
+                                           : timeline.advance();
+    for (std::size_t s = static_cast<std::size_t>(already);
+         s < samples.size(); ++s) {
+        const auto& [series, value] = samples[s];
+        timeline.append(series, tick, value);
+        append_observatory_line(
+            "tline epoch=" + std::to_string(epoch_) + " series=" + series +
+            " tick=" + std::to_string(tick) +
+            " value=" + format_double(value));
+    }
+    // Transitions already journaled by a crashed lifetime were replayed
+    // into the engine, so re-evaluating emits exactly the not-yet-
+    // journaled suffix (in the same rule-order x series-order the golden
+    // run journals).
+    std::uint64_t events =
+        warm_alert_counts_.contains(epoch_) ? warm_alert_counts_[epoch_] : 0;
+    if (alerts_ != nullptr) {
+        for (const alert_event& event :
+             alerts_->evaluate(timeline.snapshot(), tick)) {
+            append_observatory_line(
+                "alert epoch=" + std::to_string(epoch_) +
+                " rule=" + event.rule + " series=" + event.series +
+                " state=" + (event.firing ? "firing" : "resolved") +
+                " tick=" + std::to_string(event.tick) +
+                " value=" + format_double(event.value));
+            ++events;
+        }
+    }
+    append_observatory_line("tseal epoch=" + std::to_string(epoch_) +
+                            " samples=" + std::to_string(samples.size()) +
+                            " events=" + std::to_string(events));
+    sealed_epochs_.insert(epoch_);
+    publish_timeline();
 }
 
 std::string fleet_service::state_snapshot() const {
@@ -1362,7 +1606,24 @@ std::string fleet_service::state_snapshot() const {
               << ",\"bucket\":" << (cohort.probed ? cohort.last.bucket : -1)
               << '}';
     }
-    fleet << "]}";
+    fleet << ']';
+    // Observatory section, only when the timeline is configured (a
+    // disabled observatory keeps the snapshot bytes unchanged; `gbreport
+    // status` renders a stable placeholder for its absence).  Every field
+    // replays from the journal, so it is crash-invariant like the rest.
+    if (config_.timeline != nullptr) {
+        fleet << ",\"timeline\":{\"series\":"
+              << config_.timeline->series_count()
+              << ",\"samples\":" << config_.timeline->sample_count()
+              << ",\"rules\":" << alerts_->rules().size() << ",\"firing\":[";
+        bool first_label = true;
+        for (const std::string& label : alerts_->firing()) {
+            fleet << (first_label ? "" : ",") << '"' << label << '"';
+            first_label = false;
+        }
+        fleet << "],\"events\":" << alerts_->events().size() << '}';
+    }
+    fleet << '}';
     line += fleet.str();
     line += "}\n";
     return line;
@@ -1373,6 +1634,23 @@ bool fleet_service::publish_state() const {
         return false;
     }
     return publish_bytes(config_.state_path, state_snapshot(),
+                         config_.chaos);
+}
+
+std::string fleet_service::timeline_snapshot() const {
+    if (config_.timeline == nullptr) {
+        return {};
+    }
+    std::ostringstream out;
+    write_timeline_json(out, *config_.timeline, alerts_.get());
+    return out.str();
+}
+
+bool fleet_service::publish_timeline() const {
+    if (config_.timeline == nullptr || config_.timeline_path.empty()) {
+        return false;
+    }
+    return publish_bytes(config_.timeline_path, timeline_snapshot(),
                          config_.chaos);
 }
 

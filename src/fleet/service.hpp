@@ -66,6 +66,7 @@
 #include "harness/execution_engine.hpp"
 #include "harness/integrity/integrity.hpp"
 #include "harness/journal.hpp"
+#include "harness/timeseries/alerts.hpp"
 
 namespace gb {
 class tracer;
@@ -186,6 +187,27 @@ struct fleet_service_config {
     /// ` chain=` hash (verified on warm); with them off (the default) the
     /// wire format and every published byte are unchanged.
     fleet_integrity_config integrity;
+    /// Deterministic time-series sink (null: the observatory is off and
+    /// every journal, snapshot and metrics byte is unchanged).  When set,
+    /// each campaign closes with one crash-invariant observatory block --
+    /// per-cohort Vmin, cache hit rate, degraded-cohort count and fleet
+    /// power samples plus any alert transitions -- journaled as
+    /// `tline`/`alert` records sealed by a `tseal`, and a restarted daemon
+    /// warms the recorder and alert state from those records, so the
+    /// timeline artifact converges bitwise across crash/restart.
+    timeline_recorder* timeline = nullptr;
+    /// Alert rules evaluated against the timeline at every epoch seal
+    /// (ignored while `timeline` is null).
+    std::vector<alert_rule> alerts;
+    /// Synthetic Vmin aging drift, mV per settled epoch, applied to the
+    /// *served* requirement at node fan-out and to the Vmin timeline
+    /// samples -- never to the cache or the probe journal, so the
+    /// characterization record stays aging-free.  The default 0 keeps
+    /// every published byte unchanged.
+    double aging_mv_per_epoch = 0.0;
+    /// `timeline.json` artifact endpoint (empty: not published).  Written
+    /// with the snapshot's temp+rename discipline after each epoch seal.
+    std::string timeline_path;
 };
 
 /// Aggregated view of one cohort the state snapshot exposes.
@@ -259,6 +281,19 @@ public:
     }
     [[nodiscard]] double power_nominal_w() const { return power_nominal_w_; }
     [[nodiscard]] double power_binned_w() const { return power_binned_w_; }
+
+    // --- observatory (timeline + alerts; null/empty when off) -----------
+    /// Alert engine state (firing set, event history); null when the
+    /// observatory is off or no rules are configured.
+    [[nodiscard]] const alert_engine* alert_state() const {
+        return alerts_.get();
+    }
+    /// `timeline.json` bytes (write_timeline_json over the configured
+    /// recorder + alert state); empty when the observatory is off.
+    [[nodiscard]] std::string timeline_snapshot() const;
+    /// Atomically publish `timeline_snapshot()` to the configured
+    /// timeline path (temp + rename; false when unconfigured).
+    bool publish_timeline() const;
 
     // --- SDC integrity accounting (lifetime-local; metrics `integrity.*`
     // mirror these, the content-pure snapshot never includes them) -------
@@ -338,6 +373,21 @@ private:
 
     [[nodiscard]] std::size_t cohort_index(const cohort_key& key) const;
     void warm_cache_from_journal();
+    /// End-of-campaign observatory block: append the epoch's fixed-order
+    /// sample list to the recorder and the journal (skipping whatever a
+    /// previous lifetime already journaled), evaluate the alert rules,
+    /// journal the transitions, and seal the epoch with a `tseal` record.
+    void observe_epoch();
+    /// Journal one observatory record (`tline`/`alert`/`tseal` payload)
+    /// through the chaos `timeline_append` seam.  Observatory records
+    /// consume journal serials like probe records but never fold into the
+    /// integrity chain.
+    void append_observatory_line(const std::string& payload);
+    /// The epoch's crash-invariant sample list, in fixed series order:
+    /// per-cohort Vmin (probed cohorts, sorted cohort order, aging
+    /// applied), then the fleet scalars.
+    [[nodiscard]] std::vector<std::pair<std::string, double>>
+    observatory_samples() const;
     void append_probe_line(const cohort_key& key, std::int64_t sweep_mv,
                            std::uint64_t content, const probe_result& result,
                            const probe_ledger& ledger,
@@ -427,6 +477,33 @@ private:
     std::map<std::int64_t, std::uint64_t> bins_;
     double power_nominal_w_ = 0.0;
     double power_binned_w_ = 0.0;
+
+    /// Observatory state.  The alert engine exists whenever the timeline
+    /// is configured (even rule-free, so the artifact's alert section is
+    /// stable); the warm bookkeeping below is tracked per epoch so a
+    /// restarted daemon replays journaled observatory records instead of
+    /// re-appending them:
+    ///   * `sealed_epochs_`  -- epochs whose `tseal` landed (skip whole
+    ///     block on replay);
+    ///   * `warm_tline_counts_` / `warm_alert_counts_` -- records already
+    ///     journaled for a partial (unsealed) epoch, so only the suffix is
+    ///     appended;
+    ///   * `warm_epoch_ticks_` -- the tick a partial epoch's samples were
+    ///     journaled at, reused so the retry lands on the same tick.
+    std::unique_ptr<alert_engine> alerts_;
+    std::set<std::uint64_t> sealed_epochs_;
+    std::map<std::uint64_t, std::uint64_t> warm_tline_counts_;
+    std::map<std::uint64_t, std::uint64_t> warm_alert_counts_;
+    std::map<std::uint64_t, std::uint64_t> warm_epoch_ticks_;
+    /// Journal record layout (probe vs verbatim observatory payload),
+    /// maintained only when integrity + journal are both on, so
+    /// `rewrite_journal` can re-chain the probe records while preserving
+    /// observatory records in place.
+    struct journal_record_ref {
+        bool probe = true;
+        std::string payload; ///< observatory records only, verbatim
+    };
+    std::vector<journal_record_ref> record_layout_;
 
     std::map<cohort_key, supervised_cohort> supervised_;
     std::uint64_t supervised_epochs_ = 0;

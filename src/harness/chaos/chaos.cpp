@@ -14,7 +14,7 @@ namespace {
 // the rig-fault or task-seed streams built from the same campaign seed.
 constexpr std::uint64_t tear_domain = 0x746f726e2d777274ULL;
 
-constexpr std::size_t site_count = 5;
+constexpr std::size_t site_count = 6;
 
 std::size_t site_index(chaos_site site) {
     return static_cast<std::size_t>(site);
@@ -29,6 +29,7 @@ std::string_view to_string(chaos_site site) {
     case chaos_site::snapshot_rename: return "snapshot_rename";
     case chaos_site::control_command: return "control_command";
     case chaos_site::cache_warm: return "cache_warm";
+    case chaos_site::timeline_append: return "timeline_append";
     }
     return "?";
 }
@@ -160,6 +161,25 @@ bool chaos_plan::on_cache_warm_line() {
         }
     }
     return false;
+}
+
+std::optional<chaos_tear> chaos_plan::on_timeline_append(std::uint64_t size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t hit =
+        ++hits_[site_index(chaos_site::timeline_append)];
+    for (std::size_t t = 0; t < config_.triggers.size(); ++t) {
+        const chaos_trigger& trigger = config_.triggers[t];
+        if (fired_flags_[t] ||
+            trigger.site != chaos_site::timeline_append ||
+            hit != trigger.at) {
+            continue;
+        }
+        fired_flags_[t] = true;
+        ++fired_count_;
+        return chaos_tear{chaos_site::timeline_append,
+                          derive_keep(hit, size, trigger.keep)};
+    }
+    return std::nullopt;
 }
 
 void chaos_plan::kill(chaos_site site) const {

@@ -21,7 +21,10 @@
 //                         before the truncation ack (at-least-once
 //                         redelivery on restart);
 //   * cache_warm       -- killed while warming the cache from the journal
-//                         on restart (recovery of the recovery path).
+//                         on restart (recovery of the recovery path);
+//   * timeline_append  -- torn/short write of an observatory record
+//                         (timeline sample, alert event or epoch seal) on
+//                         the hit-counted append of such a record.
 //
 // Firing either throws `chaos_crash` (in-process harnesses abandon the
 // service object and restart from the on-disk bytes) or `_exit`s the
@@ -48,6 +51,7 @@ enum class chaos_site : std::uint8_t {
     snapshot_rename,
     control_command,
     cache_warm,
+    timeline_append,
 };
 
 [[nodiscard]] std::string_view to_string(chaos_site site);
@@ -119,6 +123,10 @@ public:
     [[nodiscard]] bool on_control_command();
     /// Cache-warm seam, hit once per journal line read during warm.
     [[nodiscard]] bool on_cache_warm_line();
+    /// Observatory seam, hit once per timeline/alert/seal record about to
+    /// be journaled (hit-counted); `size` bounds the tear.
+    [[nodiscard]] std::optional<chaos_tear> on_timeline_append(
+        std::uint64_t size);
 
     /// Execute the kill decision for `site`: throw `chaos_crash` or
     /// `_exit` depending on the configured mode.  The caller must have
@@ -138,7 +146,7 @@ private:
     chaos_plan_config config_;
     mutable std::mutex mutex_;
     std::vector<bool> fired_flags_;
-    std::uint64_t hits_[5] = {0, 0, 0, 0, 0}; ///< per-site seam hits
+    std::uint64_t hits_[6] = {0, 0, 0, 0, 0, 0}; ///< per-site seam hits
     std::uint64_t fired_count_ = 0;
 };
 

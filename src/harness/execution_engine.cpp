@@ -14,6 +14,7 @@
 
 #include "harness/fault_injection.hpp"
 #include "harness/status.hpp"
+#include "harness/timeseries/timeseries.hpp"
 #include "harness/trace/metrics.hpp"
 #include "harness/trace/trace.hpp"
 #include "util/contracts.hpp"
@@ -46,6 +47,15 @@ struct engine_metric_handles {
     histogram_handle task_ticks;
     histogram_handle queue_depth;
     gauge_handle downtime_ms;
+};
+
+/// Per-task observability slot for the timeline: written exclusively by
+/// the worker that owns the task index, read serially after the pool
+/// drains, so no synchronization is needed and the decile walk sees the
+/// same values at any worker count.
+struct task_record {
+    std::uint32_t retries = 0;
+    std::uint64_t downtime_ms = 0;
 };
 
 const char* fault_name(rig_fault fault) {
@@ -207,6 +217,12 @@ execution_stats execution_engine::run(std::size_t task_count,
     for (auto& slot : current_task) {
         slot.store(-1, std::memory_order_relaxed);
     }
+    // Timeline slots: one per task, owned by the executing worker, walked
+    // serially after the join.
+    timeline_recorder* timeline = options_.timeline;
+    std::vector<task_record> task_records(
+        timeline != nullptr ? task_count : 0);
+
     std::mutex status_mutex;
     const auto start = std::chrono::steady_clock::now();
     const auto publish_live = [&] {
@@ -307,6 +323,7 @@ execution_stats execution_engine::run(std::size_t task_count,
             // Virtual task duration: the quantum plus any simulated rig
             // downtime (in ms ticks) this task's faulted attempts cost.
             std::uint64_t task_ticks = task_quantum_ticks;
+            std::uint64_t task_downtime_ms = 0;
             if (options_.already_complete &&
                 options_.already_complete(ctx.index)) {
                 ctx.replayed = true;
@@ -345,6 +362,7 @@ execution_stats execution_engine::run(std::size_t task_count,
                             std::llround(faults->downtime_for(fault) * 1e6));
                     downtime_us.fetch_add(fault_us,
                                           std::memory_order_relaxed);
+                    task_downtime_ms += fault_us / 1000;
                     if constexpr (trace_compiled_in) {
                         task_ticks += fault_us / 1000;
                         if (metrics != nullptr) {
@@ -398,6 +416,12 @@ execution_stats execution_engine::run(std::size_t task_count,
                 }
                 ctx.attempt = attempt;
                 ctx.aborted = attempt == budget;
+            }
+            if (timeline != nullptr) {
+                task_record& record = task_records[i];
+                record.retries = static_cast<std::uint32_t>(
+                    ctx.aborted ? budget - 1 : ctx.attempt);
+                record.downtime_ms = task_downtime_ms;
             }
             int bucket = -1;
             try {
@@ -504,6 +528,36 @@ execution_stats execution_engine::run(std::size_t task_count,
     stats.rig_downtime_s =
         static_cast<double>(downtime_us.load(std::memory_order_relaxed)) /
         1e6;
+
+    if (timeline != nullptr) {
+        // Serial decile walk over the index-ordered task records: the
+        // cumulative values at each boundary depend only on campaign
+        // content, never on which worker ran which task.  Boundaries that
+        // repeat for tiny task counts are appended once.
+        std::uint64_t cumulative_retries = 0;
+        std::uint64_t cumulative_downtime_ms = 0;
+        std::size_t walked = 0;
+        std::size_t previous_boundary = 0;
+        for (int decile = 1; decile <= 10; ++decile) {
+            const std::size_t boundary =
+                task_count * static_cast<std::size_t>(decile) / 10;
+            if (boundary == previous_boundary) {
+                continue;
+            }
+            for (; walked < boundary; ++walked) {
+                cumulative_retries += task_records[walked].retries;
+                cumulative_downtime_ms += task_records[walked].downtime_ms;
+            }
+            const std::uint64_t tick = timeline->advance();
+            timeline->append("engine.progress", tick,
+                             static_cast<double>(boundary));
+            timeline->append("engine.retries", tick,
+                             static_cast<double>(cumulative_retries));
+            timeline->append("engine.downtime_ms", tick,
+                             static_cast<double>(cumulative_downtime_ms));
+            previous_boundary = boundary;
+        }
+    }
 
     if constexpr (trace_compiled_in) {
         const std::uint64_t downtime_ms =

@@ -37,6 +37,7 @@ namespace gb {
 class fault_plan;
 class tracer;
 class metrics_registry;
+class timeline_recorder;
 
 struct execution_options {
     /// Worker threads; <= 0 means GB_JOBS env var, else
@@ -67,6 +68,13 @@ struct execution_options {
     /// Deterministic metrics sink (null: no metrics).  Same shard mapping
     /// as `trace`.
     metrics_registry* metrics = nullptr;
+    /// Deterministic time-series sink (null: no timeline).  Workers record
+    /// per-task outcomes into index-owned slots during the run; after the
+    /// pool drains the engine walks them serially in index order and
+    /// appends `engine.progress` / `engine.retries` / `engine.downtime_ms`
+    /// samples at each progress decile, so the series are a pure function
+    /// of campaign content at any worker count.
+    timeline_recorder* timeline = nullptr;
     /// Live-status heartbeat file (empty: disabled).  While the run is in
     /// flight the engine atomically republishes a `running: true` snapshot
     /// with per-worker state at every progress decile; on completion it

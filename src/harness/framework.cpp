@@ -163,6 +163,7 @@ campaign_result characterization_framework::run_campaign_impl(
     options.backoff_base_s = io.backoff_base_s;
     options.trace = io.trace;
     options.metrics = io.metrics;
+    options.timeline = io.timeline;
     options.status_path = io.status_path;
     if (restored != nullptr) {
         options.already_complete = [&completed](std::size_t index) {

@@ -55,6 +55,9 @@ struct campaign_io {
     /// engine (trace/trace.hpp); null disables.
     tracer* trace = nullptr;
     metrics_registry* metrics = nullptr;
+    /// Deterministic time-series sink, forwarded to the execution engine
+    /// (timeseries/timeseries.hpp); null disables.
+    timeline_recorder* timeline = nullptr;
     /// Live-status heartbeat file, forwarded to the execution engine
     /// (status.hpp); empty disables.
     std::string status_path;

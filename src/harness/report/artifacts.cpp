@@ -392,6 +392,294 @@ std::optional<journal_artifact> load_journal_file(const std::string& path,
     return artifact;
 }
 
+// --- timeline -----------------------------------------------------------
+
+const series_snapshot* timeline_artifact::find(std::string_view name) const {
+    for (const series_snapshot& s : series) {
+        if (s.name == name) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+/// A crashed writer leaves timeline.json as a strict byte prefix.  The
+/// writer breaks lines only at record boundaries, so trimming to the last
+/// newline yields complete records; dropping one dangling comma and
+/// closing the open scopes turns that prefix back into a document.
+std::optional<std::string> close_torn_tail(std::string_view text) {
+    const std::size_t cut = text.rfind('\n');
+    if (cut == std::string_view::npos) {
+        return std::nullopt;
+    }
+    std::string_view head = text.substr(0, cut);
+    while (!head.empty() &&
+           (head.back() == ' ' || head.back() == '\t' ||
+            head.back() == '\r' || head.back() == '\n')) {
+        head.remove_suffix(1);
+    }
+    if (!head.empty() && head.back() == ',') {
+        head.remove_suffix(1);
+    }
+    std::string closers;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : head) {
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            closers += '}';
+        } else if (c == '[') {
+            closers += ']';
+        } else if (c == '}' || c == ']') {
+            if (closers.empty() || closers.back() != c) {
+                return std::nullopt; // not a prefix of well-formed JSON
+            }
+            closers.pop_back();
+        }
+    }
+    if (in_string) {
+        return std::nullopt;
+    }
+    std::string out(head);
+    out.append(closers.rbegin(), closers.rend());
+    return out;
+}
+
+/// True when a parse diagnostic ("byte <offset>: ...") points at or past
+/// the end of the input: the parser ran out of bytes, i.e. the document
+/// is a strict prefix (a tear), not mid-document corruption.
+bool parse_failed_at_end(const std::string& error, std::size_t size) {
+    if (error.rfind("byte ", 0) != 0) {
+        return false;
+    }
+    std::size_t offset = 0;
+    std::size_t digits = 0;
+    for (std::size_t i = 5; i < error.size() && error[i] != ':'; ++i) {
+        if (error[i] < '0' || error[i] > '9') {
+            return false;
+        }
+        offset = offset * 10 + static_cast<std::size_t>(error[i] - '0');
+        ++digits;
+    }
+    return digits > 0 && offset >= size;
+}
+
+bool parse_timeline_document(const json_value& root,
+                             timeline_artifact& artifact,
+                             std::string& error) {
+    if (!root.is_object()) {
+        error = "timeline: top level is not an object";
+        return false;
+    }
+    const json_value* series = root.find("series");
+    if (series == nullptr || !series->is_object()) {
+        error = "timeline: missing series section";
+        return false;
+    }
+    for (const auto& [name, value] : series->members) {
+        const std::string position = "timeline series '" + name + "': ";
+        if (!value.is_object()) {
+            error = position + "not an object";
+            return false;
+        }
+        series_snapshot snapshot;
+        snapshot.name = name;
+        const json_value* count = value.find("count");
+        const auto count_value =
+            count != nullptr ? count->as_u64() : std::nullopt;
+        if (!count_value) {
+            error = position + "missing or invalid count";
+            return false;
+        }
+        snapshot.count = *count_value;
+        for (const auto& [key, member] :
+             {std::pair<const char*, double*>{"min", &snapshot.min},
+              {"max", &snapshot.max},
+              {"last", &snapshot.last}}) {
+            const json_value* field = value.find(key);
+            const auto number =
+                field != nullptr ? field->as_number() : std::nullopt;
+            if (!number) {
+                error = position + "missing or invalid " + key;
+                return false;
+            }
+            *member = *number;
+        }
+        const json_value* samples = value.find("samples");
+        if (samples == nullptr || !samples->is_array()) {
+            error = position + "missing samples array";
+            return false;
+        }
+        for (const json_value& pair : samples->items) {
+            if (!pair.is_array() || pair.items.size() != 2) {
+                error = position + "sample is not a [tick, value] pair";
+                return false;
+            }
+            const auto tick = pair.items[0].as_u64();
+            const auto sample = pair.items[1].as_number();
+            if (!tick || !sample) {
+                error = position + "non-numeric sample pair";
+                return false;
+            }
+            snapshot.samples.push_back({*tick, *sample});
+        }
+        const json_value* evicted = value.find("evicted");
+        if (evicted == nullptr) {
+            error = position + "missing evicted histogram";
+            return false;
+        }
+        std::string reason;
+        if (!load_histogram(*evicted, snapshot.evicted, reason)) {
+            error = position + reason;
+            return false;
+        }
+        artifact.series.push_back(std::move(snapshot));
+    }
+
+    // The alerts section is optional (a torn tail can cut it off); its
+    // absence parses as "no alerting configured".
+    const json_value* alerts = root.find("alerts");
+    if (alerts == nullptr) {
+        return true;
+    }
+    if (!alerts->is_object()) {
+        error = "timeline: alerts is not an object";
+        return false;
+    }
+    if (const json_value* rules = alerts->find("rules")) {
+        artifact.alert_rules = rules->as_u64().value_or(0);
+    }
+    if (const json_value* firing = alerts->find("firing")) {
+        if (!firing->is_array()) {
+            error = "timeline: alerts.firing is not an array";
+            return false;
+        }
+        for (const json_value& label : firing->items) {
+            const auto text = label.as_string();
+            if (!text) {
+                error = "timeline: non-string firing label";
+                return false;
+            }
+            artifact.firing.emplace_back(*text);
+        }
+    }
+    if (const json_value* events = alerts->find("events")) {
+        if (!events->is_array()) {
+            error = "timeline: alerts.events is not an array";
+            return false;
+        }
+        for (std::size_t i = 0; i < events->items.size(); ++i) {
+            const json_value& entry = events->items[i];
+            const std::string position =
+                "timeline alert event " + std::to_string(i) + ": ";
+            if (!entry.is_object()) {
+                error = position + "not an object";
+                return false;
+            }
+            alert_event event;
+            const json_value* tick = entry.find("tick");
+            const auto tick_value =
+                tick != nullptr ? tick->as_u64() : std::nullopt;
+            const json_value* rule = entry.find("rule");
+            const auto rule_text =
+                rule != nullptr ? rule->as_string() : std::nullopt;
+            const json_value* series_name = entry.find("series");
+            const auto series_text = series_name != nullptr
+                                         ? series_name->as_string()
+                                         : std::nullopt;
+            const json_value* state = entry.find("state");
+            const auto state_text =
+                state != nullptr ? state->as_string() : std::nullopt;
+            const json_value* measure = entry.find("value");
+            const auto measure_value =
+                measure != nullptr ? measure->as_number() : std::nullopt;
+            if (!tick_value || !rule_text || !series_text || !state_text ||
+                !measure_value) {
+                error = position + "missing tick/rule/series/state/value";
+                return false;
+            }
+            if (*state_text != "firing" && *state_text != "resolved") {
+                error = position + "state is neither firing nor resolved";
+                return false;
+            }
+            event.tick = *tick_value;
+            event.rule = std::string(*rule_text);
+            event.series = std::string(*series_text);
+            event.firing = *state_text == "firing";
+            event.value = *measure_value;
+            artifact.events.push_back(std::move(event));
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<timeline_artifact> load_timeline(std::string_view text,
+                                               std::string& error) {
+    json_parse_result parsed = parse_json(text);
+    bool torn = false;
+    if (!parsed.value) {
+        // Distinguish a torn tail (strict prefix of a well-formed
+        // document) from corruption: close the complete-line prefix and
+        // retry.  Only an end-of-input tear gets this second chance.
+        const std::string original_error = parsed.error;
+        const auto repaired = close_torn_tail(text);
+        if (repaired) {
+            parsed = parse_json(*repaired);
+            torn = true;
+        }
+        if (!parsed.value) {
+            error = parse_failed_at_end(original_error, text.size())
+                        ? "timeline holds only a truncated tail (still "
+                          "being written?)"
+                        : tagged("timeline", original_error);
+            return std::nullopt;
+        }
+    }
+    timeline_artifact artifact;
+    artifact.truncated_tail = torn;
+    if (!parse_timeline_document(*parsed.value, artifact, error)) {
+        if (torn) {
+            error = "timeline holds only a truncated tail (still being "
+                    "written?)";
+        }
+        return std::nullopt;
+    }
+    if (torn && artifact.series.empty()) {
+        error =
+            "timeline holds only a truncated tail (still being written?)";
+        return std::nullopt;
+    }
+    return artifact;
+}
+
+std::optional<timeline_artifact> load_timeline_file(const std::string& path,
+                                                    std::string& error) {
+    const auto text = read_file(path, error);
+    if (!text) {
+        return std::nullopt;
+    }
+    auto artifact = load_timeline(*text, error);
+    if (!artifact) {
+        error = tagged(path, error);
+    }
+    return artifact;
+}
+
 // --- status -------------------------------------------------------------
 
 namespace {
@@ -460,6 +748,44 @@ std::optional<status_artifact> load_status(std::string_view text,
                 }
                 if (const json_value* nodes = degraded->find("nodes")) {
                     status.degraded_nodes = nodes->as_u64().value_or(0);
+                }
+            }
+            // The observatory rollup is newer than the degraded section:
+            // snapshots that predate it (or ran with the timeline off)
+            // simply lack the key, and `timeline_present` stays false.
+            if (const json_value* timeline = fleet->find("timeline")) {
+                if (!timeline->is_object()) {
+                    error = "status: fleet.timeline is not an object";
+                    return std::nullopt;
+                }
+                status.timeline_present = true;
+                if (const json_value* series = timeline->find("series")) {
+                    status.timeline_series = series->as_u64().value_or(0);
+                }
+                if (const json_value* samples =
+                        timeline->find("samples")) {
+                    status.timeline_samples = samples->as_u64().value_or(0);
+                }
+                if (const json_value* rules = timeline->find("rules")) {
+                    status.timeline_rules = rules->as_u64().value_or(0);
+                }
+                if (const json_value* events = timeline->find("events")) {
+                    status.timeline_events = events->as_u64().value_or(0);
+                }
+                if (const json_value* firing = timeline->find("firing")) {
+                    if (!firing->is_array()) {
+                        error = "status: fleet.timeline.firing is not an "
+                                "array";
+                        return std::nullopt;
+                    }
+                    for (const json_value& label : firing->items) {
+                        const auto text = label.as_string();
+                        if (!text) {
+                            error = "status: non-string firing label";
+                            return std::nullopt;
+                        }
+                        status.timeline_firing.emplace_back(*text);
+                    }
                 }
             }
         }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/journal.hpp"
+#include "harness/timeseries/alerts.hpp"
 #include "harness/trace/metrics.hpp"
 
 namespace gb::report {
@@ -96,6 +97,43 @@ struct journal_artifact {
 [[nodiscard]] std::optional<journal_artifact> load_journal_file(
     const std::string& path, std::string& error);
 
+// --- timeline (fleet observatory) ---------------------------------------
+
+/// Parsed `timeline.json` (timeseries/timeseries.cpp writes it).  Series
+/// parse straight back into the emit side's snapshot type, so `gbreport
+/// alerts --rules` can re-run the stateless alert evaluator over them.
+struct timeline_artifact {
+    /// Name-sorted, like the writer emits them.
+    std::vector<series_snapshot> series;
+    std::uint64_t alert_rules = 0;    ///< rules loaded by the producer
+    std::vector<std::string> firing;  ///< sorted "rule:series" labels
+    std::vector<alert_event> events;  ///< transition history, in order
+    /// The document ended mid-write (a crashed writer leaves a strict
+    /// byte prefix): the loader salvaged the complete-line prefix and
+    /// dropped the partial tail.  Mirrors journal_artifact's
+    /// `truncated_tail` -- not a parse error, re-read later for the
+    /// full document.
+    bool truncated_tail = false;
+
+    /// Series lookup by exact name; null when absent.
+    [[nodiscard]] const series_snapshot* find(std::string_view name) const;
+
+    [[nodiscard]] std::size_t samples() const {
+        std::size_t total = 0;
+        for (const series_snapshot& s : series) {
+            total += s.samples.size();
+        }
+        return total;
+    }
+};
+
+/// Fails (with a diagnostic) when the text is malformed beyond a torn
+/// tail, or when a torn tail left no complete series at all.
+[[nodiscard]] std::optional<timeline_artifact> load_timeline(
+    std::string_view text, std::string& error);
+[[nodiscard]] std::optional<timeline_artifact> load_timeline_file(
+    const std::string& path, std::string& error);
+
 // --- status heartbeat ---------------------------------------------------
 
 /// Parsed `--status` snapshot (status.hpp writes these atomically).
@@ -114,6 +152,17 @@ struct status_artifact {
     /// plain campaign heartbeats.
     std::uint64_t degraded_cohorts = 0;
     std::uint64_t degraded_nodes = 0;
+    /// Fleet observatory rollup ("fleet.timeline" section).  Optional
+    /// twice over: plain heartbeats have no fleet object, and fleet
+    /// snapshots written before the observatory existed (or with it off)
+    /// lack the section -- `timeline_present` stays false and renderers
+    /// show a stable placeholder instead of omitting the line.
+    bool timeline_present = false;
+    std::uint64_t timeline_series = 0;
+    std::uint64_t timeline_samples = 0;
+    std::uint64_t timeline_rules = 0;
+    std::uint64_t timeline_events = 0;
+    std::vector<std::string> timeline_firing;
     /// Live-only (scheduling-dependent) fields; empty/zero in the final
     /// snapshot, which is a pure function of campaign content.
     int workers = 0;

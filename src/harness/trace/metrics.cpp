@@ -251,4 +251,54 @@ void write_metrics_json(std::ostream& out,
     write_metrics_json(out, registry.snapshot());
 }
 
+namespace {
+
+/// `gb_` prefix plus the exposition charset: anything outside
+/// [a-zA-Z0-9_:] maps to '_' (dots foremost -- `fleet.cache_hits`
+/// becomes `gb_fleet_cache_hits`).
+std::string prometheus_name(std::string_view name) {
+    std::string out = "gb_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void write_prometheus_text(std::ostream& out,
+                           const metrics_snapshot& snapshot) {
+    for (const auto& [name, value] : snapshot.counters) {
+        const std::string exposed = prometheus_name(name);
+        out << "# TYPE " << exposed << " counter\n"
+            << exposed << ' ' << value << '\n';
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        const std::string exposed = prometheus_name(name);
+        out << "# TYPE " << exposed << " gauge\n"
+            << exposed << ' ' << format_double(value) << '\n';
+    }
+    for (const auto& [name, histogram] : snapshot.histograms) {
+        const std::string exposed = prometheus_name(name);
+        out << "# TYPE " << exposed << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+            cumulative += histogram.counts[b];
+            out << exposed << "_bucket{le=\"" << histogram.bounds[b]
+                << "\"} " << cumulative << '\n';
+        }
+        cumulative += histogram.counts.empty() ? 0 : histogram.counts.back();
+        out << exposed << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+            << exposed << "_sum " << histogram.sum << '\n'
+            << exposed << "_count " << histogram.count << '\n';
+    }
+}
+
+void write_prometheus_text(std::ostream& out,
+                           const metrics_registry& registry) {
+    write_prometheus_text(out, registry.snapshot());
+}
+
 } // namespace gb

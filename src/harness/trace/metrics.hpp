@@ -129,4 +129,14 @@ private:
 void write_metrics_json(std::ostream& out, const metrics_snapshot& snapshot);
 void write_metrics_json(std::ostream& out, const metrics_registry& registry);
 
+/// Prometheus text exposition (version 0.0.4) of a snapshot, so external
+/// scrapers can consume live fleet state.  Metric names are prefixed
+/// `gb_` with every non-[a-zA-Z0-9_:] character mapped to '_'; histograms
+/// render cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+/// Same determinism contract as the JSON writer: snapshot in, bytes out.
+void write_prometheus_text(std::ostream& out,
+                           const metrics_snapshot& snapshot);
+void write_prometheus_text(std::ostream& out,
+                           const metrics_registry& registry);
+
 } // namespace gb

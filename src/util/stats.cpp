@@ -65,6 +65,25 @@ double median(std::span<const double> values) {
                       : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
 }
 
+double quantile(std::span<const double> values, double q) {
+    GB_EXPECTS(!values.empty());
+    GB_EXPECTS(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    if (frac == 0.5) {
+        return (sorted[lo] + sorted[hi]) / 2.0;
+    }
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double p50(std::span<const double> values) { return quantile(values, 0.50); }
+double p95(std::span<const double> values) { return quantile(values, 0.95); }
+double p99(std::span<const double> values) { return quantile(values, 0.99); }
+
 double mean(std::span<const double> values) {
     GB_EXPECTS(!values.empty());
     double sum = 0.0;

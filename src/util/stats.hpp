@@ -42,6 +42,19 @@ private:
 /// for both parities.
 [[nodiscard]] double median(std::span<const double> values);
 
+/// Quantile with linear interpolation, pinned to the midpoint form
+/// `(a + b) / 2` whenever the interpolation fraction is exactly one half,
+/// so `quantile(values, 0.5) == median(values)` bit-for-bit at both
+/// parities (percentile() rounds that case differently in the last ulp).
+/// The perf baselines publish `wall.*_p95_ms` through this.  q in [0, 1];
+/// copies and sorts.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Named quantiles of the baseline schema.
+[[nodiscard]] double p50(std::span<const double> values);
+[[nodiscard]] double p95(std::span<const double> values);
+[[nodiscard]] double p99(std::span<const double> values);
+
 /// Arithmetic mean of a non-empty span.
 [[nodiscard]] double mean(std::span<const double> values);
 

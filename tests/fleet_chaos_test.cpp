@@ -26,6 +26,8 @@
 #include "harness/fault_injection.hpp"
 #include "harness/journal.hpp"
 #include "harness/report/artifacts.hpp"
+#include "harness/timeseries/alerts.hpp"
+#include "harness/timeseries/timeseries.hpp"
 
 namespace gb::fleet {
 namespace {
@@ -81,7 +83,7 @@ TEST(ChaosPlanTest, SiteNamesRoundTrip) {
     for (const chaos_site site :
          {chaos_site::journal_append, chaos_site::snapshot_temp,
           chaos_site::snapshot_rename, chaos_site::control_command,
-          chaos_site::cache_warm}) {
+          chaos_site::cache_warm, chaos_site::timeline_append}) {
         chaos_site parsed;
         ASSERT_TRUE(chaos_site_from_string(to_string(site), parsed));
         EXPECT_EQ(parsed, site);
@@ -141,6 +143,32 @@ TEST(ChaosPlanTest, HitCountedSeamsFireOnTheirNthHit) {
     EXPECT_FALSE(plan.on_cache_warm_line());
     EXPECT_TRUE(plan.on_cache_warm_line());
     EXPECT_EQ(plan.fired(), 3U);
+}
+
+TEST(ChaosPlanTest, TimelineAppendTearsOnItsNthRecord) {
+    chaos_plan_config config;
+    config.seed = 3;
+    config.triggers.push_back({chaos_site::timeline_append, 2, 7});
+    chaos_plan plan(config);
+    EXPECT_FALSE(plan.on_timeline_append(64).has_value());
+    const auto tear = plan.on_timeline_append(64);
+    ASSERT_TRUE(tear.has_value());
+    EXPECT_EQ(tear->site, chaos_site::timeline_append);
+    EXPECT_EQ(tear->keep, 7U);
+    EXPECT_FALSE(plan.on_timeline_append(64).has_value()); // one-shot
+
+    // keep_auto derives a strictly-partial length, deterministically.
+    chaos_plan_config autoconf;
+    autoconf.seed = 3;
+    autoconf.triggers.push_back({chaos_site::timeline_append, 1});
+    chaos_plan first(autoconf);
+    chaos_plan second(autoconf);
+    const auto a = first.on_timeline_append(120);
+    const auto b = second.on_timeline_append(120);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->keep, b->keep);
+    EXPECT_LT(a->keep, 120U);
 }
 
 TEST(ChaosPlanTest, ThrowModeRaisesChaosCrashWithTheSite) {
@@ -248,6 +276,74 @@ TEST(FleetChaosTest, ForeignGarbageTailHealsLikeATornLine) {
     EXPECT_EQ(healed.healed_bytes(), tail.size());
     EXPECT_EQ(healed.restored(), 36U);
     EXPECT_EQ(slurp(journal_path), intact); // the heal is on disk
+}
+
+TEST(FleetChaosTest, TornTimelineRecordHealsOnRestart) {
+    const std::string journal_path = temp_path("chaos_torn_tline.journal");
+    std::remove(journal_path.c_str());
+
+    std::string error;
+    const auto rules = parse_alert_rules(
+        "alert vmin-drift vmin.* slope 1.5 window 3\n", "chaos_rules",
+        error);
+    ASSERT_TRUE(rules.has_value()) << error;
+
+    // Golden: one observed campaign, no chaos.
+    const std::string golden_path = temp_path("chaos_gold_tline.journal");
+    std::remove(golden_path.c_str());
+    std::string golden_journal;
+    std::string golden_timeline;
+    {
+        timeline_recorder recorder;
+        fleet_service_config config;
+        config.journal_path = golden_path;
+        config.timeline = &recorder;
+        config.alerts = *rules;
+        fleet_service service(small_fleet(), config, fake_probe);
+        (void)service.run_campaign(0);
+        golden_journal = slurp(golden_path);
+        golden_timeline = service.timeline_snapshot();
+    }
+    ASSERT_NE(golden_journal.find(" tline "), std::string::npos);
+    ASSERT_NE(golden_journal.find(" tseal "), std::string::npos);
+
+    // Chaos life 1: all 36 probes land, then the first observatory record
+    // tears at 25 bytes (prefix of `task=36 tline ...`, no newline).
+    chaos_plan_config chaos_config;
+    chaos_config.triggers.push_back({chaos_site::timeline_append, 1, 25});
+    chaos_plan chaos(chaos_config);
+    {
+        timeline_recorder recorder;
+        fleet_service_config config;
+        config.journal_path = journal_path;
+        config.timeline = &recorder;
+        config.alerts = *rules;
+        config.chaos = &chaos;
+        fleet_service service(small_fleet(), config, fake_probe);
+        EXPECT_THROW((void)service.run_campaign(0), chaos_crash);
+    }
+    const std::string torn = slurp(journal_path);
+    const std::size_t cut = torn.rfind('\n');
+    ASSERT_NE(cut, std::string::npos);
+    EXPECT_EQ(torn.size() - cut - 1, 25U);
+    EXPECT_EQ(torn.compare(cut + 1, 8, "task=36 "), 0);
+
+    // Life 2: the warm truncates the torn observatory tail, restores all
+    // 36 probes, and re-running the campaign (pure cache hits) replays
+    // the whole observatory block -- bitwise the golden bytes.
+    timeline_recorder recorder;
+    fleet_service_config config;
+    config.journal_path = journal_path;
+    config.timeline = &recorder;
+    config.alerts = *rules;
+    fleet_service healed(small_fleet(), config, fake_probe);
+    EXPECT_EQ(healed.healed_bytes(), 25U);
+    EXPECT_EQ(healed.restored(), 36U);
+    const campaign_outcome outcome = healed.run_campaign(0);
+    EXPECT_EQ(outcome.executed, 0U);
+    EXPECT_EQ(outcome.cache_hits, 36U);
+    EXPECT_EQ(slurp(journal_path), golden_journal);
+    EXPECT_EQ(healed.timeline_snapshot(), golden_timeline);
 }
 
 // --- strict warm-path validation ----------------------------------------
@@ -405,6 +501,63 @@ TEST(FleetChaosTest, CrashMatrixConvergesBitwise) {
                 EXPECT_EQ(report.crashes, combo.triggers.size())
                     << combo.name;
                 EXPECT_EQ(report.lives, combo.triggers.size() + 1)
+                    << combo.name;
+            }
+        }
+    }
+}
+
+TEST(FleetChaosTest, ObservatoryCrashMatrixConvergesBitwise) {
+    // The observatory under kill-points: timeline samples, alert events
+    // and epoch seals all ride the journal, so a crash between any two of
+    // them must still converge -- journal, snapshot AND timeline.json --
+    // with the never-crashed run.  Four sweeps fill the 3-epoch slope
+    // window, and the 2 mV/epoch seeded aging fires the drift rule in
+    // both runs, so the alert events themselves are part of the bitwise
+    // comparison.
+    std::string error;
+    const auto rules = parse_alert_rules(
+        "alert vmin-drift vmin.* slope 1.5 window 3\n", "chaos_rules",
+        error);
+    ASSERT_TRUE(rules.has_value()) << error;
+
+    // Each epoch journals ~41 observatory records (36 vmin + 4 fleet
+    // samples + the seal) plus alert events from epoch 3 on: @1 tears the
+    // very first sample, @50 lands mid epoch 2, @130 inside the alert
+    // storm of a later epoch.
+    const std::vector<kill_combo> combos = {
+        {"first-sample", {{chaos_site::timeline_append, 1}}},
+        {"mid-epoch", {{chaos_site::timeline_append, 50}}},
+        {"seal-then-rename",
+         {{chaos_site::timeline_append, 130},
+          {chaos_site::snapshot_rename, 1}}},
+        {"probe-and-sample",
+         {{chaos_site::journal_append, 2000},
+          {chaos_site::timeline_append, 90}}},
+    };
+    int cell = 0;
+    for (const kill_combo& combo : combos) {
+        for (const int shards : {1, 4}) {
+            for (const int workers : {1, 8}) {
+                recovery_check_config config;
+                config.spec = small_fleet();
+                config.sweeps = {0, 0, 0, 0};
+                config.chaos.seed = 4321;
+                config.chaos.triggers = combo.triggers;
+                config.shards = shards;
+                config.workers = workers;
+                config.work_dir =
+                    temp_path("chaos_observatory_" + std::to_string(cell++));
+                config.probe = fake_probe;
+                config.timeline = true;
+                config.alerts = *rules;
+                config.aging_mv_per_epoch = 2.0;
+                const recovery_report report = run_recovery_check(config);
+                EXPECT_TRUE(report.converged())
+                    << combo.name << " shards=" << shards
+                    << " workers=" << workers << ": " << report.failure;
+                EXPECT_TRUE(report.timeline_match) << combo.name;
+                EXPECT_EQ(report.fired, combo.triggers.size())
                     << combo.name;
             }
         }

@@ -18,6 +18,8 @@
 #include "fleet/fleet.hpp"
 #include "harness/journal.hpp"
 #include "harness/report/artifacts.hpp"
+#include "harness/timeseries/alerts.hpp"
+#include "harness/timeseries/timeseries.hpp"
 
 namespace gb::fleet {
 namespace {
@@ -330,6 +332,147 @@ TEST(FleetServiceTest, ProbeLineParserRejectsMalformedPayloads) {
     EXPECT_FALSE(parse_probe_line(
         "probe corner=TTT class=0 op=0 variant=0 sweep=0", key, sweep,
         content, result));
+}
+
+// --- the observatory ----------------------------------------------------
+
+std::vector<alert_rule> drift_rules() {
+    // A drift-slope rule over every Vmin series plus a threshold rule the
+    // schedule never trips: the artifact must carry both loaded rules but
+    // only the drift may fire.
+    std::string error;
+    const auto rules = parse_alert_rules(
+        "# observatory test rules\n"
+        "alert vmin-drift vmin.* slope 1.5 window 3\n"
+        "alert power-ceiling fleet.power_binned_w above 1e9\n",
+        "drift_rules", error);
+    EXPECT_TRUE(rules.has_value()) << error;
+    return rules.value_or(std::vector<alert_rule>{});
+}
+
+struct observatory_run {
+    std::string snapshot;
+    std::string journal;
+    std::string timeline;
+    std::vector<std::string> firing;
+};
+
+observatory_run run_observatory_cell(int workers, int shards,
+                                     const std::string& journal_path) {
+    timeline_recorder recorder;
+    fleet_service_config config;
+    config.workers = workers;
+    config.shards = shards;
+    config.journal_path = journal_path;
+    config.timeline = &recorder;
+    config.alerts = drift_rules();
+    config.aging_mv_per_epoch = 2.0; // seeded drift: 2 mV per epoch
+    fleet_service service(mega_fleet(), config, fake_probe);
+    // Four epochs of the same sweep: epochs 2-4 are pure cache serves,
+    // but the served Vmin still ages, so the drift slope reaches 2.0
+    // mV/epoch >= the 1.5 threshold once the window fills.
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        service.run_campaign(0);
+    }
+    return {service.state_snapshot(), slurp(journal_path),
+            service.timeline_snapshot(),
+            service.alert_state()->firing()};
+}
+
+TEST(FleetObservatoryTest, TimelineBytesAreInvariantUnderWorkersAndShards) {
+    // The tentpole acceptance matrix: timeline.json bytes (and the
+    // journal the observatory records ride in) are a pure function of
+    // campaign content at engine workers 1/2/8 x shards 1/4/16.
+    const observatory_run reference = run_observatory_cell(
+        1, 1, temp_path("fleet_obs_w1_s1.journal"));
+    ASSERT_FALSE(reference.timeline.empty());
+    EXPECT_NE(reference.journal.find(" tline "), std::string::npos);
+    EXPECT_NE(reference.journal.find(" tseal "), std::string::npos);
+
+    for (const int workers : {2, 8}) {
+        for (const int shards : {1, 4, 16}) {
+            const std::string journal =
+                temp_path("fleet_obs_w" + std::to_string(workers) + "_s" +
+                          std::to_string(shards) + ".journal");
+            const observatory_run cell =
+                run_observatory_cell(workers, shards, journal);
+            EXPECT_EQ(cell.timeline, reference.timeline)
+                << "timeline diverged at workers=" << workers
+                << " shards=" << shards;
+            EXPECT_EQ(cell.journal, reference.journal)
+                << "journal diverged at workers=" << workers
+                << " shards=" << shards;
+            EXPECT_EQ(cell.snapshot, reference.snapshot)
+                << "snapshot diverged at workers=" << workers
+                << " shards=" << shards;
+        }
+    }
+}
+
+TEST(FleetObservatoryTest, SeededDriftFiresTheSlopeRuleDeterministically) {
+    const observatory_run run = run_observatory_cell(
+        1, 1, temp_path("fleet_obs_drift.journal"));
+    // Every probed Vmin series ages identically, so every one of the 36
+    // cohorts trips the drift rule -- and only the drift rule.
+    ASSERT_EQ(run.firing.size(), 36U);
+    for (const std::string& label : run.firing) {
+        EXPECT_EQ(label.rfind("vmin-drift:vmin.", 0), 0U) << label;
+    }
+    // The artifact carries the same verdict.
+    std::string error;
+    const auto timeline = report::load_timeline(run.timeline, error);
+    ASSERT_TRUE(timeline.has_value()) << error;
+    EXPECT_EQ(timeline->alert_rules, 2U);
+    EXPECT_EQ(timeline->firing, run.firing);
+    // And the snapshot's fleet.timeline section agrees.
+    const auto status = report::load_status(run.snapshot, error);
+    ASSERT_TRUE(status.has_value()) << error;
+    EXPECT_TRUE(status->timeline_present);
+    EXPECT_EQ(status->timeline_rules, 2U);
+    EXPECT_EQ(status->timeline_firing, run.firing);
+    EXPECT_EQ(status->timeline_series, 40U); // 36 vmin + 4 fleet.*
+}
+
+TEST(FleetObservatoryTest, RestartWarmsTheTimelineFromTheJournal) {
+    const std::string journal_path = temp_path("fleet_obs_restart.journal");
+    const observatory_run before =
+        run_observatory_cell(1, 1, journal_path);
+
+    // A restarted daemon starts with an empty recorder and alert engine:
+    // in-memory observability died with the process, only the journal
+    // survives.  Replaying the same schedule must converge bitwise.
+    timeline_recorder recorder;
+    fleet_service_config config;
+    config.journal_path = journal_path;
+    config.timeline = &recorder;
+    config.alerts = drift_rules();
+    config.aging_mv_per_epoch = 2.0;
+    fleet_service restarted(mega_fleet(), config); // no probe: journal only
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        restarted.run_campaign(0);
+    }
+    EXPECT_EQ(restarted.timeline_snapshot(), before.timeline);
+    EXPECT_EQ(restarted.state_snapshot(), before.snapshot);
+    EXPECT_EQ(restarted.alert_state()->firing(), before.firing);
+    // Replay appended nothing: the journal is stable.
+    EXPECT_EQ(slurp(journal_path), before.journal);
+}
+
+TEST(FleetObservatoryTest, DisabledObservatoryKeepsLegacyBytes) {
+    // config.timeline == nullptr must leave every artifact byte exactly
+    // as the pre-observatory service wrote it: no tline/tseal records,
+    // no fleet.timeline section.
+    const std::string journal_path = temp_path("fleet_obs_off.journal");
+    fleet_service_config config;
+    config.journal_path = journal_path;
+    fleet_service service(mega_fleet(), config, fake_probe);
+    service.run_campaign(0);
+    const std::string journal = slurp(journal_path);
+    EXPECT_EQ(journal.find(" tline "), std::string::npos);
+    EXPECT_EQ(journal.find(" tseal "), std::string::npos);
+    EXPECT_EQ(service.state_snapshot().find("\"timeline\""),
+              std::string::npos);
+    EXPECT_TRUE(service.timeline_snapshot().empty());
 }
 
 // --- explicit-node fleets -----------------------------------------------

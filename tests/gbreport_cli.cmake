@@ -170,3 +170,92 @@ expect_exit(1 audit --metrics ${audit_escaped})
 expect_exit(2 audit --metrics ${baseline})
 expect_exit(2 audit --metrics ${truncated})
 expect_exit(2 audit)
+
+# --- gbreport timeline / alerts: the observatory surface -----------------
+
+# A hand-written two-series artifact with one firing drift rule.
+set(timeline ${WORK_DIR}/timeline.json)
+file(WRITE ${timeline} [=[{
+  "series": {
+    "fleet.cache_hit_rate": {"count": 1, "min": 0.5, "max": 0.5, "last": 0.5, "samples": [[4,0.5]], "evicted": {"bounds": [1,10], "counts": [0,0,0], "count": 0, "sum": 0}},
+    "vmin.TTT.0.0.0": {"count": 4, "min": 950, "max": 962.5, "last": 962.5, "samples": [[1,950],[2,954],[3,958.5],[4,962.5]], "evicted": {"bounds": [1,10], "counts": [0,0,0], "count": 0, "sum": 0}}
+  },
+  "alerts": {"rules": 1, "firing": ["vmin-drift:vmin.TTT.0.0.0"], "events": [
+    {"tick": 3, "rule": "vmin-drift", "series": "vmin.TTT.0.0.0", "state": "firing", "value": 4.25}
+  ]}
+}
+]=])
+expect_output("timeline: 2 series, 5 samples retained" timeline ${timeline})
+expect_output("vmin.TTT.0.0.0 +count=4 min=950 max=962.5 last=962.5"
+    timeline ${timeline})
+
+# The alert gate exits 1 while anything is firing and names it.
+expect_exit(1 alerts ${timeline})
+execute_process(
+    COMMAND ${GBREPORT} alerts ${timeline}
+    OUTPUT_VARIABLE alerts_stdout RESULT_VARIABLE alerts_rc)
+if(NOT alerts_stdout MATCHES "FIRING vmin-drift:vmin.TTT.0.0.0")
+    message(FATAL_ERROR
+        "alerts stdout lacks the firing label:\n${alerts_stdout}")
+endif()
+
+# Re-evaluating under --rules nothing crosses gates clean...
+set(quiet_rules ${WORK_DIR}/quiet.alert)
+file(WRITE ${quiet_rules} "alert ceiling vmin.* above 2000\n")
+expect_exit(0 alerts ${timeline} --rules ${quiet_rules})
+# ...a rule the artifact's series do cross gates dirty...
+set(hot_rules ${WORK_DIR}/hot.alert)
+file(WRITE ${hot_rules} "alert drift vmin.* slope 1.5 window 3\n")
+expect_exit(1 alerts ${timeline} --rules ${hot_rules})
+# ...and a malformed spec is exit 2 with a path:line diagnostic.
+set(bad_rules ${WORK_DIR}/bad.alert)
+file(WRITE ${bad_rules} "# comment\nalert wobble vmin.* sideways 3\n")
+execute_process(
+    COMMAND ${GBREPORT} alerts ${timeline} --rules ${bad_rules}
+    ERROR_VARIABLE bad_stderr RESULT_VARIABLE bad_rc)
+if(NOT bad_rc EQUAL 2)
+    message(FATAL_ERROR "malformed rules exited ${bad_rc}, wanted 2")
+endif()
+if(NOT bad_stderr MATCHES "bad.alert:2: unknown comparator 'sideways'")
+    message(FATAL_ERROR
+        "rules diagnostic lacks path:line:\n${bad_stderr}")
+endif()
+
+# A torn artifact (killed writer) renders what survived, flagged.
+file(READ ${timeline} timeline_bytes)
+string(LENGTH "${timeline_bytes}" timeline_size)
+math(EXPR torn_keep "${timeline_size} * 2 / 3")
+string(SUBSTRING "${timeline_bytes}" 0 ${torn_keep} torn_bytes)
+set(torn ${WORK_DIR}/torn_timeline.json)
+file(WRITE ${torn} "${torn_bytes}")
+expect_output("truncated tail: partial write dropped" timeline ${torn})
+
+# Mid-document corruption is a diagnostic, not a salvage.
+set(corrupt ${WORK_DIR}/corrupt_timeline.json)
+file(WRITE ${corrupt} [=[{
+  "series": {
+    "vmin.TTT.0.0.0": {"count": "four"}
+  }
+}
+]=])
+expect_exit(2 timeline ${corrupt})
+expect_exit(2 alerts ${corrupt})
+expect_exit(2 timeline ${WORK_DIR}/no_such_timeline.json)
+expect_exit(2 alerts)
+
+# --- gbreport status: timeline placeholder vs full section ---------------
+
+# Old-schema snapshots (pre-observatory) render a stable placeholder...
+expect_output("timeline: \\(not recorded\\)" status ${healthy_status})
+# ...and a timeline-bearing snapshot renders the full line.
+set(observed_status ${WORK_DIR}/observed_status.json)
+file(WRITE ${observed_status} [=[{"campaign":"fleet","running":false,"tasks_total":36,"tasks_done":36,"retries":0,"injected_faults":0,"aborted_rig":0,"replayed":0,"rig_downtime_ms":0,"fleet":{"degraded":{"cohorts":0,"nodes":0,"quarantined":[]},"timeline":{"series":40,"samples":160,"rules":2,"firing":["vmin-drift:vmin.TTT.0.0.0"],"events":3}}}
+]=])
+expect_output("timeline: 40 series, 160 samples, 2 rules, 1 firing \\(3 events\\)"
+    status ${observed_status})
+expect_output("FIRING vmin-drift:vmin.TTT.0.0.0" status ${observed_status})
+# A malformed timeline section is a diagnostic, not a crash.
+set(bad_timeline_status ${WORK_DIR}/bad_timeline_status.json)
+file(WRITE ${bad_timeline_status} [=[{"campaign":"fleet","running":false,"tasks_total":36,"tasks_done":36,"retries":0,"injected_faults":0,"aborted_rig":0,"replayed":0,"rig_downtime_ms":0,"fleet":{"timeline":42}}
+]=])
+expect_exit(2 status ${bad_timeline_status})

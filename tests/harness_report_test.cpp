@@ -16,6 +16,8 @@
 
 #include "harness/report/artifacts.hpp"
 #include "harness/report/json.hpp"
+#include "harness/timeseries/alerts.hpp"
+#include "harness/timeseries/timeseries.hpp"
 
 namespace gb::report {
 namespace {
@@ -286,6 +288,194 @@ TEST(ReportArtifacts, StatusLoaderRequiresCounters) {
     ASSERT_TRUE(status.has_value()) << error;
     EXPECT_EQ(status->tasks_done, 150U);
     EXPECT_FALSE(status->running);
+}
+
+TEST(ReportStatus, OldSchemaSnapshotsRenderATimelinePlaceholder) {
+    // Snapshots written before the observatory existed -- plain
+    // heartbeats and fleet snapshots alike -- must keep loading, with
+    // `timeline_present` false so renderers show a stable placeholder
+    // instead of omitting the section.
+    std::string error;
+    const auto plain = load_status(
+        "{\"campaign\":\"milc\",\"running\":false,\"tasks_total\":150,"
+        "\"tasks_done\":150,\"retries\":0,\"injected_faults\":0,"
+        "\"aborted_rig\":0,\"replayed\":0,\"rig_downtime_ms\":0}",
+        error);
+    ASSERT_TRUE(plain.has_value()) << error;
+    EXPECT_FALSE(plain->timeline_present);
+    EXPECT_EQ(plain->timeline_series, 0U);
+
+    const auto old_fleet = load_status(
+        "{\"campaign\":\"fleet\",\"running\":false,\"tasks_total\":36,"
+        "\"tasks_done\":36,\"retries\":0,\"injected_faults\":0,"
+        "\"aborted_rig\":0,\"replayed\":0,\"rig_downtime_ms\":0,"
+        "\"fleet\":{\"degraded\":{\"cohorts\":2,\"nodes\":500}}}",
+        error);
+    ASSERT_TRUE(old_fleet.has_value()) << error;
+    EXPECT_FALSE(old_fleet->timeline_present);
+    EXPECT_EQ(old_fleet->degraded_cohorts, 2U);
+}
+
+TEST(ReportStatus, ParsesTheFleetTimelineSection) {
+    std::string error;
+    const auto status = load_status(
+        "{\"campaign\":\"fleet\",\"running\":false,\"tasks_total\":36,"
+        "\"tasks_done\":36,\"retries\":0,\"injected_faults\":0,"
+        "\"aborted_rig\":0,\"replayed\":0,\"rig_downtime_ms\":0,"
+        "\"fleet\":{\"degraded\":{\"cohorts\":0,\"nodes\":0},"
+        "\"timeline\":{\"series\":40,\"samples\":240,\"rules\":2,"
+        "\"firing\":[\"vmin-drift:vmin.TTT.0.0.0\"],\"events\":3}}}",
+        error);
+    ASSERT_TRUE(status.has_value()) << error;
+    EXPECT_TRUE(status->timeline_present);
+    EXPECT_EQ(status->timeline_series, 40U);
+    EXPECT_EQ(status->timeline_samples, 240U);
+    EXPECT_EQ(status->timeline_rules, 2U);
+    EXPECT_EQ(status->timeline_events, 3U);
+    ASSERT_EQ(status->timeline_firing.size(), 1U);
+    EXPECT_EQ(status->timeline_firing.front(),
+              "vmin-drift:vmin.TTT.0.0.0");
+
+    // A malformed section is a diagnostic, not a crash.
+    error.clear();
+    EXPECT_FALSE(load_status(
+                     "{\"campaign\":\"fleet\",\"running\":false,"
+                     "\"tasks_total\":1,\"tasks_done\":1,\"retries\":0,"
+                     "\"injected_faults\":0,\"aborted_rig\":0,"
+                     "\"replayed\":0,\"rig_downtime_ms\":0,"
+                     "\"fleet\":{\"timeline\":42}}",
+                     error)
+                     .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+// --- timeline artifact --------------------------------------------------
+
+/// A small but non-trivial timeline: two series, one past ring eviction,
+/// plus a firing alert -- written through the real emitter.
+std::string sample_timeline_json() {
+    timeseries_config config;
+    config.capacity = 4;
+    timeline_recorder recorder(config);
+    for (std::uint64_t i = 1; i <= 6; ++i) {
+        recorder.append("vmin.TTT.0.0.0", recorder.advance(),
+                        950.0 + 2.5 * static_cast<double>(i));
+    }
+    recorder.append("fleet.cache_hit_rate", recorder.advance(), 0.5);
+    alert_rule rule;
+    rule.name = "vmin-drift";
+    rule.series = "vmin.*";
+    rule.op = alert_rule::op_kind::slope;
+    rule.threshold = 1.0;
+    rule.window = 3;
+    alert_engine alerts({rule});
+    (void)alerts.evaluate(recorder.snapshot(), recorder.next_tick());
+    std::ostringstream out;
+    write_timeline_json(out, recorder, &alerts);
+    return out.str();
+}
+
+TEST(ReportTimeline, RoundTripsTheEmitterBytes) {
+    const std::string text = sample_timeline_json();
+    std::string error;
+    const auto timeline = load_timeline(text, error);
+    ASSERT_TRUE(timeline.has_value()) << error;
+    EXPECT_FALSE(timeline->truncated_tail);
+    ASSERT_EQ(timeline->series.size(), 2U);
+    // Writer order is name-sorted.
+    EXPECT_EQ(timeline->series[0].name, "fleet.cache_hit_rate");
+    EXPECT_EQ(timeline->series[1].name, "vmin.TTT.0.0.0");
+    const series_snapshot* vmin = timeline->find("vmin.TTT.0.0.0");
+    ASSERT_NE(vmin, nullptr);
+    EXPECT_EQ(vmin->count, 6U);
+    EXPECT_EQ(vmin->samples.size(), 4U); // ring capacity
+    EXPECT_DOUBLE_EQ(vmin->min, 952.5);
+    EXPECT_DOUBLE_EQ(vmin->max, 965.0);
+    EXPECT_DOUBLE_EQ(vmin->last, 965.0);
+    EXPECT_EQ(vmin->evicted.count, 2U); // two samples downsampled
+    EXPECT_EQ(timeline->alert_rules, 1U);
+    ASSERT_EQ(timeline->firing.size(), 1U);
+    EXPECT_EQ(timeline->firing.front(), "vmin-drift:vmin.TTT.0.0.0");
+    ASSERT_EQ(timeline->events.size(), 1U);
+    EXPECT_TRUE(timeline->events.front().firing);
+    EXPECT_EQ(timeline->events.front().rule, "vmin-drift");
+    EXPECT_EQ(timeline->find("no.such.series"), nullptr);
+}
+
+TEST(ReportTimeline, SalvagesATornTail) {
+    // A crashed writer leaves a strict byte prefix.  Every cut that still
+    // contains at least one complete series line must load with
+    // `truncated_tail` set; cuts before that must fail with the
+    // truncated-tail diagnostic, not a JSON error.
+    const std::string text = sample_timeline_json();
+    std::string error;
+    const auto whole = load_timeline(text, error);
+    ASSERT_TRUE(whole.has_value()) << error;
+
+    bool salvaged_some = false;
+    for (std::size_t cut = 1; cut < text.size(); ++cut) {
+        error.clear();
+        const auto torn = load_timeline(text.substr(0, cut), error);
+        if (!torn) {
+            // Before the first record boundary there is nothing to
+            // salvage: the diagnostic names the truncation, never a
+            // generic shape error.
+            EXPECT_NE(error.find("truncated tail"), std::string::npos)
+                << "cut at " << cut << ": " << error;
+            continue;
+        }
+        if (cut < text.size() - 1) {
+            EXPECT_TRUE(torn->truncated_tail) << "cut at " << cut;
+        }
+        EXPECT_LE(torn->series.size(), whole->series.size());
+        // Salvaged series are bit-exact prefixes of the full document.
+        for (const series_snapshot& series : torn->series) {
+            const series_snapshot* full = whole->find(series.name);
+            ASSERT_NE(full, nullptr);
+            EXPECT_EQ(series.count, full->count);
+            EXPECT_EQ(series.samples.size(), full->samples.size());
+        }
+        salvaged_some = true;
+    }
+    EXPECT_TRUE(salvaged_some);
+}
+
+TEST(ReportTimeline, RejectsCorruption) {
+    std::string error;
+    EXPECT_FALSE(load_timeline("", error).has_value());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(load_timeline("{}", error).has_value());
+    EXPECT_NE(error.find("series"), std::string::npos);
+    error.clear();
+    // Valid JSON, wrong sample shape.
+    EXPECT_FALSE(
+        load_timeline("{\"series\":{\"a\":{\"count\":1,\"min\":0,"
+                      "\"max\":0,\"last\":0,\"samples\":[[1]],"
+                      "\"evicted\":{\"bounds\":[],\"counts\":[0],"
+                      "\"count\":0,\"sum\":0}}}}",
+                      error)
+            .has_value());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    // Mid-document garbage is corruption, not a torn tail.
+    EXPECT_FALSE(load_timeline("{\"series\": @@garbage@@\n}", error)
+                     .has_value());
+    EXPECT_EQ(error.find("truncated tail"), std::string::npos);
+}
+
+TEST(ReportTimeline, LoadsTheFileForm) {
+    const std::string path =
+        temp_file("report_timeline.json", sample_timeline_json());
+    std::string error;
+    const auto timeline = load_timeline_file(path, error);
+    ASSERT_TRUE(timeline.has_value()) << error;
+    EXPECT_EQ(timeline->series.size(), 2U);
+    EXPECT_EQ(timeline->samples(), 5U); // 4 retained + 1
+    error.clear();
+    EXPECT_FALSE(
+        load_timeline_file(path + ".does_not_exist", error).has_value());
+    EXPECT_FALSE(error.empty());
 }
 
 // --- metrics diff -------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -83,6 +84,83 @@ TEST(median_test, matches_wall_gauge_estimator_on_samples) {
 TEST(median_test, empty_throws) {
     const std::vector<double> v;
     EXPECT_THROW((void)median(v), contract_violation);
+}
+
+TEST(quantile_test, endpoints_and_interpolation) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.95), 3.85);
+}
+
+TEST(quantile_test, matches_median_bit_for_bit_at_half) {
+    // Property: quantile(v, 0.5) == median(v) exactly at both parities,
+    // because quantile() pins the midpoint form whenever the interpolation
+    // fraction is exactly one half (percentile() does not).
+    rng r(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> v;
+        const int n = 1 + static_cast<int>(r.uniform(0.0, 20.0));
+        for (int i = 0; i < n; ++i) {
+            v.push_back(r.uniform(-1000.0, 1000.0));
+        }
+        EXPECT_EQ(quantile(v, 0.5), median(v)) << "n=" << n;
+    }
+}
+
+TEST(quantile_test, monotone_in_q) {
+    // Property: for fixed values, quantile is non-decreasing in q.
+    rng r(11);
+    std::vector<double> v;
+    for (int i = 0; i < 17; ++i) {
+        v.push_back(r.uniform(0.0, 100.0));
+    }
+    double prev = quantile(v, 0.0);
+    for (double q = 0.05; q <= 1.0 + 1e-12; q += 0.05) {
+        const double cur = quantile(v, std::min(q, 1.0));
+        EXPECT_GE(cur, prev) << "q=" << q;
+        prev = cur;
+    }
+}
+
+TEST(quantile_test, bounded_by_extrema_and_order_invariant) {
+    // Properties: every quantile lies within [min, max], and the estimate
+    // is invariant under permutation of the input.
+    rng r(13);
+    std::vector<double> v;
+    for (int i = 0; i < 23; ++i) {
+        v.push_back(r.uniform(-50.0, 50.0));
+    }
+    std::vector<double> shuffled = v;
+    std::reverse(shuffled.begin(), shuffled.end());
+    const double lo = *std::min_element(v.begin(), v.end());
+    const double hi = *std::max_element(v.begin(), v.end());
+    for (const double q : {0.0, 0.01, 0.5, 0.77, 0.95, 0.99, 1.0}) {
+        EXPECT_GE(quantile(v, q), lo);
+        EXPECT_LE(quantile(v, q), hi);
+        EXPECT_EQ(quantile(v, q), quantile(shuffled, q));
+    }
+}
+
+TEST(quantile_test, named_quantiles_delegate) {
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_EQ(p50(v), quantile(v, 0.50));
+    EXPECT_EQ(p95(v), quantile(v, 0.95));
+    EXPECT_EQ(p99(v), quantile(v, 0.99));
+    EXPECT_DOUBLE_EQ(p95(v), 48.0);
+    // Single sample: every quantile collapses to it.
+    const std::vector<double> one{42.0};
+    EXPECT_DOUBLE_EQ(p50(one), 42.0);
+    EXPECT_DOUBLE_EQ(p99(one), 42.0);
+}
+
+TEST(quantile_test, empty_and_out_of_range_throw) {
+    const std::vector<double> v{1.0};
+    EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5),
+                 contract_violation);
+    EXPECT_THROW((void)quantile(v, -0.1), contract_violation);
+    EXPECT_THROW((void)quantile(v, 1.1), contract_violation);
 }
 
 TEST(mean_stddev_test, simple) {

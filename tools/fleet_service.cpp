@@ -12,6 +12,16 @@
 //     --journal FILE   probe-result journal (warm-cache on restart)
 //     --trace FILE     Chrome trace of the engine runs
 //     --metrics FILE   flat metrics JSON on shutdown
+//     --prom FILE      Prometheus text exposition of the metrics on
+//                      shutdown
+//     --timeline FILE  deterministic timeline.json artifact (enables the
+//                      observatory: per-epoch Vmin/fleet samples and
+//                      alert records ride the journal)
+//     --alerts FILE    alert-rule spec watched at every epoch seal
+//                      (requires --timeline; parse errors exit 2 with
+//                      path:line diagnostics)
+//     --aging MV       synthetic Vmin aging drift, mV per epoch, applied
+//                      to served requirements and timeline samples only
 //     --control FILE   poll FILE for daemon commands; without it, serve
 //                      exits after --epochs campaigns
 //     --poll-ms M      control poll interval (default 50)
@@ -98,8 +108,10 @@ int usage() {
                  " [--ops P]\n"
               << "        [--shards K] [--jobs W] [--epochs E]"
                  " [--journal FILE]\n"
-              << "        [--trace FILE] [--metrics FILE] [--control FILE]"
-                 " [--poll-ms M]\n"
+              << "        [--trace FILE] [--metrics FILE] [--prom FILE]"
+                 " [--control FILE]\n"
+              << "        [--poll-ms M] [--timeline FILE] [--alerts FILE]"
+                 " [--aging MV]\n"
               << "        [--fault-rate R] [--retry N] [--replan N]\n"
               << "        [--chaos SPEC] [--chaos-exit C]\n"
               << "        [--sdc SPEC] [--quorum N] [--rigs N] [--audit K]"
@@ -186,6 +198,9 @@ int run_serve(int argc, char** argv) {
     const auto journal_path = take_flag_value(argc, argv, "--journal");
     const auto trace_path = take_flag_value(argc, argv, "--trace");
     const auto metrics_path = take_flag_value(argc, argv, "--metrics");
+    const auto prom_path = take_flag_value(argc, argv, "--prom");
+    const auto timeline_path = take_flag_value(argc, argv, "--timeline");
+    const auto alerts_path = take_flag_value(argc, argv, "--alerts");
     const auto control_path = take_flag_value(argc, argv, "--control");
     const auto nodes =
         integer_flag(argc, argv, "--nodes", 100000, 1, 10000000);
@@ -212,13 +227,26 @@ int run_serve(int argc, char** argv) {
     const auto audit = integer_flag(argc, argv, "--audit", -1, -1, 1000000);
     const auto blacklist =
         integer_flag(argc, argv, "--blacklist", 2, 1, 1000);
+    const auto aging = real_flag(argc, argv, "--aging", 0.0, -100.0, 100.0);
     if (!nodes || !seed || !classes || !ops || !shards || !jobs ||
         !epochs || !poll_ms || !fault_rate || !retry || !replan ||
-        !chaos_exit || !quorum || !rigs || !audit || !blacklist) {
+        !chaos_exit || !quorum || !rigs || !audit || !blacklist || !aging) {
         return exit_usage;
     }
     if (!state_path) {
         return fail("serve requires --state FILE");
+    }
+    if (alerts_path && !timeline_path) {
+        return fail("--alerts requires --timeline FILE");
+    }
+    std::vector<alert_rule> alert_rules;
+    if (alerts_path) {
+        std::string error;
+        const auto parsed = load_alert_rules_file(*alerts_path, error);
+        if (!parsed) {
+            return fail(error);
+        }
+        alert_rules = *parsed;
     }
 
     fleet_spec spec;
@@ -262,6 +290,7 @@ int run_serve(int argc, char** argv) {
 
     tracer trace;
     metrics_registry metrics;
+    timeline_recorder timeline;
     fleet_service_config config;
     config.campaign = "fleet";
     config.shards = static_cast<int>(*shards);
@@ -271,7 +300,13 @@ int run_serve(int argc, char** argv) {
         config.journal_path = *journal_path;
     }
     config.trace = trace_path ? &trace : nullptr;
-    config.metrics = metrics_path ? &metrics : nullptr;
+    config.metrics = (metrics_path || prom_path) ? &metrics : nullptr;
+    if (timeline_path) {
+        config.timeline = &timeline;
+        config.timeline_path = *timeline_path;
+        config.alerts = std::move(alert_rules);
+    }
+    config.aging_mv_per_epoch = *aging;
     config.faults = faults ? &*faults : nullptr;
     config.retry_budget = static_cast<int>(*retry);
     config.replan_rounds = static_cast<int>(*replan);
@@ -399,6 +434,20 @@ int run_serve(int argc, char** argv) {
     if (metrics_path) {
         std::ofstream out(*metrics_path);
         write_metrics_json(out, metrics);
+    }
+    if (prom_path) {
+        std::ofstream out(*prom_path);
+        write_prometheus_text(out, metrics);
+    }
+    if (timeline_path) {
+        service.publish_timeline();
+        const alert_engine* alerts = service.alert_state();
+        std::cerr << "fleet_service: timeline " << timeline.series_count()
+                  << " series, " << timeline.sample_count() << " samples";
+        if (alerts != nullptr && !alerts->rules().empty()) {
+            std::cerr << ", " << alerts->firing_count() << " alerts firing";
+        }
+        std::cerr << "\n";
     }
     if (defended || audit_stride > 0) {
         std::cerr << "fleet_service: integrity: " << service.sdc_injected()
@@ -531,6 +580,21 @@ int run_query(int argc, char** argv) {
         std::cout << "supervision: " << u64_of(*fleet, "supervised_cohorts")
                   << " cohorts, " << u64_of(*fleet, "supervised_epochs")
                   << " supervised epochs\n";
+    }
+    const report::json_value* timeline = member(*fleet, "timeline");
+    if (timeline != nullptr && timeline->is_object()) {
+        std::cout << "timeline: " << u64_of(*timeline, "series")
+                  << " series, " << u64_of(*timeline, "samples")
+                  << " samples, " << u64_of(*timeline, "rules") << " rules";
+        const report::json_value* firing = member(*timeline, "firing");
+        if (firing != nullptr && firing->is_array() &&
+            !firing->items.empty()) {
+            std::cout << "; FIRING:";
+            for (const report::json_value& item : firing->items) {
+                std::cout << ' ' << item.as_string().value_or("?");
+            }
+        }
+        std::cout << "\n";
     }
 
     if (show_bins) {

@@ -5,6 +5,8 @@
 //   gbreport critical-path --trace FILE      heaviest campaign + tasks
 //   gbreport utilization --trace FILE        simulated worker utilization
 //   gbreport timeline --trace FILE           fault/supervisor event timeline
+//   gbreport timeline FILE                   timeline.json series + sparklines
+//   gbreport alerts FILE [--rules SPEC]      alert gate; exit 1 when firing
 //   gbreport status FILE                     render a heartbeat snapshot
 //   gbreport audit --metrics FILE            SDC detection/escape rollup
 //   gbreport diff BASELINE CANDIDATE         metrics regression gate
@@ -15,6 +17,7 @@
 // artifact.  Malformed input always yields a one-line `gbreport:`
 // diagnostic on stderr, never a crash (the rig-fault injector corrupts
 // logs by design).
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -23,6 +26,7 @@
 
 #include "harness/report/analysis.hpp"
 #include "harness/report/artifacts.hpp"
+#include "harness/timeseries/alerts.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -46,6 +50,10 @@ int usage() {
            "utilization/imbalance\n"
         << "  timeline --trace FILE [--metrics FILE]\n"
         << "                                    fault/supervisor timeline\n"
+        << "  timeline FILE                     timeline.json per-series "
+           "summary + sparklines\n"
+        << "  alerts FILE [--rules SPEC]        alert gate over a "
+           "timeline.json; exit 1 when firing\n"
         << "  status FILE                       render a heartbeat snapshot\n"
         << "  audit --metrics FILE              SDC detection rollup; exit 1 "
            "when corruptions escaped\n"
@@ -141,10 +149,75 @@ int run_utilization(int argc, char** argv) {
     return exit_ok;
 }
 
+/// Fixed ASCII level ladder, scaled to the retained window's own
+/// min/max -- a pure function of the sample values, so the rendering is
+/// byte-identical wherever the artifact is.
+std::string sparkline(const std::vector<ts_sample>& samples) {
+    constexpr std::string_view levels = "_.:-=+*#";
+    double lo = 0.0;
+    double hi = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        lo = i == 0 ? samples[i].value : std::min(lo, samples[i].value);
+        hi = i == 0 ? samples[i].value : std::max(hi, samples[i].value);
+    }
+    std::string out;
+    out.reserve(samples.size());
+    for (const ts_sample& sample : samples) {
+        std::size_t level = 0;
+        if (hi > lo) {
+            const double unit = (sample.value - lo) / (hi - lo);
+            level = static_cast<std::size_t>(
+                unit * static_cast<double>(levels.size() - 1) + 0.5);
+            level = std::min(level, levels.size() - 1);
+        }
+        out += levels[level];
+    }
+    return out;
+}
+
+int render_timeline_artifact(const std::string& path) {
+    std::string error;
+    const auto timeline = load_timeline_file(path, error);
+    if (!timeline) {
+        return fail(error);
+    }
+    std::cout << "timeline: " << timeline->series.size() << " series, "
+              << timeline->samples() << " samples retained";
+    if (timeline->truncated_tail) {
+        std::cout << " (truncated tail: partial write dropped)";
+    }
+    std::cout << "\n";
+    std::size_t width = 0;
+    for (const series_snapshot& series : timeline->series) {
+        width = std::max(width, series.name.size());
+    }
+    for (const series_snapshot& series : timeline->series) {
+        std::cout << "  " << series.name
+                  << std::string(width - series.name.size(), ' ')
+                  << "  count=" << series.count << " min=" << series.min
+                  << " max=" << series.max << " last=" << series.last
+                  << "  [" << sparkline(series.samples) << "]\n";
+    }
+    std::cout << "alerts: " << timeline->alert_rules << " rules, "
+              << timeline->firing.size() << " firing, "
+              << timeline->events.size() << " events\n";
+    for (const std::string& label : timeline->firing) {
+        std::cout << "  FIRING " << label << "\n";
+    }
+    return exit_ok;
+}
+
 int run_timeline(int argc, char** argv) {
-    const auto trace_path = required_flag(argc, argv, "--trace");
+    // Two artifacts share the name: `--trace` renders the trace-based
+    // fault/supervisor timeline, a positional FILE renders a
+    // timeline.json from the fleet observatory.
+    const auto trace_path = take_flag_value(argc, argv, "--trace");
     if (!trace_path) {
-        return exit_usage;
+        if (argc < 3) {
+            return fail(
+                "timeline wants --trace FILE or a timeline.json FILE");
+        }
+        return render_timeline_artifact(argv[2]);
     }
     const auto metrics_path = take_flag_value(argc, argv, "--metrics");
     std::optional<metrics_snapshot> metrics;
@@ -161,6 +234,45 @@ int run_timeline(int argc, char** argv) {
     }
     render_timeline(std::cout, *model, metrics ? &*metrics : nullptr);
     return exit_ok;
+}
+
+int run_alerts(int argc, char** argv) {
+    const auto rules_path = take_flag_value(argc, argv, "--rules");
+    if (argc < 3) {
+        return fail("alerts wants a timeline.json FILE");
+    }
+    std::string error;
+    const auto timeline = load_timeline_file(argv[2], error);
+    if (!timeline) {
+        return fail(error);
+    }
+    if (rules_path) {
+        // Re-run the stateless evaluator over the artifact's series: the
+        // gate can try rules the producing daemon never loaded.  Parse
+        // errors carry path:line and map to exit 2 like any usage error.
+        const auto rules = load_alert_rules_file(*rules_path, error);
+        if (!rules) {
+            return fail(error);
+        }
+        const auto matches = evaluate_alert_rules(*rules, timeline->series);
+        std::cout << "alerts: " << rules->size() << " rules over "
+                  << timeline->series.size() << " series, "
+                  << matches.size() << " firing\n";
+        for (const alert_match& match : matches) {
+            std::cout << "  FIRING " << match.rule->name << ": "
+                      << match.series << " " << to_string(match.rule->op)
+                      << " " << match.rule->threshold << " (measure "
+                      << match.value << ")\n";
+        }
+        return matches.empty() ? exit_ok : exit_regression;
+    }
+    std::cout << "alerts: " << timeline->alert_rules << " rules, "
+              << timeline->firing.size() << " firing, "
+              << timeline->events.size() << " events\n";
+    for (const std::string& label : timeline->firing) {
+        std::cout << "  FIRING " << label << "\n";
+    }
+    return timeline->firing.empty() ? exit_ok : exit_regression;
 }
 
 int run_status(int argc, char** argv) {
@@ -185,6 +297,22 @@ int run_status(int argc, char** argv) {
         std::cout << "degraded: " << status->degraded_cohorts
                   << " cohorts (" << status->degraded_nodes
                   << " nodes) quarantined at the nominal bin cap\n";
+    }
+    // The observatory section is optional (older snapshots predate it;
+    // plain heartbeats never carry it): render a stable placeholder
+    // rather than omitting the line, so consumers that key on it see the
+    // same shape across schema generations.
+    if (status->timeline_present) {
+        std::cout << "timeline: " << status->timeline_series << " series, "
+                  << status->timeline_samples << " samples, "
+                  << status->timeline_rules << " rules, "
+                  << status->timeline_firing.size() << " firing ("
+                  << status->timeline_events << " events)\n";
+        for (const std::string& label : status->timeline_firing) {
+            std::cout << "  FIRING " << label << "\n";
+        }
+    } else {
+        std::cout << "timeline: (not recorded)\n";
     }
     if (status->running && !status->worker_task.empty()) {
         std::cout << "workers (" << status->workers << "):";
@@ -279,6 +407,9 @@ int main(int argc, char** argv) {
     }
     if (command == "timeline") {
         return run_timeline(argc, argv);
+    }
+    if (command == "alerts") {
+        return run_alerts(argc, argv);
     }
     if (command == "status") {
         return run_status(argc, argv);
